@@ -1,0 +1,129 @@
+//! Microbenchmarks of the substrate hot paths: TLB lookups, page walks,
+//! THP split/collapse, A-bit scans, the LLC, the classifier and the key
+//! distributions. These bound the simulator's own throughput (the engine
+//! processes hundreds of millions of accesses per experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thermo_mem::{PageSize, Pfn, Vpn};
+use thermo_sim::{Engine, Llc, LlcConfig, SimConfig};
+use thermo_vm::{PageTable, Tlb, TlbConfig, Vpid};
+use thermo_workloads::{HotspotDist, KeyDist, ScrambledZipfian};
+use thermostat::{classify, Candidate};
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut tlb = Tlb::new(TlbConfig::default());
+    let v = Vpid(1);
+    for i in 0..64 {
+        tlb.insert(Vpn(i), Pfn(i), PageSize::Small4K, v);
+    }
+    let mut i = 0u64;
+    c.bench_function("tlb_lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(tlb.lookup(Vpn(i), v))
+        })
+    });
+    let mut j = 0u64;
+    c.bench_function("tlb_lookup_miss", |b| {
+        b.iter(|| {
+            j += 1;
+            black_box(tlb.lookup(Vpn(1_000_000 + j), v))
+        })
+    });
+}
+
+fn bench_pagetable(c: &mut Criterion) {
+    let mut pt = PageTable::new();
+    for p in 0..256u64 {
+        pt.map_huge(Vpn(p * 512), Pfn(p * 512), true).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("pagetable_lookup_huge", |b| {
+        b.iter(|| {
+            i = (i + 97) % (256 * 512);
+            black_box(pt.lookup(Vpn(i)))
+        })
+    });
+    c.bench_function("thp_split_collapse", |b| {
+        b.iter(|| {
+            pt.split_huge(Vpn(0)).unwrap();
+            pt.collapse_huge(Vpn(0)).unwrap();
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut engine = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
+    let base = engine.mmap(32 << 20, true, true, false, "heap");
+    for p in 0..16u64 {
+        engine.access(base + p * (2 << 20), true);
+    }
+    let mut out = Vec::new();
+    c.bench_function("scan_and_clear_16_huge_pages", |b| {
+        b.iter(|| {
+            out.clear();
+            black_box(engine.scan_and_clear_accessed(base.vpn(), 16 * 512, &mut out))
+        })
+    });
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut llc = Llc::new(LlcConfig::default());
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("llc_access_random", |b| {
+        b.iter(|| {
+            let line: u64 = rng.gen_range(0..1_000_000);
+            black_box(llc.access(line))
+        })
+    });
+}
+
+fn bench_engine_access(c: &mut Criterion) {
+    let mut engine = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
+    let base = engine.mmap(128 << 20, true, true, false, "heap");
+    // Warm the region.
+    let mut off = 0;
+    while off < (128 << 20) {
+        engine.access(base + off, true);
+        off += 2 << 20;
+    }
+    let mut rng = SmallRng::seed_from_u64(2);
+    c.bench_function("engine_access_random_128mb", |b| {
+        b.iter(|| {
+            let off: u64 = rng.gen_range(0..(128u64 << 20)) & !63;
+            black_box(engine.access(base + off, false))
+        })
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let candidates: Vec<Candidate> = (0..10_000)
+        .map(|i| Candidate { vpn: Vpn(i * 512), rate_per_sec: rng.gen_range(0.0..10_000.0) })
+        .collect();
+    c.bench_function("classify_10k_pages", |b| {
+        b.iter(|| black_box(classify(candidates.clone(), 30_000.0)))
+    });
+}
+
+fn bench_dists(c: &mut Criterion) {
+    let zipf = ScrambledZipfian::new(4_000_000);
+    let hotspot = HotspotDist::paper_redis(4_000_000);
+    let mut rng = SmallRng::seed_from_u64(4);
+    c.bench_function("zipfian_sample", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+    c.bench_function("hotspot_sample", |b| b.iter(|| black_box(hotspot.sample(&mut rng))));
+}
+
+criterion_group!(
+    benches,
+    bench_tlb,
+    bench_pagetable,
+    bench_scan,
+    bench_llc,
+    bench_engine_access,
+    bench_classifier,
+    bench_dists
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Macro benchmarks: whole-pipeline throughput for each application
+//! generator (operations simulated per wall-clock second) and the cost of
+//! one complete Thermostat sampling period. These are the numbers that
+//! determine how long the figure/table harnesses take.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use thermo_bench::harness::EvalParams;
+use thermo_sim::{run_ops, Engine, NoPolicy};
+use thermo_workloads::{AppConfig, AppId};
+use thermostat::{Daemon, ThermostatConfig};
+
+fn tiny_params() -> EvalParams {
+    EvalParams {
+        scale: 512,
+        duration_ns: 0,
+        sampling_period_ns: 300_000_000,
+        tolerable_slowdown_pct: 3.0,
+        read_pct: 95,
+        seed: 17,
+        thp: true,
+        track_true_access: false,
+    }
+}
+
+fn bench_app_ops(c: &mut Criterion) {
+    let p = tiny_params();
+    let mut group = c.benchmark_group("app_ops");
+    group.sample_size(10);
+    for app in [AppId::Redis, AppId::Cassandra, AppId::WebSearch] {
+        let mut engine = Engine::new(p.sim_config(app));
+        let mut w = app.build(AppConfig { scale: p.scale, seed: p.seed, read_pct: p.read_pct });
+        w.init(&mut engine);
+        group.bench_function(format!("{app}_10k_ops"), |b| {
+            b.iter(|| black_box(run_ops(&mut engine, w.as_mut(), &mut NoPolicy, 10_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_daemon_period(c: &mut Criterion) {
+    let p = tiny_params();
+    let mut group = c.benchmark_group("daemon");
+    group.sample_size(10);
+    group.bench_function("one_sampling_period_tpcc", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = Engine::new(p.sim_config(AppId::MysqlTpcc));
+                let mut w = AppId::MysqlTpcc
+                    .build(AppConfig { scale: p.scale, seed: p.seed, read_pct: p.read_pct });
+                w.init(&mut engine);
+                let daemon = Daemon::new(ThermostatConfig {
+                    sampling_period_ns: p.sampling_period_ns,
+                    ..ThermostatConfig::paper_defaults()
+                });
+                (engine, w, daemon)
+            },
+            |(mut engine, mut w, mut daemon)| {
+                // One full period = three scans.
+                black_box(thermo_sim::run_for(
+                    &mut engine,
+                    w.as_mut(),
+                    &mut daemon,
+                    p.sampling_period_ns + 1,
+                ))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_app_ops, bench_daemon_period);
+criterion_main!(benches);

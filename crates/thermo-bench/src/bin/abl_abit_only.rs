@@ -1,0 +1,155 @@
+//! Ablation: Accessed-bit-only placement — the paper's §2.1 strawman.
+//!
+//! Figure 2 shows that the number of A-bit-hot 4KB regions inside a 2MB
+//! page does not predict the page's access rate. This harness builds the
+//! corresponding policy anyway (split a sample, count accessed children
+//! over one interval, demote pages under a hot-region threshold — the
+//! Guo/Baskakov-style classifier the paper cites) and sweeps the
+//! threshold. The expected outcome, and the paper's motivation for
+//! Thermostat: there is **no threshold** that achieves useful coverage
+//! while bounding the slowdown, because spatial occupancy and access rate
+//! are uncorrelated.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use thermo_bench::harness::{baseline_run, policy_run, slowdown_pct, thermostat_run, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_mem::{PageSize, Tier, Vpn, PAGES_PER_HUGE};
+use thermo_sim::{Engine, PolicyHook};
+use thermo_vm::ScanHit;
+use thermo_workloads::AppId;
+
+/// Split a sample each period, demote pages whose accessed-children count
+/// stays at or below `hot_region_threshold`. No rate estimation, no
+/// budget, no correction — A bits only.
+struct AbitOnly {
+    period_ns: u64,
+    next_due_ns: u64,
+    sample_fraction: f64,
+    hot_region_threshold: u32,
+    rng: rand::rngs::SmallRng,
+    sampled: Vec<Vpn>,
+    in_classify: bool,
+    scratch: Vec<ScanHit>,
+    demoted: u64,
+}
+
+impl AbitOnly {
+    fn new(period_ns: u64, hot_region_threshold: u32, seed: u64) -> Self {
+        Self {
+            period_ns,
+            next_due_ns: period_ns,
+            sample_fraction: 0.05,
+            hot_region_threshold,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            sampled: Vec::new(),
+            in_classify: false,
+            scratch: Vec::new(),
+            demoted: 0,
+        }
+    }
+}
+
+impl PolicyHook for AbitOnly {
+    fn next_due_ns(&self) -> u64 {
+        self.next_due_ns
+    }
+
+    fn tick(&mut self, engine: &mut Engine) {
+        if !self.in_classify {
+            // Scan A: pick and split a sample, clear child A bits.
+            let mut candidates: Vec<Vpn> = Vec::new();
+            let regions: Vec<(Vpn, u64)> =
+                engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+            for (start, n) in regions {
+                self.scratch.clear();
+                engine.read_accessed(start, n, &mut self.scratch);
+                for h in &self.scratch {
+                    if h.size == PageSize::Huge2M
+                        && engine.tier_of_vpn(h.base_vpn) == Some(Tier::Fast)
+                    {
+                        candidates.push(h.base_vpn);
+                    }
+                }
+            }
+            let want =
+                ((candidates.len() as f64 * self.sample_fraction).round() as usize).max(1);
+            candidates.shuffle(&mut self.rng);
+            candidates.truncate(want.min(candidates.len()));
+            self.sampled = candidates;
+            for &vpn in &self.sampled {
+                engine.split_huge(vpn).expect("candidate is huge");
+                self.scratch.clear();
+                engine.scan_and_clear_accessed(vpn, PAGES_PER_HUGE as u64, &mut self.scratch);
+            }
+            self.in_classify = true;
+            self.next_due_ns += self.period_ns / 3;
+        } else {
+            // Scan B: count accessed children; demote sparse pages.
+            let sampled = std::mem::take(&mut self.sampled);
+            for vpn in sampled {
+                self.scratch.clear();
+                engine.scan_and_clear_accessed(vpn, PAGES_PER_HUGE as u64, &mut self.scratch);
+                let hot = self.scratch.iter().filter(|h| h.accessed).count() as u32;
+                if hot <= self.hot_region_threshold
+                    && engine.migrate_split_huge(vpn, Tier::Slow).is_ok()
+                {
+                    engine.collapse_huge(vpn).expect("contiguous after migration");
+                    // Poison so the emulated slow latency applies (same
+                    // methodology as Thermostat's evaluation).
+                    engine.poison_page(vpn, PageSize::Huge2M);
+                    self.demoted += 1;
+                } else {
+                    engine.collapse_huge(vpn).expect("sampled page collapses");
+                }
+            }
+            self.in_classify = false;
+            self.next_due_ns += 2 * self.period_ns / 3;
+        }
+    }
+}
+
+fn main() {
+    let p = EvalParams::from_env();
+    let mut r = ExperimentReport::new(
+        "abl_abit_only",
+        "A-bit hot-region placement vs Thermostat (Redis hotspot)",
+        &["policy", "cold_final", "slowdown", "verdict"],
+    );
+    let mut params = p;
+    params.read_pct = 90;
+    let app = AppId::Redis;
+    let (base, _) = baseline_run(app, &params);
+
+    let (trun, _, _) = thermostat_run(app, &params);
+    let tsd = slowdown_pct(&trun, &base);
+    r.row(vec![
+        "thermostat 3%".into(),
+        pct(trun.cold_fraction_final),
+        format!("{tsd:.2}%"),
+        "rate-budgeted".into(),
+    ]);
+
+    for threshold in [64u32, 192, 320, 448] {
+        let mut policy = AbitOnly::new(params.sampling_period_ns, threshold, params.seed);
+        let (run, mut engine) = policy_run(app, &params, &mut policy);
+        let cold = engine.footprint_breakdown().cold_fraction();
+        let sd = slowdown_pct(&run, &base);
+        let verdict = if cold < 0.05 {
+            "no coverage"
+        } else if sd > params.tolerable_slowdown_pct * 2.0 {
+            "slowdown blown"
+        } else {
+            "lucky"
+        };
+        r.row(vec![
+            format!("a-bit, hot-regions <= {threshold}"),
+            pct(cold),
+            format!("{sd:.2}%"),
+            verdict.into(),
+        ]);
+    }
+    r.note("paper §2.1: spatial A-bit occupancy does not predict access rate (Figure 2),");
+    r.note("so no threshold gives coverage AND bounded slowdown; Thermostat budgets rates instead");
+    r.finish();
+}

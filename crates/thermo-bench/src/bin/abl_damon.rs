@@ -1,0 +1,65 @@
+//! Ablation: Thermostat vs a DAMON-style region-based tiering scheme (the
+//! Linux mechanism that followed this line of work). DAMON samples one
+//! page per adaptive region per interval and demotes regions idle for
+//! several aggregation windows — cheap and huge-page friendly, but still
+//! A-bit based: it knows *whether* a region was touched, not how much
+//! placing it in slow memory will cost. Expectation: DAMON matches
+//! Thermostat on structurally-cold apps (TPCC) but cannot hold a slowdown
+//! target on rate-sensitive ones (Redis).
+
+use thermo_bench::harness::{baseline_run, policy_run, slowdown_pct, thermostat_run, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_kstaled::{Damon, DamonConfig};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let mut r = ExperimentReport::new(
+        "abl_damon",
+        "Thermostat vs DAMON-style region tiering",
+        &["app", "policy", "cold_final", "slowdown", "detail"],
+    );
+    for app in [AppId::Redis, AppId::MysqlTpcc] {
+        let mut params = p;
+        if app == AppId::Redis {
+            params.read_pct = 90;
+        }
+        let (base, _) = baseline_run(app, &params);
+
+        let (trun, _, daemon) = thermostat_run(app, &params);
+        r.row(vec![
+            app.to_string(),
+            "thermostat 3%".into(),
+            pct(trun.cold_fraction_final),
+            format!("{:.2}%", slowdown_pct(&trun, &base)),
+            format!("{} promoted", daemon.stats().pages_promoted),
+        ]);
+
+        for (label, cold_age) in [("damon age=3", 3u32), ("damon age=10", 10)] {
+            let mut damon = Damon::new(DamonConfig {
+                sample_interval_ns: params.sampling_period_ns / 30,
+                samples_per_aggregation: 10,
+                cold_age_windows: cold_age,
+                min_regions: 50,
+                max_regions: 400,
+                ..DamonConfig::default()
+            });
+            let (run, mut engine) = policy_run(app, &params, &mut damon);
+            let cold = engine.footprint_breakdown().cold_fraction();
+            r.row(vec![
+                app.to_string(),
+                label.into(),
+                pct(cold),
+                format!("{:.2}%", slowdown_pct(&run, &base)),
+                format!(
+                    "{} regions, {} dem / {} prom",
+                    damon.regions().len(),
+                    damon.stats().demotions,
+                    damon.stats().promotions
+                ),
+            ]);
+        }
+    }
+    r.note("DAMON-style schemes pick idle regions but cannot budget the resulting access rate");
+    r.finish();
+}

@@ -1,0 +1,40 @@
+//! Ablation: disable the §3.5 mis-classification correction. Sampling
+//! error and working-set drift then leave hot pages stranded in slow
+//! memory, so the slow-memory access rate is no longer pulled back to the
+//! target (the Figure 3 exceedances never recover).
+
+use thermo_bench::harness::{baseline_run, slowdown_pct, thermostat_run_with, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let mut r = ExperimentReport::new(
+        "abl_no_correction",
+        "correction mechanism on/off",
+        &["app", "correction", "cold_final", "slowdown", "mean_slow_rate_2nd_half"],
+    );
+    for app in [AppId::Cassandra, AppId::Redis] {
+        let mut params = p;
+        params.read_pct = if app == AppId::Cassandra { 5 } else { 90 };
+        let (base, _) = baseline_run(app, &params);
+        for correction in [true, false] {
+            let mut cfg = params.thermostat_config();
+            cfg.correction_enabled = correction;
+            let (run, _, _) = thermostat_run_with(app, &params, cfg);
+            let s = &run.slow_rate_series;
+            let half = &s[s.len() / 2..];
+            let mean =
+                if half.is_empty() { 0.0 } else { half.iter().sum::<f64>() / half.len() as f64 };
+            r.row(vec![
+                app.to_string(),
+                if correction { "on" } else { "off" }.into(),
+                pct(run.cold_fraction_final),
+                format!("{:.2}%", slowdown_pct(&run, &base)),
+                format!("{mean:.0}/s"),
+            ]);
+        }
+    }
+    r.note("target slow rate: 30000/s; without correction the rate runs away");
+    r.finish();
+}

@@ -1,0 +1,37 @@
+//! Ablation: K, the maximum number of poisoned 4KB pages per sampled huge
+//! page (paper uses K=50). Small K cuts monitoring cost but raises
+//! estimation error; the paper's two-step design needs K large enough to
+//! represent the accessed-children population.
+
+use thermo_bench::harness::{baseline_run, slowdown_pct, thermostat_run_with, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let app = AppId::Redis;
+    let pr = {
+        let mut q = p;
+        q.read_pct = 90;
+        q
+    };
+    let (base, _) = baseline_run(app, &pr);
+    let mut r = ExperimentReport::new(
+        "abl_poison_budget",
+        "poison budget K sweep (Redis)",
+        &["K", "cold_final", "slowdown", "trap_faults_on_fast"],
+    );
+    for k in [5usize, 20, 50, 200] {
+        let mut cfg = pr.thermostat_config();
+        cfg.max_poison_per_page = k;
+        let (run, engine, _) = thermostat_run_with(app, &pr, cfg);
+        r.row(vec![
+            k.to_string(),
+            pct(run.cold_fraction_final),
+            format!("{:.2}%", slowdown_pct(&run, &base)),
+            engine.stats().fast_trap_faults.to_string(),
+        ]);
+    }
+    r.note("paper setting: K = 50 poisoned 4KB pages per sampled huge page");
+    r.finish();
+}

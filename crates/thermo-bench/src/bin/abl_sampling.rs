@@ -1,0 +1,41 @@
+//! Ablation: sampling fraction (paper uses 5% of huge pages per period).
+//! Sweeps the fraction and reports cold coverage, achieved slowdown and
+//! monitoring overhead — more sampling reacts faster but poisons more.
+
+use thermo_bench::harness::{baseline_run, slowdown_pct, thermostat_run_with, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let app = AppId::MysqlTpcc;
+    let (base, _) = baseline_run(app, &p);
+    let mut r = ExperimentReport::new(
+        "abl_sampling",
+        "sampling-fraction sweep (MySQL-TPCC)",
+        &["sample_frac", "cold_final", "slowdown", "pages_sampled", "half_coverage_period"],
+    );
+    for frac in [0.01, 0.05, 0.10, 0.25] {
+        let mut cfg = p.thermostat_config();
+        cfg.sample_fraction = frac;
+        let (run, _, d) = thermostat_run_with(app, &p, cfg);
+        // Responsiveness: first period at which cold fraction reached half
+        // its final value.
+        let half = run.cold_fraction_final / 2.0;
+        let t_half = run
+            .history
+            .iter()
+            .position(|rec| rec.breakdown.cold_fraction() >= half)
+            .map(|i| (i + 1).to_string())
+            .unwrap_or_else(|| "-".to_string());
+        r.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            pct(run.cold_fraction_final),
+            format!("{:.2}%", slowdown_pct(&run, &base)),
+            d.stats().pages_sampled.to_string(),
+            t_half,
+        ]);
+    }
+    r.note("paper setting: 5% of huge pages sampled per 30s period (~0.5% of memory poisoned)");
+    r.finish();
+}

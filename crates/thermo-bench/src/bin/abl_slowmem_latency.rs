@@ -1,0 +1,80 @@
+//! Ablation: slow-memory latency sweep across the §1 projection range
+//! (400ns - 3us). The §3.4 threshold x/(100*ts) shrinks as the device
+//! slows, so the achievable cold fraction falls with latency.
+
+use thermo_bench::harness::{baseline_run, slowdown_pct, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let app = AppId::Cassandra;
+    let params = {
+        let mut q = p;
+        q.read_pct = 5;
+        q
+    };
+    let (base, _) = baseline_run(app, &params);
+    let mut r = ExperimentReport::new(
+        "abl_slowmem_latency",
+        "slow-memory latency sweep (Cassandra, 3% target)",
+        &["latency", "threshold_acc_per_sec", "cold_final", "slowdown"],
+    );
+    for (name, ns) in [("400ns", 400u64), ("1us", 1_000), ("3us", 3_000)] {
+        let mut cfg = params.thermostat_config();
+        cfg.slow_mem_latency_ns = ns;
+        // The emulated fault must cost what the device costs.
+        let mut run_params = params;
+        run_params.seed ^= ns;
+        let (run, _, _) = run_with_fault_latency(app, &run_params, cfg, ns, &base);
+        r.row(vec![
+            name.into(),
+            format!("{:.0}", cfg.target_slow_access_rate()),
+            pct(run.cold_fraction_final),
+            format!("{:.2}%", slowdown_pct(&run, &base)),
+        ]);
+    }
+    r.note("threshold = slowdown / (100 * ts): slower devices leave less access budget");
+    r.finish();
+}
+
+fn run_with_fault_latency(
+    app: AppId,
+    p: &EvalParams,
+    cfg: thermostat::ThermostatConfig,
+    fault_ns: u64,
+    _base: &thermo_bench::harness::AppRun,
+) -> (thermo_bench::harness::AppRun, (), ()) {
+    use thermo_sim::{run_for, Engine};
+    use thermostat::Daemon;
+    let mut sim = p.sim_config(app);
+    sim.trap.fault_latency_ns = fault_ns;
+    sim.slow.read_latency_ns = fault_ns;
+    sim.slow.write_latency_ns = fault_ns;
+    let mut engine = Engine::new(sim);
+    let mut w = app.build(p.app_config());
+    w.init(&mut engine);
+    let mut daemon = Daemon::new(cfg);
+    let outcome = run_for(&mut engine, w.as_mut(), &mut daemon, p.duration_ns);
+    let mut run = thermo_bench::harness::AppRun {
+        app: app.to_string(),
+        outcome,
+        ops_per_sec: outcome.ops_per_sec(),
+        cold_fraction_mean: 0.0,
+        cold_fraction_final: 0.0,
+        history: daemon.history().to_vec(),
+        daemon: daemon.stats(),
+        migration_mbps: 0.0,
+        false_class_mbps: 0.0,
+        slow_access_rate: 0.0,
+        slow_rate_series: Vec::new(),
+        mean_latency_ns: 0.0,
+        p99_latency_ns: 0,
+    };
+    let vals: Vec<f64> =
+        daemon.history().iter().map(|r| r.breakdown.cold_fraction()).collect();
+    if let Some(last) = vals.last() {
+        run.cold_fraction_final = *last;
+    }
+    (run, (), ())
+}

@@ -1,0 +1,44 @@
+//! Figure 1: fraction of 2MB pages idle for 10 seconds, detected via
+//! hardware Accessed bits (kstaled). Paper: Aerospike ~25%, Cassandra ~40%,
+//! In-memory analytics ~25%, MySQL-TPCC ~55%, Redis ~10-25%, Web-search ~40%.
+
+use thermo_bench::harness::{policy_run, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_kstaled::{Kstaled, KstaledConfig};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let mut r = ExperimentReport::new(
+        "fig1",
+        "fraction of 2MB pages idle for 10s (Accessed-bit scanning)",
+        &["app", "idle_10s", "tracked_2MB_pages", "paper"],
+    );
+    let paper = ["~25%", "~40%", "~25%", "~55%", "~10-25%", "~40%"];
+    for (app, paper_val) in AppId::ALL.into_iter().zip(paper) {
+        let mut ks = Kstaled::new(KstaledConfig { scan_period_ns: 2_000_000_000 });
+        let (_, _) = {
+            let mut params = p;
+            params.read_pct = if app == AppId::Cassandra { 5 } else { 95 };
+            let res = policy_run_with_kstaled(app, &params, &mut ks);
+            (res, ())
+        };
+        r.row(vec![
+            app.to_string(),
+            pct(ks.idle_fraction(10_000_000_000)),
+            ks.tracked_pages().to_string(),
+            paper_val.to_string(),
+        ]);
+    }
+    r.note("idle = Accessed bit clear across every scan covering a 10s window");
+    r.finish();
+}
+
+fn policy_run_with_kstaled(
+    app: AppId,
+    p: &EvalParams,
+    ks: &mut Kstaled,
+) -> thermo_bench::harness::AppRun {
+    let (run, _) = policy_run(app, p, ks);
+    run
+}

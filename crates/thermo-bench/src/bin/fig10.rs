@@ -1,0 +1,6 @@
+//! Figure 10: cold/hot data identified at run time (paper: ~40% cold
+//! at 1.0% degradation).
+
+fn main() {
+    thermo_bench::figs::footprint_figure("fig10", thermo_workloads::AppId::WebSearch, 95, "~40%", 1.0);
+}

@@ -1,0 +1,32 @@
+//! Figure 11: cold data fraction vs the specified tolerable slowdown
+//! (3%, 6%, 10%) for all applications. Paper: every app places more data
+//! in slow memory as the budget grows, except MySQL-TPCC, which saturates
+//! near ~45% because all remaining pages are hot.
+
+use thermo_bench::harness::{thermostat_run, EvalParams};
+use thermo_bench::report::{pct, ExperimentReport};
+use thermo_workloads::AppId;
+
+fn main() {
+    let base = EvalParams::from_env();
+    let mut r = ExperimentReport::new(
+        "fig11",
+        "cold data fraction vs tolerable slowdown",
+        &["app", "3%", "6%", "10%"],
+    );
+    for app in AppId::ALL {
+        let mut cells = vec![app.to_string()];
+        for slowdown in [3.0, 6.0, 10.0] {
+            let mut p = base;
+            p.tolerable_slowdown_pct = slowdown;
+            if app == AppId::Cassandra {
+                p.read_pct = 5;
+            }
+            let (run, _, _) = thermostat_run(app, &p);
+            cells.push(pct(run.cold_fraction_final));
+        }
+        r.row(cells);
+    }
+    r.note("paper: monotone growth with tolerable slowdown; MySQL-TPCC saturates ~45%");
+    r.finish();
+}

@@ -1,0 +1,48 @@
+//! Figure 3: slow-memory access rate over time for all six applications
+//! under a 3% tolerable slowdown and 1us slow memory. The paper's target
+//! line is 30K accesses/sec; Thermostat should track it (with temporary
+//! exceedances pulled back by the correction mechanism).
+
+use thermo_bench::harness::{thermostat_run, EvalParams};
+use thermo_bench::report::{f, ExperimentReport};
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let target = p.thermostat_config().target_slow_access_rate();
+    let mut r = ExperimentReport::new(
+        "fig3",
+        &format!("slow-memory access rate over time (target {target:.0}/s)"),
+        &["app", "t25%", "t50%", "t75%", "t100%", "mean_2nd_half"],
+    );
+    let mut series_out = Vec::new();
+    for app in AppId::ALL {
+        let read_pct = if app == AppId::Cassandra { 5 } else { 95 };
+        let mut params = p;
+        params.read_pct = read_pct;
+        let (run, _, _) = thermostat_run(app, &params);
+        let s = &run.slow_rate_series;
+        let at = |frac: f64| -> f64 {
+            if s.is_empty() {
+                0.0
+            } else {
+                s[((s.len() - 1) as f64 * frac) as usize]
+            }
+        };
+        let half = &s[s.len() / 2..];
+        let mean = if half.is_empty() { 0.0 } else { half.iter().sum::<f64>() / half.len() as f64 };
+        r.row(vec![
+            app.to_string(),
+            f(at(0.25), 0),
+            f(at(0.5), 0),
+            f(at(0.75), 0),
+            f(at(1.0), 0),
+            f(mean, 0),
+        ]);
+        series_out.push((app.to_string(), s.clone()));
+    }
+    r.note(format!("target slow-memory access rate: {target:.0} accesses/sec (3% / 1us)"));
+    r.note("full smoothed series written to the JSON file");
+    r.finish();
+    thermo_bench::report::write_json("fig3_series", &series_out);
+}

@@ -1,0 +1,6 @@
+//! Figure 5: cold/hot data identified at run time (paper: ~40-50% cold
+//! at 2.0% degradation).
+
+fn main() {
+    thermo_bench::figs::footprint_figure("fig5", thermo_workloads::AppId::Cassandra, 5, "~40-50%", 2.0);
+}

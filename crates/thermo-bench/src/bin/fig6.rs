@@ -1,0 +1,6 @@
+//! Figure 6: cold/hot data identified at run time (paper: ~40-50% cold
+//! at 1.3% degradation).
+
+fn main() {
+    thermo_bench::figs::footprint_figure("fig6", thermo_workloads::AppId::MysqlTpcc, 95, "~40-50%", 1.3);
+}

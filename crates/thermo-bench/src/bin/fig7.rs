@@ -1,0 +1,6 @@
+//! Figure 7: cold/hot data identified at run time (paper: ~15% cold
+//! at 1.0% degradation).
+
+fn main() {
+    thermo_bench::figs::footprint_figure("fig7", thermo_workloads::AppId::Aerospike, 95, "~15%", 1.0);
+}

@@ -1,0 +1,6 @@
+//! Figure 8: amount of cold data in Redis identified at run time
+//! (paper: ~10% cold at 2% throughput degradation, hotspot load).
+
+fn main() {
+    thermo_bench::figs::footprint_figure("fig8", thermo_workloads::AppId::Redis, 90, "~10%", 2.0);
+}

@@ -1,0 +1,6 @@
+//! Figure 9: cold/hot data identified at run time (paper: ~15-20% cold
+//! at 3.0% degradation).
+
+fn main() {
+    thermo_bench::figs::footprint_figure("fig9", thermo_workloads::AppId::InMemoryAnalytics, 95, "~15-20%", 3.0);
+}

@@ -1,0 +1,33 @@
+//! Table 1: throughput gain from 2MB huge pages under virtualization,
+//! relative to 4KB pages on both host and guest.
+//! Paper: Aerospike 6%, Cassandra 13%, In-memory analytics 8%,
+//! MySQL-TPCC 8%, Redis 30%, Web-search ~0%.
+
+use thermo_bench::harness::{baseline_run, EvalParams};
+use thermo_bench::report::ExperimentReport;
+use thermo_workloads::AppId;
+
+fn main() {
+    let p = EvalParams::from_env();
+    let mut r = ExperimentReport::new(
+        "tab1",
+        "throughput gain from THP under nested paging (vs all-4KB)",
+        &["app", "thp_ops_per_sec", "4kb_ops_per_sec", "gain", "paper"],
+    );
+    let paper = ["6%", "13%", "8%", "8%", "30%", "no difference"];
+    for (app, paper_val) in AppId::ALL.into_iter().zip(paper) {
+        let (thp, _) = baseline_run(app, &p);
+        let p4k = EvalParams { thp: false, ..p };
+        let (small, _) = baseline_run(app, &p4k);
+        let gain = (thp.ops_per_sec / small.ops_per_sec - 1.0) * 100.0;
+        r.row(vec![
+            app.to_string(),
+            format!("{:.0}", thp.ops_per_sec),
+            format!("{:.0}", small.ops_per_sec),
+            format!("{gain:.1}%"),
+            paper_val.to_string(),
+        ]);
+    }
+    r.note("nested (2D) page walks: 24 steps for 4KB leaves vs 15 for 2MB (paper §2.2)");
+    r.finish();
+}

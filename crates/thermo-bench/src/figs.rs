@@ -1,0 +1,82 @@
+//! Shared implementation of the per-application footprint figures
+//! (paper Figures 5–10): run baseline + Thermostat, print the cold/hot
+//! footprint time series and the achieved slowdown.
+
+use crate::harness::{baseline_run, slowdown_pct, thermostat_run, EvalParams};
+use crate::report::{f, pct, ExperimentReport};
+use thermo_workloads::AppId;
+
+/// Runs the Figure 5–10 experiment for `app` and reports it under `id`.
+///
+/// `paper_cold` and `paper_slowdown_pct` are the values the paper reports
+/// for this figure; they are echoed in the notes for eyeball comparison.
+pub fn footprint_figure(
+    id: &str,
+    app: AppId,
+    read_pct: u8,
+    paper_cold: &str,
+    paper_slowdown_pct: f64,
+) {
+    let mut p = EvalParams::from_env();
+    p.read_pct = read_pct;
+    let (base, _) = baseline_run(app, &p);
+    let (run, mut engine, _daemon) = thermostat_run(app, &p);
+    let sd = slowdown_pct(&run, &base);
+
+    let mut r = ExperimentReport::new(
+        id,
+        &format!("{app} cold/hot footprint over time (read_pct={read_pct})"),
+        &["t(s)", "2MB_hot(MB)", "4KB_hot(MB)", "2MB_cold(MB)", "4KB_cold(MB)", "cold_frac"],
+    );
+    for rec in &run.history {
+        let b = rec.breakdown;
+        r.row(vec![
+            f(rec.at_ns as f64 / 1e9, 0),
+            f(b.huge_fast as f64 / 1e6, 1),
+            f(b.small_fast as f64 / 1e6, 1),
+            f(b.huge_slow as f64 / 1e6, 1),
+            f(b.small_slow as f64 / 1e6, 1),
+            pct(b.cold_fraction()),
+        ]);
+    }
+    r.note(format!(
+        "cold fraction: mean {} final {} (paper: {})",
+        pct(run.cold_fraction_mean),
+        pct(run.cold_fraction_final),
+        paper_cold
+    ));
+    r.note(format!(
+        "throughput degradation: {:.2}% (paper: {:.1}%, target {:.0}%)",
+        sd, paper_slowdown_pct, p.tolerable_slowdown_pct
+    ));
+    r.note(format!(
+        "baseline {:.0} ops/s, thermostat {:.0} ops/s; migrations {:.2} MB/s, false-class {:.2} MB/s",
+        base.ops_per_sec, run.ops_per_sec, run.migration_mbps, run.false_class_mbps
+    ));
+    let tail = if base.p99_latency_ns == 0 {
+        0.0
+    } else {
+        (run.p99_latency_ns as f64 / base.p99_latency_ns as f64 - 1.0) * 100.0
+    };
+    r.note(format!(
+        "99th-percentile op latency: baseline {}ns -> thermostat {}ns ({tail:+.1}%)",
+        base.p99_latency_ns, run.p99_latency_ns
+    ));
+    let stats = engine.stats();
+    r.note(format!(
+        "kernel time (scans/migrations/shootdowns): {:.2}% of app time (paper §4.4: <1% CPU impact)",
+        stats.kernel_time_ns as f64 / stats.app_time_ns.max(1) as f64 * 100.0
+    ));
+    // Which application structures carry the cold mass (the paper's §5
+    // per-app commentary, e.g. TPCC's LINEITEM table).
+    let mut regions = engine.region_breakdown();
+    regions.retain(|(_, b)| b.cold() > 0);
+    regions.sort_by_key(|(_, b)| std::cmp::Reverse(b.cold()));
+    let tops: Vec<String> = regions
+        .iter()
+        .take(3)
+        .map(|(n, b)| format!("{n} {:.0}MB ({})", b.cold() as f64 / 1e6, pct(b.cold_fraction())))
+        .collect();
+    r.note(format!("cold mass by region: {}", tops.join(", ")));
+    r.finish();
+}

@@ -1,0 +1,283 @@
+//! Shared experiment machinery: engine construction at evaluation scale,
+//! paired baseline/Thermostat runs, and the knobs every harness binary
+//! understands.
+//!
+//! Environment overrides (useful for quick smoke runs):
+//!
+//! * `THERMO_SCALE` — footprint divisor vs the paper's Table 2 (default 16);
+//! * `THERMO_DURATION_SECS` — virtual seconds per measured run (default 120);
+//! * `THERMO_PERIOD_SECS` — Thermostat sampling period (default 3; the
+//!   paper's 30s compressed 10x together with the run length).
+
+use serde::{Deserialize, Serialize};
+use thermo_sim::{run_for, run_for_instrumented, Engine, LatencyHistogram, NoPolicy, PolicyHook, RunOutcome, SimConfig};
+use thermo_workloads::{AppConfig, AppId};
+use thermostat::{Daemon, DaemonStats, PeriodRecord, ThermostatConfig};
+
+/// Evaluation-scale parameters shared by all harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalParams {
+    /// Footprint divisor vs the paper (Table 2).
+    pub scale: u64,
+    /// Measured run length, virtual ns.
+    pub duration_ns: u64,
+    /// Thermostat sampling period, virtual ns.
+    pub sampling_period_ns: u64,
+    /// Tolerable slowdown, percent.
+    pub tolerable_slowdown_pct: f64,
+    /// YCSB read percentage.
+    pub read_pct: u8,
+    /// Seed for both workload and policy randomness.
+    pub seed: u64,
+    /// Transparent huge pages enabled (Table 1 turns them off).
+    pub thp: bool,
+    /// Track exact access counts (Figure 2 / hardware-counter ablations).
+    pub track_true_access: bool,
+}
+
+impl EvalParams {
+    /// Paper-shaped defaults with environment overrides applied.
+    pub fn from_env() -> Self {
+        let scale = env_u64("THERMO_SCALE", 16);
+        let duration = env_u64("THERMO_DURATION_SECS", 120);
+        let period = env_u64("THERMO_PERIOD_SECS", 3);
+        Self {
+            scale,
+            duration_ns: duration * 1_000_000_000,
+            sampling_period_ns: period * 1_000_000_000,
+            tolerable_slowdown_pct: 3.0,
+            read_pct: 95,
+            seed: 0xa5_2017,
+            thp: true,
+            track_true_access: false,
+        }
+    }
+
+    /// Simulator configuration sized for `app` at this scale.
+    ///
+    /// The TLB and LLC scale with the footprint (DESIGN.md §1): the
+    /// footprint-to-TLB-reach and footprint-to-LLC ratios are what put the
+    /// machine in the paper's regime, so halving the footprint must halve
+    /// the caches too. `SimConfig::paper_defaults` already encodes the
+    /// reference scale of 16.
+    pub fn sim_config(&self, app: AppId) -> SimConfig {
+        let footprint = (app.paper_rss_bytes() + app.paper_file_bytes()) / self.scale;
+        // Headroom so demand paging and split/migrate churn never OOM; the
+        // slow tier must hold any achievable cold fraction.
+        let fast = footprint + footprint / 2 + (64 << 20);
+        let slow = footprint + (64 << 20);
+        let mut cfg = SimConfig::paper_defaults(fast, slow);
+        if self.scale != 16 {
+            let shrink = |entries: usize, floor: usize, ways: usize| -> usize {
+                let e = ((entries as u64 * 16 / self.scale) as usize).max(floor);
+                e.div_ceil(ways) * ways
+            };
+            cfg.tlb.l1_small = thermo_vm::TlbGeometry::new(shrink(32, 8, 4), 4);
+            cfg.tlb.l1_huge = thermo_vm::TlbGeometry::new(shrink(16, 4, 4), 4);
+            cfg.tlb.l2 = thermo_vm::TlbGeometry::new(shrink(128, 16, 8), 8);
+            let llc_bytes = ((4u64 << 20) * 16 / self.scale).max(256 << 10);
+            cfg.llc.size_bytes = llc_bytes / (64 * 16) * (64 * 16); // keep set geometry valid
+        }
+        cfg.thp_enabled = self.thp;
+        cfg.track_true_access = self.track_true_access;
+        cfg
+    }
+
+    /// Thermostat configuration for this evaluation.
+    pub fn thermostat_config(&self) -> ThermostatConfig {
+        ThermostatConfig {
+            tolerable_slowdown_pct: self.tolerable_slowdown_pct,
+            sampling_period_ns: self.sampling_period_ns,
+            seed: self.seed ^ 0xdaeb,
+            ..ThermostatConfig::paper_defaults()
+        }
+    }
+
+    /// Workload configuration for this evaluation.
+    pub fn app_config(&self) -> AppConfig {
+        AppConfig { scale: self.scale, seed: self.seed, read_pct: self.read_pct }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Everything a harness binary typically reports about one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppRun {
+    /// Application name.
+    pub app: String,
+    /// Run outcome (ops, virtual time).
+    pub outcome: RunOutcome,
+    /// Throughput, ops per virtual second.
+    pub ops_per_sec: f64,
+    /// Mean fraction of the footprint in slow memory over the measured
+    /// window (0 for baseline runs).
+    pub cold_fraction_mean: f64,
+    /// Final cold fraction.
+    pub cold_fraction_final: f64,
+    /// Thermostat per-period records (empty for baseline runs).
+    pub history: Vec<PeriodRecord>,
+    /// Daemon statistics (zeros for baseline runs).
+    pub daemon: DaemonStats,
+    /// Migration bandwidth toward slow memory, MB/s.
+    pub migration_mbps: f64,
+    /// False-classification (back-to-fast) bandwidth, MB/s.
+    pub false_class_mbps: f64,
+    /// Slow-memory access events per second over the run.
+    pub slow_access_rate: f64,
+    /// Smoothed slow-memory access rate series (1s buckets, 30-bucket
+    /// moving average — the Figure 3 curve).
+    pub slow_rate_series: Vec<f64>,
+    /// Mean per-operation latency, ns.
+    pub mean_latency_ns: f64,
+    /// 99th-percentile per-operation latency, ns (the paper's tail metric).
+    pub p99_latency_ns: u64,
+}
+
+fn finish_run(
+    app: AppId,
+    engine: &Engine,
+    outcome: RunOutcome,
+    history: Vec<PeriodRecord>,
+    daemon: DaemonStats,
+    hist: &LatencyHistogram,
+) -> AppRun {
+    let elapsed = outcome.elapsed_ns().max(1);
+    let ms = engine.migration_stats();
+    let (mean, last) = if history.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let vals: Vec<f64> = history.iter().map(|r| r.breakdown.cold_fraction()).collect();
+        (vals.iter().sum::<f64>() / vals.len() as f64, *vals.last().expect("nonempty"))
+    };
+    let slow_events = engine.slow_series().total();
+    AppRun {
+        app: app.to_string(),
+        outcome,
+        ops_per_sec: outcome.ops_per_sec(),
+        cold_fraction_mean: mean,
+        cold_fraction_final: last,
+        history,
+        daemon,
+        migration_mbps: ms.to_slow_mbps(elapsed),
+        false_class_mbps: ms.back_to_fast_mbps(elapsed),
+        slow_access_rate: slow_events as f64 / (elapsed as f64 / 1e9),
+        slow_rate_series: engine.slow_series().smoothed_rates(30),
+        mean_latency_ns: hist.mean_ns(),
+        p99_latency_ns: hist.percentile_ns(99.0),
+    }
+}
+
+/// Runs `app` with no placement policy (the all-DRAM baseline every paper
+/// number is measured against). Returns the run summary and the engine for
+/// further inspection.
+pub fn baseline_run(app: AppId, p: &EvalParams) -> (AppRun, Engine) {
+    let mut engine = Engine::new(p.sim_config(app));
+    let mut workload = app.build(p.app_config());
+    workload.init(&mut engine);
+    let mut hist = LatencyHistogram::new();
+    let outcome =
+        run_for_instrumented(&mut engine, workload.as_mut(), &mut NoPolicy, p.duration_ns, &mut hist);
+    let run = finish_run(app, &engine, outcome, Vec::new(), DaemonStats::default(), &hist);
+    (run, engine)
+}
+
+/// Runs `app` under the Thermostat daemon.
+pub fn thermostat_run(app: AppId, p: &EvalParams) -> (AppRun, Engine, Daemon) {
+    thermostat_run_with(app, p, p.thermostat_config())
+}
+
+/// Runs `app` under a daemon built from an explicit configuration (used by
+/// the ablation harnesses).
+pub fn thermostat_run_with(
+    app: AppId,
+    p: &EvalParams,
+    config: ThermostatConfig,
+) -> (AppRun, Engine, Daemon) {
+    let mut engine = Engine::new(p.sim_config(app));
+    let mut workload = app.build(p.app_config());
+    workload.init(&mut engine);
+    let mut daemon = Daemon::new(config);
+    let mut hist = LatencyHistogram::new();
+    let outcome =
+        run_for_instrumented(&mut engine, workload.as_mut(), &mut daemon, p.duration_ns, &mut hist);
+    let run =
+        finish_run(app, &engine, outcome, daemon.history().to_vec(), daemon.stats(), &hist);
+    (run, engine, daemon)
+}
+
+/// Runs `app` under an arbitrary policy hook.
+pub fn policy_run(
+    app: AppId,
+    p: &EvalParams,
+    policy: &mut dyn PolicyHook,
+) -> (AppRun, Engine) {
+    let mut engine = Engine::new(p.sim_config(app));
+    let mut workload = app.build(p.app_config());
+    workload.init(&mut engine);
+    let outcome = run_for(&mut engine, workload.as_mut(), policy, p.duration_ns);
+    let run = finish_run(
+        app,
+        &engine,
+        outcome,
+        Vec::new(),
+        DaemonStats::default(),
+        &LatencyHistogram::new(),
+    );
+    (run, engine)
+}
+
+/// Computes the slowdown of `run` vs `baseline` as a percentage.
+pub fn slowdown_pct(run: &AppRun, baseline: &AppRun) -> f64 {
+    // Same duration budget, so compare throughput (ops completed per
+    // virtual second).
+    (baseline.ops_per_sec / run.ops_per_sec - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EvalParams {
+        EvalParams {
+            scale: 512,
+            duration_ns: 2_000_000_000,
+            sampling_period_ns: 300_000_000,
+            tolerable_slowdown_pct: 3.0,
+            read_pct: 95,
+            seed: 7,
+            thp: true,
+            track_true_access: false,
+        }
+    }
+
+    #[test]
+    fn baseline_and_thermostat_complete() {
+        let p = tiny();
+        let (base, _) = baseline_run(AppId::Redis, &p);
+        assert!(base.outcome.ops > 0);
+        assert_eq!(base.cold_fraction_final, 0.0);
+        let (run, _, daemon) = thermostat_run(AppId::Redis, &p);
+        assert!(run.outcome.ops > 0);
+        assert!(daemon.stats().periods > 0);
+    }
+
+    #[test]
+    fn slowdown_of_identical_runs_is_zero() {
+        let p = tiny();
+        let (a, _) = baseline_run(AppId::WebSearch, &p);
+        let (b, _) = baseline_run(AppId::WebSearch, &p);
+        assert!(slowdown_pct(&b, &a).abs() < 1e-9, "same-seed runs must match exactly");
+    }
+
+    #[test]
+    fn thp_off_is_slower() {
+        let p = tiny();
+        let (on, _) = baseline_run(AppId::Redis, &p);
+        let off_p = EvalParams { thp: false, ..p };
+        let (off, _) = baseline_run(AppId::Redis, &off_p);
+        assert!(on.ops_per_sec > off.ops_per_sec, "THP must help Redis");
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the Thermostat reproduction.
+//!
+//! One binary per paper table/figure (see DESIGN.md §4 for the index):
+//! `fig1`, `tab1`, `fig2`, `fig3`, `tab2`, `fig5`…`fig10`, `fig11`,
+//! `tab3`, `tab4`, plus the ablations `abl_*`. Every binary prints
+//! human-readable rows matching the paper's presentation and writes
+//! `target/experiments/<id>.json` with the raw data.
+//!
+//! This library provides the shared machinery: building engines and
+//! workloads at the evaluation scale, paired baseline/Thermostat runs,
+//! and result serialization.
+
+
+#![warn(missing_docs)]
+pub mod figs;
+pub mod harness;
+pub mod report;
+
+pub use harness::{baseline_run, thermostat_run, AppRun, EvalParams};
+pub use report::{write_json, ExperimentReport};

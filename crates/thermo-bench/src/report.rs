@@ -1,0 +1,157 @@
+//! Experiment result reporting: aligned text tables on stdout plus JSON
+//! files under `target/experiments/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable, serializable experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "fig8", "tab4").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (pre-formatted cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper expectations, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the table and writes `target/experiments/<id>.json`.
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        write_json(&self.id, self);
+    }
+}
+
+/// Serializes `data` to `target/experiments/<id>.json` (best effort: a
+/// read-only filesystem only prints a warning).
+pub fn write_json<T: Serialize>(id: &str, data: &T) {
+    let dir = out_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(data) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+    }
+}
+
+fn out_dir() -> PathBuf {
+    // Keep artifacts inside the workspace target dir.
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(base).join("experiments")
+}
+
+/// Formats a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = ExperimentReport::new("t", "test", &["app", "value"]);
+        r.row(vec!["redis".into(), "1".into()]);
+        r.row(vec!["a".into(), "123456".into()]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("== t — test =="));
+        assert!(s.contains("redis"));
+        assert!(s.contains("note: a note"));
+        // Column alignment: both rows pad "app" column to 5 chars.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].find("1"), lines[3].find("123456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = ExperimentReport::new("t", "test", &["a", "b"]);
+        r.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn pct_and_f() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,326 @@
+//! Typed addresses and page-size arithmetic.
+//!
+//! The whole reproduction works in the x86-64 regime the paper assumes:
+//! 4KB base pages, 2MB huge pages (512 base pages), 64-byte cache lines.
+//! Newtypes keep virtual addresses, physical addresses, virtual page numbers
+//! and physical frame numbers from being mixed up (the classic source of
+//! bugs in memory-management code).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Bytes in a 4KB base page.
+pub const SMALL_PAGE_BYTES: usize = 4096;
+/// Bytes in a 2MB huge page.
+pub const HUGE_PAGE_BYTES: usize = 2 * 1024 * 1024;
+/// Number of 4KB pages per 2MB huge page.
+pub const PAGES_PER_HUGE: usize = HUGE_PAGE_BYTES / SMALL_PAGE_BYTES;
+/// Bytes in a cache line.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+const SMALL_SHIFT: u32 = 12;
+const HUGE_SHIFT: u32 = 21;
+
+/// Page granularity: the paper's mechanism is explicitly *huge-page-aware*
+/// and manipulates both sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// 4KB base page.
+    Small4K,
+    /// 2MB huge page.
+    Huge2M,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            PageSize::Small4K => SMALL_PAGE_BYTES,
+            PageSize::Huge2M => HUGE_PAGE_BYTES,
+        }
+    }
+
+    /// log2 of the size in bytes (12 or 21).
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Small4K => SMALL_SHIFT,
+            PageSize::Huge2M => HUGE_SHIFT,
+        }
+    }
+
+    /// Number of 4KB frames this page occupies (1 or 512).
+    pub const fn small_pages(self) -> usize {
+        match self {
+            PageSize::Small4K => 1,
+            PageSize::Huge2M => PAGES_PER_HUGE,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Small4K => write!(f, "4KB"),
+            PageSize::Huge2M => write!(f, "2MB"),
+        }
+    }
+}
+
+/// A virtual address in the simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in the simulated two-tier memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number: a [`VirtAddr`] shifted down by 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Vpn(pub u64);
+
+/// A physical frame number: a [`PhysAddr`] shifted down by 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Pfn(pub u64);
+
+impl VirtAddr {
+    /// The virtual page number containing this address.
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 >> SMALL_SHIFT)
+    }
+
+    /// The 2MB-aligned virtual page number of the huge page containing this
+    /// address (still expressed in 4KB units, i.e. a multiple of 512).
+    pub const fn huge_vpn(self) -> Vpn {
+        Vpn((self.0 >> HUGE_SHIFT) << (HUGE_SHIFT - SMALL_SHIFT))
+    }
+
+    /// Byte offset within the containing 4KB page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (SMALL_PAGE_BYTES as u64 - 1)
+    }
+
+    /// True if 2MB-aligned.
+    pub const fn is_huge_aligned(self) -> bool {
+        self.0 & (HUGE_PAGE_BYTES as u64 - 1) == 0
+    }
+
+    /// Rounds down to the containing page of `size`.
+    pub const fn align_down(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !(size.bytes() as u64 - 1))
+    }
+
+    /// Rounds up to the next boundary of `size` (identity if aligned).
+    pub const fn align_up(self, size: PageSize) -> VirtAddr {
+        let mask = size.bytes() as u64 - 1;
+        VirtAddr((self.0 + mask) & !mask)
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VirtAddr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<VirtAddr> for VirtAddr {
+    type Output = u64;
+    fn sub(self, rhs: VirtAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl PhysAddr {
+    /// The physical frame number containing this address.
+    pub const fn pfn(self) -> Pfn {
+        Pfn(self.0 >> SMALL_SHIFT)
+    }
+
+    /// The cache-line index of this address (64-byte lines).
+    pub const fn cache_line(self) -> u64 {
+        self.0 / CACHE_LINE_BYTES as u64
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl Vpn {
+    /// First byte address of this page.
+    pub const fn addr(self) -> VirtAddr {
+        VirtAddr(self.0 << SMALL_SHIFT)
+    }
+
+    /// True if this VPN is the first page of a 2MB-aligned region.
+    pub const fn is_huge_aligned(self) -> bool {
+        self.0.is_multiple_of(PAGES_PER_HUGE as u64)
+    }
+
+    /// VPN of the huge page containing this page (a multiple of 512).
+    pub const fn huge_base(self) -> Vpn {
+        Vpn(self.0 - self.0 % PAGES_PER_HUGE as u64)
+    }
+
+    /// Index of this 4KB page within its 2MB huge page, in `0..512`.
+    pub const fn index_in_huge(self) -> usize {
+        (self.0 % PAGES_PER_HUGE as u64) as usize
+    }
+
+    /// The `i`-th 4KB page after this one.
+    pub const fn offset(self, i: u64) -> Vpn {
+        Vpn(self.0 + i)
+    }
+}
+
+impl Add<u64> for Vpn {
+    type Output = Vpn;
+    fn add(self, rhs: u64) -> Vpn {
+        Vpn(self.0 + rhs)
+    }
+}
+
+impl Sub<Vpn> for Vpn {
+    type Output = u64;
+    fn sub(self, rhs: Vpn) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+impl Pfn {
+    /// First byte address of this frame.
+    pub const fn addr(self) -> PhysAddr {
+        PhysAddr(self.0 << SMALL_SHIFT)
+    }
+
+    /// True if this PFN starts a 2MB-aligned frame run.
+    pub const fn is_huge_aligned(self) -> bool {
+        self.0.is_multiple_of(PAGES_PER_HUGE as u64)
+    }
+
+    /// The `i`-th 4KB frame after this one.
+    pub const fn offset(self, i: u64) -> Pfn {
+        Pfn(self.0 + i)
+    }
+}
+
+impl Add<u64> for Pfn {
+    type Output = Pfn;
+    fn add(self, rhs: u64) -> Pfn {
+        Pfn(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// Translates a virtual address to a physical address given the frame that
+/// backs its page of size `size`.
+///
+/// The frame must be the base frame of the page (huge-aligned for 2MB pages).
+pub fn translate(va: VirtAddr, base_frame: Pfn, size: PageSize) -> PhysAddr {
+    let offset = va.0 & (size.bytes() as u64 - 1);
+    PhysAddr(base_frame.addr().0 + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_constants_consistent() {
+        assert_eq!(PageSize::Small4K.bytes(), 1 << PageSize::Small4K.shift());
+        assert_eq!(PageSize::Huge2M.bytes(), 1 << PageSize::Huge2M.shift());
+        assert_eq!(PageSize::Huge2M.small_pages(), 512);
+        assert_eq!(PageSize::Small4K.small_pages(), 1);
+    }
+
+    #[test]
+    fn vpn_roundtrip() {
+        let va = VirtAddr(0x7f00_1234_5678);
+        assert_eq!(va.vpn().addr().0, va.0 & !0xfff);
+        assert_eq!(va.page_offset(), 0x678);
+    }
+
+    #[test]
+    fn huge_vpn_is_512_aligned() {
+        let va = VirtAddr(0x4030_2010);
+        let h = va.huge_vpn();
+        assert!(h.is_huge_aligned());
+        assert_eq!(h, va.vpn().huge_base());
+    }
+
+    #[test]
+    fn index_in_huge_covers_full_range() {
+        let base = VirtAddr(2 * HUGE_PAGE_BYTES as u64);
+        assert_eq!(base.vpn().index_in_huge(), 0);
+        let last = VirtAddr(base.0 + HUGE_PAGE_BYTES as u64 - 1);
+        assert_eq!(last.vpn().index_in_huge(), 511);
+    }
+
+    #[test]
+    fn align_up_down() {
+        let va = VirtAddr(HUGE_PAGE_BYTES as u64 + 5);
+        assert_eq!(va.align_down(PageSize::Huge2M).0, HUGE_PAGE_BYTES as u64);
+        assert_eq!(va.align_up(PageSize::Huge2M).0, 2 * HUGE_PAGE_BYTES as u64);
+        let aligned = VirtAddr(HUGE_PAGE_BYTES as u64);
+        assert_eq!(aligned.align_up(PageSize::Huge2M), aligned);
+    }
+
+    #[test]
+    fn translate_small_and_huge() {
+        let va = VirtAddr(0x20_0123);
+        let pa = translate(va, Pfn(0x500), PageSize::Small4K);
+        assert_eq!(pa.0, (0x500 << 12) + 0x123);
+
+        let va = VirtAddr(0x60_1234); // within huge page [0x40_0000, 0x80_0000)
+        let pa = translate(va, Pfn(512), PageSize::Huge2M); // frame base = 2MB
+        assert_eq!(pa.0, (512 << 12) + (va.0 & (HUGE_PAGE_BYTES as u64 - 1)));
+    }
+
+    #[test]
+    fn cache_line_arithmetic() {
+        assert_eq!(PhysAddr(0).cache_line(), 0);
+        assert_eq!(PhysAddr(63).cache_line(), 0);
+        assert_eq!(PhysAddr(64).cache_line(), 1);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert!(!format!("{}", VirtAddr(1)).is_empty());
+        assert!(!format!("{}", PhysAddr(1)).is_empty());
+        assert!(!format!("{}", Vpn(1)).is_empty());
+        assert!(!format!("{}", Pfn(1)).is_empty());
+        assert_eq!(format!("{}", PageSize::Huge2M), "2MB");
+    }
+}

@@ -1,0 +1,134 @@
+//! Memory-cost savings model (paper §5.3, Table 4).
+//!
+//! The paper's analysis: if a fraction `c` of an application's footprint can
+//! live in slow memory that costs `r` (relative to DRAM per GB), the memory
+//! spend relative to an all-DRAM system is `(1 - c) + c * r`, i.e. a saving
+//! of `c * (1 - r)`. Table 4 evaluates r ∈ {1/3, 1/4, 1/5}.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model for a two-tier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Slow-memory cost per GB relative to DRAM (e.g. 0.25).
+    pub slow_cost_ratio: f64,
+}
+
+/// Outcome of a cost evaluation for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Fraction of the footprint placed in slow memory (0..=1).
+    pub cold_fraction: f64,
+    /// Memory spend relative to all-DRAM (0..=1).
+    pub relative_spend: f64,
+    /// Savings relative to all-DRAM (0..=1). This is the Table 4 number.
+    pub savings_fraction: f64,
+}
+
+impl CostModel {
+    /// Creates a model with the given slow:DRAM cost ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not in `(0, 1]` — slow memory costing more
+    /// than DRAM makes tiering pointless.
+    pub fn new(slow_cost_ratio: f64) -> Self {
+        assert!(
+            slow_cost_ratio > 0.0 && slow_cost_ratio <= 1.0,
+            "slow memory cost ratio must be in (0, 1], got {slow_cost_ratio}"
+        );
+        Self { slow_cost_ratio }
+    }
+
+    /// The three ratios evaluated in Table 4: 1/3, 1/4 and 1/5 of DRAM cost.
+    pub fn table4_models() -> [CostModel; 3] {
+        [CostModel::new(1.0 / 3.0), CostModel::new(0.25), CostModel::new(0.2)]
+    }
+
+    /// Evaluates savings when `cold_fraction` of the footprint is in slow
+    /// memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cold_fraction` is outside `[0, 1]`.
+    pub fn evaluate(&self, cold_fraction: f64) -> CostReport {
+        assert!(
+            (0.0..=1.0).contains(&cold_fraction),
+            "cold fraction must be in [0, 1], got {cold_fraction}"
+        );
+        let relative_spend = (1.0 - cold_fraction) + cold_fraction * self.slow_cost_ratio;
+        CostReport {
+            cold_fraction,
+            relative_spend,
+            savings_fraction: 1.0 - relative_spend,
+        }
+    }
+
+    /// Evaluates savings from absolute footprints in bytes.
+    pub fn evaluate_bytes(&self, fast_bytes: u64, slow_bytes: u64) -> CostReport {
+        let total = fast_bytes + slow_bytes;
+        let cold_fraction = if total == 0 { 0.0 } else { slow_bytes as f64 / total as f64 };
+        self.evaluate(cold_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table4_cassandra_row() {
+        // Cassandra: ~40% cold. Table 4: 27% / 30% / 32% savings.
+        let cold = 0.40;
+        let [third, quarter, fifth] = CostModel::table4_models();
+        assert!((third.evaluate(cold).savings_fraction - 0.2667).abs() < 0.01);
+        assert!((quarter.evaluate(cold).savings_fraction - 0.30).abs() < 0.01);
+        assert!((fifth.evaluate(cold).savings_fraction - 0.32).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_table4_aerospike_row() {
+        // Aerospike: ~15% cold. Table 4: 10% / 11% / 12%.
+        let cold = 0.15;
+        let [third, quarter, fifth] = CostModel::table4_models();
+        assert!((third.evaluate(cold).savings_fraction - 0.10).abs() < 0.01);
+        assert!((quarter.evaluate(cold).savings_fraction - 0.1125).abs() < 0.01);
+        assert!((fifth.evaluate(cold).savings_fraction - 0.12).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_cold_zero_savings() {
+        let m = CostModel::new(0.25);
+        let r = m.evaluate(0.0);
+        assert_eq!(r.savings_fraction, 0.0);
+        assert_eq!(r.relative_spend, 1.0);
+    }
+
+    #[test]
+    fn all_cold_max_savings() {
+        let m = CostModel::new(0.2);
+        let r = m.evaluate(1.0);
+        assert!((r.savings_fraction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_bytes_matches_fraction() {
+        let m = CostModel::new(0.25);
+        let r = m.evaluate_bytes(60, 40);
+        assert!((r.cold_fraction - 0.4).abs() < 1e-12);
+        let empty = m.evaluate_bytes(0, 0);
+        assert_eq!(empty.savings_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost ratio")]
+    fn invalid_ratio_panics() {
+        CostModel::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cold fraction")]
+    fn invalid_fraction_panics() {
+        CostModel::new(0.25).evaluate(1.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the physical-memory substrate.
+
+use crate::addr::{PageSize, Pfn};
+use crate::tier::Tier;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by physical-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The tier has no free page of the requested size.
+    OutOfMemory {
+        /// Tier that was exhausted.
+        tier: Tier,
+        /// Requested page size.
+        size: PageSize,
+    },
+    /// A migration was requested for a frame that is already in the target
+    /// tier.
+    AlreadyInTier {
+        /// The frame in question.
+        pfn: Pfn,
+        /// The tier it already resides in.
+        tier: Tier,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory { tier, size } => {
+                write!(f, "out of memory in {tier} tier for a {size} page")
+            }
+            MemError::AlreadyInTier { pfn, tier } => {
+                write!(f, "frame {pfn} already resides in {tier} tier")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MemError::OutOfMemory { tier: Tier::Fast, size: PageSize::Huge2M };
+        assert!(format!("{e}").contains("out of memory"));
+        let e = MemError::AlreadyInTier { pfn: Pfn(3), tier: Tier::Slow };
+        assert!(format!("{e}").contains("already resides"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<MemError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! NUMA-zone façade over the two tiers.
+//!
+//! Paper §3.6: "The NVM memory space is exposed to the guest OS as a
+//! separate NUMA zone, to which the guest OS can then transfer memory." The
+//! simulator mirrors that: the fast tier is node 0, the slow tier is node 1,
+//! and policy code asks the topology for the zone backing a tier exactly the
+//! way Thermostat's kernel patch asks for the NVM node.
+
+use crate::tier::Tier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A NUMA zone id as exposed to the (simulated) guest OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NumaZone(pub u32);
+
+impl fmt::Display for NumaZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The guest-visible topology: one zone per tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NumaTopology {
+    _private: (),
+}
+
+impl NumaTopology {
+    /// The topology used throughout the reproduction (node 0 = DRAM,
+    /// node 1 = slow memory), matching the paper's libvirt setup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zone backing `tier`.
+    pub fn zone_of(&self, tier: Tier) -> NumaZone {
+        match tier {
+            Tier::Fast => NumaZone(0),
+            Tier::Slow => NumaZone(1),
+        }
+    }
+
+    /// Tier behind `zone`, or `None` for an unknown zone id.
+    pub fn tier_of(&self, zone: NumaZone) -> Option<Tier> {
+        match zone.0 {
+            0 => Some(Tier::Fast),
+            1 => Some(Tier::Slow),
+            _ => None,
+        }
+    }
+
+    /// All zones in the topology.
+    pub fn zones(&self) -> [NumaZone; 2] {
+        [NumaZone(0), NumaZone(1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_tier_roundtrip() {
+        let t = NumaTopology::new();
+        for tier in [Tier::Fast, Tier::Slow] {
+            assert_eq!(t.tier_of(t.zone_of(tier)), Some(tier));
+        }
+    }
+
+    #[test]
+    fn unknown_zone_is_none() {
+        assert_eq!(NumaTopology::new().tier_of(NumaZone(7)), None);
+    }
+
+    #[test]
+    fn zone_display() {
+        assert_eq!(format!("{}", NumaZone(1)), "node1");
+    }
+
+    #[test]
+    fn zones_are_distinct() {
+        let [a, b] = NumaTopology::new().zones();
+        assert_ne!(a, b);
+    }
+}

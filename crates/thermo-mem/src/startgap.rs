@@ -1,0 +1,224 @@
+//! Start-Gap wear levelling (Qureshi et al., MICRO'09), referenced by the
+//! paper's §6 device-wear discussion: *"a simple wear-leveling technique
+//! that uses an algebraic mapping between logical addresses and physical
+//! addresses ... to improve the lifetime of memory devices subject to
+//! wear."*
+//!
+//! The scheme: a region of `n` logical lines is backed by `n + 1` physical
+//! slots; one slot (the *gap*) is unused. Every `rotate_every` writes the
+//! gap swaps with its predecessor, slowly rotating the whole address
+//! mapping so hot logical lines migrate across physical slots. The
+//! logical→physical map stays algebraic — two registers (`start`, `gap`)
+//! — so no translation table is needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Start-Gap remapper over `n` logical lines in `n + 1` physical slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StartGap {
+    n: u64,
+    start: u64,
+    gap: u64,
+    rotate_every: u64,
+    writes_since_move: u64,
+    stats: StartGapStats,
+}
+
+/// Wear-levelling statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StartGapStats {
+    /// Total writes observed.
+    pub writes: u64,
+    /// Gap movements performed (each costs one line copy).
+    pub gap_moves: u64,
+    /// Full rotations of the start register.
+    pub full_rotations: u64,
+}
+
+impl StartGap {
+    /// Creates a remapper for `n` lines that moves the gap every
+    /// `rotate_every` writes (Qureshi et al. use ψ = 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `rotate_every` is zero.
+    pub fn new(n: u64, rotate_every: u64) -> Self {
+        assert!(n > 0, "need at least one line");
+        assert!(rotate_every > 0, "rotation period must be positive");
+        Self {
+            n,
+            start: 0,
+            gap: n, // the spare slot starts at the end
+            rotate_every,
+            writes_since_move: 0,
+            stats: StartGapStats::default(),
+        }
+    }
+
+    /// Number of logical lines.
+    pub fn n_lines(&self) -> u64 {
+        self.n
+    }
+
+    /// Physical slot currently backing logical line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn physical_of(&self, i: u64) -> u64 {
+        assert!(i < self.n, "logical line {i} out of range");
+        let slots = self.n + 1;
+        // Position of the gap in the rotated scan order.
+        let gap_pos = (self.gap + slots - self.start) % slots;
+        let skip = u64::from(i >= gap_pos);
+        (self.start + i + skip) % slots
+    }
+
+    /// Records a write to logical line `i` and returns the physical slot it
+    /// lands in. Every `rotate_every` writes the gap moves one slot
+    /// backwards (one internal line copy, counted in the statistics).
+    pub fn write(&mut self, i: u64) -> u64 {
+        let phys = self.physical_of(i);
+        self.stats.writes += 1;
+        self.writes_since_move += 1;
+        if self.writes_since_move >= self.rotate_every {
+            self.writes_since_move = 0;
+            self.move_gap();
+        }
+        phys
+    }
+
+    fn move_gap(&mut self) {
+        let slots = self.n + 1;
+        // Copy the predecessor slot's line into the gap; the predecessor
+        // becomes the new gap.
+        let pred = (self.gap + slots - 1) % slots;
+        self.gap = pred;
+        self.stats.gap_moves += 1;
+        if self.gap == self.start {
+            // The gap moved past the scan origin: advance it too.
+            self.start = (self.start + 1) % slots;
+            if self.start == 0 {
+                self.stats.full_rotations += 1;
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StartGapStats {
+        self.stats
+    }
+
+    /// Extra write amplification from gap copies:
+    /// `gap_moves / writes` (0 when no writes).
+    pub fn write_amplification(&self) -> f64 {
+        if self.stats.writes == 0 {
+            0.0
+        } else {
+            self.stats.gap_moves as f64 / self.stats.writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// The core invariant: the mapping is always a bijection into the n+1
+    /// slots minus the gap, and it tracks data movement correctly.
+    fn check_bijection(sg: &StartGap) {
+        let mut seen = HashSet::new();
+        for i in 0..sg.n_lines() {
+            let p = sg.physical_of(i);
+            assert!(p <= sg.n_lines(), "slot out of range");
+            assert_ne!(p, sg.gap, "logical line mapped onto the gap");
+            assert!(seen.insert(p), "two lines share slot {p}");
+        }
+    }
+
+    #[test]
+    fn identity_before_any_rotation() {
+        let sg = StartGap::new(8, 100);
+        for i in 0..8 {
+            assert_eq!(sg.physical_of(i), i);
+        }
+    }
+
+    #[test]
+    fn mapping_rotates_but_stays_bijective() {
+        let mut sg = StartGap::new(5, 1); // gap moves on every write
+        for w in 0..200 {
+            sg.write(w % 5);
+            check_bijection(&sg);
+        }
+        assert_eq!(sg.stats().gap_moves, 200);
+    }
+
+    #[test]
+    fn data_follows_the_mapping() {
+        // Shadow model: slot contents as logical ids; verify each gap move
+        // keeps physical_of(i) pointing at the slot that holds i.
+        let n = 7u64;
+        let mut sg = StartGap::new(n, 1);
+        let mut slots: Vec<Option<u64>> = (0..n).map(Some).chain([None]).collect();
+        for w in 0..300u64 {
+            // Emulate the gap copy the hardware would do.
+            let before_gap = sg.gap;
+            let slots_n = n + 1;
+            let pred = (before_gap + slots_n - 1) % slots_n;
+            sg.write(w % n);
+            if sg.stats().gap_moves > w {
+                // A move happened: data copied pred -> old gap.
+                slots[before_gap as usize] = slots[pred as usize].take();
+            }
+            for i in 0..n {
+                let p = sg.physical_of(i) as usize;
+                assert_eq!(slots[p], Some(i), "line {i} lost after {w} writes");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_line_wear_spreads_over_slots() {
+        // Hammer a single logical line; with rotation its physical slot
+        // must change over time (that is the whole point).
+        let mut sg = StartGap::new(16, 4);
+        let mut slots_used = HashSet::new();
+        for _ in 0..17 * 16 * 4 {
+            slots_used.insert(sg.write(3));
+        }
+        assert!(
+            slots_used.len() > 8,
+            "hot line must migrate across slots, used only {:?}",
+            slots_used.len()
+        );
+    }
+
+    #[test]
+    fn write_amplification_matches_period() {
+        let mut sg = StartGap::new(64, 100);
+        for i in 0..10_000 {
+            sg.write(i % 64);
+        }
+        // One gap copy per 100 writes -> 1% amplification.
+        assert!((sg.write_amplification() - 0.01).abs() < 0.001);
+    }
+
+    #[test]
+    fn full_rotation_counted() {
+        let mut sg = StartGap::new(4, 1);
+        // A full rotation needs (n+1) * (n+1) gap moves to bring start back
+        // to 0; just check it eventually increments.
+        for i in 0..1_000 {
+            sg.write(i % 4);
+        }
+        assert!(sg.stats().full_rotations > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        StartGap::new(4, 1).physical_of(4);
+    }
+}

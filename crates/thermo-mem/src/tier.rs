@@ -1,0 +1,144 @@
+//! Memory tiers and their performance/cost parameters.
+//!
+//! The paper's setting (§1, §2.1): DRAM at 50–100ns versus a dense memory at
+//! 400ns–several microseconds, with the dense part costing 1/3 to 1/5 of
+//! DRAM per bit (Table 4). The evaluation assumes a 1us slow-memory access
+//! (the BadgerTrap fault latency, §4.2), which is what
+//! [`TierParams::slow_1us`] encodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the two memory tiers a frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Conventional DRAM ("fast memory" in the paper).
+    Fast,
+    /// Dense, cheap, slow memory (3D XPoint class; "slow memory", "cold
+    /// memory" or "NVM" in the paper).
+    Slow,
+}
+
+impl Tier {
+    /// The other tier.
+    pub const fn other(self) -> Tier {
+        match self {
+            Tier::Fast => Tier::Slow,
+            Tier::Slow => Tier::Fast,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Fast => write!(f, "fast"),
+            Tier::Slow => write!(f, "slow"),
+        }
+    }
+}
+
+/// Performance and cost parameters of one memory tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierParams {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Latency of a read that misses all caches, in nanoseconds.
+    pub read_latency_ns: u64,
+    /// Latency of a write that misses all caches, in nanoseconds.
+    pub write_latency_ns: u64,
+    /// Peak sustainable bandwidth in bytes per second (used to check that
+    /// migration traffic is realizable, Table 3).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Cost per gigabyte relative to DRAM (DRAM = 1.0). Table 4 studies
+    /// slow:DRAM ratios of 1/3, 1/4 and 1/5.
+    pub relative_cost_per_gb: f64,
+}
+
+impl TierParams {
+    /// Conventional DRAM: 80ns loads, ~25.6 GB/s per channel, unit cost.
+    pub fn dram(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            read_latency_ns: 80,
+            write_latency_ns: 80,
+            bandwidth_bytes_per_sec: 25_600_000_000,
+            relative_cost_per_gb: 1.0,
+        }
+    }
+
+    /// The paper's evaluated slow memory: 1us access latency (the BadgerTrap
+    /// fault cost used as the emulated slow-memory latency, §4.2), a few GB/s
+    /// of bandwidth, cost 1/4 of DRAM.
+    pub fn slow_1us(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            read_latency_ns: 1_000,
+            write_latency_ns: 1_000,
+            bandwidth_bytes_per_sec: 2_000_000_000,
+            relative_cost_per_gb: 0.25,
+        }
+    }
+
+    /// An optimistic near-future slow memory: 400ns (the low end of the
+    /// projections cited in §1).
+    pub fn slow_400ns(capacity_bytes: u64) -> Self {
+        Self { read_latency_ns: 400, write_latency_ns: 400, ..Self::slow_1us(capacity_bytes) }
+    }
+
+    /// A pessimistic slow memory: 3us (the "several microseconds" end of the
+    /// §1 projection range).
+    pub fn slow_3us(capacity_bytes: u64) -> Self {
+        Self { read_latency_ns: 3_000, write_latency_ns: 3_000, ..Self::slow_1us(capacity_bytes) }
+    }
+
+    /// Latency of an access of the given kind.
+    pub fn latency_ns(&self, write: bool) -> u64 {
+        if write {
+            self.write_latency_ns
+        } else {
+            self.read_latency_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_tier_flips() {
+        assert_eq!(Tier::Fast.other(), Tier::Slow);
+        assert_eq!(Tier::Slow.other(), Tier::Fast);
+    }
+
+    #[test]
+    fn presets_have_expected_latency_ordering() {
+        let d = TierParams::dram(1 << 30);
+        let s4 = TierParams::slow_400ns(1 << 30);
+        let s1 = TierParams::slow_1us(1 << 30);
+        let s3 = TierParams::slow_3us(1 << 30);
+        assert!(d.read_latency_ns < s4.read_latency_ns);
+        assert!(s4.read_latency_ns < s1.read_latency_ns);
+        assert!(s1.read_latency_ns < s3.read_latency_ns);
+    }
+
+    #[test]
+    fn slow_memory_is_cheaper() {
+        assert!(TierParams::slow_1us(1).relative_cost_per_gb < TierParams::dram(1).relative_cost_per_gb);
+    }
+
+    #[test]
+    fn latency_selects_by_kind() {
+        let mut p = TierParams::dram(1);
+        p.write_latency_ns = 123;
+        assert_eq!(p.latency_ns(true), 123);
+        assert_eq!(p.latency_ns(false), 80);
+    }
+
+    #[test]
+    fn tier_display() {
+        assert_eq!(format!("{}", Tier::Fast), "fast");
+        assert_eq!(format!("{}", Tier::Slow), "slow");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the frame allocator: no double allocation, full
+//! coalescing, and conservation of the used-frame count under arbitrary
+//! interleavings of allocs and frees.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use thermo_mem::{FrameAllocator, PageSize, Pfn, PAGES_PER_HUGE};
+
+#[derive(Debug, Clone)]
+enum Action {
+    AllocSmall,
+    AllocHuge,
+    FreeSmall(usize),
+    FreeHuge(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => Just(Action::AllocSmall),
+        2 => Just(Action::AllocHuge),
+        2 => any::<usize>().prop_map(Action::FreeSmall),
+        1 => any::<usize>().prop_map(Action::FreeHuge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_invariants(actions in prop::collection::vec(action_strategy(), 1..200)) {
+        let blocks = 4u64;
+        let mut a = FrameAllocator::new(Pfn(0), blocks * PAGES_PER_HUGE as u64);
+        let mut live_small: Vec<Pfn> = Vec::new();
+        let mut live_huge: Vec<Pfn> = Vec::new();
+        let mut live_set: HashSet<u64> = HashSet::new(); // occupied 4KB frame numbers
+
+        for act in actions {
+            match act {
+                Action::AllocSmall => {
+                    if let Ok(f) = a.alloc(PageSize::Small4K) {
+                        prop_assert!(live_set.insert(f.0), "frame {f} double-allocated");
+                        live_small.push(f);
+                    }
+                }
+                Action::AllocHuge => {
+                    if let Ok(f) = a.alloc(PageSize::Huge2M) {
+                        prop_assert!(f.is_huge_aligned());
+                        for i in 0..PAGES_PER_HUGE as u64 {
+                            prop_assert!(live_set.insert(f.0 + i), "huge frame overlaps live frame");
+                        }
+                        live_huge.push(f);
+                    }
+                }
+                Action::FreeSmall(i) => {
+                    if !live_small.is_empty() {
+                        let f = live_small.swap_remove(i % live_small.len());
+                        a.free(f, PageSize::Small4K);
+                        live_set.remove(&f.0);
+                    }
+                }
+                Action::FreeHuge(i) => {
+                    if !live_huge.is_empty() {
+                        let f = live_huge.swap_remove(i % live_huge.len());
+                        a.free(f, PageSize::Huge2M);
+                        for j in 0..PAGES_PER_HUGE as u64 {
+                            live_set.remove(&(f.0 + j));
+                        }
+                    }
+                }
+            }
+            // Conservation: stats agree with our model.
+            prop_assert_eq!(a.stats().used_frames as usize, live_set.len());
+        }
+
+        // Free everything: allocator must coalesce back to fully-free state.
+        for f in live_small {
+            a.free(f, PageSize::Small4K);
+        }
+        for f in live_huge {
+            a.free(f, PageSize::Huge2M);
+        }
+        prop_assert_eq!(a.stats().used_frames, 0);
+        prop_assert_eq!(a.free_huge_blocks(), blocks);
+    }
+
+    #[test]
+    fn cost_model_savings_monotone_in_cold_fraction(
+        ratio in 0.05f64..1.0,
+        c1 in 0.0f64..1.0,
+        c2 in 0.0f64..1.0,
+    ) {
+        let m = thermo_mem::CostModel::new(ratio);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(m.evaluate(lo).savings_fraction <= m.evaluate(hi).savings_fraction + 1e-12);
+        // Spend + savings == 1.
+        let r = m.evaluate(c1);
+        prop_assert!((r.relative_spend + r.savings_fraction - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Last-level cache model.
+//!
+//! A physically-indexed, set-associative, true-LRU cache over 64-byte
+//! lines. Thermostat cares about the LLC for one specific reason (§3.3):
+//! the TLB-miss counts BadgerTrap gathers are a *proxy* for LLC misses, and
+//! the proxy is accurate precisely for cold pages ("nearly all accesses
+//! incur both TLB and cache misses as there is no temporal locality").
+//! Modelling the LLC lets the harnesses verify that claim (and lets the
+//! Figure 2 study measure true memory access rates).
+
+use serde::{Deserialize, Serialize};
+use thermo_mem::{Pfn, CACHE_LINE_BYTES};
+
+/// Geometry and latency of the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency, ns.
+    pub hit_ns: u64,
+}
+
+impl LlcConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes as usize / CACHE_LINE_BYTES;
+        assert!(lines.is_multiple_of(self.ways) && lines > 0, "bad LLC geometry");
+        lines / self.ways
+    }
+}
+
+impl Default for LlcConfig {
+    /// 4 MiB, 16-way: the paper's 45MB LLC scaled down in proportion to the
+    /// scaled application footprints (DESIGN.md §1).
+    fn default() -> Self {
+        Self { size_bytes: 4 << 20, ways: 16, hit_ns: 30 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    lru: u64,
+}
+
+const INVALID_LINE: Line = Line { valid: false, tag: 0, lru: 0 };
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlcStats {
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Lines invalidated by frame invalidations.
+    pub invalidations: u64,
+}
+
+impl LlcStats {
+    /// Miss ratio in `[0,1]`; 0 with no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+}
+
+/// The last-level cache.
+pub struct Llc {
+    config: LlcConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: LlcStats,
+}
+
+impl std::fmt::Debug for Llc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Llc").field("config", &self.config).field("stats", &self.stats).finish()
+    }
+}
+
+impl Llc {
+    /// Creates an LLC with the given geometry.
+    pub fn new(config: LlcConfig) -> Self {
+        let sets = config.sets();
+        Self { config, sets, lines: vec![INVALID_LINE; sets * config.ways], tick: 0, stats: LlcStats::default() }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &LlcConfig {
+        &self.config
+    }
+
+    /// Accesses the cache line containing physical line number `line`
+    /// (a physical address divided by 64). Returns `true` on hit; on miss
+    /// the line is filled, evicting the set's LRU victim.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let set = (line as usize) % self.sets;
+        let ways = self.config.ways;
+        let slots = &mut self.lines[set * ways..(set + 1) * ways];
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for (i, l) in slots.iter_mut().enumerate() {
+            if l.valid && l.tag == line {
+                l.lru = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            if !l.valid {
+                if best != 0 {
+                    victim = i;
+                    best = 0;
+                }
+            } else if best != 0 && l.lru < best {
+                best = l.lru;
+                victim = i;
+            }
+        }
+        slots[victim] = Line { valid: true, tag: line, lru: self.tick };
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Invalidates every line belonging to the 4KB frame `pfn` (used when a
+    /// frame is migrated or freed so a reused frame cannot produce phantom
+    /// hits). Returns the number of lines dropped.
+    pub fn invalidate_frame(&mut self, pfn: Pfn) -> u64 {
+        let first_line = pfn.addr().0 / CACHE_LINE_BYTES as u64;
+        let lines_per_page = 4096 / CACHE_LINE_BYTES as u64;
+        let mut dropped = 0;
+        for line in first_line..first_line + lines_per_page {
+            let set = (line as usize) % self.sets;
+            let ways = self.config.ways;
+            for l in &mut self.lines[set * ways..(set + 1) * ways] {
+                if l.valid && l.tag == line {
+                    l.valid = false;
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats.invalidations += dropped;
+        dropped
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LlcStats {
+        self.stats
+    }
+
+    /// Hit latency, ns.
+    pub fn hit_ns(&self) -> u64 {
+        self.config.hit_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Llc {
+        // 2 sets x 2 ways x 64B = 256B cache.
+        Llc::new(LlcConfig { size_bytes: 256, ways: 2, hit_ns: 10 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.access(0);
+        c.access(2);
+        c.access(0); // touch 0; 2 is now LRU
+        c.access(4); // evicts 2
+        assert!(c.access(0), "0 must survive");
+        assert!(!c.access(2), "2 must have been evicted");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(1); // set 1
+        c.access(2); // set 0
+        c.access(3); // set 1
+        assert!(c.access(0) && c.access(1) && c.access(2) && c.access(3));
+    }
+
+    #[test]
+    fn invalidate_frame_drops_lines() {
+        let mut c = Llc::new(LlcConfig { size_bytes: 1 << 20, ways: 16, hit_ns: 10 });
+        // Touch all 64 lines of frame 5.
+        let base = Pfn(5).addr().0 / 64;
+        for l in base..base + 64 {
+            c.access(l);
+        }
+        let dropped = c.invalidate_frame(Pfn(5));
+        assert_eq!(dropped, 64);
+        assert!(!c.access(base), "line must miss after invalidation");
+    }
+
+    #[test]
+    fn miss_ratio_math() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad LLC geometry")]
+    fn bad_geometry_panics() {
+        Llc::new(LlcConfig { size_bytes: 100, ways: 3, hit_ns: 1 });
+    }
+
+    #[test]
+    fn default_geometry_valid() {
+        let c = LlcConfig::default();
+        assert!(c.sets() > 0);
+    }
+}

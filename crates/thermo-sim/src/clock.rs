@@ -1,0 +1,62 @@
+//! Virtual time.
+//!
+//! The entire simulation is single-threaded and deterministic; time is a
+//! monotonically increasing nanosecond counter advanced by access latencies
+//! and per-op compute costs. Slowdown (the quantity Thermostat bounds) is a
+//! ratio of virtual times between runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic virtual clock, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualClock {
+    now_ns: u64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances by `ns`.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Advances to an absolute time (no-op if already past it).
+    pub fn advance_to(&mut self, t_ns: u64) {
+        if t_ns > self.now_ns {
+            self.now_ns = t_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(5);
+        c.advance(10);
+        assert_eq!(c.now_ns(), 15);
+    }
+
+    #[test]
+    fn advance_to_never_goes_back() {
+        let mut c = VirtualClock::new();
+        c.advance(100);
+        c.advance_to(50);
+        assert_eq!(c.now_ns(), 100);
+        c.advance_to(150);
+        assert_eq!(c.now_ns(), 150);
+    }
+}

@@ -1,0 +1,827 @@
+//! The virtual-time execution engine.
+//!
+//! [`Engine`] owns the whole simulated machine — page table, TLBs, LLC,
+//! two-tier physical memory, the BadgerTrap unit and the migration engine —
+//! and exposes two faces:
+//!
+//! * the **application face**: [`Engine::access`] runs one memory access
+//!   through the pipeline (TLB → page walk → poison fault → LLC → memory
+//!   tier) and charges its latency to virtual time;
+//! * the **kernel face**: the operations Thermostat and kstaled perform —
+//!   A-bit scans, huge-page split/collapse, PTE poisoning, and page
+//!   migration between NUMA zones/tiers.
+//!
+//! Everything is deterministic: no host randomness, no threads.
+
+use crate::cache::Llc;
+use crate::config::{ColdAccessModel, SimConfig};
+use crate::clock::VirtualClock;
+use crate::process::{Process, Vma};
+use crate::series::RateSeries;
+use crate::stats::EngineStats;
+use std::collections::HashMap;
+use thermo_mem::{
+    translate, MemError, MigrationEngine, MigrationStats, PageSize, PhysicalMemory, Pfn, Tier,
+    VirtAddr, Vpn, PAGES_PER_HUGE,
+};
+use thermo_trap::{TrapStats, TrapUnit};
+use thermo_vm::{
+    scan_and_clear, MapError, Mapping, PageTable, ScanCost, ScanHit, Tlb, TlbOutcome, TlbStats,
+    Vpid,
+};
+
+/// Kernel-time cost of one huge-page split or collapse (page-table surgery
+/// plus shootdown), ns.
+const THP_SURGERY_NS: u64 = 5_000;
+/// Kernel-time cost per PTE visited during an A-bit scan, ns.
+const SCAN_VISIT_NS: u64 = 50;
+/// Kernel-time cost per TLB shootdown during an A-bit scan, ns.
+const SCAN_SHOOTDOWN_NS: u64 = 1_000;
+
+/// Footprint breakdown by page size and tier — the series plotted in the
+/// paper's Figures 5–10 ("2MB_hot_data", "4KB_cold_data", ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FootprintBreakdown {
+    /// Bytes of 2MB pages in the fast tier.
+    pub huge_fast: u64,
+    /// Bytes of 2MB pages in the slow tier.
+    pub huge_slow: u64,
+    /// Bytes of 4KB pages in the fast tier.
+    pub small_fast: u64,
+    /// Bytes of 4KB pages in the slow tier.
+    pub small_slow: u64,
+}
+
+impl FootprintBreakdown {
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.huge_fast + self.huge_slow + self.small_fast + self.small_slow
+    }
+
+    /// Bytes in the slow tier (the "cold data" curves).
+    pub fn cold(&self) -> u64 {
+        self.huge_slow + self.small_slow
+    }
+
+    /// Fraction of the footprint in the slow tier (0 when empty).
+    pub fn cold_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.cold() as f64 / t as f64
+        }
+    }
+}
+
+/// The simulated machine.
+pub struct Engine {
+    config: SimConfig,
+    clock: VirtualClock,
+    tlb: Tlb,
+    pt: PageTable,
+    mem: PhysicalMemory,
+    llc: Llc,
+    trap: TrapUnit,
+    mig: MigrationEngine,
+    process: Process,
+    stats: EngineStats,
+    /// Slow-tier access events per time bucket (Figure 3).
+    slow_series: RateSeries,
+    /// Exact per-4KB-page access counts (Figure 2 ground truth), when
+    /// enabled.
+    true_access: HashMap<Vpn, u64>,
+    vpid: Vpid,
+    next_tlb_flush_ns: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now_ns", &self.clock.now_ns())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds a machine from `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let mem = PhysicalMemory::new(config.fast.clone(), config.slow.clone());
+        Self {
+            clock: VirtualClock::new(),
+            tlb: Tlb::new(config.tlb),
+            pt: PageTable::new(),
+            llc: Llc::new(config.llc),
+            trap: TrapUnit::new(config.trap),
+            mig: MigrationEngine::with_defaults(),
+            process: Process::new(),
+            stats: EngineStats::default(),
+            slow_series: RateSeries::new(config.series_bucket_ns),
+            true_access: HashMap::new(),
+            vpid: config.vpid,
+            next_tlb_flush_ns: config.tlb_flush_period_ns.unwrap_or(u64::MAX),
+            mem,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application face
+    // ------------------------------------------------------------------
+
+    /// Maps a new VMA; frames are allocated lazily on first touch.
+    pub fn mmap(&mut self, len: u64, thp: bool, writable: bool, file_backed: bool, name: impl Into<String>) -> VirtAddr {
+        self.process.mmap(len, thp, writable, file_backed, name)
+    }
+
+    /// Runs one memory access through the pipeline and returns the latency
+    /// charged (also advances the virtual clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an access outside every VMA (a simulated segfault — a bug
+    /// in the workload generator).
+    pub fn access(&mut self, va: VirtAddr, write: bool) -> u64 {
+        let vpn = va.vpn();
+        self.stats.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        }
+        if self.config.track_true_access {
+            *self.true_access.entry(vpn).or_insert(0) += 1;
+        }
+
+        if self.clock.now_ns() >= self.next_tlb_flush_ns {
+            // OS noise: timer tick / context switch flushes the TLB.
+            self.tlb.flush_all();
+            let period = self.config.tlb_flush_period_ns.expect("flush scheduled only when configured");
+            self.next_tlb_flush_ns = self.clock.now_ns() + period;
+        }
+
+        let mut lat = 0u64;
+        let (base_pfn, size) = match self.tlb.lookup(vpn, self.vpid) {
+            TlbOutcome::HitL1 { pfn, size } => (pfn, size),
+            TlbOutcome::HitL2 { pfn, size } => {
+                lat += self.config.tlb.l2_hit_ns;
+                (pfn, size)
+            }
+            TlbOutcome::Miss => self.walk(vpn, write, &mut lat),
+        };
+        let pfn4k = match size {
+            PageSize::Small4K => base_pfn,
+            PageSize::Huge2M => base_pfn.offset(vpn.index_in_huge() as u64),
+        };
+        let pa = translate(va, pfn4k, PageSize::Small4K);
+
+        if self.llc.access(pa.cache_line()) {
+            self.stats.llc_hits += 1;
+            lat += self.llc.hit_ns();
+        } else {
+            self.stats.llc_misses += 1;
+            let tier = self.mem.tier_of(pfn4k);
+            let mem_ns = match (self.config.cold_model, tier) {
+                // Under fault emulation the data physically lives in DRAM.
+                (ColdAccessModel::FaultEmulated, _) => self.config.fast.latency_ns(write),
+                (ColdAccessModel::Direct, Tier::Fast) => self.config.fast.latency_ns(write),
+                (ColdAccessModel::Direct, Tier::Slow) => self.config.slow.latency_ns(write),
+            };
+            lat += mem_ns;
+            match tier {
+                Tier::Fast => self.stats.fast_tier_accesses += 1,
+                Tier::Slow => {
+                    self.stats.slow_tier_accesses += 1;
+                    if self.config.cold_model == ColdAccessModel::Direct {
+                        self.slow_series.record(self.clock.now_ns(), 1);
+                    }
+                }
+            }
+            if write {
+                self.mem.record_write(pfn4k, 64);
+            }
+        }
+
+        self.clock.advance(lat);
+        self.stats.app_time_ns += lat;
+        lat
+    }
+
+    /// Charges pure compute time to the application.
+    pub fn advance_compute(&mut self, ns: u64) {
+        self.clock.advance(ns);
+        self.stats.app_time_ns += ns;
+    }
+
+    fn walk(&mut self, vpn: Vpn, write: bool, lat: &mut u64) -> (Pfn, PageSize) {
+        let mapping = match self.pt.lookup(vpn) {
+            Some(m) => m,
+            None => self.minor_fault(vpn, lat),
+        };
+        self.stats.walks += 1;
+        let wc = self.config.walk.walk_cost_ns(mapping.size);
+        *lat += wc;
+        self.stats.walk_time_ns += wc;
+        self.pt.with_pte_mut(vpn, |pte| {
+            pte.set_accessed();
+            if write {
+                pte.set_dirty();
+            }
+        });
+        if mapping.pte.poisoned() {
+            *lat += self.trap.on_fault(mapping.base_vpn);
+            match self.mem.tier_of(mapping.pte.pfn()) {
+                Tier::Slow => {
+                    self.stats.slow_trap_faults += 1;
+                    self.slow_series.record(self.clock.now_ns(), 1);
+                }
+                Tier::Fast => self.stats.fast_trap_faults += 1,
+            }
+        }
+        // BadgerTrap installs a (temporary) translation even for poisoned
+        // pages, so repeated accesses only fault again after a TLB eviction
+        // or shootdown.
+        self.tlb.insert(mapping.base_vpn, mapping.pte.pfn(), mapping.size, self.vpid);
+        (mapping.pte.pfn(), mapping.size)
+    }
+
+    fn minor_fault(&mut self, vpn: Vpn, lat: &mut u64) -> Mapping {
+        let va = vpn.addr();
+        let vma = self
+            .process
+            .find(va)
+            .unwrap_or_else(|| panic!("segfault: access to unmapped {va}"))
+            .clone();
+        let huge_base = va.align_down(PageSize::Huge2M);
+        let huge_fits = self.config.thp_enabled
+            && vma.thp
+            && huge_base >= vma.start
+            && huge_base.0 + PageSize::Huge2M.bytes() as u64 <= vma.end().0;
+        if huge_fits {
+            if let Ok(frame) = self.mem.alloc(Tier::Fast, PageSize::Huge2M) {
+                self.pt
+                    .map_huge(huge_base.vpn(), frame, vma.writable)
+                    .expect("demand-paged huge window must be unmapped");
+                *lat += self.config.minor_fault_huge_ns;
+                self.stats.minor_faults_huge += 1;
+                return self.pt.lookup(vpn).expect("just mapped");
+            }
+        }
+        let frame = self
+            .mem
+            .alloc(Tier::Fast, PageSize::Small4K)
+            .expect("fast tier out of memory during demand paging");
+        self.pt.map_small(vpn, frame, vma.writable).expect("demand-paged page must be unmapped");
+        *lat += self.config.minor_fault_small_ns;
+        self.stats.minor_faults_small += 1;
+        self.pt.lookup(vpn).expect("just mapped")
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel face
+    // ------------------------------------------------------------------
+
+    /// Splits the huge page at `base_vpn` (Thermostat sampling step 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the page table.
+    pub fn split_huge(&mut self, base_vpn: Vpn) -> Result<(), MapError> {
+        self.pt.split_huge(base_vpn)?;
+        self.tlb.shootdown(base_vpn, PageSize::Huge2M, self.vpid);
+        self.stats.kernel_time_ns += THP_SURGERY_NS;
+        Ok(())
+    }
+
+    /// Collapses 512 4KB PTEs back into a huge page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] (e.g. frames not contiguous after per-4KB
+    /// migration).
+    pub fn collapse_huge(&mut self, base_vpn: Vpn) -> Result<(), MapError> {
+        self.pt.collapse_huge(base_vpn)?;
+        // Stale 4KB TLB entries still translate to the same frames, so only
+        // kernel cost is charged; entries age out naturally.
+        self.stats.kernel_time_ns += THP_SURGERY_NS;
+        Ok(())
+    }
+
+    /// Poisons the leaf at `base_vpn` for access counting.
+    pub fn poison_page(&mut self, base_vpn: Vpn, size: PageSize) {
+        self.trap.poison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn, size);
+        self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+    }
+
+    /// Unpoisons the leaf at `base_vpn`, returning its fault count.
+    pub fn unpoison_page(&mut self, base_vpn: Vpn) -> u64 {
+        self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+        self.trap.unpoison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn)
+    }
+
+    /// Scans and clears Accessed bits over `[start, start + n_pages)`,
+    /// appending the results to `out` and charging kernel time.
+    pub fn scan_and_clear_accessed(&mut self, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+        let cost = scan_and_clear(&mut self.pt, &mut self.tlb, self.vpid, start, n_pages, out);
+        self.stats.kernel_time_ns += cost.time_ns(SCAN_VISIT_NS, SCAN_SHOOTDOWN_NS);
+        cost
+    }
+
+    /// Reads Accessed bits without clearing (no shootdowns).
+    pub fn read_accessed(&mut self, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+        let cost = thermo_vm::read_accessed(&mut self.pt, start, n_pages, out);
+        self.stats.kernel_time_ns += cost.ptes_visited * SCAN_VISIT_NS;
+        cost
+    }
+
+    /// Migrates the leaf at `base_vpn` to `target`, preserving all PTE flags
+    /// (including poison) and keeping the BadgerTrap counter intact.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AlreadyInTier`] if the page is already there, or
+    /// [`MemError::OutOfMemory`] if the target tier is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_vpn` is not the base of a mapped leaf.
+    pub fn migrate_page(&mut self, base_vpn: Vpn, target: Tier) -> Result<(), MemError> {
+        let m = self.pt.lookup(base_vpn).expect("migrating unmapped page");
+        assert_eq!(m.base_vpn, base_vpn, "migrate must target the leaf base");
+        let old = m.pte.pfn();
+        let cur = self.mem.tier_of(old);
+        if cur == target {
+            return Err(MemError::AlreadyInTier { pfn: old, tier: cur });
+        }
+        let new = self.mem.alloc(target, m.size)?;
+        for i in 0..m.size.small_pages() as u64 {
+            self.llc.invalidate_frame(old.offset(i));
+        }
+        self.mem.free(cur, old, m.size);
+        self.pt.with_pte_mut(base_vpn, |pte| pte.set_pfn(new));
+        self.tlb.shootdown(base_vpn, m.size, self.vpid);
+        let cost = self.mig.record(target, m.size, self.clock.now_ns());
+        self.stats.kernel_time_ns += cost;
+        Ok(())
+    }
+
+    /// Migrates a *split* huge page (512 4KB leaves starting at huge-aligned
+    /// `base_vpn`) into one physically contiguous huge frame in `target`, so
+    /// a later [`collapse_huge`](Self::collapse_huge) can restore the 2MB
+    /// mapping. Counted as one 2MB migration.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when `target` lacks a huge frame;
+    /// [`MemError::AlreadyInTier`] when the first child already lives there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the 512 children is missing or not a 4KB leaf.
+    pub fn migrate_split_huge(&mut self, base_vpn: Vpn, target: Tier) -> Result<(), MemError> {
+        assert!(base_vpn.is_huge_aligned(), "split-huge migration needs an aligned base");
+        let first = self.pt.lookup(base_vpn).expect("migrating unmapped split page");
+        assert_eq!(first.size, PageSize::Small4K, "page is not split");
+        if self.mem.tier_of(first.pte.pfn()) == target {
+            return Err(MemError::AlreadyInTier { pfn: first.pte.pfn(), tier: target });
+        }
+        let new = self.mem.alloc(target, PageSize::Huge2M)?;
+        for i in 0..PAGES_PER_HUGE as u64 {
+            let vpn = base_vpn.offset(i);
+            let m = self.pt.lookup(vpn).expect("split page child missing");
+            assert_eq!(m.size, PageSize::Small4K, "child is not a 4KB leaf");
+            let old = m.pte.pfn();
+            self.llc.invalidate_frame(old);
+            self.mem.free(self.mem.tier_of(old), old, PageSize::Small4K);
+            self.pt.with_pte_mut(vpn, |pte| pte.set_pfn(new.offset(i)));
+            self.tlb.shootdown(vpn, PageSize::Small4K, self.vpid);
+        }
+        let cost = self.mig.record(target, PageSize::Huge2M, self.clock.now_ns());
+        self.stats.kernel_time_ns += cost;
+        Ok(())
+    }
+
+    /// Tier currently backing the leaf that covers `vpn`, or `None` when
+    /// unmapped.
+    pub fn tier_of_vpn(&self, vpn: Vpn) -> Option<Tier> {
+        self.pt.lookup(vpn).map(|m| self.mem.tier_of(m.pte.pfn()))
+    }
+
+    /// Computes the footprint breakdown by walking every VMA's leaves.
+    pub fn footprint_breakdown(&mut self) -> FootprintBreakdown {
+        let mut b = FootprintBreakdown::default();
+        let vmas: Vec<(Vpn, u64)> =
+            self.process.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+        let mem = &self.mem;
+        for (start, n) in vmas {
+            self.pt.for_each_leaf_mut(start, n, |_, size, pte| {
+                let tier = mem.tier_of(pte.pfn());
+                match (size, tier) {
+                    (PageSize::Huge2M, Tier::Fast) => b.huge_fast += size.bytes() as u64,
+                    (PageSize::Huge2M, Tier::Slow) => b.huge_slow += size.bytes() as u64,
+                    (PageSize::Small4K, Tier::Fast) => b.small_fast += size.bytes() as u64,
+                    (PageSize::Small4K, Tier::Slow) => b.small_slow += size.bytes() as u64,
+                }
+            });
+        }
+        b
+    }
+
+    /// Computes the footprint breakdown of every VMA separately, keyed by
+    /// the VMA name — which application structure went cold (e.g. the
+    /// paper's observation that TPCC's LINEITEM table carries the cold
+    /// mass).
+    pub fn region_breakdown(&mut self) -> Vec<(String, FootprintBreakdown)> {
+        let vmas: Vec<(String, Vpn, u64)> = self
+            .process
+            .vmas()
+            .iter()
+            .map(|v| (v.name.clone(), v.start.vpn(), v.len / 4096))
+            .collect();
+        let mem = &self.mem;
+        let mut out = Vec::with_capacity(vmas.len());
+        for (name, start, n) in vmas {
+            let mut b = FootprintBreakdown::default();
+            self.pt.for_each_leaf_mut(start, n, |_, size, pte| {
+                let tier = mem.tier_of(pte.pfn());
+                match (size, tier) {
+                    (PageSize::Huge2M, Tier::Fast) => b.huge_fast += size.bytes() as u64,
+                    (PageSize::Huge2M, Tier::Slow) => b.huge_slow += size.bytes() as u64,
+                    (PageSize::Small4K, Tier::Fast) => b.small_fast += size.bytes() as u64,
+                    (PageSize::Small4K, Tier::Slow) => b.small_slow += size.bytes() as u64,
+                }
+            });
+            out.push((name, b));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current virtual time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// TLB statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Trap statistics.
+    pub fn trap_stats(&self) -> TrapStats {
+        self.trap.stats()
+    }
+
+    /// Migration statistics.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.mig.stats()
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> crate::cache::LlcStats {
+        self.llc.stats()
+    }
+
+    /// The slow-tier access-rate series (Figure 3).
+    pub fn slow_series(&self) -> &RateSeries {
+        &self.slow_series
+    }
+
+    /// Resident set size (bytes of mapped physical memory).
+    pub fn rss_bytes(&self) -> u64 {
+        self.pt.mapped_bytes()
+    }
+
+    /// The simulated process (VMA listing).
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// All VMAs (convenience).
+    pub fn vmas(&self) -> &[Vma] {
+        self.process.vmas()
+    }
+
+    /// Configuration (read-only).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The trap unit (for policy layers that read per-page counters).
+    pub fn trap(&self) -> &TrapUnit {
+        &self.trap
+    }
+
+    /// Mutable trap unit access (counter take/reset by the policy daemon).
+    pub fn trap_mut(&mut self) -> &mut TrapUnit {
+        &mut self.trap
+    }
+
+    /// Read-only page table access.
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// Exact per-4KB-page access counts (empty unless
+    /// `config.track_true_access`).
+    pub fn true_access_counts(&self) -> &HashMap<Vpn, u64> {
+        &self.true_access
+    }
+
+    /// Clears the exact access counters.
+    pub fn reset_true_access(&mut self) {
+        self.true_access.clear();
+    }
+
+    /// Free bytes in `tier`.
+    pub fn free_bytes(&self, tier: Tier) -> u64 {
+        self.mem.free_bytes(tier)
+    }
+
+    /// Physical memory (wear statistics etc.).
+    pub fn memory(&self) -> &PhysicalMemory {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> Engine {
+        Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20))
+    }
+
+    #[test]
+    fn first_touch_allocates_thp() {
+        let mut e = small_engine();
+        let base = e.mmap(4 << 20, true, true, false, "heap");
+        e.access(base + 123, false);
+        assert_eq!(e.stats().minor_faults_huge, 1);
+        assert_eq!(e.rss_bytes(), 2 << 20);
+        // Second access in same huge page: no new fault, TLB hit.
+        e.access(base + 4096, false);
+        assert_eq!(e.stats().minor_faults_huge, 1);
+        assert_eq!(e.tlb_stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn non_thp_vma_uses_small_pages() {
+        let mut e = small_engine();
+        let base = e.mmap(4 << 20, false, true, false, "file");
+        e.access(base, false);
+        assert_eq!(e.stats().minor_faults_small, 1);
+        assert_eq!(e.rss_bytes(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "segfault")]
+    fn out_of_vma_access_panics() {
+        let mut e = small_engine();
+        e.access(VirtAddr(0x100), false);
+    }
+
+    #[test]
+    fn llc_hit_after_miss() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        assert_eq!(e.stats().llc_misses, 1);
+        e.access(base + 8, false); // same line
+        assert_eq!(e.stats().llc_hits, 1);
+    }
+
+    #[test]
+    fn clock_advances_with_access_latency() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        let lat = e.access(base, false);
+        assert!(lat > 0);
+        assert_eq!(e.now_ns(), lat);
+        e.advance_compute(500);
+        assert_eq!(e.now_ns(), lat + 500);
+    }
+
+    #[test]
+    fn poison_fault_counted_and_charged() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false); // demand-page as THP
+        let hvpn = base.vpn();
+        e.poison_page(hvpn, PageSize::Huge2M);
+        let lat = e.access(base + 64, false);
+        assert!(lat >= 1_000, "fault latency must be charged, got {lat}");
+        assert_eq!(e.trap().count(hvpn), Some(1));
+        assert_eq!(e.stats().fast_trap_faults, 1);
+        // TLB entry installed by the handler: next access doesn't fault.
+        e.access(base + 128, false);
+        assert_eq!(e.trap().count(hvpn), Some(1));
+        assert_eq!(e.unpoison_page(hvpn), 1);
+    }
+
+    #[test]
+    fn split_then_sample_then_collapse() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        let hvpn = base.vpn();
+        e.split_huge(hvpn).unwrap();
+        // Poison one 4KB child; access it.
+        e.poison_page(hvpn.offset(3), PageSize::Small4K);
+        e.access(base + 3 * 4096, true);
+        assert_eq!(e.trap().count(hvpn.offset(3)), Some(1));
+        assert_eq!(e.unpoison_page(hvpn.offset(3)), 1);
+        e.collapse_huge(hvpn).unwrap();
+        assert_eq!(e.page_table().mapped_huge_pages(), 1);
+    }
+
+    #[test]
+    fn migrate_huge_to_slow_and_back() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        let hvpn = base.vpn();
+        assert_eq!(e.tier_of_vpn(hvpn), Some(Tier::Fast));
+        e.migrate_page(hvpn, Tier::Slow).unwrap();
+        assert_eq!(e.tier_of_vpn(hvpn), Some(Tier::Slow));
+        // Already there -> error.
+        assert!(matches!(e.migrate_page(hvpn, Tier::Slow), Err(MemError::AlreadyInTier { .. })));
+        e.migrate_page(hvpn, Tier::Fast).unwrap();
+        assert_eq!(e.tier_of_vpn(hvpn), Some(Tier::Fast));
+        let ms = e.migration_stats();
+        assert_eq!(ms.to_slow_pages, 1);
+        assert_eq!(ms.back_to_fast_pages, 1);
+    }
+
+    #[test]
+    fn slow_trap_fault_recorded_in_series() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        let hvpn = base.vpn();
+        e.migrate_page(hvpn, Tier::Slow).unwrap();
+        e.poison_page(hvpn, PageSize::Huge2M);
+        e.access(base + 64, false);
+        assert_eq!(e.stats().slow_trap_faults, 1);
+        assert_eq!(e.slow_series().total(), 1);
+    }
+
+    #[test]
+    fn migrate_split_huge_restores_contiguity() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        let hvpn = base.vpn();
+        e.split_huge(hvpn).unwrap();
+        e.migrate_split_huge(hvpn, Tier::Slow).unwrap();
+        assert_eq!(e.tier_of_vpn(hvpn), Some(Tier::Slow));
+        // Contiguous again: collapse must succeed.
+        e.collapse_huge(hvpn).unwrap();
+        assert_eq!(e.page_table().mapped_huge_pages(), 1);
+        assert_eq!(e.migration_stats().to_slow_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn footprint_breakdown_tracks_tiers_and_sizes() {
+        let mut e = small_engine();
+        let a = e.mmap(2 << 20, true, true, false, "huge");
+        let b = e.mmap(8192, false, true, false, "small");
+        e.access(a, false);
+        e.access(b, false);
+        e.access(b + 4096, false);
+        let fb = e.footprint_breakdown();
+        assert_eq!(fb.huge_fast, 2 << 20);
+        assert_eq!(fb.small_fast, 8192);
+        assert_eq!(fb.cold(), 0);
+        e.migrate_page(a.vpn(), Tier::Slow).unwrap();
+        let fb = e.footprint_breakdown();
+        assert_eq!(fb.huge_slow, 2 << 20);
+        assert!((fb.cold_fraction() - (2 << 20) as f64 / fb.total() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_breakdown_attributes_tiers_per_vma() {
+        let mut e = small_engine();
+        let a = e.mmap(2 << 20, true, true, false, "hot-region");
+        let b = e.mmap(2 << 20, true, true, false, "cold-region");
+        e.access(a, false);
+        e.access(b, false);
+        e.migrate_page(b.vpn(), Tier::Slow).unwrap();
+        let rb = e.region_breakdown();
+        let get = |name: &str| {
+            rb.iter().find(|(n, _)| n == name).map(|(_, b)| *b).expect("region present")
+        };
+        assert_eq!(get("hot-region").cold(), 0);
+        assert_eq!(get("cold-region").cold(), 2 << 20);
+        // Regions sum to the global breakdown.
+        let total: u64 = rb.iter().map(|(_, b)| b.total()).sum();
+        assert_eq!(total, e.footprint_breakdown().total());
+    }
+
+    #[test]
+    fn scan_accessed_via_engine() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        let mut hits = Vec::new();
+        e.scan_and_clear_accessed(base.vpn(), 512, &mut hits);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].accessed);
+        // Re-scan without intervening access: idle.
+        hits.clear();
+        e.scan_and_clear_accessed(base.vpn(), 512, &mut hits);
+        assert!(!hits[0].accessed);
+        // Access again (TLB was shot down, so the walk re-sets A).
+        e.access(base, false);
+        hits.clear();
+        e.scan_and_clear_accessed(base.vpn(), 512, &mut hits);
+        assert!(hits[0].accessed);
+    }
+
+    #[test]
+    fn true_access_tracking_when_enabled() {
+        let mut cfg = SimConfig::paper_defaults(64 << 20, 64 << 20);
+        cfg.track_true_access = true;
+        let mut e = Engine::new(cfg);
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        e.access(base, true);
+        e.access(base + 4096, false);
+        assert_eq!(e.true_access_counts()[&base.vpn()], 2);
+        assert_eq!(e.true_access_counts()[&(base + 4096).vpn()], 1);
+        e.reset_true_access();
+        assert!(e.true_access_counts().is_empty());
+    }
+
+    #[test]
+    fn thp_fault_falls_back_to_small_pages_when_no_huge_frame_is_free() {
+        // One 2MB block of fast memory; a 4KB allocation breaks it, so the
+        // later THP-eligible touch cannot get a huge frame and must fall
+        // back to a 4KB mapping (Linux THP does the same).
+        let mut cfg = SimConfig::paper_defaults(2 << 20, 16 << 20);
+        let mut e = Engine::new(cfg.clone());
+        let small_vma = e.mmap(4096, false, true, false, "small");
+        e.access(small_vma, true); // carves a 4KB frame out of the only block
+        let thp_vma = e.mmap(2 << 20, true, true, false, "thp");
+        e.access(thp_vma, true);
+        assert_eq!(e.stats().minor_faults_huge, 0, "no huge frame was available");
+        assert_eq!(e.stats().minor_faults_small, 2);
+        assert_eq!(e.rss_bytes(), 2 * 4096);
+        // And with THP disabled the same layout never even tries.
+        cfg.thp_enabled = false;
+        let mut e2 = Engine::new(cfg);
+        let v = e2.mmap(2 << 20, true, true, false, "thp");
+        e2.access(v, true);
+        assert_eq!(e2.stats().minor_faults_huge, 0);
+        assert_eq!(e2.stats().minor_faults_small, 1);
+    }
+
+    #[test]
+    fn os_noise_flush_causes_rewalks() {
+        let mut cfg = SimConfig::paper_defaults(64 << 20, 64 << 20);
+        cfg.tlb_flush_period_ns = Some(10_000);
+        let mut e = Engine::new(cfg);
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, true);
+        let walks_before = e.stats().walks;
+        // Two accesses separated by more than the flush period: the second
+        // must re-walk even though the translation was cached.
+        e.advance_compute(50_000);
+        e.access(base + 64, false);
+        assert!(e.stats().walks > walks_before, "flush must force a re-walk");
+    }
+
+    #[test]
+    fn writes_set_dirty_bit_and_feed_wear_on_slow_tier() {
+        let mut e = small_engine();
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, true);
+        assert!(e.page_table().lookup(base.vpn()).unwrap().pte.dirty());
+        e.migrate_page(base.vpn(), Tier::Slow).unwrap();
+        // Writes to the slow tier are recorded as device wear.
+        e.access(base + 4096, true);
+        assert!(e.memory().wear().stats().total_bytes_written > 0);
+    }
+
+    #[test]
+    fn direct_mode_charges_slow_latency_on_llc_miss() {
+        let mut cfg = SimConfig::paper_defaults(64 << 20, 64 << 20);
+        cfg.cold_model = ColdAccessModel::Direct;
+        let mut e = Engine::new(cfg);
+        let base = e.mmap(2 << 20, true, true, false, "heap");
+        e.access(base, false);
+        e.migrate_page(base.vpn(), Tier::Slow).unwrap();
+        // Different line, LLC miss, slow tier, no poison.
+        let lat = e.access(base + 4096, false);
+        assert!(lat >= 1_000, "slow read must cost ~1us, got {lat}");
+        assert_eq!(e.stats().slow_tier_accesses, 1);
+        assert_eq!(e.slow_series().total(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-operation latency histogram.
+//!
+//! The paper reports tail latency alongside throughput (§5: "≈1% higher
+//! average, 95th, and 99th percentile read/write latency for Cassandra",
+//! "no observable degradation in 99th percentile latency" for web search).
+//! This histogram uses logarithmic buckets (2% resolution) so recording is
+//! allocation-free and O(1) per operation.
+
+use serde::{Deserialize, Serialize};
+
+/// Log-bucketed latency histogram (nanosecond domain).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket counts; bucket i covers `[GROWTH^i, GROWTH^(i+1))` ns.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+const GROWTH: f64 = 1.02;
+const N_BUCKETS: usize = 1600; // 1.02^1600 ~ 5.8e13 ns — far beyond any op
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; N_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns <= 1 {
+            return 0;
+        }
+        let idx = (ns as f64).ln() / GROWTH.ln();
+        (idx as usize).min(N_BUCKETS - 1)
+    }
+
+    /// Records one operation latency.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded latency, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate latency at percentile `p` (0 < p <= 100), ns.
+    ///
+    /// Resolution is the bucket width (~2%). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `(0, 100]`.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return GROWTH.powi(i as i32 + 1) as u64;
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.percentile_ns(99.0), 0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean_ns(), 200.0);
+        assert_eq!(h.max_ns(), 300);
+    }
+
+    #[test]
+    fn percentiles_within_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile_ns(50.0);
+        assert!((900..1200).contains(&p50), "p50 {p50}");
+        let p999 = h.percentile_ns(99.95);
+        assert!(p999 > 900_000, "p99.95 {p999} should hit the outlier");
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100);
+        }
+        let mut last = 0;
+        for p in [10.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile_ns(p);
+            assert!(v >= last, "percentiles must be monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        LatencyHistogram::new().percentile_ns(0.0);
+    }
+
+    #[test]
+    fn tiny_latencies_hit_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile_ns(100.0) <= 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Virtual-time execution engine for the Thermostat (ASPLOS'17)
+//! reproduction.
+//!
+//! This crate glues the substrates together into a runnable machine:
+//!
+//! * [`engine`] — the access pipeline (TLB → page walk → BadgerTrap fault →
+//!   LLC → memory tier) and the kernel-side operations policies perform;
+//! * [`cache`] — the last-level cache model;
+//! * [`process`] — VMAs and demand paging with THP;
+//! * [`workload`] / [`runner`] — the application abstraction and the loop
+//!   that interleaves it with policy daemons on the virtual timeline;
+//! * [`config`], [`stats`], [`series`], [`clock`] — configuration and
+//!   observability.
+//!
+//! # Example
+//!
+//! ```
+//! use thermo_sim::{Engine, SimConfig};
+//!
+//! let mut engine = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
+//! let heap = engine.mmap(4 << 20, true, true, false, "heap");
+//! engine.access(heap, false); // demand-pages a 2MB THP
+//! assert_eq!(engine.rss_bytes(), 2 << 20);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod cache;
+pub mod clock;
+pub mod config;
+pub mod engine;
+pub mod latency;
+pub mod process;
+pub mod runner;
+pub mod series;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+
+pub use cache::{Llc, LlcConfig, LlcStats};
+pub use clock::VirtualClock;
+pub use config::{ColdAccessModel, SimConfig};
+pub use engine::{Engine, FootprintBreakdown};
+pub use latency::LatencyHistogram;
+pub use process::{Process, Vma};
+pub use runner::{run_for, run_for_instrumented, run_ops, NoPolicy, PolicyHook, RunOutcome};
+pub use series::{RateSeries, SampledSeries};
+pub use stats::EngineStats;
+pub use trace::{Trace, TraceOp, TraceWorkload};
+pub use workload::{Access, FootprintInfo, Workload};

@@ -1,0 +1,157 @@
+//! The simulated guest process: virtual memory areas and address-space
+//! layout.
+//!
+//! Workloads `mmap` anonymous or file-backed regions (the paper's Table 2
+//! separates resident set size from file-mapped pages — NoSQL stores lean
+//! heavily on the page cache, which the paper serves with `hugetmpfs`).
+//! Regions are 2MB-aligned so THP can back them; actual frames are
+//! allocated on first touch by the engine's demand-paging path.
+
+use serde::{Deserialize, Serialize};
+use thermo_mem::{VirtAddr, HUGE_PAGE_BYTES};
+
+/// One virtual memory area.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// First byte.
+    pub start: VirtAddr,
+    /// Length in bytes (always a multiple of 4KB).
+    pub len: u64,
+    /// THP-eligible (anonymous heap or hugetmpfs file mappings).
+    pub thp: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Backed by a file (page-cache pages, for Table 2 accounting).
+    pub file_backed: bool,
+    /// Human-readable tag ("heap", "sstable-3", ...).
+    pub name: String,
+}
+
+impl Vma {
+    /// One past the last byte.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.start.0 + self.len)
+    }
+
+    /// True if `va` lies inside.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.start && va < self.end()
+    }
+}
+
+/// The process address space: a bump allocator of 2MB-aligned VMAs.
+#[derive(Debug, Default)]
+pub struct Process {
+    vmas: Vec<Vma>,
+    next: u64,
+}
+
+/// Base of the mmap region (arbitrary, huge-aligned, well away from null).
+const MMAP_BASE: u64 = 1 << 32;
+
+impl Process {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self { vmas: Vec::new(), next: MMAP_BASE }
+    }
+
+    /// Maps a new region of `len` bytes (rounded up to 4KB) and returns its
+    /// base address. Regions are 2MB-aligned and separated by a 2MB guard
+    /// gap so THP windows never straddle VMAs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn mmap(&mut self, len: u64, thp: bool, writable: bool, file_backed: bool, name: impl Into<String>) -> VirtAddr {
+        assert!(len > 0, "cannot map an empty region");
+        let len = (len + 4095) & !4095;
+        let start = VirtAddr(self.next);
+        debug_assert!(start.is_huge_aligned());
+        self.vmas.push(Vma { start, len, thp, writable, file_backed, name: name.into() });
+        // Advance past the region plus a guard gap, re-aligned to 2MB.
+        let end = start.0 + len;
+        self.next = (end + 2 * HUGE_PAGE_BYTES as u64 - 1) & !(HUGE_PAGE_BYTES as u64 - 1);
+        start
+    }
+
+    /// The VMA containing `va`, if any.
+    pub fn find(&self, va: VirtAddr) -> Option<&Vma> {
+        // VMAs are sorted by construction; binary search on start.
+        let idx = self.vmas.partition_point(|v| v.start <= va);
+        if idx == 0 {
+            return None;
+        }
+        let vma = &self.vmas[idx - 1];
+        vma.contains(va).then_some(vma)
+    }
+
+    /// All VMAs in address order.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Total mapped virtual bytes.
+    pub fn virtual_bytes(&self) -> u64 {
+        self.vmas.iter().map(|v| v.len).sum()
+    }
+
+    /// Total virtual bytes in file-backed VMAs.
+    pub fn file_backed_bytes(&self) -> u64 {
+        self.vmas.iter().filter(|v| v.file_backed).map(|v| v.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_is_huge_aligned_and_disjoint() {
+        let mut p = Process::new();
+        let a = p.mmap(10 << 20, true, true, false, "heap");
+        let b = p.mmap(3 << 20, true, true, true, "file");
+        assert!(a.is_huge_aligned() && b.is_huge_aligned());
+        assert!(b.0 >= a.0 + (10 << 20));
+    }
+
+    #[test]
+    fn find_resolves_interior_and_rejects_gaps() {
+        let mut p = Process::new();
+        let a = p.mmap(4 << 20, true, true, false, "heap");
+        assert_eq!(p.find(a).unwrap().name, "heap");
+        assert_eq!(p.find(VirtAddr(a.0 + (4 << 20) - 1)).unwrap().name, "heap");
+        assert!(p.find(VirtAddr(a.0 + (4 << 20))).is_none());
+        assert!(p.find(VirtAddr(0)).is_none());
+    }
+
+    #[test]
+    fn len_rounds_to_page() {
+        let mut p = Process::new();
+        let a = p.mmap(100, false, true, false, "tiny");
+        assert_eq!(p.find(a).unwrap().len, 4096);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut p = Process::new();
+        p.mmap(8 << 20, true, true, false, "heap");
+        p.mmap(2 << 20, true, true, true, "file");
+        assert_eq!(p.virtual_bytes(), 10 << 20);
+        assert_eq!(p.file_backed_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn find_with_many_vmas() {
+        let mut p = Process::new();
+        let bases: Vec<_> = (0..20).map(|i| p.mmap(1 << 20, false, true, false, format!("r{i}"))).collect();
+        for (i, b) in bases.iter().enumerate() {
+            assert_eq!(p.find(*b).unwrap().name, format!("r{i}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_mmap_panics() {
+        Process::new().mmap(0, false, false, false, "x");
+    }
+}

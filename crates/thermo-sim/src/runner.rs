@@ -1,0 +1,277 @@
+//! The run loop: interleaves application operations with kernel policy
+//! ticks on the virtual timeline.
+//!
+//! The paper's setup runs the application continuously while Thermostat's
+//! daemon wakes up every scan interval; here the same interleaving happens
+//! deterministically: before each operation the runner fires any policy
+//! whose next deadline has passed.
+
+use crate::engine::Engine;
+use crate::workload::{Access, Workload};
+use serde::{Deserialize, Serialize};
+
+/// A kernel-side policy that wants periodic control of the machine
+/// (Thermostat's daemon, kstaled, or nothing).
+pub trait PolicyHook {
+    /// Next virtual time at which [`tick`](Self::tick) should run
+    /// (`u64::MAX` = never).
+    fn next_due_ns(&self) -> u64;
+
+    /// Runs one policy step at the current virtual time.
+    fn tick(&mut self, engine: &mut Engine);
+}
+
+/// The no-op policy (baseline runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPolicy;
+
+impl PolicyHook for NoPolicy {
+    fn next_due_ns(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn tick(&mut self, _engine: &mut Engine) {}
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Operations completed.
+    pub ops: u64,
+    /// Virtual time at start, ns.
+    pub start_ns: u64,
+    /// Virtual time at end, ns.
+    pub end_ns: u64,
+}
+
+impl RunOutcome {
+    /// Elapsed virtual time, ns.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Throughput in operations per virtual second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let e = self.elapsed_ns();
+        if e == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / e as f64
+        }
+    }
+
+    /// Slowdown of this run relative to `baseline` (same op count):
+    /// `elapsed / baseline.elapsed - 1`, e.g. `0.03` = 3% slower.
+    pub fn slowdown_vs(&self, baseline: &RunOutcome) -> f64 {
+        self.elapsed_ns() as f64 / baseline.elapsed_ns() as f64 - 1.0
+    }
+}
+
+/// Runs `workload` until virtual `duration_ns` elapses (measured from the
+/// engine's current time) or the workload finishes.
+pub fn run_for(
+    engine: &mut Engine,
+    workload: &mut dyn Workload,
+    policy: &mut dyn PolicyHook,
+    duration_ns: u64,
+) -> RunOutcome {
+    let start = engine.now_ns();
+    let deadline = start + duration_ns;
+    let mut ops = 0u64;
+    let mut accesses: Vec<Access> = Vec::with_capacity(16);
+    while engine.now_ns() < deadline {
+        while policy.next_due_ns() <= engine.now_ns() {
+            policy.tick(engine);
+        }
+        accesses.clear();
+        let Some(compute_ns) = workload.next_op(engine.now_ns(), &mut accesses) else {
+            break;
+        };
+        for a in &accesses {
+            engine.access(a.va, a.write);
+        }
+        engine.advance_compute(compute_ns);
+        ops += 1;
+    }
+    RunOutcome { ops, start_ns: start, end_ns: engine.now_ns() }
+}
+
+/// Runs `workload` for `duration_ns`, recording each operation's total
+/// latency (accesses + compute) into `hist` — the paper's tail-latency
+/// reporting (§5).
+pub fn run_for_instrumented(
+    engine: &mut Engine,
+    workload: &mut dyn Workload,
+    policy: &mut dyn PolicyHook,
+    duration_ns: u64,
+    hist: &mut crate::latency::LatencyHistogram,
+) -> RunOutcome {
+    let start = engine.now_ns();
+    let deadline = start + duration_ns;
+    let mut ops = 0u64;
+    let mut accesses: Vec<Access> = Vec::with_capacity(16);
+    while engine.now_ns() < deadline {
+        while policy.next_due_ns() <= engine.now_ns() {
+            policy.tick(engine);
+        }
+        accesses.clear();
+        let Some(compute_ns) = workload.next_op(engine.now_ns(), &mut accesses) else {
+            break;
+        };
+        let t0 = engine.now_ns();
+        for a in &accesses {
+            engine.access(a.va, a.write);
+        }
+        engine.advance_compute(compute_ns);
+        hist.record(engine.now_ns() - t0);
+        ops += 1;
+    }
+    RunOutcome { ops, start_ns: start, end_ns: engine.now_ns() }
+}
+
+/// Runs exactly `n_ops` operations (or fewer if the workload finishes).
+pub fn run_ops(
+    engine: &mut Engine,
+    workload: &mut dyn Workload,
+    policy: &mut dyn PolicyHook,
+    n_ops: u64,
+) -> RunOutcome {
+    let start = engine.now_ns();
+    let mut ops = 0u64;
+    let mut accesses: Vec<Access> = Vec::with_capacity(16);
+    while ops < n_ops {
+        while policy.next_due_ns() <= engine.now_ns() {
+            policy.tick(engine);
+        }
+        accesses.clear();
+        let Some(compute_ns) = workload.next_op(engine.now_ns(), &mut accesses) else {
+            break;
+        };
+        for a in &accesses {
+            engine.access(a.va, a.write);
+        }
+        engine.advance_compute(compute_ns);
+        ops += 1;
+    }
+    RunOutcome { ops, start_ns: start, end_ns: engine.now_ns() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use thermo_mem::VirtAddr;
+
+    /// Touches one line per op, round-robin over a small buffer.
+    struct Toucher {
+        base: VirtAddr,
+        n: u64,
+        i: u64,
+        limit: Option<u64>,
+    }
+
+    impl Workload for Toucher {
+        fn name(&self) -> &str {
+            "toucher"
+        }
+
+        fn init(&mut self, engine: &mut Engine) {
+            self.base = engine.mmap(self.n * 64, true, true, false, "buf");
+        }
+
+        fn next_op(&mut self, _now: u64, accesses: &mut Vec<Access>) -> Option<u64> {
+            if let Some(l) = self.limit {
+                if self.i >= l {
+                    return None;
+                }
+            }
+            accesses.push(Access::read(self.base + (self.i % self.n) * 64));
+            self.i += 1;
+            Some(100)
+        }
+    }
+
+    /// Counts its own ticks, due every 1ms.
+    struct TickCounter {
+        period: u64,
+        next: u64,
+        ticks: u64,
+    }
+
+    impl PolicyHook for TickCounter {
+        fn next_due_ns(&self) -> u64 {
+            self.next
+        }
+
+        fn tick(&mut self, _e: &mut Engine) {
+            self.ticks += 1;
+            self.next += self.period;
+        }
+    }
+
+    fn engine() -> Engine {
+        Engine::new(SimConfig::paper_defaults(16 << 20, 16 << 20))
+    }
+
+    #[test]
+    fn run_for_respects_deadline() {
+        let mut e = engine();
+        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: None };
+        w.init(&mut e);
+        let out = run_for(&mut e, &mut w, &mut NoPolicy, 1_000_000);
+        assert!(out.ops > 0);
+        assert!(out.end_ns >= 1_000_000);
+        assert!(out.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn run_ops_runs_exact_count() {
+        let mut e = engine();
+        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: None };
+        w.init(&mut e);
+        let out = run_ops(&mut e, &mut w, &mut NoPolicy, 500);
+        assert_eq!(out.ops, 500);
+    }
+
+    #[test]
+    fn finite_workload_ends_early() {
+        let mut e = engine();
+        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: Some(10) };
+        w.init(&mut e);
+        let out = run_for(&mut e, &mut w, &mut NoPolicy, u64::MAX / 2);
+        assert_eq!(out.ops, 10);
+    }
+
+    #[test]
+    fn policy_ticks_at_period() {
+        let mut e = engine();
+        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: None };
+        w.init(&mut e);
+        let mut p = TickCounter { period: 1_000_000, next: 1_000_000, ticks: 0 };
+        run_for(&mut e, &mut w, &mut p, 10_000_000);
+        assert!(
+            (9..=11).contains(&p.ticks),
+            "expected ~10 ticks over 10ms at 1ms period, got {}",
+            p.ticks
+        );
+    }
+
+    #[test]
+    fn slowdown_math() {
+        let base = RunOutcome { ops: 100, start_ns: 0, end_ns: 1_000 };
+        let slower = RunOutcome { ops: 100, start_ns: 0, end_ns: 1_030 };
+        assert!((slower.slowdown_vs(&base) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mk = || {
+            let mut e = engine();
+            let mut w = Toucher { base: VirtAddr(0), n: 1024, i: 0, limit: None };
+            w.init(&mut e);
+            let out = run_ops(&mut e, &mut w, &mut NoPolicy, 2000);
+            (out.end_ns, e.stats().llc_misses, e.tlb_stats().misses)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,173 @@
+//! Time-series rate recording.
+//!
+//! Figure 3 of the paper plots the slow-memory access rate averaged over
+//! 30-second windows; Figures 5–10 plot footprint breakdowns over time.
+//! [`RateSeries`] buckets event counts by virtual time, and
+//! [`SampledSeries`] records point-in-time samples (e.g. bytes of cold
+//! data).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts events into fixed-width virtual-time buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateSeries {
+    bucket_ns: u64,
+    buckets: Vec<u64>,
+}
+
+impl RateSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ns` is zero.
+    pub fn new(bucket_ns: u64) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        Self { bucket_ns, buckets: Vec::new() }
+    }
+
+    /// Bucket width, ns.
+    pub fn bucket_ns(&self) -> u64 {
+        self.bucket_ns
+    }
+
+    /// Records `n` events at virtual time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, n: u64) {
+        let idx = (now_ns / self.bucket_ns) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Per-bucket rates in events/second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1e9 / self.bucket_ns as f64;
+        self.buckets.iter().map(|b| *b as f64 * scale).collect()
+    }
+
+    /// Moving average of the per-second rates over `window` buckets
+    /// (Figure 3 averages over 30 seconds).
+    pub fn smoothed_rates(&self, window: usize) -> Vec<f64> {
+        let rates = self.rates_per_sec();
+        if window <= 1 || rates.is_empty() {
+            return rates;
+        }
+        let mut out = Vec::with_capacity(rates.len());
+        let mut sum = 0.0;
+        for i in 0..rates.len() {
+            sum += rates[i];
+            if i >= window {
+                sum -= rates[i - window];
+            }
+            let n = (i + 1).min(window);
+            out.push(sum / n as f64);
+        }
+        out
+    }
+}
+
+/// Point-in-time samples of a value (e.g. cold bytes at each scan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SampledSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl SampledSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` at time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, value: f64) {
+        self.points.push((now_ns, value));
+    }
+
+    /// All `(time_ns, value)` points in recording order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+
+    /// Time-unweighted mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_buckets() {
+        let mut s = RateSeries::new(1_000_000_000);
+        s.record(0, 5);
+        s.record(500_000_000, 5);
+        s.record(1_500_000_000, 7);
+        assert_eq!(s.buckets(), &[10, 7]);
+        assert_eq!(s.total(), 17);
+    }
+
+    #[test]
+    fn rates_scale_with_bucket_width() {
+        let mut s = RateSeries::new(500_000_000); // 0.5s buckets
+        s.record(0, 10);
+        assert_eq!(s.rates_per_sec()[0], 20.0);
+    }
+
+    #[test]
+    fn smoothing_averages() {
+        let mut s = RateSeries::new(1_000_000_000);
+        for (t, n) in [(0u64, 10u64), (1, 20), (2, 30), (3, 40)] {
+            s.record(t * 1_000_000_000, n);
+        }
+        let sm = s.smoothed_rates(2);
+        assert_eq!(sm, vec![10.0, 15.0, 25.0, 35.0]);
+        // window 1 = raw
+        assert_eq!(s.smoothed_rates(1), s.rates_per_sec());
+    }
+
+    #[test]
+    fn gaps_are_zero_buckets() {
+        let mut s = RateSeries::new(1_000_000_000);
+        s.record(3_200_000_000, 1);
+        assert_eq!(s.buckets(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn sampled_series_basics() {
+        let mut s = SampledSeries::new();
+        assert_eq!(s.last(), None);
+        assert_eq!(s.mean(), 0.0);
+        s.record(1, 2.0);
+        s.record(2, 4.0);
+        assert_eq!(s.last(), Some(4.0));
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.points().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_panics() {
+        RateSeries::new(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Engine-level statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by the access pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total memory accesses issued by the application.
+    pub accesses: u64,
+    /// Of which writes.
+    pub writes: u64,
+    /// Page walks performed (TLB misses).
+    pub walks: u64,
+    /// Total walk latency charged, ns.
+    pub walk_time_ns: u64,
+    /// Demand-paging minor faults that allocated a 4KB page.
+    pub minor_faults_small: u64,
+    /// Demand-paging minor faults that allocated a 2MB THP.
+    pub minor_faults_huge: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// LLC misses served by the fast tier.
+    pub fast_tier_accesses: u64,
+    /// LLC misses served by (or, under fault emulation, attributed to) the
+    /// slow tier.
+    pub slow_tier_accesses: u64,
+    /// BadgerTrap faults taken on slow-tier pages (the Figure 3 numerator).
+    pub slow_trap_faults: u64,
+    /// BadgerTrap faults taken on fast-tier pages (sampling overhead).
+    pub fast_trap_faults: u64,
+    /// Application time: total ns charged to the app thread.
+    pub app_time_ns: u64,
+    /// Kernel time: scans, migrations and other policy work, ns. Charged to
+    /// background CPUs, not the app (the paper pins clients and the VM to
+    /// separate sockets), but tracked for the <1% overhead claims.
+    pub kernel_time_ns: u64,
+}
+
+impl EngineStats {
+    /// Fraction of app time spent in trap faults to slow pages, given the
+    /// fault cost — the quantity Thermostat bounds to the target slowdown.
+    pub fn slow_fault_time_fraction(&self, fault_ns: u64) -> f64 {
+        if self.app_time_ns == 0 {
+            return 0.0;
+        }
+        (self.slow_trap_faults * fault_ns) as f64 / self.app_time_ns as f64
+    }
+
+    /// LLC miss ratio.
+    pub fn llc_miss_ratio(&self) -> f64 {
+        let n = self.llc_hits + self.llc_misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.slow_fault_time_fraction(1000), 0.0);
+        assert_eq!(s.llc_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn slow_fault_fraction() {
+        let s = EngineStats { slow_trap_faults: 30, app_time_ns: 1_000_000, ..Default::default() };
+        assert!((s.slow_fault_time_fraction(1_000) - 0.03).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Operation-trace recording and replay.
+//!
+//! A [`Trace`] captures the operation stream a workload generator emits
+//! (addresses, read/write flags, compute costs) so it can be replayed
+//! bit-identically — against different machine configurations, different
+//! policies, or in regression tests. This mirrors how the paper's authors
+//! could replay identical YCSB request streams across configurations.
+
+use crate::workload::{Access, FootprintInfo, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One recorded operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Memory accesses issued by the op.
+    pub accesses: Vec<Access>,
+    /// Compute time, ns.
+    pub compute_ns: u64,
+}
+
+/// A recorded operation stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Records up to `n_ops` operations from `workload`.
+    ///
+    /// The workload must already be initialized (its `init` run against an
+    /// engine) so its regions exist; recording itself needs no engine.
+    /// Virtual time presented to the workload advances by each op's compute
+    /// cost (access latencies are configuration-dependent and unknown at
+    /// record time).
+    pub fn record(workload: &mut dyn Workload, n_ops: usize) -> Self {
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut now = 0u64;
+        let mut accesses = Vec::new();
+        for _ in 0..n_ops {
+            accesses.clear();
+            let Some(compute_ns) = workload.next_op(now, &mut accesses) else {
+                break;
+            };
+            now += compute_ns;
+            ops.push(TraceOp { accesses: accesses.clone(), compute_ns });
+        }
+        Self { ops }
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Total accesses across all ops.
+    pub fn total_accesses(&self) -> u64 {
+        self.ops.iter().map(|o| o.accesses.len() as u64).sum()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors (effectively infallible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Wraps the trace in a replaying [`Workload`]. `looped` restarts the
+    /// trace at the end (for open-ended runs); otherwise replay finishes
+    /// after one pass.
+    pub fn into_workload(self, looped: bool) -> TraceWorkload {
+        TraceWorkload { trace: self, pos: 0, looped }
+    }
+}
+
+/// Replays a [`Trace`] as a workload.
+///
+/// The address space the trace refers to must be mapped before replay by
+/// running the original generator's `init` against the engine (replay
+/// addresses are absolute).
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    trace: Trace,
+    pos: usize,
+    looped: bool,
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+
+    fn init(&mut self, _engine: &mut crate::Engine) {}
+
+    fn next_op(&mut self, _now_ns: u64, accesses: &mut Vec<Access>) -> Option<u64> {
+        if self.trace.ops.is_empty() {
+            return None;
+        }
+        if self.pos >= self.trace.ops.len() {
+            if !self.looped {
+                return None;
+            }
+            self.pos = 0;
+        }
+        let op = &self.trace.ops[self.pos];
+        self.pos += 1;
+        accesses.extend_from_slice(&op.accesses);
+        Some(op.compute_ns)
+    }
+
+    fn footprint(&self) -> FootprintInfo {
+        FootprintInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_for, run_ops, Engine, NoPolicy, SimConfig};
+    use thermo_mem::VirtAddr;
+
+    struct Counter {
+        base: VirtAddr,
+        i: u64,
+    }
+
+    impl Workload for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn init(&mut self, e: &mut Engine) {
+            self.base = e.mmap(1 << 20, true, true, false, "buf");
+        }
+        fn next_op(&mut self, _n: u64, acc: &mut Vec<Access>) -> Option<u64> {
+            if self.i >= 100 {
+                return None;
+            }
+            acc.push(Access::read(self.base + (self.i * 64) % (1 << 20)));
+            if self.i.is_multiple_of(3) {
+                acc.push(Access::write(self.base + 4096 + (self.i * 128) % 8192));
+            }
+            self.i += 1;
+            Some(100 + self.i)
+        }
+    }
+
+    fn recorded() -> (Engine, Trace) {
+        let mut e = Engine::new(SimConfig::paper_defaults(16 << 20, 16 << 20));
+        let mut w = Counter { base: VirtAddr(0), i: 0 };
+        w.init(&mut e);
+        let t = Trace::record(&mut w, 1000);
+        (e, t)
+    }
+
+    #[test]
+    fn record_stops_at_workload_end() {
+        let (_, t) = recorded();
+        assert_eq!(t.len(), 100);
+        assert!(t.total_accesses() > 100);
+    }
+
+    #[test]
+    fn replay_reproduces_engine_behaviour() {
+        let (mut e, t) = recorded();
+        let mut replay = t.clone().into_workload(false);
+        let out = run_for(&mut e, &mut replay, &mut NoPolicy, u64::MAX / 2);
+        assert_eq!(out.ops, 100);
+
+        // Re-replaying on a fresh identical engine gives identical stats.
+        let run = |trace: Trace| {
+            let mut e = Engine::new(SimConfig::paper_defaults(16 << 20, 16 << 20));
+            let mut w = Counter { base: VirtAddr(0), i: 0 };
+            w.init(&mut e); // maps the same region at the same address
+            let mut r = trace.into_workload(false);
+            run_ops(&mut e, &mut r, &mut NoPolicy, 100);
+            (e.now_ns(), e.stats().llc_misses, e.tlb_stats().misses)
+        };
+        assert_eq!(run(t.clone()), run(t));
+    }
+
+    #[test]
+    fn looped_replay_never_ends() {
+        let (mut e, t) = recorded();
+        let mut replay = t.into_workload(true);
+        let out = run_ops(&mut e, &mut replay, &mut NoPolicy, 450);
+        assert_eq!(out.ops, 450, "looped trace must wrap");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (_, t) = recorded();
+        let j = t.to_json().unwrap();
+        let back = Trace::from_json(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_replay_is_empty() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        let mut w = t.into_workload(true);
+        let mut acc = Vec::new();
+        assert!(w.next_op(0, &mut acc).is_none());
+    }
+}

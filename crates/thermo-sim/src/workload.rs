@@ -1,0 +1,73 @@
+//! The workload abstraction.
+//!
+//! A [`Workload`] is a closed-loop application: it sets up its address
+//! space, then produces operations one at a time. Each operation is a batch
+//! of memory accesses (the loads/stores that miss the core's private
+//! caches) plus a fixed compute cost. The engine executes the accesses; the
+//! runner charges the compute time.
+
+use serde::{Deserialize, Serialize};
+use thermo_mem::VirtAddr;
+
+/// One memory access issued by a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Target address.
+    pub va: VirtAddr,
+    /// True for stores.
+    pub write: bool,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(va: VirtAddr) -> Self {
+        Self { va, write: false }
+    }
+
+    /// A write access.
+    pub fn write(va: VirtAddr) -> Self {
+        Self { va, write: true }
+    }
+}
+
+/// Rough footprint declaration, used by the Table 2 harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FootprintInfo {
+    /// Anonymous (heap) bytes the workload will touch.
+    pub anon_bytes: u64,
+    /// File-backed (page-cache) bytes.
+    pub file_bytes: u64,
+}
+
+/// A closed-loop application driving the engine.
+pub trait Workload {
+    /// Workload name (matches the paper's benchmark names).
+    fn name(&self) -> &str;
+
+    /// Maps regions and performs any load phase. Called once before ops.
+    fn init(&mut self, engine: &mut crate::Engine);
+
+    /// Produces the next operation: fills `accesses` (cleared by the
+    /// caller) and returns the op's compute time in ns, or `None` when the
+    /// workload is complete (open-ended workloads never return `None`).
+    fn next_op(&mut self, now_ns: u64, accesses: &mut Vec<Access>) -> Option<u64>;
+
+    /// Declared footprint (defaults to zero; generators override).
+    fn footprint(&self) -> FootprintInfo {
+        FootprintInfo::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        let a = Access::read(VirtAddr(8));
+        assert!(!a.write);
+        let w = Access::write(VirtAddr(8));
+        assert!(w.write);
+        assert_eq!(a.va, w.va);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property test: the engine never loses consistency under arbitrary
+//! interleavings of application accesses and kernel operations (split,
+//! collapse, poison, unpoison, migrate) — the exact operations Thermostat
+//! performs concurrently with the app.
+
+use proptest::prelude::*;
+use thermo_mem::{PageSize, Tier, VirtAddr, PAGES_PER_HUGE};
+use thermo_sim::{Engine, SimConfig};
+
+const N_HUGE: u64 = 8;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u16, u16), // (huge page, line within)
+    Split(u8),
+    Collapse(u8),
+    Poison(u8),
+    Unpoison(u8),
+    Migrate(u8, bool), // (page, to_slow)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => ((0u16..N_HUGE as u16), any::<u16>()).prop_map(|(p, l)| Op::Access(p, l)),
+        1 => (0u8..N_HUGE as u8).prop_map(Op::Split),
+        1 => (0u8..N_HUGE as u8).prop_map(Op::Collapse),
+        1 => (0u8..N_HUGE as u8).prop_map(Op::Poison),
+        1 => (0u8..N_HUGE as u8).prop_map(Op::Unpoison),
+        1 => ((0u8..N_HUGE as u8), any::<bool>()).prop_map(|(p, s)| Op::Migrate(p, s)),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PageState {
+    Huge,
+    Split,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_state_survives_arbitrary_kernel_ops(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut engine = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
+        let base = engine.mmap(N_HUGE * (2 << 20), true, true, false, "heap");
+        for p in 0..N_HUGE {
+            engine.access(base + p * (2 << 20), true);
+        }
+        let rss = engine.rss_bytes();
+        let mut state = [PageState::Huge; N_HUGE as usize];
+        let mut poisoned = [false; N_HUGE as usize];
+
+        for op in ops {
+            match op {
+                Op::Access(p, l) => {
+                    let va = base + (p as u64) * (2 << 20) + (l as u64 * 64) % (2 << 20);
+                    engine.access(va, l % 3 == 0);
+                }
+                Op::Split(p) => {
+                    let p = p as usize;
+                    // Splitting a poisoned huge page propagates poison to
+                    // children, which would strand the trap counter; the
+                    // daemon never does that, so neither does the model.
+                    if state[p] == PageState::Huge && !poisoned[p] {
+                        engine.split_huge(vpn(base, p)).unwrap();
+                        state[p] = PageState::Split;
+                    }
+                }
+                Op::Collapse(p) => {
+                    let p = p as usize;
+                    if state[p] == PageState::Split {
+                        engine.collapse_huge(vpn(base, p)).unwrap();
+                        state[p] = PageState::Huge;
+                    }
+                }
+                Op::Poison(p) => {
+                    let p = p as usize;
+                    if state[p] == PageState::Huge && !poisoned[p] {
+                        engine.poison_page(vpn(base, p), PageSize::Huge2M);
+                        poisoned[p] = true;
+                    }
+                }
+                Op::Unpoison(p) => {
+                    let p = p as usize;
+                    if poisoned[p] {
+                        engine.unpoison_page(vpn(base, p));
+                        poisoned[p] = false;
+                    }
+                }
+                Op::Migrate(p, to_slow) => {
+                    let p = p as usize;
+                    if state[p] == PageState::Huge {
+                        let target = if to_slow { Tier::Slow } else { Tier::Fast };
+                        // AlreadyInTier is fine; OOM cannot happen at this size.
+                        let _ = engine.migrate_page(vpn(base, p), target);
+                    }
+                }
+            }
+            // Invariants after every operation:
+            prop_assert_eq!(engine.rss_bytes(), rss, "RSS must be conserved");
+            let fb = engine.footprint_breakdown();
+            prop_assert_eq!(fb.total(), rss, "breakdown must cover the footprint");
+            // Every page still translates, with the state we expect.
+            for (i, st) in state.iter().enumerate() {
+                let m = engine.page_table().lookup(vpn(base, i)).expect("page mapped");
+                let expect = if *st == PageState::Huge { PageSize::Huge2M } else { PageSize::Small4K };
+                prop_assert_eq!(m.size, expect);
+                prop_assert_eq!(m.pte.poisoned(), poisoned[i]);
+            }
+        }
+
+        // Accesses after the storm still work and produce sane latencies.
+        for p in 0..N_HUGE {
+            let lat = engine.access(base + p * (2 << 20) + 64, false);
+            prop_assert!(lat < 1_000_000, "latency {lat}ns is absurd");
+        }
+    }
+}
+
+fn vpn(base: VirtAddr, p: usize) -> thermo_mem::Vpn {
+    thermo_mem::Vpn(base.vpn().0 + (p * PAGES_PER_HUGE) as u64)
+}

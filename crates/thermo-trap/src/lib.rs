@@ -1,0 +1,325 @@
+//! BadgerTrap substrate: poisoned-PTE fault interception and per-page
+//! access counting (paper §3.3 and §4.2).
+//!
+//! The mechanism, verbatim from the paper: *"When a page is sampled for
+//! access counting, Thermostat poisons its PTE by setting a reserved bit
+//! (bit 51), and then flushes the PTE from the TLB. The next access to the
+//! page will incur a hardware page walk (due to the TLB miss) and then
+//! trigger a protection fault (due to the poisoned PTE), which is
+//! intercepted by BadgerTrap. BadgerTrap's fault handler unpoisons the page,
+//! installs a valid translation in the TLB, and then repoisons the PTE. By
+//! counting the number of BadgerTrap faults, we can estimate the number of
+//! TLB misses to the page, which we use as a proxy for the number of memory
+//! accesses."*
+//!
+//! The same machinery doubles as the paper's **slow-memory emulator**
+//! (§4.2): pages logically placed in slow memory stay poisoned, and each
+//! fault charges ~1us — simultaneously the emulated slow-access latency and
+//! the §3.5 monitoring mechanism for cold pages.
+//!
+//! [`TrapUnit`] owns the poison set and the per-page fault counters; the
+//! simulation engine calls [`TrapUnit::on_fault`] from its access pipeline
+//! whenever a walk resolves a poisoned leaf.
+
+
+#![warn(missing_docs)]
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use thermo_mem::{PageSize, Vpn};
+use thermo_vm::{PageTable, Tlb, Vpid};
+
+/// Configuration of the trap unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrapConfig {
+    /// Latency of one intercepted fault, in ns. The paper measures ~1us for
+    /// its guest-side BadgerTrap handler and deliberately uses that as the
+    /// emulated slow-memory latency.
+    pub fault_latency_ns: u64,
+}
+
+impl Default for TrapConfig {
+    fn default() -> Self {
+        Self { fault_latency_ns: 1_000 }
+    }
+}
+
+/// Aggregate trap statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrapStats {
+    /// Total intercepted faults.
+    pub faults: u64,
+    /// Total handler latency charged, ns.
+    pub fault_time_ns: u64,
+    /// Pages currently poisoned.
+    pub poisoned_pages: u64,
+    /// Cumulative poison operations.
+    pub poisons: u64,
+    /// Cumulative unpoison operations.
+    pub unpoisons: u64,
+}
+
+/// Per-page fault counter state.
+#[derive(Debug, Clone, Copy)]
+struct Counter {
+    faults: u64,
+    size: PageSize,
+}
+
+/// The BadgerTrap kernel extension, as a simulation component.
+#[derive(Debug, Default)]
+pub struct TrapUnit {
+    config: TrapConfig,
+    counters: HashMap<Vpn, Counter>,
+    stats: TrapStats,
+}
+
+impl TrapUnit {
+    /// Creates a trap unit with the given configuration.
+    pub fn new(config: TrapConfig) -> Self {
+        Self { config, counters: HashMap::new(), stats: TrapStats::default() }
+    }
+
+    /// The configured per-fault latency, ns.
+    pub fn fault_latency_ns(&self) -> u64 {
+        self.config.fault_latency_ns
+    }
+
+    /// Changes the per-fault latency (used by harnesses exploring the
+    /// 400ns–3us slow-memory projection range).
+    pub fn set_fault_latency_ns(&mut self, ns: u64) {
+        self.config.fault_latency_ns = ns;
+    }
+
+    /// Poisons the leaf whose base is `base_vpn` and flushes its
+    /// translation so the next access faults. Starts a fresh fault counter.
+    ///
+    /// `base_vpn` must be the base VPN of a present leaf of size `size`
+    /// (4KB pages during §3.2 sampling; whole huge pages for §3.5 cold-page
+    /// monitoring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf is unmapped or its size disagrees with `size` —
+    /// the policy layer is responsible for poisoning only pages it mapped.
+    pub fn poison(&mut self, pt: &mut PageTable, tlb: &mut Tlb, vpid: Vpid, base_vpn: Vpn, size: PageSize) {
+        let found = pt.with_pte_mut(base_vpn, |pte| pte.poison()).is_some();
+        assert!(found, "poisoning unmapped page {base_vpn}");
+        let mapping = pt.lookup(base_vpn).expect("just poisoned");
+        assert_eq!(mapping.size, size, "poison size mismatch at {base_vpn}");
+        assert_eq!(mapping.base_vpn, base_vpn, "poison must target the leaf base");
+        tlb.shootdown(base_vpn, size, vpid);
+        self.counters.insert(base_vpn, Counter { faults: 0, size });
+        self.stats.poisoned_pages = self.counters.len() as u64;
+        self.stats.poisons += 1;
+    }
+
+    /// Unpoisons the leaf at `base_vpn`, returning the fault count gathered
+    /// while it was poisoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not currently poisoned by this unit.
+    pub fn unpoison(&mut self, pt: &mut PageTable, tlb: &mut Tlb, vpid: Vpid, base_vpn: Vpn) -> u64 {
+        let counter = self
+            .counters
+            .remove(&base_vpn)
+            .unwrap_or_else(|| panic!("unpoisoning page {base_vpn} that was never poisoned"));
+        pt.with_pte_mut(base_vpn, |pte| pte.unpoison());
+        tlb.shootdown(base_vpn, counter.size, vpid);
+        self.stats.poisoned_pages = self.counters.len() as u64;
+        self.stats.unpoisons += 1;
+        counter.faults
+    }
+
+    /// Forgets the counter for `base_vpn` without touching the page table
+    /// (used when the page is unmapped or remapped wholesale, e.g. during
+    /// migration, and the PTE poison state is rebuilt by the caller).
+    pub fn forget(&mut self, base_vpn: Vpn) -> Option<u64> {
+        let c = self.counters.remove(&base_vpn);
+        self.stats.poisoned_pages = self.counters.len() as u64;
+        c.map(|c| c.faults)
+    }
+
+    /// Intercepts a fault on the poisoned leaf at `base_vpn`.
+    ///
+    /// Returns the handler latency to charge. The engine is expected to then
+    /// install the translation in the TLB (BadgerTrap's
+    /// unpoison-install-repoison dance leaves the PTE poisoned but the TLB
+    /// holding a valid entry, so only TLB *misses* are counted).
+    ///
+    /// Faults on pages this unit did not poison (e.g. after a policy bug)
+    /// are still counted in the aggregate statistics so they are visible.
+    pub fn on_fault(&mut self, base_vpn: Vpn) -> u64 {
+        if let Some(c) = self.counters.get_mut(&base_vpn) {
+            c.faults += 1;
+        }
+        self.stats.faults += 1;
+        self.stats.fault_time_ns += self.config.fault_latency_ns;
+        self.config.fault_latency_ns
+    }
+
+    /// Current fault count of a poisoned page (None if not poisoned).
+    pub fn count(&self, base_vpn: Vpn) -> Option<u64> {
+        self.counters.get(&base_vpn).map(|c| c.faults)
+    }
+
+    /// True if `base_vpn` is poisoned by this unit.
+    pub fn is_poisoned(&self, base_vpn: Vpn) -> bool {
+        self.counters.contains_key(&base_vpn)
+    }
+
+    /// Reads and resets the fault counter of a poisoned page, keeping it
+    /// poisoned (the §3.5 cold-page monitor does this every sampling period).
+    ///
+    /// Returns `None` if the page is not poisoned.
+    pub fn take_count(&mut self, base_vpn: Vpn) -> Option<u64> {
+        self.counters.get_mut(&base_vpn).map(|c| std::mem::take(&mut c.faults))
+    }
+
+    /// Iterates over `(base_vpn, faults)` of every poisoned page.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (Vpn, u64)> + '_ {
+        self.counters.iter().map(|(v, c)| (*v, c.faults))
+    }
+
+    /// Number of currently poisoned pages.
+    pub fn poisoned_len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TrapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_mem::Pfn;
+    use thermo_vm::TlbOutcome;
+
+    const V: Vpid = Vpid(0);
+
+    fn setup_small() -> (PageTable, Tlb, TrapUnit) {
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(7), Pfn(70), true).unwrap();
+        (pt, Tlb::default(), TrapUnit::new(TrapConfig::default()))
+    }
+
+    #[test]
+    fn poison_sets_bit_and_flushes() {
+        let (mut pt, mut tlb, mut trap) = setup_small();
+        tlb.insert(Vpn(7), Pfn(70), PageSize::Small4K, V);
+        trap.poison(&mut pt, &mut tlb, V, Vpn(7), PageSize::Small4K);
+        assert!(pt.lookup(Vpn(7)).unwrap().pte.poisoned());
+        assert!(matches!(tlb.lookup(Vpn(7), V), TlbOutcome::Miss));
+        assert!(trap.is_poisoned(Vpn(7)));
+        assert_eq!(trap.count(Vpn(7)), Some(0));
+    }
+
+    #[test]
+    fn faults_count_and_charge_latency() {
+        let (mut pt, mut tlb, mut trap) = setup_small();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(7), PageSize::Small4K);
+        assert_eq!(trap.on_fault(Vpn(7)), 1_000);
+        assert_eq!(trap.on_fault(Vpn(7)), 1_000);
+        assert_eq!(trap.count(Vpn(7)), Some(2));
+        let s = trap.stats();
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.fault_time_ns, 2_000);
+    }
+
+    #[test]
+    fn unpoison_returns_count_and_clears_bit() {
+        let (mut pt, mut tlb, mut trap) = setup_small();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(7), PageSize::Small4K);
+        trap.on_fault(Vpn(7));
+        let n = trap.unpoison(&mut pt, &mut tlb, V, Vpn(7));
+        assert_eq!(n, 1);
+        assert!(!pt.lookup(Vpn(7)).unwrap().pte.poisoned());
+        assert!(!trap.is_poisoned(Vpn(7)));
+        assert_eq!(trap.stats().poisoned_pages, 0);
+    }
+
+    #[test]
+    fn take_count_resets_but_keeps_poisoned() {
+        let (mut pt, mut tlb, mut trap) = setup_small();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(7), PageSize::Small4K);
+        trap.on_fault(Vpn(7));
+        assert_eq!(trap.take_count(Vpn(7)), Some(1));
+        assert_eq!(trap.count(Vpn(7)), Some(0));
+        assert!(pt.lookup(Vpn(7)).unwrap().pte.poisoned());
+    }
+
+    #[test]
+    fn huge_page_poisoning() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Vpn(512), Pfn(512), true).unwrap();
+        let mut tlb = Tlb::default();
+        let mut trap = TrapUnit::default();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(512), PageSize::Huge2M);
+        assert!(pt.lookup(Vpn(700)).unwrap().pte.poisoned());
+        trap.on_fault(Vpn(512));
+        assert_eq!(trap.unpoison(&mut pt, &mut tlb, V, Vpn(512)), 1);
+        assert!(!pt.lookup(Vpn(700)).unwrap().pte.poisoned());
+    }
+
+    #[test]
+    fn fault_latency_configurable() {
+        let mut trap = TrapUnit::new(TrapConfig { fault_latency_ns: 400 });
+        assert_eq!(trap.fault_latency_ns(), 400);
+        trap.set_fault_latency_ns(3_000);
+        assert_eq!(trap.on_fault(Vpn(1)), 3_000);
+    }
+
+    #[test]
+    fn untracked_fault_counts_in_aggregate_only() {
+        let mut trap = TrapUnit::default();
+        trap.on_fault(Vpn(42));
+        assert_eq!(trap.stats().faults, 1);
+        assert_eq!(trap.count(Vpn(42)), None);
+    }
+
+    #[test]
+    fn forget_drops_counter_without_pte_access() {
+        let (mut pt, mut tlb, mut trap) = setup_small();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(7), PageSize::Small4K);
+        trap.on_fault(Vpn(7));
+        assert_eq!(trap.forget(Vpn(7)), Some(1));
+        assert_eq!(trap.forget(Vpn(7)), None);
+        // PTE remains poisoned; caller owns cleanup.
+        assert!(pt.lookup(Vpn(7)).unwrap().pte.poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn poison_unmapped_panics() {
+        let mut pt = PageTable::new();
+        let mut tlb = Tlb::default();
+        let mut trap = TrapUnit::default();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(1), PageSize::Small4K);
+    }
+
+    #[test]
+    #[should_panic(expected = "never poisoned")]
+    fn unpoison_unknown_panics() {
+        let (mut pt, mut tlb, mut trap) = setup_small();
+        trap.unpoison(&mut pt, &mut tlb, V, Vpn(7));
+    }
+
+    #[test]
+    fn iter_counts_covers_all() {
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(1), Pfn(1), true).unwrap();
+        pt.map_small(Vpn(2), Pfn(2), true).unwrap();
+        let mut tlb = Tlb::default();
+        let mut trap = TrapUnit::default();
+        trap.poison(&mut pt, &mut tlb, V, Vpn(1), PageSize::Small4K);
+        trap.poison(&mut pt, &mut tlb, V, Vpn(2), PageSize::Small4K);
+        trap.on_fault(Vpn(2));
+        let mut counts: Vec<_> = trap.iter_counts().collect();
+        counts.sort();
+        assert_eq!(counts, vec![(Vpn(1), 0), (Vpn(2), 1)]);
+        assert_eq!(trap.poisoned_len(), 2);
+    }
+}

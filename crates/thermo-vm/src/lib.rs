@@ -1,0 +1,51 @@
+//! Virtual-memory substrate for the Thermostat (ASPLOS'17) reproduction.
+//!
+//! Thermostat is a page-management policy and lives entirely in the
+//! machinery this crate models:
+//!
+//! * [`pte`] — x86-64 page-table entries, including the hardware Accessed /
+//!   Dirty bits and the reserved **bit 51** that BadgerTrap poisons to
+//!   intercept TLB misses (paper §3.3).
+//! * [`pagetable`] — a 4-level radix page table with first-class huge-page
+//!   leaves and the split/collapse transformations Thermostat's sampling
+//!   performs (§3.2).
+//! * [`tlb`] — a two-level set-associative TLB with VPID tags, matching the
+//!   paper's hardware (§4.1) and KVM discussion (§4.2).
+//! * [`walker`] — native and nested (two-dimensional) page-walk cost models
+//!   behind the paper's Table 1 huge-page argument (§2.2).
+//! * [`scan`] — Accessed-bit scan/clear primitives shared by the kstaled
+//!   baseline and Thermostat's prefilter.
+//!
+//! # Example
+//!
+//! ```
+//! use thermo_vm::{PageTable, Tlb, Vpid};
+//! use thermo_mem::{Vpn, Pfn, PageSize};
+//!
+//! # fn main() -> Result<(), thermo_vm::MapError> {
+//! let mut pt = PageTable::new();
+//! pt.map_huge(Vpn(0), Pfn(0), true)?;
+//! // Thermostat samples this page: split, monitor 4KB children, collapse.
+//! pt.split_huge(Vpn(0))?;
+//! pt.with_pte_mut(Vpn(7), |pte| pte.poison());
+//! assert!(pt.lookup(Vpn(7)).unwrap().pte.poisoned());
+//! pt.with_pte_mut(Vpn(7), |pte| pte.unpoison());
+//! pt.collapse_huge(Vpn(0))?;
+//! assert_eq!(pt.mapped_huge_pages(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod pagetable;
+pub mod pte;
+pub mod scan;
+pub mod tlb;
+pub mod walker;
+
+pub use pagetable::{MapError, Mapping, PageTable};
+pub use pte::Pte;
+pub use scan::{read_accessed, scan_and_clear, ScanCost, ScanHit};
+pub use tlb::{Tlb, TlbConfig, TlbGeometry, TlbOutcome, TlbStats, Vpid};
+pub use walker::{PagingMode, WalkConfig, WalkSteps};

@@ -1,0 +1,696 @@
+//! Four-level radix page table with transparent-huge-page support.
+//!
+//! The structure mirrors x86-64: PML4 → PDPT → PD → PT, 512 entries per
+//! level. A PD entry either points at a PT of 512 4KB PTEs or is itself a
+//! 2MB leaf (PS bit set). Thermostat's sampling (paper §3.2) *splits* a huge
+//! page into its 512 constituent 4KB PTEs to monitor them individually and
+//! later *collapses* it back; both are pure page-table transformations here
+//! because a huge page is always backed by a physically contiguous huge
+//! frame (see `thermo-mem::frame`).
+
+use crate::pte::Pte;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use thermo_mem::{PageSize, Pfn, Vpn, PAGES_PER_HUGE};
+
+const FANOUT: usize = 512;
+
+/// Errors returned by page-table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The target range already holds a mapping.
+    AlreadyMapped {
+        /// First conflicting page.
+        vpn: Vpn,
+    },
+    /// The virtual page is not mapped.
+    NotMapped {
+        /// The page in question.
+        vpn: Vpn,
+    },
+    /// Attempted a huge-page operation on a misaligned VPN.
+    Misaligned {
+        /// The offending page number.
+        vpn: Vpn,
+    },
+    /// Split/collapse was applied to the wrong mapping kind (e.g. collapsing
+    /// a range that is not 512 compatible 4KB PTEs).
+    WrongKind {
+        /// Base page of the operation.
+        vpn: Vpn,
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::AlreadyMapped { vpn } => write!(f, "page {vpn} is already mapped"),
+            MapError::NotMapped { vpn } => write!(f, "page {vpn} is not mapped"),
+            MapError::Misaligned { vpn } => write!(f, "page {vpn} is not 2MB aligned"),
+            MapError::WrongKind { vpn, reason } => write!(f, "wrong mapping kind at {vpn}: {reason}"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+/// A resolved translation, as returned by [`PageTable::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The leaf entry (copied; use the `with_pte_mut` family to modify).
+    pub pte: Pte,
+    /// Leaf size.
+    pub size: PageSize,
+    /// Base VPN of the leaf (equal to the queried VPN for 4KB leaves, the
+    /// 2MB-aligned base for huge leaves).
+    pub base_vpn: Vpn,
+}
+
+impl Mapping {
+    /// Physical frame backing the *queried* 4KB page: for huge leaves this
+    /// is the base frame offset by the page's index within the huge page.
+    pub fn frame_for(&self, vpn: Vpn) -> Pfn {
+        match self.size {
+            PageSize::Small4K => self.pte.pfn(),
+            PageSize::Huge2M => self.pte.pfn().offset((vpn - self.base_vpn) % PAGES_PER_HUGE as u64),
+        }
+    }
+}
+
+enum PdEntry {
+    Empty,
+    Huge(Pte),
+    Table(Box<Pt>),
+}
+
+struct Pt {
+    entries: [Pte; FANOUT],
+    present: u16,
+}
+
+impl Pt {
+    fn new() -> Box<Self> {
+        Box::new(Pt { entries: [Pte::empty(); FANOUT], present: 0 })
+    }
+}
+
+struct Pd {
+    entries: Vec<PdEntry>,
+    present: u16,
+}
+
+impl Pd {
+    fn new() -> Box<Self> {
+        let mut entries = Vec::with_capacity(FANOUT);
+        entries.resize_with(FANOUT, || PdEntry::Empty);
+        Box::new(Pd { entries, present: 0 })
+    }
+}
+
+struct Pdpt {
+    entries: Vec<Option<Box<Pd>>>,
+}
+
+impl Pdpt {
+    fn new() -> Box<Self> {
+        let mut entries = Vec::with_capacity(FANOUT);
+        entries.resize_with(FANOUT, || None);
+        Box::new(Pdpt { entries })
+    }
+}
+
+struct Pml4 {
+    entries: Vec<Option<Box<Pdpt>>>,
+}
+
+impl Pml4 {
+    fn new() -> Box<Self> {
+        let mut entries = Vec::with_capacity(FANOUT);
+        entries.resize_with(FANOUT, || None);
+        Box::new(Pml4 { entries })
+    }
+}
+
+fn indices(vpn: Vpn) -> (usize, usize, usize, usize) {
+    let v = vpn.0;
+    (
+        ((v >> 27) & 0x1ff) as usize, // PML4
+        ((v >> 18) & 0x1ff) as usize, // PDPT
+        ((v >> 9) & 0x1ff) as usize,  // PD
+        (v & 0x1ff) as usize,         // PT
+    )
+}
+
+/// The per-process page table.
+pub struct PageTable {
+    root: Box<Pml4>,
+    mapped_small: u64,
+    mapped_huge: u64,
+}
+
+impl fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageTable")
+            .field("mapped_small", &self.mapped_small)
+            .field("mapped_huge", &self.mapped_huge)
+            .finish()
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self { root: Pml4::new(), mapped_small: 0, mapped_huge: 0 }
+    }
+
+    /// Number of mapped 4KB leaves.
+    pub fn mapped_small_pages(&self) -> u64 {
+        self.mapped_small
+    }
+
+    /// Number of mapped 2MB leaves.
+    pub fn mapped_huge_pages(&self) -> u64 {
+        self.mapped_huge
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_small * 4096 + self.mapped_huge * (PAGES_PER_HUGE as u64) * 4096
+    }
+
+    /// Maps `vpn` to a 4KB frame.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::AlreadyMapped`] if `vpn` is covered by an existing 4KB or
+    /// 2MB mapping.
+    pub fn map_small(&mut self, vpn: Vpn, pfn: Pfn, writable: bool) -> Result<(), MapError> {
+        let (i4, i3, i2, i1) = indices(vpn);
+        let pd = self.pd_mut(i4, i3);
+        match &mut pd.entries[i2] {
+            PdEntry::Huge(_) => return Err(MapError::AlreadyMapped { vpn }),
+            e @ PdEntry::Empty => {
+                *e = PdEntry::Table(Pt::new());
+                pd.present += 1;
+            }
+            PdEntry::Table(_) => {}
+        }
+        let PdEntry::Table(pt) = &mut pd.entries[i2] else { unreachable!() };
+        if pt.entries[i1].present() {
+            return Err(MapError::AlreadyMapped { vpn });
+        }
+        pt.entries[i1] = Pte::new(pfn, writable, false);
+        pt.present += 1;
+        self.mapped_small += 1;
+        Ok(())
+    }
+
+    /// Maps the 2MB page starting at `vpn` (must be huge-aligned) to a huge
+    /// frame (must be huge-aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Misaligned`] for an unaligned base, and
+    /// [`MapError::AlreadyMapped`] if any page in the range is mapped.
+    pub fn map_huge(&mut self, vpn: Vpn, pfn: Pfn, writable: bool) -> Result<(), MapError> {
+        if !vpn.is_huge_aligned() || !pfn.is_huge_aligned() {
+            return Err(MapError::Misaligned { vpn });
+        }
+        let (i4, i3, i2, _) = indices(vpn);
+        let pd = self.pd_mut(i4, i3);
+        match &pd.entries[i2] {
+            PdEntry::Empty => {}
+            _ => return Err(MapError::AlreadyMapped { vpn }),
+        }
+        pd.entries[i2] = PdEntry::Huge(Pte::new(pfn, writable, true));
+        pd.present += 1;
+        self.mapped_huge += 1;
+        Ok(())
+    }
+
+    /// Removes the leaf mapping covering `vpn` and returns it.
+    ///
+    /// For a huge leaf, `vpn` may be any page within the 2MB range.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if nothing covers `vpn`.
+    pub fn unmap(&mut self, vpn: Vpn) -> Result<Mapping, MapError> {
+        let (i4, i3, i2, i1) = indices(vpn);
+        let Some(pdpt) = self.root.entries[i4].as_mut() else {
+            return Err(MapError::NotMapped { vpn });
+        };
+        let Some(pd) = pdpt.entries[i3].as_mut() else {
+            return Err(MapError::NotMapped { vpn });
+        };
+        match &mut pd.entries[i2] {
+            PdEntry::Empty => Err(MapError::NotMapped { vpn }),
+            PdEntry::Huge(pte) => {
+                let m = Mapping { pte: *pte, size: PageSize::Huge2M, base_vpn: vpn.huge_base() };
+                pd.entries[i2] = PdEntry::Empty;
+                pd.present -= 1;
+                self.mapped_huge -= 1;
+                Ok(m)
+            }
+            PdEntry::Table(pt) => {
+                if !pt.entries[i1].present() {
+                    return Err(MapError::NotMapped { vpn });
+                }
+                let m = Mapping { pte: pt.entries[i1], size: PageSize::Small4K, base_vpn: vpn };
+                pt.entries[i1] = Pte::empty();
+                pt.present -= 1;
+                self.mapped_small -= 1;
+                if pt.present == 0 {
+                    pd.entries[i2] = PdEntry::Empty;
+                    pd.present -= 1;
+                }
+                Ok(m)
+            }
+        }
+    }
+
+    /// Looks up the leaf covering `vpn` without modifying anything.
+    pub fn lookup(&self, vpn: Vpn) -> Option<Mapping> {
+        let (i4, i3, i2, i1) = indices(vpn);
+        let pdpt = self.root.entries[i4].as_ref()?;
+        let pd = pdpt.entries[i3].as_ref()?;
+        match &pd.entries[i2] {
+            PdEntry::Empty => None,
+            PdEntry::Huge(pte) => {
+                Some(Mapping { pte: *pte, size: PageSize::Huge2M, base_vpn: vpn.huge_base() })
+            }
+            PdEntry::Table(pt) => {
+                let pte = pt.entries[i1];
+                pte.present().then_some(Mapping { pte, size: PageSize::Small4K, base_vpn: vpn })
+            }
+        }
+    }
+
+    /// Applies `f` to the leaf PTE covering `vpn` (huge or small), returning
+    /// `f`'s result, or `None` when unmapped.
+    ///
+    /// This is how the walker sets Accessed/Dirty bits and how Thermostat
+    /// poisons/unpoisons entries.
+    pub fn with_pte_mut<R>(&mut self, vpn: Vpn, f: impl FnOnce(&mut Pte) -> R) -> Option<R> {
+        let (i4, i3, i2, i1) = indices(vpn);
+        let pdpt = self.root.entries[i4].as_mut()?;
+        let pd = pdpt.entries[i3].as_mut()?;
+        match &mut pd.entries[i2] {
+            PdEntry::Empty => None,
+            PdEntry::Huge(pte) => Some(f(pte)),
+            PdEntry::Table(pt) => {
+                let pte = &mut pt.entries[i1];
+                pte.present().then(|| f(pte))
+            }
+        }
+    }
+
+    /// Splits the huge page at huge-aligned `vpn` into 512 4KB PTEs mapping
+    /// the same frames with the same flags (paper §3.2 step 1: "we split a
+    /// random sample of huge pages into 4KB pages").
+    ///
+    /// The Accessed/Dirty/poison bits of the huge PTE are propagated to every
+    /// child so no history is lost; callers typically clear child A bits
+    /// right after splitting to start a monitoring interval.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Misaligned`], [`MapError::NotMapped`], or
+    /// [`MapError::WrongKind`] if the entry is not a huge leaf.
+    pub fn split_huge(&mut self, vpn: Vpn) -> Result<(), MapError> {
+        if !vpn.is_huge_aligned() {
+            return Err(MapError::Misaligned { vpn });
+        }
+        let (i4, i3, i2, _) = indices(vpn);
+        let Some(pdpt) = self.root.entries[i4].as_mut() else {
+            return Err(MapError::NotMapped { vpn });
+        };
+        let Some(pd) = pdpt.entries[i3].as_mut() else {
+            return Err(MapError::NotMapped { vpn });
+        };
+        let huge_pte = match &pd.entries[i2] {
+            PdEntry::Empty => return Err(MapError::NotMapped { vpn }),
+            PdEntry::Table(_) => {
+                return Err(MapError::WrongKind { vpn, reason: "already split (4KB table)" })
+            }
+            PdEntry::Huge(pte) => *pte,
+        };
+        let mut pt = Pt::new();
+        let base = huge_pte.pfn();
+        for (i, entry) in pt.entries.iter_mut().enumerate() {
+            let mut child = Pte::new(base.offset(i as u64), huge_pte.writable(), false);
+            child.0 |= huge_pte.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY | crate::pte::BIT_POISON);
+            *entry = child;
+        }
+        pt.present = FANOUT as u16;
+        pd.entries[i2] = PdEntry::Table(pt);
+        self.mapped_huge -= 1;
+        self.mapped_small += FANOUT as u64;
+        Ok(())
+    }
+
+    /// Collapses 512 4KB PTEs back into one huge leaf (the inverse of
+    /// [`split_huge`](Self::split_huge); Linux's khugepaged-style collapse).
+    ///
+    /// Requires all 512 children to be present, physically contiguous
+    /// starting at a huge-aligned frame, and to agree on writability and
+    /// poison state. Accessed/Dirty bits are OR-folded into the huge PTE.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Misaligned`], [`MapError::NotMapped`], or
+    /// [`MapError::WrongKind`] when the children cannot form a huge page.
+    pub fn collapse_huge(&mut self, vpn: Vpn) -> Result<(), MapError> {
+        if !vpn.is_huge_aligned() {
+            return Err(MapError::Misaligned { vpn });
+        }
+        let (i4, i3, i2, _) = indices(vpn);
+        let Some(pdpt) = self.root.entries[i4].as_mut() else {
+            return Err(MapError::NotMapped { vpn });
+        };
+        let Some(pd) = pdpt.entries[i3].as_mut() else {
+            return Err(MapError::NotMapped { vpn });
+        };
+        let pt = match &pd.entries[i2] {
+            PdEntry::Empty => return Err(MapError::NotMapped { vpn }),
+            PdEntry::Huge(_) => {
+                return Err(MapError::WrongKind { vpn, reason: "already a huge page" })
+            }
+            PdEntry::Table(pt) => pt,
+        };
+        if pt.present as usize != FANOUT {
+            return Err(MapError::WrongKind { vpn, reason: "not all 512 children present" });
+        }
+        let first = pt.entries[0];
+        if !first.pfn().is_huge_aligned() {
+            return Err(MapError::WrongKind { vpn, reason: "base frame not huge-aligned" });
+        }
+        let mut acc = first.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY);
+        for (i, child) in pt.entries.iter().enumerate() {
+            if child.pfn() != first.pfn().offset(i as u64) {
+                return Err(MapError::WrongKind { vpn, reason: "frames not contiguous" });
+            }
+            if child.writable() != first.writable() || child.poisoned() != first.poisoned() {
+                return Err(MapError::WrongKind { vpn, reason: "children flags disagree" });
+            }
+            acc |= child.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY);
+        }
+        let mut huge = Pte::new(first.pfn(), first.writable(), true);
+        huge.0 |= acc;
+        if first.poisoned() {
+            huge.poison();
+        }
+        pd.entries[i2] = PdEntry::Huge(huge);
+        self.mapped_small -= FANOUT as u64;
+        self.mapped_huge += 1;
+        Ok(())
+    }
+
+    /// Visits every leaf PTE in `[start, start + n_pages)` (4KB page units),
+    /// passing `(base_vpn, size, &mut pte)`.
+    ///
+    /// Huge leaves are visited once at their base. Unmapped holes are
+    /// skipped.
+    pub fn for_each_leaf_mut(
+        &mut self,
+        start: Vpn,
+        n_pages: u64,
+        mut f: impl FnMut(Vpn, PageSize, &mut Pte),
+    ) {
+        let end = Vpn(start.0 + n_pages);
+        let mut vpn = start;
+        while vpn.0 < end.0 {
+            let (i4, i3, i2, i1) = indices(vpn);
+            let Some(pdpt) = self.root.entries[i4].as_mut() else {
+                vpn = Vpn((vpn.0 | 0x7ff_ffff) + 1); // skip to next PML4 slot
+                continue;
+            };
+            let Some(pd) = pdpt.entries[i3].as_mut() else {
+                vpn = Vpn((vpn.0 | 0x3ffff) + 1); // next PDPT slot
+                continue;
+            };
+            match &mut pd.entries[i2] {
+                PdEntry::Empty => {
+                    vpn = Vpn((vpn.0 | 0x1ff) + 1); // next PD slot
+                }
+                PdEntry::Huge(pte) => {
+                    f(vpn.huge_base(), PageSize::Huge2M, pte);
+                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
+                }
+                PdEntry::Table(pt) => {
+                    let upto = std::cmp::min(end.0 - (vpn.0 - i1 as u64), FANOUT as u64) as usize;
+                    for i in i1..upto {
+                        let pte = &mut pt.entries[i];
+                        if pte.present() {
+                            f(Vpn(vpn.0 - i1 as u64 + i as u64), PageSize::Small4K, pte);
+                        }
+                    }
+                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
+                }
+            }
+        }
+    }
+
+    fn pd_mut(&mut self, i4: usize, i3: usize) -> &mut Pd {
+        let pdpt = self.root.entries[i4].get_or_insert_with(Pdpt::new);
+        pdpt.entries[i3].get_or_insert_with(Pd::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_mem::HUGE_PAGE_BYTES;
+
+    const HUGE_VPN: Vpn = Vpn(512 * 3); // arbitrary aligned base
+
+    #[test]
+    fn map_lookup_unmap_small() {
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(42), Pfn(7), true).unwrap();
+        let m = pt.lookup(Vpn(42)).unwrap();
+        assert_eq!(m.size, PageSize::Small4K);
+        assert_eq!(m.pte.pfn(), Pfn(7));
+        assert_eq!(m.frame_for(Vpn(42)), Pfn(7));
+        assert_eq!(pt.mapped_small_pages(), 1);
+        let un = pt.unmap(Vpn(42)).unwrap();
+        assert_eq!(un.pte.pfn(), Pfn(7));
+        assert!(pt.lookup(Vpn(42)).is_none());
+        assert_eq!(pt.mapped_small_pages(), 0);
+    }
+
+    #[test]
+    fn map_lookup_huge_with_interior_frame() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(1024), true).unwrap();
+        // Any interior page resolves to the offset frame.
+        let probe = Vpn(HUGE_VPN.0 + 37);
+        let m = pt.lookup(probe).unwrap();
+        assert_eq!(m.size, PageSize::Huge2M);
+        assert_eq!(m.base_vpn, HUGE_VPN);
+        assert_eq!(m.frame_for(probe), Pfn(1024 + 37));
+        assert_eq!(pt.mapped_bytes(), HUGE_PAGE_BYTES as u64);
+    }
+
+    #[test]
+    fn overlapping_maps_rejected() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(1024), true).unwrap();
+        assert!(matches!(
+            pt.map_small(Vpn(HUGE_VPN.0 + 5), Pfn(9), true),
+            Err(MapError::AlreadyMapped { .. })
+        ));
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(HUGE_VPN.0 + 5), Pfn(9), true).unwrap();
+        assert!(matches!(pt.map_huge(HUGE_VPN, Pfn(1024), true), Err(MapError::AlreadyMapped { .. })));
+    }
+
+    #[test]
+    fn misaligned_huge_rejected() {
+        let mut pt = PageTable::new();
+        assert!(matches!(pt.map_huge(Vpn(3), Pfn(1024), true), Err(MapError::Misaligned { .. })));
+        assert!(matches!(pt.map_huge(HUGE_VPN, Pfn(1000), true), Err(MapError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn split_preserves_translation_and_flags() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        pt.with_pte_mut(HUGE_VPN, |p| p.set_accessed());
+        pt.split_huge(HUGE_VPN).unwrap();
+        assert_eq!(pt.mapped_small_pages(), 512);
+        assert_eq!(pt.mapped_huge_pages(), 0);
+        for i in [0u64, 1, 100, 511] {
+            let m = pt.lookup(Vpn(HUGE_VPN.0 + i)).unwrap();
+            assert_eq!(m.size, PageSize::Small4K);
+            assert_eq!(m.pte.pfn(), Pfn(2048 + i));
+            assert!(m.pte.accessed(), "A bit must propagate to children");
+            assert!(m.pte.writable());
+        }
+    }
+
+    #[test]
+    fn collapse_restores_huge_and_folds_bits() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        pt.split_huge(HUGE_VPN).unwrap();
+        // Touch one child's A bit and another's D bit.
+        pt.with_pte_mut(Vpn(HUGE_VPN.0 + 3), |p| p.set_accessed());
+        pt.with_pte_mut(Vpn(HUGE_VPN.0 + 9), |p| p.set_dirty());
+        pt.collapse_huge(HUGE_VPN).unwrap();
+        let m = pt.lookup(Vpn(HUGE_VPN.0 + 100)).unwrap();
+        assert_eq!(m.size, PageSize::Huge2M);
+        assert_eq!(m.pte.pfn(), Pfn(2048));
+        assert!(m.pte.accessed() && m.pte.dirty(), "A/D bits must OR-fold");
+    }
+
+    #[test]
+    fn collapse_rejects_non_contiguous() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        pt.split_huge(HUGE_VPN).unwrap();
+        // Remap one child to a different frame.
+        pt.unmap(Vpn(HUGE_VPN.0 + 5)).unwrap();
+        pt.map_small(Vpn(HUGE_VPN.0 + 5), Pfn(9999), true).unwrap();
+        assert!(matches!(
+            pt.collapse_huge(HUGE_VPN),
+            Err(MapError::WrongKind { reason: "frames not contiguous", .. })
+        ));
+    }
+
+    #[test]
+    fn collapse_rejects_holes() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        pt.split_huge(HUGE_VPN).unwrap();
+        pt.unmap(Vpn(HUGE_VPN.0 + 5)).unwrap();
+        assert!(matches!(pt.collapse_huge(HUGE_VPN), Err(MapError::WrongKind { .. })));
+    }
+
+    #[test]
+    fn split_of_split_or_missing_fails() {
+        let mut pt = PageTable::new();
+        assert!(matches!(pt.split_huge(HUGE_VPN), Err(MapError::NotMapped { .. })));
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        pt.split_huge(HUGE_VPN).unwrap();
+        assert!(matches!(pt.split_huge(HUGE_VPN), Err(MapError::WrongKind { .. })));
+    }
+
+    #[test]
+    fn split_propagates_poison() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        pt.with_pte_mut(HUGE_VPN, |p| p.poison());
+        pt.split_huge(HUGE_VPN).unwrap();
+        assert!(pt.lookup(Vpn(HUGE_VPN.0 + 7)).unwrap().pte.poisoned());
+        pt.collapse_huge(HUGE_VPN).unwrap();
+        assert!(pt.lookup(HUGE_VPN).unwrap().pte.poisoned());
+    }
+
+    #[test]
+    fn unmap_huge_by_interior_page() {
+        let mut pt = PageTable::new();
+        pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
+        let m = pt.unmap(Vpn(HUGE_VPN.0 + 300)).unwrap();
+        assert_eq!(m.size, PageSize::Huge2M);
+        assert_eq!(m.base_vpn, HUGE_VPN);
+        assert!(pt.lookup(HUGE_VPN).is_none());
+    }
+
+    #[test]
+    fn for_each_leaf_visits_mixed_mappings() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Vpn(0), Pfn(0), true).unwrap();
+        pt.map_small(Vpn(512 + 4), Pfn(5000), true).unwrap();
+        pt.map_small(Vpn(512 + 6), Pfn(5001), true).unwrap();
+        pt.map_huge(Vpn(1024), Pfn(1024), true).unwrap();
+        let mut seen = Vec::new();
+        pt.for_each_leaf_mut(Vpn(0), 1536, |vpn, size, _| seen.push((vpn, size)));
+        assert_eq!(
+            seen,
+            vec![
+                (Vpn(0), PageSize::Huge2M),
+                (Vpn(516), PageSize::Small4K),
+                (Vpn(518), PageSize::Small4K),
+                (Vpn(1024), PageSize::Huge2M),
+            ]
+        );
+    }
+
+    #[test]
+    fn for_each_leaf_respects_range_bounds() {
+        let mut pt = PageTable::new();
+        for i in 0..10 {
+            pt.map_small(Vpn(i), Pfn(100 + i), true).unwrap();
+        }
+        let mut seen = Vec::new();
+        pt.for_each_leaf_mut(Vpn(2), 5, |vpn, _, _| seen.push(vpn.0));
+        assert_eq!(seen, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn for_each_leaf_mut_can_mutate() {
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(1), Pfn(1), true).unwrap();
+        pt.for_each_leaf_mut(Vpn(0), 512, |_, _, pte| pte.set_accessed());
+        assert!(pt.lookup(Vpn(1)).unwrap().pte.accessed());
+    }
+
+    #[test]
+    fn for_each_leaf_skips_huge_gaps_across_table_levels() {
+        // Pages in different PML4/PDPT/PD subtrees with vast holes between
+        // them; the range walk must skip the holes without visiting them.
+        let mut pt = PageTable::new();
+        let far_apart = [
+            Vpn(0),               // PML4 slot 0
+            Vpn(1 << 18),         // next PDPT slot
+            Vpn(1 << 27),         // next PML4 slot
+            Vpn((1 << 27) + 512), // same PML4, next PD entry
+        ];
+        for (i, vpn) in far_apart.iter().enumerate() {
+            pt.map_small(*vpn, Pfn(10 + i as u64), true).unwrap();
+        }
+        let mut seen = Vec::new();
+        pt.for_each_leaf_mut(Vpn(0), (1 << 27) + 1024, |vpn, _, _| seen.push(vpn));
+        assert_eq!(seen, far_apart.to_vec());
+    }
+
+    #[test]
+    fn for_each_leaf_starting_mid_huge_page_visits_it_once() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Vpn(0), Pfn(0), true).unwrap();
+        let mut seen = Vec::new();
+        // Start in the middle of the huge page.
+        pt.for_each_leaf_mut(Vpn(100), 1000, |vpn, size, _| seen.push((vpn, size)));
+        assert_eq!(seen, vec![(Vpn(0), PageSize::Huge2M)]);
+    }
+
+    #[test]
+    fn with_pte_mut_none_for_unmapped() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.with_pte_mut(Vpn(9), |_| ()), None);
+    }
+
+    #[test]
+    fn unmap_missing_errors() {
+        let mut pt = PageTable::new();
+        assert!(matches!(pt.unmap(Vpn(1)), Err(MapError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn map_error_display() {
+        assert!(format!("{}", MapError::AlreadyMapped { vpn: Vpn(1) }).contains("already"));
+        assert!(format!("{}", MapError::NotMapped { vpn: Vpn(1) }).contains("not mapped"));
+        assert!(format!("{}", MapError::Misaligned { vpn: Vpn(1) }).contains("aligned"));
+        assert!(format!("{}", MapError::WrongKind { vpn: Vpn(1), reason: "x" }).contains("x"));
+    }
+}

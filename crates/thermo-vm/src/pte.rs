@@ -1,0 +1,229 @@
+//! Page-table entries with the x86-64 bit layout Thermostat relies on.
+//!
+//! Thermostat's access-counting mechanism (paper §3.3) is built entirely out
+//! of PTE bits: the hardware-maintained **Accessed** bit (bit 5) for the
+//! cheap prefilter, and a software-defined **reserved bit (bit 51)** used to
+//! *poison* a translation so that the next TLB miss to the page traps into
+//! the BadgerTrap-style fault handler. We reproduce the exact bit positions
+//! so the mechanism reads like the kernel code it models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use thermo_mem::Pfn;
+
+/// Bit 0: translation is valid.
+pub const BIT_PRESENT: u64 = 1 << 0;
+/// Bit 1: page is writable.
+pub const BIT_WRITABLE: u64 = 1 << 1;
+/// Bit 5: set by the page walker on every walk that touches this entry.
+pub const BIT_ACCESSED: u64 = 1 << 5;
+/// Bit 6: set by the page walker on write accesses.
+pub const BIT_DIRTY: u64 = 1 << 6;
+/// Bit 7 (PS): entry maps a 2MB huge page (valid at the PD level).
+pub const BIT_HUGE: u64 = 1 << 7;
+/// Bit 51: reserved bit used by BadgerTrap to poison the PTE (paper §3.3:
+/// "Thermostat poisons its PTE by setting a reserved bit (bit 51)").
+pub const BIT_POISON: u64 = 1 << 51;
+
+const PFN_SHIFT: u32 = 12;
+/// PFN field: bits 12..48 (36 bits), safely below the bit-51 poison bit.
+const PFN_MASK: u64 = 0x0000_ffff_ffff_f000;
+
+/// A 64-bit page-table entry.
+///
+/// The PFN field occupies bits 12..48 (36 bits, enough for any simulated
+/// memory size); flag bits follow the x86-64 layout above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// An empty (not-present) entry.
+    pub const fn empty() -> Self {
+        Pte(0)
+    }
+
+    /// Creates a present leaf entry mapping `pfn`.
+    pub fn new(pfn: Pfn, writable: bool, huge: bool) -> Self {
+        let mut bits = BIT_PRESENT | (pfn.0 << PFN_SHIFT);
+        if writable {
+            bits |= BIT_WRITABLE;
+        }
+        if huge {
+            bits |= BIT_HUGE;
+        }
+        debug_assert!(pfn.0 << PFN_SHIFT <= PFN_MASK, "pfn too large for PTE");
+        Pte(bits)
+    }
+
+    /// True if the entry is valid.
+    pub const fn present(self) -> bool {
+        self.0 & BIT_PRESENT != 0
+    }
+
+    /// True if writable.
+    pub const fn writable(self) -> bool {
+        self.0 & BIT_WRITABLE != 0
+    }
+
+    /// True if the hardware Accessed bit is set.
+    pub const fn accessed(self) -> bool {
+        self.0 & BIT_ACCESSED != 0
+    }
+
+    /// True if the Dirty bit is set.
+    pub const fn dirty(self) -> bool {
+        self.0 & BIT_DIRTY != 0
+    }
+
+    /// True if this is a huge-page (PS) leaf.
+    pub const fn huge(self) -> bool {
+        self.0 & BIT_HUGE != 0
+    }
+
+    /// True if the reserved poison bit (bit 51) is set.
+    pub const fn poisoned(self) -> bool {
+        self.0 & BIT_POISON != 0
+    }
+
+    /// Physical frame number this entry maps.
+    pub const fn pfn(self) -> Pfn {
+        Pfn((self.0 & PFN_MASK) >> PFN_SHIFT)
+    }
+
+    /// Replaces the mapped frame, preserving all flag bits.
+    pub fn set_pfn(&mut self, pfn: Pfn) {
+        self.0 = (self.0 & !PFN_MASK) | (pfn.0 << PFN_SHIFT);
+    }
+
+    /// Sets the Accessed bit (done by the walker on a successful walk).
+    pub fn set_accessed(&mut self) {
+        self.0 |= BIT_ACCESSED;
+    }
+
+    /// Clears the Accessed bit (done by scanners such as kstaled; the
+    /// corresponding TLB entry must be flushed for the bit to be re-set on
+    /// the next access — the paper's §2.1 overhead argument).
+    pub fn clear_accessed(&mut self) {
+        self.0 &= !BIT_ACCESSED;
+    }
+
+    /// Sets the Dirty bit.
+    pub fn set_dirty(&mut self) {
+        self.0 |= BIT_DIRTY;
+    }
+
+    /// Clears the Dirty bit.
+    pub fn clear_dirty(&mut self) {
+        self.0 &= !BIT_DIRTY;
+    }
+
+    /// Poisons the entry (sets reserved bit 51). A poisoned entry still
+    /// carries a valid translation; the hardware walk "fails" with a
+    /// reserved-bit fault, which is what BadgerTrap intercepts.
+    pub fn poison(&mut self) {
+        self.0 |= BIT_POISON;
+    }
+
+    /// Removes the poison bit.
+    pub fn unpoison(&mut self) {
+        self.0 &= !BIT_POISON;
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.present() {
+            return write!(f, "pte(-)");
+        }
+        write!(
+            f,
+            "pte({}{}{}{}{} -> {})",
+            if self.writable() { "W" } else { "r" },
+            if self.accessed() { "A" } else { "-" },
+            if self.dirty() { "D" } else { "-" },
+            if self.huge() { "H" } else { "-" },
+            if self.poisoned() { "P" } else { "-" },
+            self.pfn(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_expected_bits() {
+        let p = Pte::new(Pfn(0x1234), true, false);
+        assert!(p.present());
+        assert!(p.writable());
+        assert!(!p.huge());
+        assert!(!p.accessed());
+        assert!(!p.poisoned());
+        assert_eq!(p.pfn(), Pfn(0x1234));
+    }
+
+    #[test]
+    fn huge_flag() {
+        let p = Pte::new(Pfn(512), false, true);
+        assert!(p.huge());
+        assert!(!p.writable());
+    }
+
+    #[test]
+    fn accessed_dirty_roundtrip() {
+        let mut p = Pte::new(Pfn(1), true, false);
+        p.set_accessed();
+        p.set_dirty();
+        assert!(p.accessed() && p.dirty());
+        p.clear_accessed();
+        assert!(!p.accessed() && p.dirty());
+        p.clear_dirty();
+        assert!(!p.dirty());
+    }
+
+    #[test]
+    fn poison_does_not_disturb_translation() {
+        let mut p = Pte::new(Pfn(0xabcd), true, true);
+        p.set_accessed();
+        p.poison();
+        assert!(p.poisoned());
+        assert!(p.present());
+        assert_eq!(p.pfn(), Pfn(0xabcd));
+        assert!(p.accessed());
+        p.unpoison();
+        assert!(!p.poisoned());
+        assert_eq!(p.pfn(), Pfn(0xabcd));
+    }
+
+    #[test]
+    fn poison_bit_is_bit_51() {
+        let mut p = Pte::empty();
+        p.poison();
+        assert_eq!(p.0, 1u64 << 51);
+    }
+
+    #[test]
+    fn set_pfn_preserves_flags() {
+        let mut p = Pte::new(Pfn(7), true, false);
+        p.set_accessed();
+        p.poison();
+        p.set_pfn(Pfn(99));
+        assert_eq!(p.pfn(), Pfn(99));
+        assert!(p.writable() && p.accessed() && p.poisoned());
+    }
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!Pte::empty().present());
+        assert_eq!(format!("{}", Pte::empty()), "pte(-)");
+    }
+
+    #[test]
+    fn display_shows_flags() {
+        let mut p = Pte::new(Pfn(2), true, true);
+        p.set_accessed();
+        let s = format!("{p}");
+        assert!(s.contains('W') && s.contains('A') && s.contains('H'));
+    }
+}

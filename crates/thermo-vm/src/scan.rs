@@ -1,0 +1,148 @@
+//! Accessed-bit scanning primitives.
+//!
+//! Both the kstaled baseline (paper §2.1) and step one of Thermostat's
+//! two-step monitor (§3.2: "We first rely on the hardware-maintained
+//! Accessed bits to monitor all 512 4KB pages and identify those with a
+//! non-zero access rate") are built from the same primitive: read the A bit
+//! of each PTE, clear it, and shoot down the TLB entry so the next access
+//! performs a walk and re-sets the bit. The shootdown is precisely the
+//! overhead that makes high-frequency A-bit scanning unaffordable — the
+//! paper's central motivation.
+
+use crate::pagetable::PageTable;
+use crate::tlb::{Tlb, Vpid};
+use serde::{Deserialize, Serialize};
+use thermo_mem::{PageSize, Vpn};
+
+/// One scanned leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanHit {
+    /// Base VPN of the leaf.
+    pub base_vpn: Vpn,
+    /// Leaf size.
+    pub size: PageSize,
+    /// Accessed-bit value before clearing.
+    pub accessed: bool,
+    /// Dirty-bit value (not cleared).
+    pub dirty: bool,
+}
+
+/// Cost accounting for a scan pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScanCost {
+    /// PTEs visited.
+    pub ptes_visited: u64,
+    /// TLB shootdowns issued (one per cleared A bit).
+    pub shootdowns: u64,
+}
+
+impl ScanCost {
+    /// Kernel time consumed by the pass: `visit_ns` per PTE visit plus
+    /// `shootdown_ns` per shootdown (IPIs + INVLPG are the expensive part).
+    pub fn time_ns(&self, visit_ns: u64, shootdown_ns: u64) -> u64 {
+        self.ptes_visited * visit_ns + self.shootdowns * shootdown_ns
+    }
+}
+
+/// Reads and clears the Accessed bit of every leaf in
+/// `[start, start + n_pages)`, shooting down translations whose bit was set,
+/// and reports each leaf's prior state.
+pub fn scan_and_clear(
+    pt: &mut PageTable,
+    tlb: &mut Tlb,
+    vpid: Vpid,
+    start: Vpn,
+    n_pages: u64,
+    out: &mut Vec<ScanHit>,
+) -> ScanCost {
+    let mut cost = ScanCost::default();
+    let mut to_flush: Vec<(Vpn, PageSize)> = Vec::new();
+    pt.for_each_leaf_mut(start, n_pages, |base_vpn, size, pte| {
+        cost.ptes_visited += 1;
+        let accessed = pte.accessed();
+        out.push(ScanHit { base_vpn, size, accessed, dirty: pte.dirty() });
+        if accessed {
+            pte.clear_accessed();
+            to_flush.push((base_vpn, size));
+        }
+    });
+    for (vpn, size) in to_flush {
+        tlb.shootdown(vpn, size, vpid);
+        cost.shootdowns += 1;
+    }
+    cost
+}
+
+/// Reads the Accessed bits in `[start, start + n_pages)` without clearing
+/// them (no shootdowns, so no overhead — but the bits saturate: once set
+/// they stay set).
+pub fn read_accessed(pt: &mut PageTable, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+    let mut cost = ScanCost::default();
+    pt.for_each_leaf_mut(start, n_pages, |base_vpn, size, pte| {
+        cost.ptes_visited += 1;
+        out.push(ScanHit { base_vpn, size, accessed: pte.accessed(), dirty: pte.dirty() });
+    });
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_mem::Pfn;
+
+    const V: Vpid = Vpid(0);
+
+    fn setup() -> (PageTable, Tlb) {
+        let mut pt = PageTable::new();
+        pt.map_huge(Vpn(0), Pfn(0), true).unwrap();
+        pt.map_small(Vpn(512), Pfn(5000), true).unwrap();
+        (pt, Tlb::default())
+    }
+
+    #[test]
+    fn scan_reports_and_clears() {
+        let (mut pt, mut tlb) = setup();
+        pt.with_pte_mut(Vpn(0), |p| p.set_accessed());
+        tlb.insert(Vpn(0), Pfn(0), PageSize::Huge2M, V);
+
+        let mut hits = Vec::new();
+        let cost = scan_and_clear(&mut pt, &mut tlb, V, Vpn(0), 1024, &mut hits);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].accessed);
+        assert!(!hits[1].accessed);
+        assert_eq!(cost.ptes_visited, 2);
+        assert_eq!(cost.shootdowns, 1);
+        // Bit is cleared and the TLB entry is gone.
+        assert!(!pt.lookup(Vpn(0)).unwrap().pte.accessed());
+        assert!(matches!(tlb.lookup(Vpn(3), V), crate::tlb::TlbOutcome::Miss));
+    }
+
+    #[test]
+    fn second_scan_sees_no_access_without_new_walks() {
+        let (mut pt, mut tlb) = setup();
+        pt.with_pte_mut(Vpn(0), |p| p.set_accessed());
+        let mut hits = Vec::new();
+        scan_and_clear(&mut pt, &mut tlb, V, Vpn(0), 1024, &mut hits);
+        hits.clear();
+        scan_and_clear(&mut pt, &mut tlb, V, Vpn(0), 1024, &mut hits);
+        assert!(hits.iter().all(|h| !h.accessed));
+    }
+
+    #[test]
+    fn read_accessed_does_not_clear() {
+        let (mut pt, tlb) = setup();
+        pt.with_pte_mut(Vpn(512), |p| p.set_accessed());
+        let mut hits = Vec::new();
+        let cost = read_accessed(&mut pt, Vpn(0), 1024, &mut hits);
+        assert_eq!(cost.shootdowns, 0);
+        assert!(hits.iter().any(|h| h.accessed));
+        assert!(pt.lookup(Vpn(512)).unwrap().pte.accessed());
+        let _ = tlb; // unchanged
+    }
+
+    #[test]
+    fn scan_cost_time() {
+        let c = ScanCost { ptes_visited: 10, shootdowns: 3 };
+        assert_eq!(c.time_ns(100, 1000), 10 * 100 + 3 * 1000);
+    }
+}

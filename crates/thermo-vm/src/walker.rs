@@ -1,0 +1,155 @@
+//! Page-walk cost model, native and nested (two-dimensional).
+//!
+//! Paper §2.2: a native 4KB walk needs up to 4 memory accesses; under
+//! virtualization with EPT/NPT the two-dimensional walk costs up to **24**
+//! accesses for 4KB pages, reduced to **15** when both guest and host map
+//! 2MB huge pages. This asymmetry is the entire source of Table 1's
+//! huge-page throughput gains, so the model keeps the step counts explicit
+//! and lets the per-step cost blend page-walk-cache hits with real memory
+//! accesses ("2MB huge pages ... improve the cacheability of intermediate
+//! levels of the page tables").
+
+use serde::{Deserialize, Serialize};
+use thermo_mem::PageSize;
+
+/// Paging mode of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PagingMode {
+    /// Bare-metal one-dimensional walks.
+    Native,
+    /// KVM-style nested paging (guest walk × host walk).
+    Nested,
+}
+
+/// Maximum page-walk step counts (memory accesses), per §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkSteps {
+    /// Native, 4KB leaf: 4-level walk.
+    pub native_small: u32,
+    /// Native, 2MB leaf: walk stops at the PD.
+    pub native_huge: u32,
+    /// Nested, 4KB in guest and host: (4+1) × (4+1) - 1 = 24.
+    pub nested_small: u32,
+    /// Nested, 2MB in guest and host: 15.
+    pub nested_huge: u32,
+}
+
+impl Default for WalkSteps {
+    fn default() -> Self {
+        Self { native_small: 4, native_huge: 3, nested_small: 24, nested_huge: 15 }
+    }
+}
+
+/// Cost model for page walks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkConfig {
+    /// Paging mode.
+    pub mode: PagingMode,
+    /// Step counts (defaults follow the paper).
+    pub steps: WalkSteps,
+    /// Fraction of steps served by the page-walk caches / data cache
+    /// (upper levels of the radix tree are hot).
+    pub pwc_hit_fraction: f64,
+    /// Cost of a cached step, ns.
+    pub cached_step_ns: u64,
+    /// Cost of a step that goes to DRAM, ns.
+    pub memory_step_ns: u64,
+}
+
+impl WalkConfig {
+    /// Native paging with default costs.
+    pub fn native() -> Self {
+        Self {
+            mode: PagingMode::Native,
+            steps: WalkSteps::default(),
+            pwc_hit_fraction: 0.9,
+            cached_step_ns: 4,
+            memory_step_ns: 80,
+        }
+    }
+
+    /// Nested paging (the paper's KVM environment) with default costs.
+    pub fn nested() -> Self {
+        Self { mode: PagingMode::Nested, ..Self::native() }
+    }
+
+    /// Number of steps for a walk resolving a leaf of `size`.
+    pub fn steps_for(&self, size: PageSize) -> u32 {
+        match (self.mode, size) {
+            (PagingMode::Native, PageSize::Small4K) => self.steps.native_small,
+            (PagingMode::Native, PageSize::Huge2M) => self.steps.native_huge,
+            (PagingMode::Nested, PageSize::Small4K) => self.steps.nested_small,
+            (PagingMode::Nested, PageSize::Huge2M) => self.steps.nested_huge,
+        }
+    }
+
+    /// Latency of one full walk resolving a leaf of `size`, in ns.
+    ///
+    /// Each step costs the PWC-blended average
+    /// `pwc_hit_fraction * cached + (1 - pwc_hit_fraction) * memory`.
+    pub fn walk_cost_ns(&self, size: PageSize) -> u64 {
+        let per_step = self.pwc_hit_fraction * self.cached_step_ns as f64
+            + (1.0 - self.pwc_hit_fraction) * self.memory_step_ns as f64;
+        (self.steps_for(size) as f64 * per_step).round() as u64
+    }
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self::nested()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_step_counts_match_paper() {
+        let s = WalkSteps::default();
+        assert_eq!(s.native_small, 4);
+        assert_eq!(s.native_huge, 3);
+        assert_eq!(s.nested_small, 24);
+        assert_eq!(s.nested_huge, 15);
+    }
+
+    #[test]
+    fn nested_walks_cost_more_than_native() {
+        let native = WalkConfig::native();
+        let nested = WalkConfig::nested();
+        for size in [PageSize::Small4K, PageSize::Huge2M] {
+            assert!(nested.walk_cost_ns(size) > native.walk_cost_ns(size));
+        }
+    }
+
+    #[test]
+    fn huge_walks_cost_less_than_small() {
+        for cfg in [WalkConfig::native(), WalkConfig::nested()] {
+            assert!(cfg.walk_cost_ns(PageSize::Huge2M) < cfg.walk_cost_ns(PageSize::Small4K));
+        }
+    }
+
+    #[test]
+    fn huge_page_benefit_is_larger_under_virtualization() {
+        // The §2.2 argument: the 4KB -> 2MB walk-cost saving is larger in
+        // nested mode (24 -> 15) than native (4 -> 3).
+        let native = WalkConfig::native();
+        let nested = WalkConfig::nested();
+        let native_saving =
+            native.walk_cost_ns(PageSize::Small4K) - native.walk_cost_ns(PageSize::Huge2M);
+        let nested_saving =
+            nested.walk_cost_ns(PageSize::Small4K) - nested.walk_cost_ns(PageSize::Huge2M);
+        assert!(nested_saving > native_saving);
+    }
+
+    #[test]
+    fn pwc_fraction_scales_cost() {
+        let mut cfg = WalkConfig::nested();
+        cfg.pwc_hit_fraction = 0.0;
+        let all_mem = cfg.walk_cost_ns(PageSize::Small4K);
+        assert_eq!(all_mem, 24 * 80);
+        cfg.pwc_hit_fraction = 1.0;
+        let all_cached = cfg.walk_cost_ns(PageSize::Small4K);
+        assert_eq!(all_cached, 24 * 4);
+    }
+}

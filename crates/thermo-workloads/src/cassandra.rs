@@ -1,0 +1,201 @@
+//! Cassandra-like wide-column store.
+//!
+//! Paper configuration (§4.3): ~8GB resident plus ~4GB of file-mapped
+//! pages (Cassandra compacts SSTables on disk and leans on the page
+//! cache, which the paper backs with hugetmpfs). Traffic is YCSB Zipfian
+//! over 5M keys at 95:5 or 5:95 read/write mixes. Distinctive behaviours
+//! reproduced here:
+//!
+//! * the **Memtable grows** over the run (Figure 5's rising footprint:
+//!   "memory consumption of Cassandra grows due to in-memory Memtables
+//!   filling up");
+//! * **SSTable pages** (file-backed) are touched rarely after compaction,
+//!   forming a large cold pool — Thermostat finds 40–50% of Cassandra cold.
+
+use crate::common::{percent, AppConfig, Region};
+use crate::dist::{fnv_mix, KeyDist, ZipfianDist};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+
+/// Paper Table 2: 8GB RSS.
+const PAPER_HEAP: u64 = 4_000_000_000;
+/// Paper Table 2: the Memtable share of the RSS growth.
+const PAPER_MEMTABLE: u64 = 4_000_000_000;
+/// Paper Table 2: 4GB file-mapped (SSTables in the page cache).
+const PAPER_SSTABLE: u64 = 4_000_000_000;
+/// Commit-log ring.
+const PAPER_COMMITLOG: u64 = 256_000_000;
+/// Bytes appended to the Memtable per write.
+const MEMTABLE_APPEND: u64 = 220;
+/// Bytes per row slot in the heap (row cache + key cache).
+const ROW_SLOT: u64 = 320;
+
+/// The Cassandra-like generator.
+#[derive(Debug)]
+pub struct Cassandra {
+    cfg: AppConfig,
+    rng: SmallRng,
+    heap: Option<Region>,
+    memtable: Option<Region>,
+    sstables: Option<Region>,
+    commitlog: Option<Region>,
+    dist: Option<ZipfianDist>,
+    mem_cursor: u64,
+    log_cursor: u64,
+    compute_ns: u64,
+}
+
+impl Cassandra {
+    /// Creates the generator with the mix from `cfg.read_pct` (the paper's
+    /// Figure 5 uses the 5:95 write-heavy load).
+    pub fn new(cfg: AppConfig) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xca55),
+            cfg,
+            heap: None,
+            memtable: None,
+            sstables: None,
+            commitlog: None,
+            dist: None,
+            mem_cursor: 0,
+            log_cursor: 0,
+            compute_ns: 8_000,
+        }
+    }
+
+    /// Current Memtable fill, bytes.
+    pub fn memtable_fill(&self) -> u64 {
+        self.mem_cursor
+    }
+}
+
+impl Workload for Cassandra {
+    fn name(&self) -> &str {
+        "cassandra"
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        let heap = Region::map(engine, self.cfg.scaled(PAPER_HEAP), true, false, "cass-heap");
+        let memtable =
+            Region::map(engine, self.cfg.scaled(PAPER_MEMTABLE), true, false, "cass-memtable");
+        let sstables =
+            Region::map(engine, self.cfg.scaled(PAPER_SSTABLE), true, true, "cass-sstables");
+        let commitlog =
+            Region::map(engine, self.cfg.scaled(PAPER_COMMITLOG), true, true, "cass-commitlog");
+        // The load phase fills the heap and flushes initial SSTables; the
+        // Memtable starts empty and grows during the run.
+        heap.warm(engine);
+        sstables.warm(engine);
+        commitlog.warm(engine);
+        let n_keys = heap.n_slots(ROW_SLOT);
+        self.dist = Some(ZipfianDist::new(n_keys, ZipfianDist::YCSB_THETA));
+        self.heap = Some(heap);
+        self.memtable = Some(memtable);
+        self.sstables = Some(sstables);
+        self.commitlog = Some(commitlog);
+    }
+
+    fn next_op(&mut self, _now_ns: u64, accesses: &mut Vec<Access>) -> Option<u64> {
+        let heap = self.heap.expect("init first");
+        let memtable = self.memtable.expect("init first");
+        let sstables = self.sstables.expect("init first");
+        let commitlog = self.commitlog.expect("init first");
+        let dist = self.dist.as_ref().expect("init first");
+
+        // Popularity rank drives both layouts: rows hash into the heap
+        // (scrambled), while SSTables are laid out in compaction order, so
+        // popular rows cluster in the recent (head) SSTable pages and the
+        // old tail goes cold (the Figure 1 idle mass).
+        let rank = dist.sample(&mut self.rng);
+        let key = fnv_mix(rank) % dist.n();
+        if percent(&mut self.rng, self.cfg.read_pct) {
+            // Read path: key cache + row (two lines), occasionally falling
+            // through to an SSTable page (page-cache hit in the paper's
+            // hugetmpfs setup).
+            // JVM object-graph traversal: key cache, partition metadata,
+            // row object chain (several dependent pointer dereferences).
+            for l in 0..5 {
+                accesses.push(Access::read(heap.slot_line(key ^ (l * 77), ROW_SLOT, l)));
+            }
+            if self.rng.gen::<f64>() < 0.05 {
+                // Order-preserving rank -> SSTable-page mapping: popular
+                // rows live in the recent (head) SSTables, the tail of the
+                // compaction order goes cold.
+                let slot = rank * sstables.n_slots(4096) / dist.n().max(1);
+                accesses.push(Access::read(sstables.slot(slot, 4096)));
+            }
+        } else {
+            // Write path: commit-log append + Memtable append + row-cache
+            // invalidation/update.
+            accesses.push(Access::write(commitlog.at(self.log_cursor)));
+            self.log_cursor = (self.log_cursor + 64) % commitlog.bytes;
+            let m = memtable.at(self.mem_cursor);
+            accesses.push(Access::write(m));
+            accesses.push(Access::write(heap.slot(key, ROW_SLOT)));
+            self.mem_cursor = (self.mem_cursor + MEMTABLE_APPEND) % memtable.bytes;
+        }
+        Some(self.compute_ns)
+    }
+
+    fn footprint(&self) -> FootprintInfo {
+        FootprintInfo {
+            anon_bytes: self.cfg.scaled(PAPER_HEAP) + self.cfg.scaled(PAPER_MEMTABLE),
+            file_bytes: self.cfg.scaled(PAPER_SSTABLE) + self.cfg.scaled(PAPER_COMMITLOG),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_sim::{run_ops, NoPolicy, SimConfig};
+
+    fn setup(read_pct: u8) -> (Engine, Cassandra) {
+        let e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
+        let c = Cassandra::new(AppConfig { scale: 512, seed: 3, read_pct });
+        (e, c)
+    }
+
+    #[test]
+    fn memtable_growth_under_writes() {
+        let (mut e, mut c) = setup(5); // write-heavy
+        c.init(&mut e);
+        let rss0 = e.rss_bytes();
+        run_ops(&mut e, &mut c, &mut NoPolicy, 30_000);
+        assert!(c.memtable_fill() > 0);
+        assert!(e.rss_bytes() > rss0, "memtable appends must grow the RSS");
+    }
+
+    #[test]
+    fn read_heavy_touches_sstables_rarely() {
+        let (mut e, mut c) = setup(95);
+        c.init(&mut e);
+        let w0 = e.stats().writes;
+        run_ops(&mut e, &mut c, &mut NoPolicy, 10_000);
+        let writes = e.stats().writes - w0;
+        // ~5% of ops are writes, each issuing 3 stores.
+        assert!(writes < 3_000, "read-heavy mix wrote too much: {writes}");
+    }
+
+    #[test]
+    fn file_backed_share_matches_table2_shape() {
+        let (mut e, mut c) = setup(50);
+        c.init(&mut e);
+        let file = e.process().file_backed_bytes() as f64;
+        let total = e.process().virtual_bytes() as f64;
+        // Table 2: 4GB file-mapped of ~12GB total mapped.
+        assert!(file / total > 0.25 && file / total < 0.5, "file share {}", file / total);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let (mut e, mut c) = setup(5);
+            c.init(&mut e);
+            run_ops(&mut e, &mut c, &mut NoPolicy, 5_000);
+            (e.now_ns(), e.stats().accesses, c.memtable_fill())
+        };
+        assert_eq!(run(), run());
+    }
+}

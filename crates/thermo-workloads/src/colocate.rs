@@ -1,0 +1,199 @@
+//! Workload colocation: run several tenants inside one simulated guest.
+//!
+//! The paper's motivation is the *cloud provider's* perspective (§1: the
+//! provider "may wish to transparently substitute cheap memory for DRAM"
+//! across tenants it cannot modify). [`Colocated`] interleaves multiple
+//! generators in one address space, sharing the TLB, LLC and both memory
+//! tiers — so one Thermostat instance manages the mixed footprint exactly
+//! as the host OS would across containers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+
+/// One tenant: a workload plus its share of the operation stream.
+pub struct Tenant {
+    /// The tenant's workload.
+    pub workload: Box<dyn Workload>,
+    /// Relative share of operations (weights are normalized).
+    pub weight: u32,
+}
+
+impl Tenant {
+    /// Creates a tenant with the given op-stream weight.
+    pub fn new(workload: Box<dyn Workload>, weight: u32) -> Self {
+        Self { workload, weight }
+    }
+}
+
+/// Interleaves tenants' operations by weighted random choice.
+///
+/// A tenant whose workload finishes (returns `None`) is retired; the
+/// colocated workload ends when every tenant has finished.
+pub struct Colocated {
+    tenants: Vec<Tenant>,
+    finished: Vec<bool>,
+    rng: SmallRng,
+    name: String,
+}
+
+impl Colocated {
+    /// Builds a colocated workload from `tenants`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty or all weights are zero.
+    pub fn new(tenants: Vec<Tenant>, seed: u64) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(tenants.iter().any(|t| t.weight > 0), "need a positive weight");
+        let name = tenants
+            .iter()
+            .map(|t| t.workload.name().to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+        let finished = vec![false; tenants.len()];
+        Self { tenants, finished, rng: SmallRng::seed_from_u64(seed ^ 0xc01c), name }
+    }
+
+    /// Number of tenants still running.
+    pub fn live_tenants(&self) -> usize {
+        self.finished.iter().filter(|f| !**f).count()
+    }
+}
+
+impl Workload for Colocated {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        for t in &mut self.tenants {
+            t.workload.init(engine);
+        }
+    }
+
+    fn next_op(&mut self, now_ns: u64, accesses: &mut Vec<Access>) -> Option<u64> {
+        loop {
+            let live_weight: u32 = self
+                .tenants
+                .iter()
+                .zip(&self.finished)
+                .filter(|(_, f)| !**f)
+                .map(|(t, _)| t.weight)
+                .sum();
+            if live_weight == 0 {
+                return None;
+            }
+            let mut pick = self.rng.gen_range(0..live_weight);
+            let idx = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.finished[*i])
+                .find(|(_, t)| {
+                    if pick < t.weight {
+                        true
+                    } else {
+                        pick -= t.weight;
+                        false
+                    }
+                })
+                .map(|(i, _)| i)
+                .expect("live weight positive");
+            match self.tenants[idx].workload.next_op(now_ns, accesses) {
+                Some(compute) => return Some(compute),
+                None => self.finished[idx] = true, // tenant done; try another
+            }
+        }
+    }
+
+    fn footprint(&self) -> FootprintInfo {
+        let mut f = FootprintInfo::default();
+        for t in &self.tenants {
+            let tf = t.workload.footprint();
+            f.anon_bytes += tf.anon_bytes;
+            f.file_bytes += tf.file_bytes;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppConfig, AppId, Pattern, RegionSpec, Synthetic};
+    use thermo_sim::{run_ops, NoPolicy, SimConfig};
+
+    fn engine() -> Engine {
+        Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20))
+    }
+
+    #[test]
+    fn two_tenants_share_one_machine() {
+        let mut e = engine();
+        let cfg = AppConfig { scale: 512, seed: 4, read_pct: 95 };
+        let mut c = Colocated::new(
+            vec![
+                Tenant::new(AppId::Redis.build(cfg), 3),
+                Tenant::new(AppId::WebSearch.build(cfg), 1),
+            ],
+            7,
+        );
+        c.init(&mut e);
+        let rss_after_init = e.rss_bytes();
+        assert!(rss_after_init > 30 << 20, "both tenants must be resident");
+        let out = run_ops(&mut e, &mut c, &mut NoPolicy, 10_000);
+        assert_eq!(out.ops, 10_000);
+        assert_eq!(c.live_tenants(), 2);
+    }
+
+    #[test]
+    fn finished_tenant_is_retired_and_stream_continues() {
+        let mut e = engine();
+        // A tiny finite tenant plus an endless one.
+        let finite = Synthetic::new(
+            vec![RegionSpec::anon("a", 1 << 20, 1, Pattern::Sequential)],
+            100,
+            1,
+        );
+        struct Finite(Synthetic, u32);
+        impl Workload for Finite {
+            fn name(&self) -> &str {
+                "finite"
+            }
+            fn init(&mut self, e: &mut Engine) {
+                self.0.init(e);
+            }
+            fn next_op(&mut self, n: u64, a: &mut Vec<Access>) -> Option<u64> {
+                if self.1 == 0 {
+                    return None;
+                }
+                self.1 -= 1;
+                self.0.next_op(n, a)
+            }
+        }
+        let endless = Synthetic::new(
+            vec![RegionSpec::anon("b", 1 << 20, 1, Pattern::Uniform)],
+            100,
+            2,
+        );
+        let mut c = Colocated::new(
+            vec![
+                Tenant::new(Box::new(Finite(finite, 50)), 1),
+                Tenant::new(Box::new(endless), 1),
+            ],
+            9,
+        );
+        c.init(&mut e);
+        let out = run_ops(&mut e, &mut c, &mut NoPolicy, 5_000);
+        assert_eq!(out.ops, 5_000, "endless tenant keeps the stream alive");
+        assert_eq!(c.live_tenants(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weights_rejected() {
+        let cfg = AppConfig { scale: 512, seed: 4, read_pct: 95 };
+        Colocated::new(vec![Tenant::new(AppId::Redis.build(cfg), 0)], 1);
+    }
+}

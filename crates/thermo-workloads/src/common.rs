@@ -1,0 +1,144 @@
+//! Shared scaffolding for the six application generators.
+
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use thermo_mem::VirtAddr;
+use thermo_sim::Engine;
+
+/// Scaling and seeding knobs shared by every generator.
+///
+/// The paper runs multi-GB footprints (Table 2); the reproduction scales
+/// them down by [`AppConfig::scale`] together with the LLC so the
+/// footprint:cache:TLB-reach ratios stay in the studied regime (see
+/// DESIGN.md §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppConfig {
+    /// Footprint divisor relative to the paper's Table 2 (default 16:
+    /// Redis's 17.2GB becomes ~1.1GB).
+    pub scale: u64,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Read percentage of the YCSB-style mix (95 = the paper's read-heavy
+    /// load, 5 = write-heavy).
+    pub read_pct: u8,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        Self { scale: 16, seed: 0x7e57_0001, read_pct: 95 }
+    }
+}
+
+impl AppConfig {
+    /// Scales a paper-reported byte count down by `self.scale`, rounded up
+    /// to 2MB so regions stay huge-page friendly.
+    pub fn scaled(&self, paper_bytes: u64) -> u64 {
+        let b = paper_bytes / self.scale;
+        (b + (2 << 20) - 1) & !((2 << 20) - 1)
+    }
+}
+
+/// A mapped region plus address arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte.
+    pub base: VirtAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// Maps a region in `engine` and returns the handle.
+    pub fn map(engine: &mut Engine, bytes: u64, thp: bool, file_backed: bool, name: &str) -> Self {
+        let base = engine.mmap(bytes, thp, true, file_backed, name);
+        Self { base, bytes }
+    }
+
+    /// Address at byte offset `off` (wraps around the region so callers can
+    /// index with unreduced hashes).
+    pub fn at(&self, off: u64) -> VirtAddr {
+        self.base + (off % self.bytes)
+    }
+
+    /// Cache-line-aligned address of slot `i` with `slot_bytes` spacing.
+    pub fn slot(&self, i: u64, slot_bytes: u64) -> VirtAddr {
+        self.at(i.wrapping_mul(slot_bytes)).align_down_to_line()
+    }
+
+    /// Cache-line-aligned address of line `line` within slot `i`, wrapping
+    /// around the region (so multi-line values at the last slot stay inside
+    /// the mapping).
+    pub fn slot_line(&self, i: u64, slot_bytes: u64, line: u64) -> VirtAddr {
+        VirtAddr(self.at(i.wrapping_mul(slot_bytes).wrapping_add(line * 64)).0 & !63)
+    }
+
+    /// Number of slots of `slot_bytes` that fit.
+    pub fn n_slots(&self, slot_bytes: u64) -> u64 {
+        self.bytes / slot_bytes
+    }
+
+    /// Touches one byte per 4KB page to demand-page the whole region
+    /// (the load/warm-up phase the paper runs before measuring).
+    pub fn warm(&self, engine: &mut Engine) {
+        let mut off = 0;
+        while off < self.bytes {
+            engine.access(self.base + off, true);
+            off += 4096;
+        }
+    }
+}
+
+trait AlignExt {
+    fn align_down_to_line(self) -> VirtAddr;
+}
+
+impl AlignExt for VirtAddr {
+    fn align_down_to_line(self) -> VirtAddr {
+        VirtAddr(self.0 & !63)
+    }
+}
+
+/// Draws true with probability `pct`/100.
+pub fn percent(rng: &mut SmallRng, pct: u8) -> bool {
+    use rand::Rng;
+    rng.gen_range(0..100u8) < pct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use thermo_sim::SimConfig;
+
+    #[test]
+    fn scaled_rounds_to_huge() {
+        let cfg = AppConfig { scale: 16, ..Default::default() };
+        let s = cfg.scaled(17_200_000_000);
+        assert_eq!(s % (2 << 20), 0);
+        assert!(s >= 17_200_000_000 / 16);
+    }
+
+    #[test]
+    fn region_addressing() {
+        let r = Region { base: VirtAddr(1 << 32), bytes: 4096 };
+        assert_eq!(r.at(0), r.base);
+        assert_eq!(r.at(4096), r.base); // wraps
+        assert_eq!(r.slot(1, 100).0 % 64, 0);
+        assert_eq!(r.n_slots(256), 16);
+    }
+
+    #[test]
+    fn warm_pages_in_whole_region() {
+        let mut e = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
+        let r = Region::map(&mut e, 4 << 20, true, false, "r");
+        r.warm(&mut e);
+        assert_eq!(e.rss_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn percent_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| percent(&mut rng, 0)));
+        assert!((0..100).all(|_| percent(&mut rng, 100)));
+    }
+}

@@ -1,0 +1,322 @@
+//! Key-selection distributions.
+//!
+//! The paper drives its NoSQL stores with YCSB (§4.3): Zipfian request
+//! distributions for Aerospike and Cassandra, and a hotspot distribution
+//! for Redis where "0.01% of the keys account for 90% of the traffic".
+//! These generators reproduce those shapes deterministically.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A distribution over integer keys `0..n`.
+pub trait KeyDist {
+    /// Number of keys.
+    fn n(&self) -> u64;
+
+    /// Draws one key.
+    fn sample(&self, rng: &mut SmallRng) -> u64;
+}
+
+/// Uniform over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UniformDist {
+    n: u64,
+}
+
+impl UniformDist {
+    /// Uniform over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "empty key space");
+        Self { n }
+    }
+}
+
+impl KeyDist for UniformDist {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+}
+
+/// The YCSB Zipfian generator (Gray et al.'s "quickly generating
+/// billion-record synthetic databases" rejection-free algorithm).
+///
+/// Rank 0 is the most popular key; popularity of rank `r` is proportional
+/// to `1 / (r+1)^theta`.
+#[derive(Debug, Clone)]
+pub struct ZipfianDist {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+impl ZipfianDist {
+    /// YCSB's default skew.
+    pub const YCSB_THETA: f64 = 0.99;
+
+    /// Builds a Zipfian distribution over `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1), got {theta}");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
+        Self { n, theta, alpha, zeta_n, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation for moderate n; our scaled key spaces stay in the
+        // millions, where this one-time O(n) cost is negligible.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl KeyDist for ZipfianDist {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Scrambles Zipfian ranks over the key space so popular keys are spread
+/// across pages rather than clustered at low addresses (YCSB's
+/// "scrambled zipfian"). Spreading matters here: Thermostat works at page
+/// granularity, and real stores hash keys into memory.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: ZipfianDist,
+}
+
+impl ScrambledZipfian {
+    /// Scrambled Zipfian over `0..n` with YCSB's default theta.
+    pub fn new(n: u64) -> Self {
+        Self { inner: ZipfianDist::new(n, ZipfianDist::YCSB_THETA) }
+    }
+
+    /// Scrambled Zipfian with explicit skew.
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        Self { inner: ZipfianDist::new(n, theta) }
+    }
+}
+
+/// 64-bit finalizer (splitmix64) used as the scrambling hash.
+pub fn fnv_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl KeyDist for ScrambledZipfian {
+    fn n(&self) -> u64 {
+        self.inner.n()
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let rank = self.inner.sample(rng);
+        fnv_mix(rank) % self.inner.n()
+    }
+}
+
+/// The Redis hotspot distribution: a fraction of keys receives a fraction
+/// of the traffic. Within the hot set, popularity follows a Zipfian curve
+/// (real key popularity is heavily skewed — the paper's value-size citation
+/// [12] documents the same for Facebook's workloads); the residual traffic
+/// is uniform over the whole key space.
+#[derive(Debug, Clone)]
+pub struct HotspotDist {
+    n: u64,
+    hot_keys: u64,
+    hot_traffic: f64,
+    hot_rank: ZipfianDist,
+}
+
+impl HotspotDist {
+    /// `hot_key_fraction` of the keys get `hot_traffic_fraction` of the
+    /// accesses. The paper's Redis load: 0.01% of keys, 90% of traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty key space or fractions outside `(0, 1)`.
+    pub fn new(n: u64, hot_key_fraction: f64, hot_traffic_fraction: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!((0.0..1.0).contains(&hot_key_fraction) && hot_key_fraction > 0.0);
+        assert!((0.0..1.0).contains(&hot_traffic_fraction) && hot_traffic_fraction > 0.0);
+        let hot_keys = ((n as f64 * hot_key_fraction).ceil() as u64).max(1);
+        Self {
+            n,
+            hot_keys,
+            hot_traffic: hot_traffic_fraction,
+            hot_rank: ZipfianDist::new(hot_keys, 0.9),
+        }
+    }
+
+    /// The paper's Redis configuration over `n` keys.
+    pub fn paper_redis(n: u64) -> Self {
+        Self::new(n, 0.0001, 0.90)
+    }
+
+    /// Number of hot keys.
+    pub fn hot_keys(&self) -> u64 {
+        self.hot_keys
+    }
+}
+
+impl KeyDist for HotspotDist {
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if rng.gen::<f64>() < self.hot_traffic {
+            // Zipf-weighted rank within the hot set, spread over the key
+            // space by the scrambling hash (hash-table layout).
+            let k = self.hot_rank.sample(rng);
+            fnv_mix(k) % self.n
+        } else {
+            rng.gen_range(0..self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn histogram(dist: &dyn KeyDist, samples: usize) -> Vec<u64> {
+        let mut rng = rng();
+        let mut h = vec![0u64; dist.n() as usize];
+        for _ in 0..samples {
+            h[dist.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let d = UniformDist::new(100);
+        let h = histogram(&d, 100_000);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*min > 700 && *max < 1300, "uniform too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn zipfian_head_dominates() {
+        let d = ZipfianDist::new(1000, 0.99);
+        let h = histogram(&d, 200_000);
+        // Rank 0 should take roughly 1/zeta(1000) ~ 13% of traffic.
+        let frac0 = h[0] as f64 / 200_000.0;
+        assert!(frac0 > 0.08 && frac0 < 0.20, "rank-0 fraction {frac0}");
+        // Top 10% of ranks take the majority.
+        let head: u64 = h[..100].iter().sum();
+        assert!(head as f64 / 200_000.0 > 0.6);
+    }
+
+    #[test]
+    fn zipfian_samples_in_range() {
+        let d = ZipfianDist::new(37, 0.5);
+        let mut rng = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) < 37);
+        }
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_popularity() {
+        let d = ScrambledZipfian::new(1000);
+        let h = histogram(&d, 200_000);
+        // The most popular scrambled key is NOT key 0 in general, and the
+        // top key still has zipfian-scale popularity.
+        let max = *h.iter().max().unwrap();
+        assert!(max as f64 / 200_000.0 > 0.08);
+        // Popularity must not be concentrated in the low indices.
+        let low: u64 = h[..100].iter().sum();
+        assert!((low as f64 / 200_000.0) < 0.5, "scramble failed to spread head");
+    }
+
+    #[test]
+    fn hotspot_traffic_split_matches_config() {
+        let d = HotspotDist::new(100_000, 0.001, 0.9); // 100 hot keys
+        assert_eq!(d.hot_keys(), 100);
+        let mut rng = rng();
+        let hot_set: std::collections::HashSet<u64> =
+            (0..d.hot_keys()).map(|k| fnv_mix(k) % 100_000).collect();
+        let mut hot_hits = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            if hot_set.contains(&d.sample(&mut rng)) {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "hot traffic fraction {frac}");
+    }
+
+    #[test]
+    fn paper_redis_hotspot_shape() {
+        let d = HotspotDist::paper_redis(4_000_000);
+        assert_eq!(d.hot_keys(), 400);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let d = ZipfianDist::new(10_000, 0.99);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key space")]
+    fn zero_keys_panics() {
+        UniformDist::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_panics() {
+        ZipfianDist::new(10, 1.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthetic cloud workloads for the Thermostat (ASPLOS'17) reproduction.
+//!
+//! The paper evaluates six applications (§4.3): Aerospike, Cassandra,
+//! Redis, TPCC-on-MySQL, Cloudsuite in-memory analytics, and Cloudsuite
+//! web search. The real applications cannot run inside a user-space
+//! simulator, so this crate provides generators that reproduce each
+//! application's *memory behaviour* — footprint composition (Table 2),
+//! access skew (YCSB Zipfian, Redis's 0.01%/90% hotspot), read/write
+//! mixes, file-mapped fractions, growth over time (Cassandra Memtables,
+//! Spark RDD materialization), and compute intensity — because those are
+//! the properties Thermostat's classification actually observes.
+//!
+//! Build any app via the [`AppId`] registry:
+//!
+//! ```
+//! use thermo_workloads::{AppId, AppConfig};
+//! use thermo_sim::{Engine, SimConfig, run_ops, NoPolicy};
+//!
+//! let mut engine = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
+//! let mut app = AppId::Redis.build(AppConfig { scale: 512, ..AppConfig::default() });
+//! app.init(&mut engine);
+//! let out = run_ops(&mut engine, app.as_mut(), &mut NoPolicy, 1_000);
+//! assert_eq!(out.ops, 1_000);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod aerospike;
+pub mod analytics;
+pub mod cassandra;
+pub mod colocate;
+pub mod common;
+pub mod dist;
+pub mod redis;
+pub mod registry;
+pub mod synthetic;
+pub mod tpcc;
+pub mod websearch;
+
+pub use aerospike::Aerospike;
+pub use analytics::Analytics;
+pub use cassandra::Cassandra;
+pub use colocate::{Colocated, Tenant};
+pub use common::{AppConfig, Region};
+pub use dist::{fnv_mix, HotspotDist, KeyDist, ScrambledZipfian, UniformDist, ZipfianDist};
+pub use redis::Redis;
+pub use registry::{AppId, ParseAppError};
+pub use synthetic::{Pattern, RegionSpec, Synthetic};
+pub use tpcc::Tpcc;
+pub use websearch::WebSearch;

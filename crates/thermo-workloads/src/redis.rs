@@ -1,0 +1,169 @@
+//! Redis-like single-threaded key-value store.
+//!
+//! The paper's Redis load (§4.3): ~17.2GB resident, effectively no file
+//! I/O, keys accessed with a hotspot distribution where 0.01% of keys
+//! account for 90% of the traffic, value sizes following the Facebook
+//! memcached distribution (mostly small). Because the hash table spreads
+//! keys uniformly over the address space, page hotness mirrors key hotness
+//! — which is why the paper can only move ~10% of Redis to slow memory at
+//! 3% slowdown (§5, Figure 8).
+
+use crate::common::{percent, AppConfig, Region};
+use crate::dist::{fnv_mix, HotspotDist, KeyDist};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+
+/// Paper footprint (Table 2): 17.2GB RSS, ~1MB file-mapped.
+const PAPER_RSS: u64 = 17_200_000_000;
+/// Bytes per key slot in the value arena.
+const SLOT_BYTES: u64 = 256;
+/// Bytes per hash-index entry.
+const INDEX_ENTRY: u64 = 16;
+
+/// The Redis-like generator.
+#[derive(Debug)]
+pub struct Redis {
+    cfg: AppConfig,
+    rng: SmallRng,
+    data: Option<Region>,
+    index: Option<Region>,
+    dist: Option<HotspotDist>,
+    n_keys: u64,
+    /// Fixed compute cost per operation (command parsing, event loop), ns.
+    compute_ns: u64,
+}
+
+impl Redis {
+    /// Creates the generator; regions are mapped in
+    /// [`Workload::init`].
+    pub fn new(cfg: AppConfig) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x5ed1),
+            cfg,
+            data: None,
+            index: None,
+            dist: None,
+            n_keys: 0,
+            compute_ns: 250,
+        }
+    }
+
+    /// Number of keys in the store (available after `init`).
+    pub fn n_keys(&self) -> u64 {
+        self.n_keys
+    }
+}
+
+impl Workload for Redis {
+    fn name(&self) -> &str {
+        "redis"
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        let data_bytes = self.cfg.scaled(PAPER_RSS);
+        let n_keys = data_bytes / SLOT_BYTES;
+        let index_bytes = (n_keys * INDEX_ENTRY).max(2 << 20);
+        let data = Region::map(engine, data_bytes, true, false, "redis-values");
+        let index = Region::map(engine, index_bytes, true, false, "redis-index");
+        // Load phase: populate every slot (the paper warms for 600s).
+        data.warm(engine);
+        index.warm(engine);
+        self.dist = Some(HotspotDist::paper_redis(n_keys));
+        self.n_keys = n_keys;
+        self.data = Some(data);
+        self.index = Some(index);
+    }
+
+    fn next_op(&mut self, _now_ns: u64, accesses: &mut Vec<Access>) -> Option<u64> {
+        let (data, index, dist) = (
+            self.data.expect("init first"),
+            self.index.expect("init first"),
+            self.dist.as_ref().expect("init first"),
+        );
+        let key = dist.sample(&mut self.rng);
+        let write = !percent(&mut self.rng, 90); // 90:10 GET:SET
+        // 1. Hash-index probe.
+        accesses.push(Access::read(index.slot(fnv_mix(key), INDEX_ENTRY)));
+        // 2. Value access: the [12] value-size distribution is dominated by
+        //    small values; one cache line carries the common case.
+        let va = data.slot_line(key, SLOT_BYTES, 0);
+        accesses.push(if write { Access::write(va) } else { Access::read(va) });
+        Some(self.compute_ns)
+    }
+
+    fn footprint(&self) -> FootprintInfo {
+        FootprintInfo {
+            anon_bytes: self.cfg.scaled(PAPER_RSS) + self.cfg.scaled(PAPER_RSS) / 16,
+            file_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_sim::{run_ops, NoPolicy, SimConfig};
+
+    fn tiny_cfg() -> AppConfig {
+        AppConfig { scale: 512, seed: 1, read_pct: 95 } // ~34MB
+    }
+
+    fn engine() -> Engine {
+        Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20))
+    }
+
+    #[test]
+    fn init_maps_and_warms_footprint() {
+        let mut e = engine();
+        let mut r = Redis::new(tiny_cfg());
+        r.init(&mut e);
+        assert!(e.rss_bytes() >= 32 << 20);
+        assert_eq!(e.process().file_backed_bytes(), 0, "Redis does no file I/O");
+        assert!(r.n_keys() > 100_000);
+    }
+
+    #[test]
+    fn ops_access_mapped_memory_only() {
+        let mut e = engine();
+        let mut r = Redis::new(tiny_cfg());
+        r.init(&mut e);
+        // Would panic with a simulated segfault if any access escaped.
+        let out = run_ops(&mut e, &mut r, &mut NoPolicy, 20_000);
+        assert_eq!(out.ops, 20_000);
+        assert!(out.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn traffic_is_hotspot_concentrated() {
+        let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
+        cfg.track_true_access = true;
+        let mut e = Engine::new(cfg);
+        let mut r = Redis::new(tiny_cfg());
+        r.init(&mut e);
+        e.reset_true_access(); // drop warm-up traffic
+        run_ops(&mut e, &mut r, &mut NoPolicy, 50_000);
+        let counts = e.true_access_counts();
+        let mut v: Vec<u64> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = v.iter().sum();
+        let top1pct: u64 = v.iter().take(v.len() / 100 + 1).sum();
+        assert!(
+            top1pct as f64 / total as f64 > 0.5,
+            "top 1% of pages should carry most traffic, got {}",
+            top1pct as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = engine();
+            let mut r = Redis::new(tiny_cfg());
+            r.init(&mut e);
+            run_ops(&mut e, &mut r, &mut NoPolicy, 5_000);
+            (e.now_ns(), e.stats().llc_misses)
+        };
+        assert_eq!(run(), run());
+    }
+}

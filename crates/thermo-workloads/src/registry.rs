@@ -1,0 +1,174 @@
+//! Workload registry: build any of the six paper applications by id.
+
+use crate::aerospike::Aerospike;
+use crate::analytics::Analytics;
+use crate::cassandra::Cassandra;
+use crate::common::AppConfig;
+use crate::redis::Redis;
+use crate::tpcc::Tpcc;
+use crate::websearch::WebSearch;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use thermo_sim::Workload;
+
+/// The paper's six applications (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppId {
+    /// Aerospike NoSQL store (YCSB Zipfian).
+    Aerospike,
+    /// Cassandra wide-column store (YCSB Zipfian + Memtable growth).
+    Cassandra,
+    /// Cloudsuite in-memory analytics (Spark collaborative filtering).
+    InMemoryAnalytics,
+    /// TPCC on MySQL (OLTP-Bench).
+    MysqlTpcc,
+    /// Redis (hotspot distribution).
+    Redis,
+    /// Cloudsuite web search (Apache Solr).
+    WebSearch,
+}
+
+impl AppId {
+    /// All applications in the paper's presentation order.
+    pub const ALL: [AppId; 6] = [
+        AppId::Aerospike,
+        AppId::Cassandra,
+        AppId::InMemoryAnalytics,
+        AppId::MysqlTpcc,
+        AppId::Redis,
+        AppId::WebSearch,
+    ];
+
+    /// Builds the workload generator for this application.
+    pub fn build(self, cfg: AppConfig) -> Box<dyn Workload> {
+        match self {
+            AppId::Aerospike => Box::new(Aerospike::new(cfg)),
+            AppId::Cassandra => Box::new(Cassandra::new(cfg)),
+            AppId::InMemoryAnalytics => Box::new(Analytics::new(cfg)),
+            AppId::MysqlTpcc => Box::new(Tpcc::new(cfg)),
+            AppId::Redis => Box::new(Redis::new(cfg)),
+            AppId::WebSearch => Box::new(WebSearch::new(cfg)),
+        }
+    }
+
+    /// Paper Table 2 resident set size, bytes (unscaled).
+    pub fn paper_rss_bytes(self) -> u64 {
+        match self {
+            AppId::Aerospike => 12_300_000_000,
+            AppId::Cassandra => 8_000_000_000,
+            AppId::InMemoryAnalytics => 6_200_000_000,
+            AppId::MysqlTpcc => 6_000_000_000,
+            AppId::Redis => 17_200_000_000,
+            AppId::WebSearch => 2_280_000_000,
+        }
+    }
+
+    /// Paper Table 2 file-mapped bytes (unscaled).
+    pub fn paper_file_bytes(self) -> u64 {
+        match self {
+            AppId::Aerospike => 5_000_000,
+            AppId::Cassandra => 4_000_000_000,
+            AppId::InMemoryAnalytics => 1_000_000,
+            AppId::MysqlTpcc => 3_500_000_000,
+            AppId::Redis => 1_000_000,
+            AppId::WebSearch => 86_000_000,
+        }
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AppId::Aerospike => "aerospike",
+            AppId::Cassandra => "cassandra",
+            AppId::InMemoryAnalytics => "in-memory-analytics",
+            AppId::MysqlTpcc => "mysql-tpcc",
+            AppId::Redis => "redis",
+            AppId::WebSearch => "web-search",
+        };
+        f.pad(s)
+    }
+}
+
+/// Error for unknown application names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppError {
+    name: String,
+}
+
+impl fmt::Display for ParseAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown application '{}' (expected one of: ", self.name)?;
+        for (i, a) in AppId::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ParseAppError {}
+
+impl FromStr for AppId {
+    type Err = ParseAppError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "aerospike" => Ok(AppId::Aerospike),
+            "cassandra" => Ok(AppId::Cassandra),
+            "in-memory-analytics" | "analytics" | "in-mem-analytics" => Ok(AppId::InMemoryAnalytics),
+            "mysql-tpcc" | "tpcc" | "mysql" => Ok(AppId::MysqlTpcc),
+            "redis" => Ok(AppId::Redis),
+            "web-search" | "websearch" | "search" => Ok(AppId::WebSearch),
+            other => Err(ParseAppError { name: other.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_fromstr() {
+        for app in AppId::ALL {
+            let parsed: AppId = app.to_string().parse().unwrap();
+            assert_eq!(parsed, app);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("tpcc".parse::<AppId>().unwrap(), AppId::MysqlTpcc);
+        assert_eq!("analytics".parse::<AppId>().unwrap(), AppId::InMemoryAnalytics);
+        assert_eq!("websearch".parse::<AppId>().unwrap(), AppId::WebSearch);
+    }
+
+    #[test]
+    fn unknown_app_error_lists_options() {
+        let err = "mongodb".parse::<AppId>().unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("mongodb") && msg.contains("redis"));
+    }
+
+    #[test]
+    fn builds_all_apps() {
+        for app in AppId::ALL {
+            let w = app.build(AppConfig::default());
+            assert_eq!(w.name(), app.to_string());
+        }
+    }
+
+    #[test]
+    fn table2_footprints_ordered_like_paper() {
+        // Redis has the largest RSS, web-search the smallest.
+        assert!(AppId::Redis.paper_rss_bytes() > AppId::Aerospike.paper_rss_bytes());
+        assert!(AppId::WebSearch.paper_rss_bytes() < AppId::MysqlTpcc.paper_rss_bytes());
+        // Cassandra and MySQL carry multi-GB file mappings.
+        assert!(AppId::Cassandra.paper_file_bytes() > 1_000_000_000);
+        assert!(AppId::MysqlTpcc.paper_file_bytes() > 1_000_000_000);
+    }
+}

@@ -1,0 +1,279 @@
+//! A fully configurable synthetic workload for tests, examples and
+//! calibration studies: a list of regions, each with its own size, access
+//! weight, key distribution, operation shape and read/write mix.
+//!
+//! Where the six named generators reproduce specific applications from the
+//! paper, [`Synthetic`] lets a user compose *any* footprint shape — e.g.
+//! "64MB scorching + 256MB Zipfian + 512MB frozen archive" — and study how
+//! Thermostat treats it.
+
+use crate::common::Region;
+use crate::dist::{KeyDist, ScrambledZipfian, UniformDist};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+
+/// Access pattern within one region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Uniform random lines.
+    Uniform,
+    /// Scrambled-Zipfian lines with the given skew.
+    Zipfian {
+        /// Skew parameter in (0, 1).
+        theta: f64,
+    },
+    /// Sequential cursor (streaming scan); wraps around.
+    Sequential,
+    /// Touched only during the load phase, never afterwards.
+    Frozen,
+}
+
+/// Specification of one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region name (VMA tag).
+    pub name: String,
+    /// Size in bytes (rounded up to 4KB by the mapper).
+    pub bytes: u64,
+    /// Relative share of operations targeting this region (0 = never,
+    /// except via [`Pattern::Frozen`] warm-up).
+    pub weight: u32,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Lines touched per operation hitting this region.
+    pub lines_per_op: u32,
+    /// Percentage of operations that write (0..=100).
+    pub write_pct: u8,
+    /// Map as THP-eligible.
+    pub thp: bool,
+    /// Map as file-backed (Table 2 accounting).
+    pub file_backed: bool,
+}
+
+impl RegionSpec {
+    /// A convenient anonymous THP region.
+    pub fn anon(name: &str, bytes: u64, weight: u32, pattern: Pattern) -> Self {
+        Self {
+            name: name.to_string(),
+            bytes,
+            weight,
+            pattern,
+            lines_per_op: 1,
+            write_pct: 10,
+            thp: true,
+            file_backed: false,
+        }
+    }
+}
+
+/// The configurable workload.
+#[derive(Debug)]
+pub struct Synthetic {
+    specs: Vec<RegionSpec>,
+    compute_ns: u64,
+    rng: SmallRng,
+    regions: Vec<Region>,
+    dists: Vec<Option<ScrambledZipfian>>,
+    uniform: Vec<Option<UniformDist>>,
+    cursors: Vec<u64>,
+    total_weight: u32,
+}
+
+impl Synthetic {
+    /// Builds a synthetic workload from region specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or all weights are zero.
+    pub fn new(specs: Vec<RegionSpec>, compute_ns: u64, seed: u64) -> Self {
+        assert!(!specs.is_empty(), "need at least one region");
+        let total_weight: u32 = specs.iter().map(|s| s.weight).sum();
+        assert!(total_weight > 0, "at least one region needs a positive weight");
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ 0x5e17),
+            dists: Vec::new(),
+            uniform: Vec::new(),
+            cursors: vec![0; specs.len()],
+            regions: Vec::new(),
+            total_weight,
+            specs,
+            compute_ns,
+        }
+    }
+
+    /// The mapped region handles (available after `init`).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+impl Workload for Synthetic {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        for spec in &self.specs {
+            let region = Region::map(engine, spec.bytes, spec.thp, spec.file_backed, &spec.name);
+            region.warm(engine);
+            let lines = region.bytes / 64;
+            match spec.pattern {
+                Pattern::Zipfian { theta } => {
+                    self.dists.push(Some(ScrambledZipfian::with_theta(lines, theta)));
+                    self.uniform.push(None);
+                }
+                Pattern::Uniform => {
+                    self.dists.push(None);
+                    self.uniform.push(Some(UniformDist::new(lines)));
+                }
+                Pattern::Sequential | Pattern::Frozen => {
+                    self.dists.push(None);
+                    self.uniform.push(None);
+                }
+            }
+            self.regions.push(region);
+        }
+    }
+
+    fn next_op(&mut self, _now_ns: u64, accesses: &mut Vec<Access>) -> Option<u64> {
+        // Pick a region by weight.
+        let mut pick = self.rng.gen_range(0..self.total_weight);
+        let mut idx = 0;
+        for (i, s) in self.specs.iter().enumerate() {
+            if pick < s.weight {
+                idx = i;
+                break;
+            }
+            pick -= s.weight;
+        }
+        let spec = &self.specs[idx];
+        let region = self.regions[idx];
+        let write = self.rng.gen_range(0..100u8) < spec.write_pct;
+        let line = match spec.pattern {
+            Pattern::Uniform => {
+                self.uniform[idx].as_ref().expect("uniform dist").sample(&mut self.rng)
+            }
+            Pattern::Zipfian { .. } => {
+                self.dists[idx].as_ref().expect("zipf dist").sample(&mut self.rng)
+            }
+            Pattern::Sequential => {
+                let c = self.cursors[idx];
+                self.cursors[idx] = (c + 1) % (region.bytes / 64);
+                c
+            }
+            Pattern::Frozen => {
+                // Frozen regions only appear with weight 0; a nonzero
+                // weight behaves like uniform to stay total.
+                self.rng.gen_range(0..region.bytes / 64)
+            }
+        };
+        for l in 0..spec.lines_per_op as u64 {
+            let va = region.at((line + l) * 64);
+            accesses.push(if write { Access::write(va) } else { Access::read(va) });
+        }
+        Some(self.compute_ns)
+    }
+
+    fn footprint(&self) -> FootprintInfo {
+        FootprintInfo {
+            anon_bytes: self.specs.iter().filter(|s| !s.file_backed).map(|s| s.bytes).sum(),
+            file_bytes: self.specs.iter().filter(|s| s.file_backed).map(|s| s.bytes).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_sim::{run_ops, NoPolicy, SimConfig};
+
+    fn engine() -> Engine {
+        Engine::new(SimConfig::paper_defaults(128 << 20, 128 << 20))
+    }
+
+    fn three_region() -> Synthetic {
+        Synthetic::new(
+            vec![
+                RegionSpec::anon("hot", 4 << 20, 90, Pattern::Uniform),
+                RegionSpec::anon("warm", 8 << 20, 10, Pattern::Zipfian { theta: 0.9 }),
+                RegionSpec::anon("frozen", 16 << 20, 0, Pattern::Frozen),
+            ],
+            500,
+            1,
+        )
+    }
+
+    #[test]
+    fn maps_and_warms_all_regions() {
+        let mut e = engine();
+        let mut w = three_region();
+        w.init(&mut e);
+        assert_eq!(e.rss_bytes(), 28 << 20);
+        assert_eq!(w.regions().len(), 3);
+    }
+
+    #[test]
+    fn frozen_region_gets_no_steady_state_traffic() {
+        let mut cfg = SimConfig::paper_defaults(128 << 20, 128 << 20);
+        cfg.track_true_access = true;
+        let mut e = Engine::new(cfg);
+        let mut w = three_region();
+        w.init(&mut e);
+        e.reset_true_access();
+        run_ops(&mut e, &mut w, &mut NoPolicy, 20_000);
+        let frozen = w.regions()[2];
+        let touched = e.true_access_counts().keys().any(|v| {
+            v.addr() >= frozen.base && v.addr() < thermo_mem::VirtAddr(frozen.base.0 + frozen.bytes)
+        });
+        assert!(!touched, "weight-0 frozen region must stay untouched");
+    }
+
+    #[test]
+    fn weights_steer_traffic() {
+        let mut cfg = SimConfig::paper_defaults(128 << 20, 128 << 20);
+        cfg.track_true_access = true;
+        let mut e = Engine::new(cfg);
+        let mut w = three_region();
+        w.init(&mut e);
+        e.reset_true_access();
+        run_ops(&mut e, &mut w, &mut NoPolicy, 20_000);
+        let counts = e.true_access_counts();
+        let sum_in = |r: Region| -> u64 {
+            counts
+                .iter()
+                .filter(|(v, _)| {
+                    v.addr() >= r.base && v.addr() < thermo_mem::VirtAddr(r.base.0 + r.bytes)
+                })
+                .map(|(_, c)| *c)
+                .sum()
+        };
+        let hot = sum_in(w.regions()[0]);
+        let warm = sum_in(w.regions()[1]);
+        assert!(hot > 5 * warm, "90:10 weights must show in traffic ({hot} vs {warm})");
+    }
+
+    #[test]
+    fn sequential_pattern_advances_cursor() {
+        let mut e = engine();
+        let mut w = Synthetic::new(
+            vec![RegionSpec::anon("scan", 2 << 20, 1, Pattern::Sequential)],
+            100,
+            2,
+        );
+        w.init(&mut e);
+        let mut acc = Vec::new();
+        w.next_op(0, &mut acc).unwrap();
+        let first = acc[0].va;
+        acc.clear();
+        w.next_op(0, &mut acc).unwrap();
+        assert_eq!(acc[0].va.0, first.0 + 64, "sequential lines must advance");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_weights_panics() {
+        Synthetic::new(vec![RegionSpec::anon("x", 1 << 20, 0, Pattern::Frozen)], 100, 1);
+    }
+}

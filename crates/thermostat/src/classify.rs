@@ -1,0 +1,123 @@
+//! Hot/cold classification (paper §3.4).
+//!
+//! *"We sort the sampled huge pages in increasing order of their estimated
+//! access rates, and then place the coldest pages in slow memory until the
+//! total access rate reaches the target threshold."* The budget for the
+//! sampled subset is the sampled fraction times the global threshold
+//! (`f · x / (100 · ts)`).
+
+use serde::{Deserialize, Serialize};
+use thermo_mem::Vpn;
+
+/// A sampled huge page with its estimated rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Base VPN of the huge page.
+    pub vpn: Vpn,
+    /// Estimated accesses/second (§3.2 extrapolation).
+    pub rate_per_sec: f64,
+}
+
+/// Classification outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// Pages to place in slow memory, coldest first.
+    pub cold: Vec<Candidate>,
+    /// Pages that stay in fast memory.
+    pub hot: Vec<Candidate>,
+    /// Aggregate estimated rate of the cold set, accesses/sec.
+    pub cold_rate: f64,
+    /// The budget that was applied.
+    pub budget: f64,
+}
+
+/// Splits `candidates` into cold and hot sets under `budget` (accesses per
+/// second available to the cold set).
+///
+/// Pages are considered coldest-first; a page is placed cold while the
+/// cumulative estimated rate stays within the budget. Ties on rate are
+/// broken by VPN for determinism.
+pub fn classify(mut candidates: Vec<Candidate>, budget: f64) -> Classification {
+    candidates.sort_by(|a, b| {
+        a.rate_per_sec
+            .partial_cmp(&b.rate_per_sec)
+            .expect("rates are never NaN")
+            .then(a.vpn.cmp(&b.vpn))
+    });
+    let mut cold = Vec::new();
+    let mut hot = Vec::new();
+    let mut cum = 0.0;
+    let mut filled = false;
+    for c in candidates {
+        if !filled && cum + c.rate_per_sec <= budget {
+            cum += c.rate_per_sec;
+            cold.push(c);
+        } else {
+            // Once the budget is exhausted every hotter page is hot too
+            // (the list is sorted), but keep scanning to fill `hot`.
+            filled = true;
+            hot.push(c);
+        }
+    }
+    Classification { cold, hot, cold_rate: cum, budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(vpn: u64, rate: f64) -> Candidate {
+        Candidate { vpn: Vpn(vpn), rate_per_sec: rate }
+    }
+
+    #[test]
+    fn coldest_pages_fill_budget_first() {
+        let c = classify(vec![cand(1, 100.0), cand(2, 1.0), cand(3, 10.0)], 12.0);
+        let cold_vpns: Vec<u64> = c.cold.iter().map(|c| c.vpn.0).collect();
+        assert_eq!(cold_vpns, vec![2, 3]);
+        assert_eq!(c.hot.len(), 1);
+        assert!((c.cold_rate - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_pages_always_fit() {
+        let c = classify(vec![cand(1, 0.0), cand(2, 0.0), cand(3, 50.0)], 0.0);
+        assert_eq!(c.cold.len(), 2);
+        assert_eq!(c.hot.len(), 1);
+        assert_eq!(c.cold_rate, 0.0);
+    }
+
+    #[test]
+    fn budget_never_exceeded() {
+        let cands: Vec<Candidate> = (0..100).map(|i| cand(i, i as f64)).collect();
+        let budget = 137.0;
+        let c = classify(cands, budget);
+        assert!(c.cold_rate <= budget);
+        // Greedy on the sorted order: adding the cheapest hot page would
+        // break the budget.
+        if let Some(first_hot) = c.hot.first() {
+            assert!(c.cold_rate + first_hot.rate_per_sec > budget);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = classify(vec![], 100.0);
+        assert!(c.cold.is_empty() && c.hot.is_empty());
+        assert_eq!(c.cold_rate, 0.0);
+    }
+
+    #[test]
+    fn all_hot_when_budget_zero_and_rates_positive() {
+        let c = classify(vec![cand(1, 5.0), cand(2, 1.0)], 0.5);
+        assert!(c.cold.is_empty());
+        assert_eq!(c.hot.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_vpn() {
+        let a = classify(vec![cand(9, 1.0), cand(3, 1.0), cand(5, 1.0)], 2.0);
+        let vpns: Vec<u64> = a.cold.iter().map(|c| c.vpn.0).collect();
+        assert_eq!(vpns, vec![3, 5]);
+    }
+}

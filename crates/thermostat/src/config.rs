@@ -1,0 +1,161 @@
+//! Thermostat's runtime configuration (the paper's cgroup interface).
+//!
+//! §3.1: "Thermostat can be controlled at runtime via the Linux memory
+//! control group (cgroup) mechanism. All processes in the same cgroup share
+//! Thermostat parameters, such as the sampling period and maximum tolerable
+//! slowdown." The single required input is the tolerable slowdown; §3.4
+//! translates it into an access-rate threshold: a slowdown of `x`% with
+//! slow-memory latency `ts` allows `x / (100 · ts)` slow accesses per
+//! second (30K/s for the paper's 3% and 1us).
+
+use serde::{Deserialize, Serialize};
+
+/// How the monitoring step counts accesses to sampled pages (§3.3 and the
+/// §6.1 hardware-extension discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorMode {
+    /// BadgerTrap-style PTE poisoning: count TLB-miss faults on ≤K sampled
+    /// 4KB pages (the paper's software-only mechanism).
+    PoisonSampling,
+    /// Idealized "count miss" (CM) bit: exact per-page access counts with
+    /// zero overhead (§6.1.1). Requires the engine's true-access tracking.
+    IdealCmBit,
+    /// PEBS-style sampling (§6.1.2): every `period`-th access is observed.
+    /// Requires the engine's true-access tracking.
+    PebsSampling {
+        /// Sampling period (e.g. 64 = one record per 64 accesses).
+        period: u32,
+    },
+}
+
+/// Thermostat parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermostatConfig {
+    /// Maximum tolerable slowdown in percent (the paper evaluates 3, 6, 10).
+    pub tolerable_slowdown_pct: f64,
+    /// Assumed slow-memory access latency `ts`, ns (1us in the paper).
+    pub slow_mem_latency_ns: u64,
+    /// Fraction of huge pages sampled per period (5% in the paper).
+    pub sample_fraction: f64,
+    /// Maximum 4KB pages poisoned per sampled huge page (K = 50).
+    pub max_poison_per_page: usize,
+    /// Sampling period length (30s in the paper). Each period runs the three
+    /// scans of Figure 4 at period/3 spacing.
+    pub sampling_period_ns: u64,
+    /// Enable the §3.5 mis-classification correction mechanism.
+    pub correction_enabled: bool,
+    /// Access counting mechanism.
+    pub monitor_mode: MonitorMode,
+    /// §6 extension ("left for future work" in the paper): spread a 2MB
+    /// page across tiers when most of it is cold — keep the hot 4KB
+    /// children in fast memory, place the never-accessed children in slow
+    /// memory, and leave the page split. Trades TLB reach for fast-memory
+    /// capacity. Off by default (the paper's mechanism).
+    pub split_placement_enabled: bool,
+    /// Minimum never-accessed 4KB children (out of 512) for a hot page to
+    /// qualify for split placement.
+    pub split_placement_min_cold_children: usize,
+    /// RNG seed for sampling decisions.
+    pub seed: u64,
+}
+
+impl ThermostatConfig {
+    /// The paper's evaluated configuration: 3% slowdown, 1us slow memory,
+    /// 5% sampling, K=50, 30s periods, correction on.
+    pub fn paper_defaults() -> Self {
+        Self {
+            tolerable_slowdown_pct: 3.0,
+            slow_mem_latency_ns: 1_000,
+            sample_fraction: 0.05,
+            max_poison_per_page: 50,
+            sampling_period_ns: 30_000_000_000,
+            correction_enabled: true,
+            monitor_mode: MonitorMode::PoisonSampling,
+            split_placement_enabled: false,
+            split_placement_min_cold_children: 384,
+            seed: 0x7e40_57a7,
+        }
+    }
+
+    /// §3.4's threshold: the aggregate slow-memory access rate (accesses
+    /// per second) that keeps the slowdown within the target.
+    ///
+    /// `x% / (100 · ts)`: 3% at 1us → 30,000 accesses/sec.
+    pub fn target_slow_access_rate(&self) -> f64 {
+        let ts_sec = self.slow_mem_latency_ns as f64 / 1e9;
+        self.tolerable_slowdown_pct / (100.0 * ts_sec)
+    }
+
+    /// Length of one scan sub-interval (a third of the sampling period,
+    /// matching Figure 4's three scans per period).
+    pub fn scan_interval_ns(&self) -> u64 {
+        self.sampling_period_ns / 3
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters; called by the daemon constructor.
+    pub fn validate(&self) {
+        assert!(
+            self.tolerable_slowdown_pct > 0.0 && self.tolerable_slowdown_pct < 100.0,
+            "tolerable slowdown must be in (0, 100)%"
+        );
+        assert!(self.slow_mem_latency_ns > 0, "slow memory latency must be positive");
+        assert!(
+            self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
+            "sample fraction must be in (0, 1]"
+        );
+        assert!(self.max_poison_per_page > 0, "poison budget must be positive");
+        assert!(self.sampling_period_ns >= 3, "sampling period too short");
+    }
+}
+
+impl Default for ThermostatConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_threshold_is_30k() {
+        let c = ThermostatConfig::paper_defaults();
+        assert!((c.target_slow_access_rate() - 30_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_scales_with_slowdown_and_latency() {
+        let mut c = ThermostatConfig::paper_defaults();
+        c.tolerable_slowdown_pct = 6.0;
+        assert!((c.target_slow_access_rate() - 60_000.0).abs() < 1e-9);
+        c.slow_mem_latency_ns = 3_000; // 3us slow memory
+        assert!((c.target_slow_access_rate() - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_interval_is_a_third() {
+        let c = ThermostatConfig::paper_defaults();
+        assert_eq!(c.scan_interval_ns(), 10_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample fraction")]
+    fn invalid_fraction_rejected() {
+        let mut c = ThermostatConfig::paper_defaults();
+        c.sample_fraction = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn invalid_slowdown_rejected() {
+        let mut c = ThermostatConfig::paper_defaults();
+        c.tolerable_slowdown_pct = 0.0;
+        c.validate();
+    }
+}

@@ -1,0 +1,127 @@
+//! Mis-classification correction (paper §3.5).
+//!
+//! *"We track the number of accesses being made to each cold huge page...
+//! In every sampling period we sort the huge pages in slow memory by their
+//! access counts and their aggregate access count is compared to the
+//! target access rate to slow memory. The most frequently accessed pages
+//! are then migrated back to fast memory until the access rate to the
+//! remaining cold pages is below the threshold."* This both repairs
+//! sampling errors and adapts to working-set changes.
+
+use serde::{Deserialize, Serialize};
+use thermo_mem::Vpn;
+
+/// Observed per-period access count of one cold page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColdObservation {
+    /// Base VPN of the cold huge page.
+    pub vpn: Vpn,
+    /// Faults counted during the period.
+    pub count: u64,
+}
+
+/// Correction decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrectionPlan {
+    /// Pages to promote back to fast memory, hottest first.
+    pub promote: Vec<Vpn>,
+    /// Aggregate slow-memory access rate before correction, accesses/sec.
+    pub rate_before: f64,
+    /// Aggregate rate of the pages that remain cold, accesses/sec.
+    pub rate_after: f64,
+}
+
+/// Decides which cold pages to promote given the per-period observations.
+///
+/// Promotes hottest-first until the aggregate rate of the remaining cold
+/// pages drops to `threshold` (accesses/sec). `period_ns` converts counts
+/// to rates.
+///
+/// # Panics
+///
+/// Panics if `period_ns` is zero.
+pub fn plan_correction(
+    mut observations: Vec<ColdObservation>,
+    threshold: f64,
+    period_ns: u64,
+) -> CorrectionPlan {
+    assert!(period_ns > 0, "period must be positive");
+    let period_sec = period_ns as f64 / 1e9;
+    let total: u64 = observations.iter().map(|o| o.count).sum();
+    let rate_before = total as f64 / period_sec;
+    // Hottest first; ties broken by VPN for determinism.
+    observations.sort_by(|a, b| b.count.cmp(&a.count).then(a.vpn.cmp(&b.vpn)));
+    let mut promote = Vec::new();
+    let mut remaining = rate_before;
+    for o in &observations {
+        if remaining <= threshold {
+            break;
+        }
+        promote.push(o.vpn);
+        remaining -= o.count as f64 / period_sec;
+    }
+    CorrectionPlan { promote, rate_before, rate_after: remaining.max(0.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn obs(vpn: u64, count: u64) -> ColdObservation {
+        ColdObservation { vpn: Vpn(vpn), count }
+    }
+
+    #[test]
+    fn no_promotion_below_threshold() {
+        let p = plan_correction(vec![obs(1, 10), obs(2, 5)], 100.0, SEC);
+        assert!(p.promote.is_empty());
+        assert!((p.rate_before - 15.0).abs() < 1e-9);
+        assert_eq!(p.rate_after, p.rate_before);
+    }
+
+    #[test]
+    fn promotes_hottest_first_until_under_threshold() {
+        // Counts: 100, 50, 5, 1 over 1s; threshold 10/s.
+        let p = plan_correction(vec![obs(1, 5), obs(2, 100), obs(3, 50), obs(4, 1)], 10.0, SEC);
+        assert_eq!(p.promote, vec![Vpn(2), Vpn(3)]);
+        assert!((p.rate_after - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn promotes_everything_if_needed() {
+        let p = plan_correction(vec![obs(1, 100), obs(2, 100)], 0.0, SEC);
+        assert_eq!(p.promote.len(), 2);
+        assert_eq!(p.rate_after, 0.0);
+    }
+
+    #[test]
+    fn empty_observations() {
+        let p = plan_correction(vec![], 10.0, SEC);
+        assert!(p.promote.is_empty());
+        assert_eq!(p.rate_before, 0.0);
+    }
+
+    #[test]
+    fn period_scaling() {
+        // 300 counts over 10s = 30/s; threshold 40/s -> fine.
+        let p = plan_correction(vec![obs(1, 300)], 40.0, 10 * SEC);
+        assert!(p.promote.is_empty());
+        // Same counts over 1s = 300/s -> must promote.
+        let p = plan_correction(vec![obs(1, 300)], 40.0, SEC);
+        assert_eq!(p.promote, vec![Vpn(1)]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let p = plan_correction(vec![obs(9, 50), obs(3, 50)], 10.0, SEC);
+        assert_eq!(p.promote[0], Vpn(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        plan_correction(vec![], 1.0, 0);
+    }
+}

@@ -1,0 +1,760 @@
+//! The Thermostat policy daemon — the full §3 mechanism as a
+//! [`PolicyHook`].
+//!
+//! Each sampling period (30s in the paper) runs the three scans of
+//! Figure 4, spaced a third of a period apart:
+//!
+//! 1. **Split** — select a random 5% of fast-tier huge pages, split them
+//!    into 4KB PTEs, and clear the children's Accessed bits. (Also
+//!    consolidates pages demoted in the previous period: collapse them in
+//!    slow memory and switch their monitoring to the huge PTE.)
+//! 2. **Poison** — read the children's Accessed bits (the cheap hardware
+//!    prefilter), then poison up to K = 50 of the accessed children for
+//!    BadgerTrap fault counting.
+//! 3. **Classify** — collect fault counts, extrapolate per-huge-page
+//!    access rates (§3.2), run the §3.5 correction over the existing cold
+//!    set, then place the coldest sampled pages in slow memory up to the
+//!    §3.4 rate budget; hot pages are collapsed back to 2MB.
+//!
+//! Cold pages remain poisoned while in slow memory: under the paper's
+//! evaluation methodology the ~1us fault **is** the emulated slow-memory
+//! access, and its count drives the correction mechanism.
+
+use crate::classify::{classify, Candidate};
+use crate::config::{MonitorMode, ThermostatConfig};
+use crate::correction::{plan_correction, ColdObservation};
+use crate::estimate::extrapolate;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use thermo_mem::{MemError, PageSize, Tier, Vpn, PAGES_PER_HUGE};
+use thermo_sim::{Engine, FootprintBreakdown, PolicyHook};
+use thermo_vm::ScanHit;
+
+/// Which of Figure 4's three scans runs next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    Split,
+    Poison,
+    Classify,
+}
+
+/// A huge page under monitoring this period.
+#[derive(Debug, Clone)]
+struct SampledPage {
+    vpn: Vpn,
+    /// Children whose A bit was set in the prefilter.
+    accessed_children: u32,
+    /// Poisoned children (PoisonSampling mode).
+    monitored: Vec<Vpn>,
+    /// True-count snapshot at poison time (hardware-assisted modes).
+    snapshot: Vec<(Vpn, u64)>,
+    /// Full accessed-children set (kept only when split placement is on).
+    accessed_set: Vec<Vpn>,
+}
+
+/// Bookkeeping for a page currently placed in slow memory.
+#[derive(Debug, Clone, Copy)]
+struct ColdPage {
+    /// Still split into 4KB PTEs (freshly demoted this period).
+    split: bool,
+}
+
+/// One record per completed sampling period (drives Figures 5–10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRecord {
+    /// Virtual time at the end of the period's classify scan.
+    pub at_ns: u64,
+    /// Footprint breakdown at that time.
+    pub breakdown: FootprintBreakdown,
+    /// Estimated aggregate rate of the pages demoted this period, acc/s.
+    pub demoted_rate: f64,
+    /// Observed aggregate slow-memory access rate over the period, acc/s.
+    pub slow_rate_observed: f64,
+    /// Pages demoted this period.
+    pub demoted: u32,
+    /// Pages promoted by correction this period.
+    pub promoted: u32,
+    /// Aggregate cold-set rate seen by the §3.5 correction before it acted,
+    /// acc/s (from the per-page fault counters).
+    pub correction_rate_before: f64,
+    /// Aggregate rate of the cold pages the correction kept, acc/s.
+    pub correction_rate_after: f64,
+}
+
+/// Aggregate daemon statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Completed sampling periods.
+    pub periods: u64,
+    /// Huge pages sampled in total.
+    pub pages_sampled: u64,
+    /// Huge pages demoted to slow memory.
+    pub pages_demoted: u64,
+    /// Huge pages promoted back by correction.
+    pub pages_promoted: u64,
+    /// Demotions skipped because the slow tier was full.
+    pub demote_oom: u64,
+    /// Promotions skipped because the fast tier was full.
+    pub promote_oom: u64,
+    /// Hot huge pages placed partially (split placement, §6 extension).
+    pub pages_split_placed: u64,
+    /// Cold 4KB children placed in slow memory by split placement.
+    pub split_children_demoted: u64,
+}
+
+/// The Thermostat daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    config: ThermostatConfig,
+    rng: SmallRng,
+    phase: Phase,
+    next_due_ns: u64,
+    sample: Vec<SampledPage>,
+    sampled_fraction_actual: f64,
+    cold: BTreeMap<Vpn, ColdPage>,
+    /// Fault counts captured during consolidation, credited to the next
+    /// correction pass.
+    carry_counts: HashMap<Vpn, u64>,
+    /// §6 split placement: cold 4KB child -> parent huge-page base.
+    partial_children: BTreeMap<Vpn, Vpn>,
+    history: Vec<PeriodRecord>,
+    stats: DaemonStats,
+    scratch: Vec<ScanHit>,
+    last_slow_faults: u64,
+}
+
+impl Daemon {
+    /// Creates a daemon; the first scan fires one scan interval after t=0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// (see [`ThermostatConfig::validate`]).
+    pub fn new(config: ThermostatConfig) -> Self {
+        config.validate();
+        Self {
+            rng: SmallRng::seed_from_u64(config.seed),
+            phase: Phase::Split,
+            next_due_ns: config.scan_interval_ns(),
+            sample: Vec::new(),
+            sampled_fraction_actual: config.sample_fraction,
+            cold: BTreeMap::new(),
+            carry_counts: HashMap::new(),
+            partial_children: BTreeMap::new(),
+            history: Vec::new(),
+            stats: DaemonStats::default(),
+            scratch: Vec::new(),
+            last_slow_faults: 0,
+            config,
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &ThermostatConfig {
+        &self.config
+    }
+
+    /// Changes the tolerable slowdown at runtime (the paper's cgroup knob,
+    /// §5: "Thermostat's slowdown threshold can be changed at runtime").
+    pub fn set_tolerable_slowdown_pct(&mut self, pct: f64) {
+        self.config.tolerable_slowdown_pct = pct;
+        self.config.validate();
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// Per-period records (Figures 5–10 time series).
+    pub fn history(&self) -> &[PeriodRecord] {
+        &self.history
+    }
+
+    /// Number of huge pages currently placed in slow memory.
+    pub fn cold_pages(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Number of 4KB children currently split-placed in slow memory
+    /// (always 0 unless the §6 split-placement extension is enabled).
+    pub fn partial_children(&self) -> usize {
+        self.partial_children.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Scan 1: consolidate + select + split.
+    // ------------------------------------------------------------------
+    fn split_phase(&mut self, engine: &mut Engine) {
+        self.consolidate_previous_cold(engine);
+
+        // Candidate set: huge pages currently resident in fast memory.
+        let mut candidates: Vec<Vpn> = Vec::new();
+        let regions: Vec<(Vpn, u64)> =
+            engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+        for (start, n) in regions {
+            self.scratch.clear();
+            engine.read_accessed(start, n, &mut self.scratch);
+            for hit in &self.scratch {
+                if hit.size == PageSize::Huge2M
+                    && engine.tier_of_vpn(hit.base_vpn) == Some(Tier::Fast)
+                {
+                    candidates.push(hit.base_vpn);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            self.sample.clear();
+            self.sampled_fraction_actual = self.config.sample_fraction;
+            return;
+        }
+        let n_candidates = candidates.len();
+        let want = ((n_candidates as f64 * self.config.sample_fraction).round() as usize)
+            .clamp(1, n_candidates);
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(want);
+        self.sampled_fraction_actual = want as f64 / n_candidates as f64;
+
+        self.sample.clear();
+        for vpn in candidates {
+            engine.split_huge(vpn).expect("sampling candidate must be a huge page");
+            self.scratch.clear();
+            engine.scan_and_clear_accessed(vpn, PAGES_PER_HUGE as u64, &mut self.scratch);
+            self.sample.push(SampledPage {
+                vpn,
+                accessed_children: 0,
+                monitored: Vec::new(),
+                snapshot: Vec::new(),
+                accessed_set: Vec::new(),
+            });
+        }
+        self.stats.pages_sampled += self.sample.len() as u64;
+    }
+
+    /// Collapse pages demoted last period: they were migrated into
+    /// contiguous huge frames in slow memory, so the 512 child PTEs fold
+    /// back into one huge PTE whose poisoning continues the §3.5 monitor.
+    fn consolidate_previous_cold(&mut self, engine: &mut Engine) {
+        let split_pages: Vec<Vpn> =
+            self.cold.iter().filter(|(_, c)| c.split).map(|(v, _)| *v).collect();
+        for vpn in split_pages {
+            let mut sum = 0;
+            for i in 0..PAGES_PER_HUGE as u64 {
+                sum += engine.unpoison_page(vpn.offset(i));
+            }
+            engine.collapse_huge(vpn).expect("demoted page must be collapsible");
+            engine.poison_page(vpn, PageSize::Huge2M);
+            *self.carry_counts.entry(vpn).or_insert(0) += sum;
+            self.cold.get_mut(&vpn).expect("tracked cold page").split = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scan 2: prefilter + poison.
+    // ------------------------------------------------------------------
+    fn poison_phase(&mut self, engine: &mut Engine) {
+        let mode = self.config.monitor_mode;
+        for sp in &mut self.sample {
+            self.scratch.clear();
+            engine.scan_and_clear_accessed(sp.vpn, PAGES_PER_HUGE as u64, &mut self.scratch);
+            let mut accessed: Vec<Vpn> = self
+                .scratch
+                .iter()
+                .filter(|h| h.size == PageSize::Small4K && h.accessed)
+                .map(|h| h.base_vpn)
+                .collect();
+            sp.accessed_children = accessed.len() as u32;
+            if self.config.split_placement_enabled {
+                sp.accessed_set = accessed.clone();
+            }
+            match mode {
+                MonitorMode::PoisonSampling => {
+                    accessed.shuffle(&mut self.rng);
+                    accessed.truncate(self.config.max_poison_per_page);
+                    for &child in &accessed {
+                        engine.poison_page(child, PageSize::Small4K);
+                    }
+                    sp.monitored = accessed;
+                }
+                MonitorMode::IdealCmBit | MonitorMode::PebsSampling { .. } => {
+                    assert!(
+                        engine.config().track_true_access,
+                        "hardware-assisted monitor modes need track_true_access"
+                    );
+                    let counts = engine.true_access_counts();
+                    sp.snapshot = (0..PAGES_PER_HUGE as u64)
+                        .map(|i| {
+                            let v = sp.vpn.offset(i);
+                            (v, counts.get(&v).copied().unwrap_or(0))
+                        })
+                        .collect();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scan 3: estimate + correct + classify + migrate.
+    // ------------------------------------------------------------------
+    fn classify_phase(&mut self, engine: &mut Engine) {
+        let window = self.config.scan_interval_ns();
+        let threshold = self.config.target_slow_access_rate();
+
+        // 1. Access-rate estimates for the sampled pages.
+        let mut estimates: Vec<Candidate> = Vec::with_capacity(self.sample.len());
+        let sample = std::mem::take(&mut self.sample);
+        for sp in &sample {
+            let rate = match self.config.monitor_mode {
+                MonitorMode::PoisonSampling => {
+                    let mut faults = 0;
+                    for &child in &sp.monitored {
+                        faults += engine.unpoison_page(child);
+                    }
+                    extrapolate(faults, sp.monitored.len() as u32, sp.accessed_children, window)
+                        .rate_per_sec
+                }
+                MonitorMode::IdealCmBit => {
+                    let counts = engine.true_access_counts();
+                    let delta: u64 = sp
+                        .snapshot
+                        .iter()
+                        .map(|(v, old)| counts.get(v).copied().unwrap_or(0).saturating_sub(*old))
+                        .sum();
+                    delta as f64 / (window as f64 / 1e9)
+                }
+                MonitorMode::PebsSampling { period } => {
+                    let counts = engine.true_access_counts();
+                    let sampled: u64 = sp
+                        .snapshot
+                        .iter()
+                        .map(|(v, old)| {
+                            counts.get(v).copied().unwrap_or(0).saturating_sub(*old)
+                                / period as u64
+                        })
+                        .sum();
+                    (sampled * period as u64) as f64 / (window as f64 / 1e9)
+                }
+            };
+            estimates.push(Candidate { vpn: sp.vpn, rate_per_sec: rate });
+        }
+
+        // 2. §3.5 correction over the existing cold set (whole cold huge
+        //    pages plus any split-placed cold children).
+        let mut promoted = 0u32;
+        let mut correction_rate_before = 0.0;
+        let mut correction_rate_after = 0.0;
+        if self.config.correction_enabled
+            && (!self.cold.is_empty() || !self.partial_children.is_empty())
+        {
+            let mut observations =
+                Vec::with_capacity(self.cold.len() + self.partial_children.len());
+            for &child in self.partial_children.keys() {
+                let count = engine.trap_mut().take_count(child).unwrap_or(0);
+                observations.push(ColdObservation { vpn: child, count });
+            }
+            for (&vpn, cp) in &self.cold {
+                let mut count = self.carry_counts.remove(&vpn).unwrap_or(0);
+                if cp.split {
+                    for i in 0..PAGES_PER_HUGE as u64 {
+                        count += engine.trap_mut().take_count(vpn.offset(i)).unwrap_or(0);
+                    }
+                } else {
+                    count += engine.trap_mut().take_count(vpn).unwrap_or(0);
+                }
+                observations.push(ColdObservation { vpn, count });
+            }
+            let plan = plan_correction(observations, threshold, self.config.sampling_period_ns);
+            correction_rate_before = plan.rate_before;
+            correction_rate_after = plan.rate_after;
+            for vpn in plan.promote {
+                if self.partial_children.contains_key(&vpn) {
+                    self.promote_partial_child(engine, vpn);
+                    promoted += 1;
+                } else if self.promote(engine, vpn) {
+                    promoted += 1;
+                }
+            }
+        }
+
+        // 3. §3.4 classification of the sampled pages.
+        let budget = self.sampled_fraction_actual * threshold;
+        let result = classify(estimates, budget);
+        let mut demoted = 0u32;
+        for c in &result.cold {
+            match self.demote(engine, c.vpn) {
+                Ok(()) => demoted += 1,
+                Err(MemError::OutOfMemory { .. }) => {
+                    self.stats.demote_oom += 1;
+                    // Slow tier full: the page stays hot.
+                    engine.collapse_huge(c.vpn).expect("sampled page must collapse");
+                }
+                Err(e) => panic!("unexpected demotion failure: {e}"),
+            }
+        }
+        for c in &result.hot {
+            let sp = sample.iter().find(|s| s.vpn == c.vpn).expect("sampled page tracked");
+            if self.try_split_place(engine, sp) {
+                continue;
+            }
+            engine.collapse_huge(c.vpn).expect("sampled page must collapse");
+        }
+
+        // 4. Period record. The slow-memory access rate is what the paper's
+        // Figure 3 plots: BadgerTrap faults to slow pages under fault
+        // emulation (or direct slow-tier accesses in Direct mode) — the
+        // engine's slow series records exactly that.
+        let slow_faults = engine.slow_series().total();
+        let observed =
+            (slow_faults - self.last_slow_faults) as f64 / (self.config.sampling_period_ns as f64 / 1e9);
+        self.last_slow_faults = slow_faults;
+        let breakdown = engine.footprint_breakdown();
+        self.history.push(PeriodRecord {
+            at_ns: engine.now_ns(),
+            breakdown,
+            demoted_rate: result.cold_rate,
+            slow_rate_observed: observed,
+            demoted,
+            promoted,
+            correction_rate_before,
+            correction_rate_after,
+        });
+        self.stats.periods += 1;
+        self.stats.pages_demoted += demoted as u64;
+        self.stats.pages_promoted += promoted as u64;
+    }
+
+    /// §6 extension: if `sp` is a hot page with a small hot footprint,
+    /// keep its accessed children in fast memory and move the
+    /// never-accessed children to slow memory, leaving the page split.
+    /// Returns true if the page was split-placed.
+    fn try_split_place(&mut self, engine: &mut Engine, sp: &SampledPage) -> bool {
+        if !self.config.split_placement_enabled {
+            return false;
+        }
+        let cold_children = PAGES_PER_HUGE - sp.accessed_set.len();
+        if cold_children < self.config.split_placement_min_cold_children {
+            return false;
+        }
+        let accessed: std::collections::HashSet<Vpn> = sp.accessed_set.iter().copied().collect();
+        let mut placed = 0;
+        for i in 0..PAGES_PER_HUGE as u64 {
+            let child = sp.vpn.offset(i);
+            if accessed.contains(&child) {
+                continue;
+            }
+            if engine.migrate_page(child, Tier::Slow).is_err() {
+                continue; // slow tier full: child stays fast
+            }
+            engine.poison_page(child, PageSize::Small4K);
+            self.partial_children.insert(child, sp.vpn);
+            placed += 1;
+        }
+        if placed == 0 {
+            // Nothing moved (e.g. slow tier full): restore the huge page.
+            engine.collapse_huge(sp.vpn).expect("sampled page must collapse");
+            return false;
+        }
+        self.stats.pages_split_placed += 1;
+        self.stats.split_children_demoted += placed;
+        true
+    }
+
+    /// Brings one split-placed cold child back to fast memory (correction
+    /// decided it became hot).
+    fn promote_partial_child(&mut self, engine: &mut Engine, child: Vpn) {
+        engine.unpoison_page(child);
+        if engine.migrate_page(child, Tier::Fast).is_err() {
+            // Fast tier full: re-arm monitoring and keep it cold.
+            engine.poison_page(child, PageSize::Small4K);
+            self.stats.promote_oom += 1;
+            return;
+        }
+        self.partial_children.remove(&child);
+    }
+
+    /// Demotes a (currently split) sampled page to slow memory and starts
+    /// its cold monitoring.
+    fn demote(&mut self, engine: &mut Engine, vpn: Vpn) -> Result<(), MemError> {
+        engine.migrate_split_huge(vpn, Tier::Slow)?;
+        for i in 0..PAGES_PER_HUGE as u64 {
+            engine.poison_page(vpn.offset(i), PageSize::Small4K);
+        }
+        self.cold.insert(vpn, ColdPage { split: true });
+        Ok(())
+    }
+
+    /// Promotes a cold page back to fast memory (§3.5). Returns false if
+    /// the fast tier had no room.
+    fn promote(&mut self, engine: &mut Engine, vpn: Vpn) -> bool {
+        let cp = *self.cold.get(&vpn).expect("promoting untracked page");
+        let result = if cp.split {
+            for i in 0..PAGES_PER_HUGE as u64 {
+                engine.unpoison_page(vpn.offset(i));
+            }
+            engine.migrate_split_huge(vpn, Tier::Fast).map(|()| {
+                engine.collapse_huge(vpn).expect("promoted page must collapse");
+            })
+        } else {
+            engine.unpoison_page(vpn);
+            engine.migrate_page(vpn, Tier::Fast)
+        };
+        match result {
+            Ok(()) => {
+                self.cold.remove(&vpn);
+                self.carry_counts.remove(&vpn);
+                true
+            }
+            Err(MemError::OutOfMemory { .. }) => {
+                // Re-poison so monitoring continues; the page stays cold.
+                if cp.split {
+                    for i in 0..PAGES_PER_HUGE as u64 {
+                        engine.poison_page(vpn.offset(i), PageSize::Small4K);
+                    }
+                } else {
+                    engine.poison_page(vpn, PageSize::Huge2M);
+                }
+                self.stats.promote_oom += 1;
+                false
+            }
+            Err(e) => panic!("unexpected promotion failure: {e}"),
+        }
+    }
+}
+
+impl PolicyHook for Daemon {
+    fn next_due_ns(&self) -> u64 {
+        self.next_due_ns
+    }
+
+    fn tick(&mut self, engine: &mut Engine) {
+        match self.phase {
+            Phase::Split => {
+                self.split_phase(engine);
+                self.phase = Phase::Poison;
+            }
+            Phase::Poison => {
+                self.poison_phase(engine);
+                self.phase = Phase::Classify;
+            }
+            Phase::Classify => {
+                self.classify_phase(engine);
+                self.phase = Phase::Split;
+            }
+        }
+        self.next_due_ns += self.config.scan_interval_ns();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_mem::VirtAddr;
+    use thermo_sim::{run_for, Access, SimConfig, Workload};
+
+    /// A workload with one blazing-hot huge page and N idle ones.
+    struct OneHot {
+        base: VirtAddr,
+        n_huge: u64,
+        i: u64,
+    }
+
+    impl Workload for OneHot {
+        fn name(&self) -> &str {
+            "onehot"
+        }
+
+        fn init(&mut self, engine: &mut Engine) {
+            self.base = engine.mmap(self.n_huge * (2 << 20), true, true, false, "heap");
+            for p in 0..self.n_huge {
+                engine.access(self.base + p * (2 << 20), true);
+            }
+        }
+
+        fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+            // Hammer page 0 at fine grain.
+            acc.push(Access::read(self.base + (self.i * 64) % (2 << 20)));
+            self.i += 1;
+            Some(2_000)
+        }
+    }
+
+    fn fast_config() -> ThermostatConfig {
+        ThermostatConfig {
+            sampling_period_ns: 300_000_000, // 100ms scans for test speed
+            sample_fraction: 0.5,            // sample aggressively in tests
+            // Tiny test workloads have low absolute access rates; a tight
+            // slowdown target keeps their hot pages clearly above budget.
+            tolerable_slowdown_pct: 0.5,
+            ..ThermostatConfig::paper_defaults()
+        }
+    }
+
+    fn engine() -> Engine {
+        let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
+        // Aggressive OS-noise flushing so the degenerate one-page test
+        // workloads still exhibit TLB misses (real workloads get this from
+        // capacity pressure instead).
+        cfg.tlb_flush_period_ns = Some(100_000);
+        Engine::new(cfg)
+    }
+
+    #[test]
+    fn daemon_demotes_idle_pages_not_the_hot_one() {
+        let mut e = engine();
+        let mut w = OneHot { base: VirtAddr(0), n_huge: 16, i: 0 };
+        w.init(&mut e);
+        let mut d = Daemon::new(fast_config());
+        run_for(&mut e, &mut w, &mut d, 5_000_000_000);
+        assert!(d.stats().periods >= 3, "daemon must have completed periods");
+        assert!(d.cold_pages() >= 8, "idle pages must be demoted, got {}", d.cold_pages());
+        // The hot page stays in fast memory.
+        assert_eq!(e.tier_of_vpn(w.base.vpn()), Some(Tier::Fast));
+        // Demoted pages ended up consolidated as huge pages in slow tier.
+        let fb = e.footprint_breakdown();
+        assert!(fb.huge_slow > 0);
+    }
+
+    #[test]
+    fn cold_pages_stay_monitored_and_counted() {
+        let mut e = engine();
+        let mut w = OneHot { base: VirtAddr(0), n_huge: 8, i: 0 };
+        w.init(&mut e);
+        let mut d = Daemon::new(fast_config());
+        run_for(&mut e, &mut w, &mut d, 4_000_000_000);
+        let cold = d.cold_pages();
+        assert!(cold > 0);
+        // Every tracked cold page is either huge-poisoned or child-poisoned.
+        for &vpn in d.cold.keys() {
+            let poisoned = e.trap().is_poisoned(vpn)
+                || e.trap().is_poisoned(vpn.offset(0));
+            assert!(poisoned, "cold page {vpn} must be monitored");
+        }
+    }
+
+    /// A workload whose hot set migrates: phase 1 hammers page A, phase 2
+    /// hammers page B (previously idle).
+    struct PhaseShift {
+        base: VirtAddr,
+        n_huge: u64,
+        i: u64,
+        shift_at_ns: u64,
+    }
+
+    impl Workload for PhaseShift {
+        fn name(&self) -> &str {
+            "phaseshift"
+        }
+
+        fn init(&mut self, engine: &mut Engine) {
+            self.base = engine.mmap(self.n_huge * (2 << 20), true, true, false, "heap");
+            for p in 0..self.n_huge {
+                engine.access(self.base + p * (2 << 20), true);
+            }
+        }
+
+        fn next_op(&mut self, now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+            let page = if now < self.shift_at_ns { 0 } else { 1 };
+            acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+            self.i += 1;
+            Some(2_000)
+        }
+    }
+
+    #[test]
+    fn correction_promotes_page_that_becomes_hot() {
+        let mut e = engine();
+        let mut w = PhaseShift { base: VirtAddr(0), n_huge: 8, i: 0, shift_at_ns: 3_000_000_000 };
+        w.init(&mut e);
+        let mut d = Daemon::new(fast_config());
+        run_for(&mut e, &mut w, &mut d, 8_000_000_000);
+        // Page 1 was idle in phase 1 (likely demoted) but must be back in
+        // fast memory by the end.
+        let page1 = (w.base + (2 << 20)).vpn();
+        assert_eq!(e.tier_of_vpn(page1), Some(Tier::Fast), "hot page must be promoted back");
+        assert!(d.stats().pages_promoted > 0, "correction must have promoted pages");
+    }
+
+    #[test]
+    fn runtime_slowdown_knob() {
+        let mut d = Daemon::new(fast_config());
+        d.set_tolerable_slowdown_pct(6.0);
+        assert!((d.config().target_slow_access_rate() - 60_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn bad_runtime_knob_panics() {
+        let mut d = Daemon::new(fast_config());
+        d.set_tolerable_slowdown_pct(-1.0);
+    }
+
+    #[test]
+    fn split_placement_moves_cold_children_of_hot_pages() {
+        // One huge page where only 8 of 512 children are ever touched:
+        // classic small-hot-footprint page. With split placement the cold
+        // 504 children end up in slow memory while the page stays usable.
+        struct SparseHot {
+            base: VirtAddr,
+            i: u64,
+        }
+        impl Workload for SparseHot {
+            fn name(&self) -> &str {
+                "sparsehot"
+            }
+            fn init(&mut self, engine: &mut Engine) {
+                self.base = engine.mmap(4 << 20, true, true, false, "heap");
+                engine.access(self.base, true);
+                engine.access(self.base + (2 << 20), true);
+            }
+            fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+                // Hammer 8 children of huge page 0 hard.
+                let child = (self.i % 8) * 4096;
+                acc.push(Access::read(self.base + child + (self.i * 64) % 4096));
+                self.i += 1;
+                Some(1_000)
+            }
+        }
+        let mut e = engine();
+        let mut w = SparseHot { base: VirtAddr(0), i: 0 };
+        w.init(&mut e);
+        let mut cfg = fast_config();
+        cfg.split_placement_enabled = true;
+        cfg.sample_fraction = 1.0; // always sample both pages
+        let mut d = Daemon::new(cfg);
+        run_for(&mut e, &mut w, &mut d, 3_000_000_000);
+        assert!(d.stats().pages_split_placed > 0, "sparse-hot page must be split-placed");
+        assert!(d.partial_children() > 400, "most children go cold: {}", d.partial_children());
+        // The hot children stayed in fast memory.
+        assert_eq!(e.tier_of_vpn(w.base.vpn()), Some(Tier::Fast));
+        // And cold children really are in the slow tier.
+        let cold_child = w.base.vpn().offset(300);
+        assert_eq!(e.tier_of_vpn(cold_child), Some(Tier::Slow));
+    }
+
+    #[test]
+    fn split_placement_off_by_default_keeps_pages_whole() {
+        let mut e = engine();
+        let mut w = OneHot { base: VirtAddr(0), n_huge: 8, i: 0 };
+        w.init(&mut e);
+        let mut d = Daemon::new(fast_config());
+        run_for(&mut e, &mut w, &mut d, 2_000_000_000);
+        assert_eq!(d.partial_children(), 0);
+        assert_eq!(d.stats().pages_split_placed, 0);
+    }
+
+    #[test]
+    fn history_records_periods() {
+        let mut e = engine();
+        let mut w = OneHot { base: VirtAddr(0), n_huge: 4, i: 0 };
+        w.init(&mut e);
+        let mut d = Daemon::new(fast_config());
+        run_for(&mut e, &mut w, &mut d, 3_000_000_000);
+        assert_eq!(d.history().len() as u64, d.stats().periods);
+        for r in d.history() {
+            assert!(r.breakdown.total() > 0);
+        }
+    }
+}

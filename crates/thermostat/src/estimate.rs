@@ -1,0 +1,97 @@
+//! Spatial extrapolation of huge-page access rates (paper §3.2).
+//!
+//! *"To compute the aggregate access rate at 2MB granularity from the
+//! access rates of the sampled 4KB pages, we scale the observed access rate
+//! in the sample by the total number of 4KB pages that were marked as
+//! accessed. The monitored 4KB pages comprise a random sample of accessed
+//! pages, while the remaining pages have a negligible access rate."*
+
+use serde::{Deserialize, Serialize};
+
+/// Access-rate estimate for one huge page.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageEstimate {
+    /// Total faults observed across the poisoned sample.
+    pub sampled_faults: u64,
+    /// Number of 4KB pages that were poisoned/monitored.
+    pub sampled_pages: u32,
+    /// Number of 4KB pages whose Accessed bit was set in the prefilter
+    /// (the extrapolation multiplier).
+    pub accessed_pages: u32,
+    /// Estimated accesses/second for the whole 2MB page.
+    pub rate_per_sec: f64,
+}
+
+/// Computes the §3.2 estimate.
+///
+/// `window_ns` is the monitoring sub-interval during which the faults were
+/// counted. Returns a zero-rate estimate when nothing was accessed or the
+/// sample is empty (a page whose prefilter found no accessed children is
+/// cold by construction).
+///
+/// # Panics
+///
+/// Panics if `window_ns` is zero.
+pub fn extrapolate(
+    sampled_faults: u64,
+    sampled_pages: u32,
+    accessed_pages: u32,
+    window_ns: u64,
+) -> PageEstimate {
+    assert!(window_ns > 0, "monitoring window must be positive");
+    let rate = if sampled_pages == 0 || accessed_pages == 0 {
+        0.0
+    } else {
+        let per_page = sampled_faults as f64 / sampled_pages as f64;
+        let total = per_page * accessed_pages as f64;
+        total / (window_ns as f64 / 1e9)
+    };
+    PageEstimate { sampled_faults, sampled_pages, accessed_pages, rate_per_sec: rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn full_sample_is_direct_rate() {
+        // 10 pages accessed, all 10 sampled, 100 faults over 1s -> 100/s.
+        let e = extrapolate(100, 10, 10, SEC);
+        assert!((e.rate_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_sample_scales_up() {
+        // 200 accessed children, 50 sampled, 100 faults in 10s:
+        // per-page 2 faults -> 400 total faults -> 40/s.
+        let e = extrapolate(100, 50, 200, 10 * SEC);
+        assert!((e.rate_per_sec - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_accessed_children_means_cold() {
+        let e = extrapolate(0, 0, 0, SEC);
+        assert_eq!(e.rate_per_sec, 0.0);
+    }
+
+    #[test]
+    fn zero_faults_zero_rate() {
+        let e = extrapolate(0, 50, 512, SEC);
+        assert_eq!(e.rate_per_sec, 0.0);
+    }
+
+    #[test]
+    fn window_scaling() {
+        let long = extrapolate(100, 10, 10, 10 * SEC);
+        let short = extrapolate(100, 10, 10, SEC);
+        assert!((short.rate_per_sec / long.rate_per_sec - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        extrapolate(1, 1, 1, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! **Thermostat** — application-transparent, huge-page-aware hot/cold page
+//! classification and placement for two-tiered main memory.
+//!
+//! Reproduction of Agarwal & Wenisch, ASPLOS 2017. The mechanism takes one
+//! input — a tolerable slowdown — and continuously:
+//!
+//! 1. samples a small fraction (5%) of huge pages, splitting them to 4KB
+//!    granularity ([`Daemon`], §3.2);
+//! 2. estimates each sampled page's access rate by poisoning ≤50 accessed
+//!    4KB children and counting BadgerTrap faults, then spatially
+//!    extrapolating ([`estimate`], §3.2–3.3);
+//! 3. translates the slowdown target into a slow-memory access-rate budget
+//!    and places the coldest pages in slow memory ([`classify`], §3.4);
+//! 4. keeps monitoring cold pages and migrates mis-classified or
+//!    newly-hot pages back ([`correction`], §3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use thermostat::{Daemon, ThermostatConfig};
+//! use thermo_sim::{Engine, SimConfig, run_for, Access, Workload};
+//!
+//! // A trivial workload: hammer the first of four huge pages.
+//! struct Hammer { base: thermo_mem::VirtAddr, i: u64 }
+//! impl Workload for Hammer {
+//!     fn name(&self) -> &str { "hammer" }
+//!     fn init(&mut self, e: &mut Engine) {
+//!         self.base = e.mmap(8 << 20, true, true, false, "heap");
+//!         for p in 0..4 { e.access(self.base + p * (2 << 20), true); }
+//!     }
+//!     fn next_op(&mut self, _t: u64, acc: &mut Vec<Access>) -> Option<u64> {
+//!         acc.push(Access::read(self.base + (self.i * 64) % (2 << 20)));
+//!         self.i += 1;
+//!         Some(2_000)
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
+//! let mut app = Hammer { base: thermo_mem::VirtAddr(0), i: 0 };
+//! app.init(&mut engine);
+//! let mut daemon = Daemon::new(ThermostatConfig {
+//!     sampling_period_ns: 300_000_000,
+//!     sample_fraction: 0.5,
+//!     ..ThermostatConfig::paper_defaults()
+//! });
+//! run_for(&mut engine, &mut app, &mut daemon, 3_000_000_000);
+//! assert!(daemon.cold_pages() > 0, "idle pages should be in slow memory");
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod classify;
+pub mod config;
+pub mod correction;
+pub mod daemon;
+pub mod estimate;
+
+pub use classify::{classify, Candidate, Classification};
+pub use config::{MonitorMode, ThermostatConfig};
+pub use correction::{plan_correction, ColdObservation, CorrectionPlan};
+pub use daemon::{Daemon, DaemonStats, PeriodRecord};
+pub use estimate::{extrapolate, PageEstimate};

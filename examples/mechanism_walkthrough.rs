@@ -1,0 +1,135 @@
+//! A step-by-step reproduction of the paper's **Figure 4**: Thermostat's
+//! three scans acting on a small address space of eight huge pages.
+//!
+//! The example drives the engine manually — no daemon — so every stage of
+//! the mechanism is visible: splitting sampled pages, the Accessed-bit
+//! prefilter, poisoning, fault counting, spatial extrapolation, and the
+//! final hot/cold classification.
+//!
+//! Run with: `cargo run --release --example mechanism_walkthrough`
+
+use thermostat_suite::core::{classify, extrapolate, Candidate, ThermostatConfig};
+use thermostat_suite::mem::{PageSize, Tier, VirtAddr, Vpn, PAGES_PER_HUGE};
+use thermostat_suite::sim::{Engine, SimConfig};
+
+const N_PAGES: u64 = 8;
+const HUGE: u64 = 2 << 20;
+
+/// Per-page access rates for the example (accesses/sec): two hot pages,
+/// two warm, four nearly idle.
+const PAGE_RATES: [u64; N_PAGES as usize] = [40_000, 200, 25_000, 50, 120, 9_000, 10, 400];
+
+fn drive_traffic(engine: &mut Engine, base: VirtAddr, duration_ns: u64) {
+    // Round-robin generator approximating each page's rate over the window.
+    let until = engine.now_ns() + duration_ns;
+    let mut cursors = [0u64; N_PAGES as usize];
+    while engine.now_ns() < until {
+        for (p, rate) in PAGE_RATES.iter().enumerate() {
+            // Issue accesses proportional to the page's rate per 1ms slice.
+            let per_slice = (rate / 1000).max(if engine.now_ns() % 7 == 0 { 1 } else { 0 });
+            for _ in 0..per_slice.min(64) {
+                let off = (cursors[p] * 4096 + cursors[p] * 64) % HUGE;
+                engine.access(base + p as u64 * HUGE + off, false);
+                cursors[p] += 1;
+            }
+        }
+        engine.advance_compute(1_000_000); // 1ms of app compute per slice
+    }
+}
+
+fn main() {
+    let cfg = ThermostatConfig::paper_defaults();
+    let mut sim = SimConfig::paper_defaults(64 << 20, 64 << 20);
+    // A small TLB keeps the demo's fault counting visible on 8 pages.
+    sim.tlb = thermostat_suite::vm::TlbConfig {
+        l1_small: thermostat_suite::vm::TlbGeometry::new(8, 4),
+        l1_huge: thermostat_suite::vm::TlbGeometry::new(4, 4),
+        l2: thermostat_suite::vm::TlbGeometry::new(16, 8),
+        l2_hit_ns: 7,
+    };
+    let mut engine = Engine::new(sim);
+    let base = engine.mmap(N_PAGES * HUGE, true, true, false, "heap");
+    for p in 0..N_PAGES {
+        engine.access(base + p * HUGE, true);
+    }
+    let vpn = |p: u64| Vpn(base.vpn().0 + p * PAGES_PER_HUGE as u64);
+
+    println!("Figure 4 walkthrough: 8 huge pages, true rates {PAGE_RATES:?} acc/s\n");
+
+    // ---- Scan 1: split a sample (here: pages 1 and 5, like the figure).
+    let sample = [1u64, 5];
+    for &p in &sample {
+        engine.split_huge(vpn(p)).unwrap();
+        let mut hits = Vec::new();
+        engine.scan_and_clear_accessed(vpn(p), PAGES_PER_HUGE as u64, &mut hits);
+    }
+    println!("scan 1 (split):   sampled huge pages {sample:?} split into 4KB PTEs, A bits cleared");
+    drive_traffic(&mut engine, base, 100_000_000);
+
+    // ---- Scan 2: A-bit prefilter, then poison <= K accessed children.
+    let mut monitored: Vec<(u64, Vec<Vpn>, u32)> = Vec::new();
+    for &p in &sample {
+        let mut hits = Vec::new();
+        engine.scan_and_clear_accessed(vpn(p), PAGES_PER_HUGE as u64, &mut hits);
+        let accessed: Vec<Vpn> =
+            hits.iter().filter(|h| h.accessed).map(|h| h.base_vpn).collect();
+        let n_accessed = accessed.len() as u32;
+        let chosen: Vec<Vpn> =
+            accessed.into_iter().take(cfg.max_poison_per_page).collect();
+        for &c in &chosen {
+            engine.poison_page(c, PageSize::Small4K);
+        }
+        println!(
+            "scan 2 (poison):  page {p}: {n_accessed} of 512 children accessed, {} poisoned",
+            chosen.len()
+        );
+        monitored.push((p, chosen, n_accessed));
+    }
+    drive_traffic(&mut engine, base, 100_000_000);
+
+    // ---- Scan 3: collect counts, extrapolate, classify.
+    println!("\nscan 3 (classify):");
+    let mut candidates = Vec::new();
+    for (p, children, n_accessed) in &monitored {
+        let mut faults = 0;
+        for &c in children {
+            faults += engine.unpoison_page(c);
+        }
+        let est = extrapolate(faults, children.len() as u32, *n_accessed, 100_000_000);
+        println!(
+            "  page {p}: {faults} faults on {} children -> estimated {:>8.0} acc/s (true {:>6})",
+            children.len(),
+            est.rate_per_sec,
+            PAGE_RATES[*p as usize]
+        );
+        candidates.push(Candidate { vpn: vpn(*p), rate_per_sec: est.rate_per_sec });
+    }
+    let budget = (sample.len() as f64 / N_PAGES as f64) * cfg.target_slow_access_rate();
+    let result = classify(candidates, budget);
+    println!(
+        "  budget for the sampled fraction: {budget:.0} acc/s (f x {:.0})",
+        cfg.target_slow_access_rate()
+    );
+
+    for c in &result.cold {
+        let p = (c.vpn.0 - base.vpn().0) / PAGES_PER_HUGE as u64;
+        engine.migrate_split_huge(c.vpn, Tier::Slow).unwrap();
+        engine.collapse_huge(c.vpn).unwrap();
+        engine.poison_page(c.vpn, PageSize::Huge2M);
+        println!("  -> page {p} classified COLD: migrated to slow memory, monitoring continues");
+    }
+    for c in &result.hot {
+        let p = (c.vpn.0 - base.vpn().0) / PAGES_PER_HUGE as u64;
+        engine.collapse_huge(c.vpn).unwrap();
+        println!("  -> page {p} classified HOT: collapsed back to a 2MB page in DRAM");
+    }
+
+    let fb = engine.footprint_breakdown();
+    println!(
+        "\nresult: {:.1} MB cold of {:.1} MB resident; slow-memory faults so far: {}",
+        fb.cold() as f64 / 1e6,
+        fb.total() as f64 / 1e6,
+        engine.stats().slow_trap_faults
+    );
+    println!("(the daemon repeats this every sampling period over a random 5% sample)");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: build a two-tier machine, run a skewed workload under the
+//! Thermostat daemon, and watch cold data move to slow memory while the
+//! slowdown stays within the target.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use thermostat_suite::core::{Daemon, ThermostatConfig};
+use thermostat_suite::mem::VirtAddr;
+use thermostat_suite::sim::{run_for, Access, Engine, NoPolicy, SimConfig, Workload};
+
+/// A minimal skewed application over a 64MB heap: 90% of accesses hit the
+/// first eighth, 10% spread over the first half, and the second half is
+/// touched only during the load phase — archival data waiting for
+/// Thermostat to notice.
+struct Skewed {
+    heap: VirtAddr,
+    bytes: u64,
+    rng: SmallRng,
+}
+
+impl Workload for Skewed {
+    fn name(&self) -> &str {
+        "skewed"
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        self.heap = engine.mmap(self.bytes, true, true, false, "heap");
+        // Touch everything once (load phase).
+        let mut off = 0;
+        while off < self.bytes {
+            engine.access(self.heap + off, true);
+            off += 4096;
+        }
+    }
+
+    fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+        let hot = self.rng.gen::<f64>() < 0.9;
+        let span = if hot { self.bytes / 8 } else { self.bytes / 2 };
+        let off = self.rng.gen_range(0..span) & !63;
+        acc.push(Access::read(self.heap + off));
+        Some(400)
+    }
+}
+
+fn main() {
+    let make = || {
+        let mut engine = Engine::new(SimConfig::paper_defaults(128 << 20, 128 << 20));
+        let mut app =
+            Skewed { heap: VirtAddr(0), bytes: 64 << 20, rng: SmallRng::seed_from_u64(42) };
+        app.init(&mut engine);
+        (engine, app)
+    };
+    let duration = 30_000_000_000; // 30 virtual seconds
+
+    // Baseline: everything stays in DRAM.
+    let (mut engine, mut app) = make();
+    let baseline = run_for(&mut engine, &mut app, &mut NoPolicy, duration);
+    println!("baseline:   {:>9.0} ops/s (all-DRAM)", baseline.ops_per_sec());
+
+    // Thermostat: 3% tolerable slowdown, 1s sampling periods.
+    let (mut engine, mut app) = make();
+    let mut daemon = Daemon::new(ThermostatConfig {
+        sampling_period_ns: 1_000_000_000,
+        ..ThermostatConfig::paper_defaults()
+    });
+    let managed = run_for(&mut engine, &mut app, &mut daemon, duration);
+    let fb = engine.footprint_breakdown();
+    println!(
+        "thermostat: {:>9.0} ops/s with {:.0}% of the footprint in slow memory",
+        managed.ops_per_sec(),
+        fb.cold_fraction() * 100.0
+    );
+    println!(
+        "slowdown:   {:+.2}% (target {:.0}%)",
+        (baseline.ops_per_sec() / managed.ops_per_sec() - 1.0) * 100.0,
+        daemon.config().tolerable_slowdown_pct
+    );
+    println!(
+        "daemon:     {} periods, {} pages demoted, {} promoted back",
+        daemon.stats().periods,
+        daemon.stats().pages_demoted,
+        daemon.stats().pages_promoted
+    );
+    let savings = thermostat_suite::mem::CostModel::new(0.25)
+        .evaluate(fb.cold_fraction())
+        .savings_fraction;
+    println!("cost:       {:.0}% memory-spend savings at 0.25x slow-memory pricing", savings * 100.0);
+}

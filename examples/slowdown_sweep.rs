@@ -1,0 +1,55 @@
+//! Scenario: capacity planning with the cgroup knob. A cloud operator
+//! picks a tolerable slowdown per tenant; Thermostat turns it into a
+//! slow-memory access budget (x / (100·ts), §3.4) and converts tolerance
+//! into memory-cost savings. This example sweeps the knob for Cassandra
+//! (write-heavy, like the paper's Figure 5) and prints the trade-off
+//! curve, including the effect of slower (cheaper) device tiers.
+//!
+//! Run with: `cargo run --release --example slowdown_sweep`
+
+use thermostat_suite::core::{Daemon, ThermostatConfig};
+use thermostat_suite::mem::CostModel;
+use thermostat_suite::sim::{run_for, Engine, NoPolicy, SimConfig};
+use thermostat_suite::workloads::{AppConfig, AppId};
+
+const DURATION_NS: u64 = 30_000_000_000;
+const SCALE: u64 = 64;
+
+fn build() -> (Engine, Box<dyn thermostat_suite::sim::Workload>) {
+    let mut engine = Engine::new(SimConfig::paper_defaults(512 << 20, 512 << 20));
+    let mut w = AppId::Cassandra.build(AppConfig { scale: SCALE, seed: 3, read_pct: 5 });
+    w.init(&mut engine);
+    (engine, w)
+}
+
+fn main() {
+    let (mut engine, mut w) = build();
+    let base = run_for(&mut engine, w.as_mut(), &mut NoPolicy, DURATION_NS);
+
+    println!("Cassandra write-heavy, {} virtual seconds per point\n", DURATION_NS / 1_000_000_000);
+    println!("slowdown_target  budget(acc/s)  cold_frac  actual_slowdown  savings(0.25x)");
+    for target in [1.0, 3.0, 6.0, 10.0] {
+        let (mut engine, mut w) = build();
+        let cfg = ThermostatConfig {
+            tolerable_slowdown_pct: target,
+            sampling_period_ns: 1_000_000_000,
+            ..ThermostatConfig::paper_defaults()
+        };
+        let budget = cfg.target_slow_access_rate();
+        let mut daemon = Daemon::new(cfg);
+        let out = run_for(&mut engine, w.as_mut(), &mut daemon, DURATION_NS);
+        let cold = engine.footprint_breakdown().cold_fraction();
+        let actual = (base.ops_per_sec() / out.ops_per_sec() - 1.0) * 100.0;
+        let savings = CostModel::new(0.25).evaluate(cold).savings_fraction * 100.0;
+        println!(
+            "{:>14.0}%  {:>13.0}  {:>8.1}%  {:>14.2}%  {:>13.1}%",
+            target,
+            budget,
+            cold * 100.0,
+            actual,
+            savings
+        );
+    }
+    println!("\nmore tolerance -> more pages fit the access-rate budget -> more savings,");
+    println!("exactly the Figure 11 trend; the budget line is the §3.4 translation.");
+}

@@ -1,0 +1,188 @@
+//! `thermo` — run any of the paper's applications under any policy from
+//! the command line.
+//!
+//! ```console
+//! $ thermo run redis --policy thermostat --slowdown 3 --secs 30
+//! $ thermo run cassandra --policy baseline --write-heavy
+//! $ thermo run mysql-tpcc --policy kstaled
+//! $ thermo list
+//! ```
+
+use std::process::ExitCode;
+use thermostat_suite::core::{Daemon, ThermostatConfig};
+use thermostat_suite::kstaled::{Kstaled, KstaledConfig};
+use thermostat_suite::sim::{run_for, Engine, NoPolicy, PolicyHook, SimConfig};
+use thermostat_suite::workloads::{AppConfig, AppId};
+
+const USAGE: &str = "\
+thermo — Thermostat (ASPLOS'17) reproduction driver
+
+USAGE:
+  thermo list
+  thermo run <app> [--policy baseline|thermostat|kstaled]
+                   [--slowdown <pct>]   tolerable slowdown (default 3)
+                   [--secs <n>]         virtual seconds (default 30)
+                   [--scale <n>]        footprint divisor vs paper (default 64)
+                   [--period-ms <n>]    sampling period (default 1000)
+                   [--write-heavy]      5:95 read/write mix (default 95:5)
+                   [--seed <n>]
+
+APPS: aerospike cassandra in-memory-analytics mysql-tpcc redis web-search
+";
+
+struct Args {
+    app: AppId,
+    policy: String,
+    slowdown: f64,
+    secs: u64,
+    scale: u64,
+    period_ms: u64,
+    read_pct: u8,
+    seed: u64,
+}
+
+fn parse(mut argv: Vec<String>) -> Result<Option<Args>, String> {
+    if argv.is_empty() {
+        return Err("missing command".into());
+    }
+    match argv.remove(0).as_str() {
+        "list" => {
+            for app in AppId::ALL {
+                println!(
+                    "{app:<22} paper RSS {:>5.1} GB, file-mapped {:>6.0} MB",
+                    app.paper_rss_bytes() as f64 / 1e9,
+                    app.paper_file_bytes() as f64 / 1e6
+                );
+            }
+            Ok(None)
+        }
+        "run" => {
+            if argv.is_empty() {
+                return Err("run: missing <app>".into());
+            }
+            let app: AppId = argv.remove(0).parse().map_err(|e| format!("{e}"))?;
+            let mut args = Args {
+                app,
+                policy: "thermostat".into(),
+                slowdown: 3.0,
+                secs: 30,
+                scale: 64,
+                period_ms: 1000,
+                read_pct: 95,
+                seed: 42,
+            };
+            let mut it = argv.into_iter();
+            while let Some(flag) = it.next() {
+                let mut grab = |name: &str| {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--policy" => args.policy = grab("--policy")?,
+                    "--slowdown" => {
+                        args.slowdown =
+                            grab("--slowdown")?.parse().map_err(|e| format!("--slowdown: {e}"))?
+                    }
+                    "--secs" => {
+                        args.secs = grab("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?
+                    }
+                    "--scale" => {
+                        args.scale = grab("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+                    }
+                    "--period-ms" => {
+                        args.period_ms =
+                            grab("--period-ms")?.parse().map_err(|e| format!("--period-ms: {e}"))?
+                    }
+                    "--seed" => {
+                        args.seed = grab("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    }
+                    "--write-heavy" => args.read_pct = 5,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Some(args))
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(argv) {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let footprint =
+        (args.app.paper_rss_bytes() + args.app.paper_file_bytes()) / args.scale;
+    let cfg = SimConfig::paper_defaults(footprint * 2 + (64 << 20), footprint + (64 << 20));
+    let mut engine = Engine::new(cfg);
+    let mut workload = args.app.build(AppConfig {
+        scale: args.scale,
+        seed: args.seed,
+        read_pct: args.read_pct,
+    });
+    print!("loading {} at 1/{} scale... ", args.app, args.scale);
+    workload.init(&mut engine);
+    println!("{} MB resident", engine.rss_bytes() / (1 << 20));
+
+    let duration = args.secs * 1_000_000_000;
+    let mut daemon;
+    let mut ks;
+    let mut nop = NoPolicy;
+    let policy: &mut dyn PolicyHook = match args.policy.as_str() {
+        "baseline" => &mut nop,
+        "thermostat" => {
+            daemon = Daemon::new(ThermostatConfig {
+                tolerable_slowdown_pct: args.slowdown,
+                sampling_period_ns: args.period_ms * 1_000_000,
+                seed: args.seed,
+                ..ThermostatConfig::paper_defaults()
+            });
+            &mut daemon
+        }
+        "kstaled" => {
+            ks = Kstaled::new(KstaledConfig { scan_period_ns: args.period_ms * 1_000_000 });
+            &mut ks
+        }
+        other => {
+            eprintln!("error: unknown policy {other}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let out = run_for(&mut engine, workload.as_mut(), policy, duration);
+    let fb = engine.footprint_breakdown();
+    println!(
+        "\n{} under '{}' for {} virtual seconds:",
+        args.app, args.policy, args.secs
+    );
+    println!("  throughput     {:>12.0} ops/s", out.ops_per_sec());
+    println!(
+        "  footprint      {:>9} MB ({:.1}% in slow memory)",
+        fb.total() / (1 << 20),
+        fb.cold_fraction() * 100.0
+    );
+    println!(
+        "  slow accesses  {:>12} faults ({:.0}/s)",
+        engine.stats().slow_trap_faults,
+        engine.stats().slow_trap_faults as f64 / args.secs as f64
+    );
+    println!(
+        "  TLB miss ratio {:>12.4}   LLC miss ratio {:.4}",
+        engine.tlb_stats().miss_ratio(),
+        engine.stats().llc_miss_ratio()
+    );
+    let ms = engine.migration_stats();
+    println!(
+        "  migrations     {:>9} pages to slow, {} back ({:.2} / {:.2} MB/s)",
+        ms.to_slow_pages,
+        ms.back_to_fast_pages,
+        ms.to_slow_mbps(duration),
+        ms.back_to_fast_mbps(duration),
+    );
+    ExitCode::SUCCESS
+}

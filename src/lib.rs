@@ -1,0 +1,24 @@
+//! Umbrella crate for the Thermostat (ASPLOS'17) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can `use thermostat_suite::...`. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! * [`mem`] — physical memory: tiers, frames, migration, wear, cost.
+//! * [`vm`] — page tables, PTE bits, TLBs, page-walk cost models.
+//! * [`trap`] — BadgerTrap-style poisoned-PTE fault interception.
+//! * [`sim`] — the virtual-time execution engine and LLC model.
+//! * [`kstaled`] — the Accessed-bit idle-page-tracking baseline.
+//! * [`workloads`] — the six synthetic cloud applications + YCSB driver.
+//! * [`core`] — Thermostat itself: sampling, estimation, classification,
+//!   correction, and the policy daemon.
+
+
+#![warn(missing_docs)]
+pub use thermo_kstaled as kstaled;
+pub use thermo_mem as mem;
+pub use thermo_sim as sim;
+pub use thermo_trap as trap;
+pub use thermo_vm as vm;
+pub use thermo_workloads as workloads;
+pub use thermostat as core;

