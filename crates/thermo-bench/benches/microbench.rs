@@ -3,11 +3,12 @@
 //! distributions. These bound the simulator's own throughput (the engine
 //! processes hundreds of millions of accesses per experiment).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use thermo_mem::{PageSize, Pfn, Vpn};
 use thermo_sim::{Engine, Llc, LlcConfig, SimConfig};
+use thermo_util::bench::{black_box, Criterion};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
+use thermo_util::{criterion_group, criterion_main};
 use thermo_vm::{PageTable, Tlb, TlbConfig, Vpid};
 use thermo_workloads::{HotspotDist, KeyDist, ScrambledZipfian};
 use thermostat::{classify, Candidate};
@@ -101,7 +102,10 @@ fn bench_engine_access(c: &mut Criterion) {
 fn bench_classifier(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(3);
     let candidates: Vec<Candidate> = (0..10_000)
-        .map(|i| Candidate { vpn: Vpn(i * 512), rate_per_sec: rng.gen_range(0.0..10_000.0) })
+        .map(|i| Candidate {
+            vpn: Vpn(i * 512),
+            rate_per_sec: rng.gen_range(0.0..10_000.0),
+        })
         .collect();
     c.bench_function("classify_10k_pages", |b| {
         b.iter(|| black_box(classify(candidates.clone(), 30_000.0)))
@@ -112,8 +116,12 @@ fn bench_dists(c: &mut Criterion) {
     let zipf = ScrambledZipfian::new(4_000_000);
     let hotspot = HotspotDist::paper_redis(4_000_000);
     let mut rng = SmallRng::seed_from_u64(4);
-    c.bench_function("zipfian_sample", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
-    c.bench_function("hotspot_sample", |b| b.iter(|| black_box(hotspot.sample(&mut rng))));
+    c.bench_function("zipfian_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    c.bench_function("hotspot_sample", |b| {
+        b.iter(|| black_box(hotspot.sample(&mut rng)))
+    });
 }
 
 criterion_group!(

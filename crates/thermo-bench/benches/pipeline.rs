@@ -3,9 +3,10 @@
 //! one complete Thermostat sampling period. These are the numbers that
 //! determine how long the figure/table harnesses take.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use thermo_bench::harness::EvalParams;
 use thermo_sim::{run_ops, Engine, NoPolicy};
+use thermo_util::bench::{black_box, BatchSize, Criterion};
+use thermo_util::{criterion_group, criterion_main};
 use thermo_workloads::{AppConfig, AppId};
 use thermostat::{Daemon, ThermostatConfig};
 
@@ -28,7 +29,11 @@ fn bench_app_ops(c: &mut Criterion) {
     group.sample_size(10);
     for app in [AppId::Redis, AppId::Cassandra, AppId::WebSearch] {
         let mut engine = Engine::new(p.sim_config(app));
-        let mut w = app.build(AppConfig { scale: p.scale, seed: p.seed, read_pct: p.read_pct });
+        let mut w = app.build(AppConfig {
+            scale: p.scale,
+            seed: p.seed,
+            read_pct: p.read_pct,
+        });
         w.init(&mut engine);
         group.bench_function(format!("{app}_10k_ops"), |b| {
             b.iter(|| black_box(run_ops(&mut engine, w.as_mut(), &mut NoPolicy, 10_000)))
@@ -45,8 +50,11 @@ fn bench_daemon_period(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut engine = Engine::new(p.sim_config(AppId::MysqlTpcc));
-                let mut w = AppId::MysqlTpcc
-                    .build(AppConfig { scale: p.scale, seed: p.seed, read_pct: p.read_pct });
+                let mut w = AppId::MysqlTpcc.build(AppConfig {
+                    scale: p.scale,
+                    seed: p.seed,
+                    read_pct: p.read_pct,
+                });
                 w.init(&mut engine);
                 let daemon = Daemon::new(ThermostatConfig {
                     sampling_period_ns: p.sampling_period_ns,

@@ -10,12 +10,12 @@
 //! while bounding the slowdown, because spatial occupancy and access rate
 //! are uncorrelated.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use thermo_bench::harness::{baseline_run, policy_run, slowdown_pct, thermostat_run, EvalParams};
 use thermo_bench::report::{pct, ExperimentReport};
 use thermo_mem::{PageSize, Tier, Vpn, PAGES_PER_HUGE};
 use thermo_sim::{Engine, PolicyHook};
+use thermo_util::rng::SeedableRng;
+use thermo_util::rng::SliceRandom;
 use thermo_vm::ScanHit;
 use thermo_workloads::AppId;
 
@@ -27,7 +27,7 @@ struct AbitOnly {
     next_due_ns: u64,
     sample_fraction: f64,
     hot_region_threshold: u32,
-    rng: rand::rngs::SmallRng,
+    rng: thermo_util::rng::SmallRng,
     sampled: Vec<Vpn>,
     in_classify: bool,
     scratch: Vec<ScanHit>,
@@ -41,7 +41,7 @@ impl AbitOnly {
             next_due_ns: period_ns,
             sample_fraction: 0.05,
             hot_region_threshold,
-            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            rng: thermo_util::rng::SmallRng::seed_from_u64(seed),
             sampled: Vec::new(),
             in_classify: false,
             scratch: Vec::new(),
@@ -59,8 +59,11 @@ impl PolicyHook for AbitOnly {
         if !self.in_classify {
             // Scan A: pick and split a sample, clear child A bits.
             let mut candidates: Vec<Vpn> = Vec::new();
-            let regions: Vec<(Vpn, u64)> =
-                engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+            let regions: Vec<(Vpn, u64)> = engine
+                .vmas()
+                .iter()
+                .map(|v| (v.start.vpn(), v.len / 4096))
+                .collect();
             for (start, n) in regions {
                 self.scratch.clear();
                 engine.read_accessed(start, n, &mut self.scratch);
@@ -72,8 +75,7 @@ impl PolicyHook for AbitOnly {
                     }
                 }
             }
-            let want =
-                ((candidates.len() as f64 * self.sample_fraction).round() as usize).max(1);
+            let want = ((candidates.len() as f64 * self.sample_fraction).round() as usize).max(1);
             candidates.shuffle(&mut self.rng);
             candidates.truncate(want.min(candidates.len()));
             self.sampled = candidates;
@@ -94,7 +96,9 @@ impl PolicyHook for AbitOnly {
                 if hot <= self.hot_region_threshold
                     && engine.migrate_split_huge(vpn, Tier::Slow).is_ok()
                 {
-                    engine.collapse_huge(vpn).expect("contiguous after migration");
+                    engine
+                        .collapse_huge(vpn)
+                        .expect("contiguous after migration");
                     // Poison so the emulated slow latency applies (same
                     // methodology as Thermostat's evaluation).
                     engine.poison_page(vpn, PageSize::Huge2M);

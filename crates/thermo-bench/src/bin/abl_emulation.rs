@@ -16,9 +16,10 @@ fn main() {
         &["app", "model", "cold_final", "slowdown"],
     );
     for app in [AppId::MysqlTpcc, AppId::WebSearch] {
-        for (name, model) in
-            [("fault-emulated", ColdAccessModel::FaultEmulated), ("direct", ColdAccessModel::Direct)]
-        {
+        for (name, model) in [
+            ("fault-emulated", ColdAccessModel::FaultEmulated),
+            ("direct", ColdAccessModel::Direct),
+        ] {
             let run_one = |p: &EvalParams| {
                 let mut q = *p;
                 q.seed ^= 0; // same seed; model differs via sim config below
@@ -35,7 +36,9 @@ fn main() {
             ]);
         }
     }
-    r.note("paper §4.2: emulation overestimates per-fault cost but misses same-page cache-line reuse");
+    r.note(
+        "paper §4.2: emulation overestimates per-fault cost but misses same-page cache-line reuse",
+    );
     r.finish();
 }
 
@@ -62,8 +65,11 @@ fn run_pair(
     let mut daemon = Daemon::new(p.thermostat_config());
     let outcome = run_for(&mut engine, w.as_mut(), &mut daemon, p.duration_ns);
     let mut run = finishless(app, &engine, outcome);
-    let vals: Vec<f64> =
-        daemon.history().iter().map(|r| r.breakdown.cold_fraction()).collect();
+    let vals: Vec<f64> = daemon
+        .history()
+        .iter()
+        .map(|r| r.breakdown.cold_fraction())
+        .collect();
     if let Some(last) = vals.last() {
         run.cold_fraction_final = *last;
         run.cold_fraction_mean = vals.iter().sum::<f64>() / vals.len() as f64;

@@ -12,7 +12,13 @@ fn main() {
     let mut r = ExperimentReport::new(
         "abl_no_correction",
         "correction mechanism on/off",
-        &["app", "correction", "cold_final", "slowdown", "mean_slow_rate_2nd_half"],
+        &[
+            "app",
+            "correction",
+            "cold_final",
+            "slowdown",
+            "mean_slow_rate_2nd_half",
+        ],
     );
     for app in [AppId::Cassandra, AppId::Redis] {
         let mut params = p;
@@ -24,8 +30,11 @@ fn main() {
             let (run, _, _) = thermostat_run_with(app, &params, cfg);
             let s = &run.slow_rate_series;
             let half = &s[s.len() / 2..];
-            let mean =
-                if half.is_empty() { 0.0 } else { half.iter().sum::<f64>() / half.len() as f64 };
+            let mean = if half.is_empty() {
+                0.0
+            } else {
+                half.iter().sum::<f64>() / half.len() as f64
+            };
             r.row(vec![
                 app.to_string(),
                 if correction { "on" } else { "off" }.into(),

@@ -13,7 +13,13 @@ fn main() {
     let mut r = ExperimentReport::new(
         "abl_sampling",
         "sampling-fraction sweep (MySQL-TPCC)",
-        &["sample_frac", "cold_final", "slowdown", "pages_sampled", "half_coverage_period"],
+        &[
+            "sample_frac",
+            "cold_final",
+            "slowdown",
+            "pages_sampled",
+            "half_coverage_period",
+        ],
     );
     for frac in [0.01, 0.05, 0.10, 0.25] {
         let mut cfg = p.thermostat_config();

@@ -71,8 +71,11 @@ fn run_with_fault_latency(
         mean_latency_ns: 0.0,
         p99_latency_ns: 0,
     };
-    let vals: Vec<f64> =
-        daemon.history().iter().map(|r| r.breakdown.cold_fraction()).collect();
+    let vals: Vec<f64> = daemon
+        .history()
+        .iter()
+        .map(|r| r.breakdown.cold_fraction())
+        .collect();
     if let Some(last) = vals.last() {
         run.cold_fraction_final = *last;
     }

@@ -14,7 +14,14 @@ fn main() {
     let mut r = ExperimentReport::new(
         "abl_split_placement",
         "whole-page placement vs §6 split placement",
-        &["app", "mode", "cold_final", "slowdown", "split_placed_pages", "tlb_miss_ratio"],
+        &[
+            "app",
+            "mode",
+            "cold_final",
+            "slowdown",
+            "split_placed_pages",
+            "tlb_miss_ratio",
+        ],
     );
     for app in [AppId::Redis, AppId::WebSearch] {
         let mut params = p;
@@ -28,7 +35,12 @@ fn main() {
             let (run, engine, daemon) = thermostat_run_with(app, &params, cfg);
             r.row(vec![
                 app.to_string(),
-                if enabled { "split (§6 ext)" } else { "whole-page" }.into(),
+                if enabled {
+                    "split (§6 ext)"
+                } else {
+                    "whole-page"
+                }
+                .into(),
                 pct(run.cold_fraction_final),
                 format!("{:.2}%", slowdown_pct(&run, &base)),
                 daemon.stats().pages_split_placed.to_string(),

@@ -21,9 +21,18 @@ fn main() {
         "slow-tier wear with and without Start-Gap levelling",
         &["metric", "value"],
     );
-    r.row(vec!["slow-tier write rate (MB/s)".into(), f(wear.write_mbps(elapsed), 3)]);
-    r.row(vec!["frames written".into(), wear.frames_written.to_string()]);
-    r.row(vec!["max single-frame bytes (raw)".into(), wear.max_frame_bytes.to_string()]);
+    r.row(vec![
+        "slow-tier write rate (MB/s)".into(),
+        f(wear.write_mbps(elapsed), 3),
+    ]);
+    r.row(vec![
+        "frames written".into(),
+        wear.frames_written.to_string(),
+    ]);
+    r.row(vec![
+        "max single-frame bytes (raw)".into(),
+        wear.max_frame_bytes.to_string(),
+    ]);
     let mean = if wear.frames_written == 0 {
         0.0
     } else {
@@ -43,13 +52,22 @@ fn main() {
         per_slot[sg.write(7) as usize] += 1;
     }
     let max_slot = *per_slot.iter().max().expect("nonempty");
-    r.row(vec!["start-gap: hammered-line writes".into(), hammer_writes.to_string()]);
-    r.row(vec!["start-gap: max per-slot writes".into(), max_slot.to_string()]);
+    r.row(vec![
+        "start-gap: hammered-line writes".into(),
+        hammer_writes.to_string(),
+    ]);
+    r.row(vec![
+        "start-gap: max per-slot writes".into(),
+        max_slot.to_string(),
+    ]);
     r.row(vec![
         "start-gap: flattening factor".into(),
         f(hammer_writes as f64 / max_slot as f64, 1),
     ]);
-    r.row(vec!["start-gap: write amplification".into(), f(sg.write_amplification(), 4)]);
+    r.row(vec![
+        "start-gap: write amplification".into(),
+        f(sg.write_amplification(), 4),
+    ]);
 
     // Lifetime estimate (paper §6: well below endurance limits).
     let years = wear.lifetime_years(
@@ -57,7 +75,10 @@ fn main() {
         1_000_000, // PCM-class endurance cycles
         elapsed,
     );
-    r.row(vec!["device lifetime at this rate (years, 1e6 cycles)".into(), f(years.min(1e6), 0)]);
+    r.row(vec![
+        "device lifetime at this rate (years, 1e6 cycles)".into(),
+        f(years.min(1e6), 0),
+    ]);
     r.note("paper §6: Thermostat's slow-memory traffic is far below endurance limits");
     r.finish();
 }

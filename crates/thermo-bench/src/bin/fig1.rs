@@ -16,7 +16,9 @@ fn main() {
     );
     let paper = ["~25%", "~40%", "~25%", "~55%", "~10-25%", "~40%"];
     for (app, paper_val) in AppId::ALL.into_iter().zip(paper) {
-        let mut ks = Kstaled::new(KstaledConfig { scan_period_ns: 2_000_000_000 });
+        let mut ks = Kstaled::new(KstaledConfig {
+            scan_period_ns: 2_000_000_000,
+        });
         let (_, _) = {
             let mut params = p;
             params.read_pct = if app == AppId::Cassandra { 5 } else { 95 };

@@ -2,5 +2,11 @@
 //! at 1.0% degradation).
 
 fn main() {
-    thermo_bench::figs::footprint_figure("fig10", thermo_workloads::AppId::WebSearch, 95, "~40%", 1.0);
+    thermo_bench::figs::footprint_figure(
+        "fig10",
+        thermo_workloads::AppId::WebSearch,
+        95,
+        "~40%",
+        1.0,
+    );
 }

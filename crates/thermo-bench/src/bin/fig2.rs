@@ -3,13 +3,13 @@
 //! the spatial count of A-bit-hot 4KB regions does not predict the page's
 //! true access rate, so A-bit-only classification cannot bound slowdown.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use thermo_bench::harness::EvalParams;
 use thermo_bench::report::{f, ExperimentReport};
 use thermo_kstaled::HotRegionMonitor;
 use thermo_mem::{PageSize, Tier, Vpn};
 use thermo_sim::{run_for, Engine};
+use thermo_util::rng::SeedableRng;
+use thermo_util::rng::SliceRandom;
 use thermo_workloads::AppId;
 
 fn main() {
@@ -24,8 +24,11 @@ fn main() {
     // Monitor a random sample of resident huge pages at the highest scan
     // frequency that stays within the 3% overhead target (paper §2.1).
     let mut huge_pages: Vec<Vpn> = Vec::new();
-    let regions: Vec<(Vpn, u64)> =
-        engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+    let regions: Vec<(Vpn, u64)> = engine
+        .vmas()
+        .iter()
+        .map(|v| (v.start.vpn(), v.len / 4096))
+        .collect();
     let mut hits = Vec::new();
     for (start, n) in regions {
         hits.clear();
@@ -36,7 +39,7 @@ fn main() {
             }
         }
     }
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(p.seed);
+    let mut rng = thermo_util::rng::SmallRng::seed_from_u64(p.seed);
     huge_pages.shuffle(&mut rng);
     huge_pages.truncate(96);
 
@@ -81,8 +84,11 @@ fn main() {
     counts.sort_unstable();
     if !counts.is_empty() {
         let q1 = counts[counts.len() / 4];
-        let low: Vec<f64> =
-            rows.iter().filter(|(c, _)| *c <= q1).map(|(_, r)| *r).collect();
+        let low: Vec<f64> = rows
+            .iter()
+            .filter(|(c, _)| *c <= q1)
+            .map(|(_, r)| *r)
+            .collect();
         let lo = low.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = low.iter().cloned().fold(0.0, f64::max);
         r.note(format!(

@@ -30,7 +30,11 @@ fn main() {
             }
         };
         let half = &s[s.len() / 2..];
-        let mean = if half.is_empty() { 0.0 } else { half.iter().sum::<f64>() / half.len() as f64 };
+        let mean = if half.is_empty() {
+            0.0
+        } else {
+            half.iter().sum::<f64>() / half.len() as f64
+        };
         r.row(vec![
             app.to_string(),
             f(at(0.25), 0),
@@ -41,7 +45,9 @@ fn main() {
         ]);
         series_out.push((app.to_string(), s.clone()));
     }
-    r.note(format!("target slow-memory access rate: {target:.0} accesses/sec (3% / 1us)"));
+    r.note(format!(
+        "target slow-memory access rate: {target:.0} accesses/sec (3% / 1us)"
+    ));
     r.note("full smoothed series written to the JSON file");
     r.finish();
     thermo_bench::report::write_json("fig3_series", &series_out);

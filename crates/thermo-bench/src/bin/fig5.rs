@@ -2,5 +2,11 @@
 //! at 2.0% degradation).
 
 fn main() {
-    thermo_bench::figs::footprint_figure("fig5", thermo_workloads::AppId::Cassandra, 5, "~40-50%", 2.0);
+    thermo_bench::figs::footprint_figure(
+        "fig5",
+        thermo_workloads::AppId::Cassandra,
+        5,
+        "~40-50%",
+        2.0,
+    );
 }

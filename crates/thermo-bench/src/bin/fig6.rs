@@ -2,5 +2,11 @@
 //! at 1.3% degradation).
 
 fn main() {
-    thermo_bench::figs::footprint_figure("fig6", thermo_workloads::AppId::MysqlTpcc, 95, "~40-50%", 1.3);
+    thermo_bench::figs::footprint_figure(
+        "fig6",
+        thermo_workloads::AppId::MysqlTpcc,
+        95,
+        "~40-50%",
+        1.3,
+    );
 }

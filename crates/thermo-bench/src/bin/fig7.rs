@@ -2,5 +2,11 @@
 //! at 1.0% degradation).
 
 fn main() {
-    thermo_bench::figs::footprint_figure("fig7", thermo_workloads::AppId::Aerospike, 95, "~15%", 1.0);
+    thermo_bench::figs::footprint_figure(
+        "fig7",
+        thermo_workloads::AppId::Aerospike,
+        95,
+        "~15%",
+        1.0,
+    );
 }

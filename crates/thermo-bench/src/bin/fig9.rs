@@ -2,5 +2,11 @@
 //! at 3.0% degradation).
 
 fn main() {
-    thermo_bench::figs::footprint_figure("fig9", thermo_workloads::AppId::InMemoryAnalytics, 95, "~15-20%", 3.0);
+    thermo_bench::figs::footprint_figure(
+        "fig9",
+        thermo_workloads::AppId::InMemoryAnalytics,
+        95,
+        "~15-20%",
+        3.0,
+    );
 }

@@ -10,8 +10,17 @@ fn main() {
     let p = EvalParams::from_env();
     let mut r = ExperimentReport::new(
         "tab2",
-        &format!("application footprints at scale 1/{} (paper values in GB)", p.scale),
-        &["app", "rss(MB)", "file_mapped(MB)", "paper_rss(GB)", "paper_file"],
+        &format!(
+            "application footprints at scale 1/{} (paper values in GB)",
+            p.scale
+        ),
+        &[
+            "app",
+            "rss(MB)",
+            "file_mapped(MB)",
+            "paper_rss(GB)",
+            "paper_file",
+        ],
     );
     for app in AppId::ALL {
         let mut engine = Engine::new(p.sim_config(app));
@@ -19,7 +28,12 @@ fn main() {
         w.init(&mut engine);
         // Run briefly so growing workloads (Cassandra, analytics) show
         // their steady footprint.
-        thermo_sim::run_for(&mut engine, w.as_mut(), &mut thermo_sim::NoPolicy, p.duration_ns / 4);
+        thermo_sim::run_for(
+            &mut engine,
+            w.as_mut(),
+            &mut thermo_sim::NoPolicy,
+            p.duration_ns / 4,
+        );
         let rss = engine.rss_bytes();
         let file = engine.process().file_backed_bytes().min(rss);
         r.row(vec![

@@ -11,9 +11,22 @@ fn main() {
     let mut r = ExperimentReport::new(
         "tab3",
         "migration and false-classification bandwidth (MB/s)",
-        &["app", "migration", "false-classification", "paper_mig", "paper_fc"],
+        &[
+            "app",
+            "migration",
+            "false-classification",
+            "paper_mig",
+            "paper_fc",
+        ],
     );
-    let paper = [("13.3", "9.2"), ("9.6", "3.8"), ("16", "0.4"), ("6", "1.8"), ("11.3", "10"), ("1.6", "0.3")];
+    let paper = [
+        ("13.3", "9.2"),
+        ("9.6", "3.8"),
+        ("16", "0.4"),
+        ("6", "1.8"),
+        ("11.3", "10"),
+        ("1.6", "0.3"),
+    ];
     for (app, (pm, pf)) in AppId::ALL.into_iter().zip(paper) {
         let mut params = p;
         if app == AppId::Cassandra {

@@ -13,7 +13,14 @@ fn main() {
     let mut r = ExperimentReport::new(
         "tab4",
         "memory cost savings vs all-DRAM at slow:DRAM cost ratios 1/3, 1/4, 1/5",
-        &["app", "cold_frac", "0.33x", "0.25x", "0.20x", "paper(0.25x)"],
+        &[
+            "app",
+            "cold_frac",
+            "0.33x",
+            "0.25x",
+            "0.20x",
+            "paper(0.25x)",
+        ],
     );
     let paper_quarter = ["11%", "30%", "12%", "30%", "19%", "30%"];
     for (app, paper) in AppId::ALL.into_iter().zip(paper_quarter) {

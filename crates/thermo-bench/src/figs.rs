@@ -26,7 +26,14 @@ pub fn footprint_figure(
     let mut r = ExperimentReport::new(
         id,
         &format!("{app} cold/hot footprint over time (read_pct={read_pct})"),
-        &["t(s)", "2MB_hot(MB)", "4KB_hot(MB)", "2MB_cold(MB)", "4KB_cold(MB)", "cold_frac"],
+        &[
+            "t(s)",
+            "2MB_hot(MB)",
+            "4KB_hot(MB)",
+            "2MB_cold(MB)",
+            "4KB_cold(MB)",
+            "cold_frac",
+        ],
     );
     for rec in &run.history {
         let b = rec.breakdown;
@@ -75,7 +82,13 @@ pub fn footprint_figure(
     let tops: Vec<String> = regions
         .iter()
         .take(3)
-        .map(|(n, b)| format!("{n} {:.0}MB ({})", b.cold() as f64 / 1e6, pct(b.cold_fraction())))
+        .map(|(n, b)| {
+            format!(
+                "{n} {:.0}MB ({})",
+                b.cold() as f64 / 1e6,
+                pct(b.cold_fraction())
+            )
+        })
         .collect();
     r.note(format!("cold mass by region: {}", tops.join(", ")));
     r.finish();

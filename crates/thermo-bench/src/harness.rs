@@ -9,13 +9,15 @@
 //! * `THERMO_PERIOD_SECS` — Thermostat sampling period (default 3; the
 //!   paper's 30s compressed 10x together with the run length).
 
-use serde::{Deserialize, Serialize};
-use thermo_sim::{run_for, run_for_instrumented, Engine, LatencyHistogram, NoPolicy, PolicyHook, RunOutcome, SimConfig};
+use thermo_sim::{
+    run_for, run_for_instrumented, Engine, LatencyHistogram, NoPolicy, PolicyHook, RunOutcome,
+    SimConfig,
+};
 use thermo_workloads::{AppConfig, AppId};
 use thermostat::{Daemon, DaemonStats, PeriodRecord, ThermostatConfig};
 
 /// Evaluation-scale parameters shared by all harness binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalParams {
     /// Footprint divisor vs the paper (Table 2).
     pub scale: u64,
@@ -95,16 +97,23 @@ impl EvalParams {
 
     /// Workload configuration for this evaluation.
     pub fn app_config(&self) -> AppConfig {
-        AppConfig { scale: self.scale, seed: self.seed, read_pct: self.read_pct }
+        AppConfig {
+            scale: self.scale,
+            seed: self.seed,
+            read_pct: self.read_pct,
+        }
     }
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Everything a harness binary typically reports about one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppRun {
     /// Application name.
     pub app: String,
@@ -149,8 +158,14 @@ fn finish_run(
     let (mean, last) = if history.is_empty() {
         (0.0, 0.0)
     } else {
-        let vals: Vec<f64> = history.iter().map(|r| r.breakdown.cold_fraction()).collect();
-        (vals.iter().sum::<f64>() / vals.len() as f64, *vals.last().expect("nonempty"))
+        let vals: Vec<f64> = history
+            .iter()
+            .map(|r| r.breakdown.cold_fraction())
+            .collect();
+        (
+            vals.iter().sum::<f64>() / vals.len() as f64,
+            *vals.last().expect("nonempty"),
+        )
     };
     let slow_events = engine.slow_series().total();
     AppRun {
@@ -178,9 +193,21 @@ pub fn baseline_run(app: AppId, p: &EvalParams) -> (AppRun, Engine) {
     let mut workload = app.build(p.app_config());
     workload.init(&mut engine);
     let mut hist = LatencyHistogram::new();
-    let outcome =
-        run_for_instrumented(&mut engine, workload.as_mut(), &mut NoPolicy, p.duration_ns, &mut hist);
-    let run = finish_run(app, &engine, outcome, Vec::new(), DaemonStats::default(), &hist);
+    let outcome = run_for_instrumented(
+        &mut engine,
+        workload.as_mut(),
+        &mut NoPolicy,
+        p.duration_ns,
+        &mut hist,
+    );
+    let run = finish_run(
+        app,
+        &engine,
+        outcome,
+        Vec::new(),
+        DaemonStats::default(),
+        &hist,
+    );
     (run, engine)
 }
 
@@ -201,19 +228,26 @@ pub fn thermostat_run_with(
     workload.init(&mut engine);
     let mut daemon = Daemon::new(config);
     let mut hist = LatencyHistogram::new();
-    let outcome =
-        run_for_instrumented(&mut engine, workload.as_mut(), &mut daemon, p.duration_ns, &mut hist);
-    let run =
-        finish_run(app, &engine, outcome, daemon.history().to_vec(), daemon.stats(), &hist);
+    let outcome = run_for_instrumented(
+        &mut engine,
+        workload.as_mut(),
+        &mut daemon,
+        p.duration_ns,
+        &mut hist,
+    );
+    let run = finish_run(
+        app,
+        &engine,
+        outcome,
+        daemon.history().to_vec(),
+        daemon.stats(),
+        &hist,
+    );
     (run, engine, daemon)
 }
 
 /// Runs `app` under an arbitrary policy hook.
-pub fn policy_run(
-    app: AppId,
-    p: &EvalParams,
-    policy: &mut dyn PolicyHook,
-) -> (AppRun, Engine) {
+pub fn policy_run(app: AppId, p: &EvalParams, policy: &mut dyn PolicyHook) -> (AppRun, Engine) {
     let mut engine = Engine::new(p.sim_config(app));
     let mut workload = app.build(p.app_config());
     workload.init(&mut engine);
@@ -269,7 +303,10 @@ mod tests {
         let p = tiny();
         let (a, _) = baseline_run(AppId::WebSearch, &p);
         let (b, _) = baseline_run(AppId::WebSearch, &p);
-        assert!(slowdown_pct(&b, &a).abs() < 1e-9, "same-seed runs must match exactly");
+        assert!(
+            slowdown_pct(&b, &a).abs() < 1e-9,
+            "same-seed runs must match exactly"
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //! workloads at the evaluation scale, paired baseline/Thermostat runs,
 //! and result serialization.
 
-
 #![warn(missing_docs)]
 pub mod figs;
 pub mod harness;

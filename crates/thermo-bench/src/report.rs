@@ -1,12 +1,14 @@
 //! Experiment result reporting: aligned text tables on stdout plus JSON
 //! files under `target/experiments/`.
 
-use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
+use thermo_util::json::ToJson;
+use thermo_util::json_struct;
+
 /// A printable, serializable experiment report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment id (e.g. "fig8", "tab4").
     pub id: String,
@@ -19,6 +21,14 @@ pub struct ExperimentReport {
     /// Free-form notes (paper expectations, caveats).
     pub notes: Vec<String>,
 }
+
+json_struct!(ExperimentReport {
+    id,
+    title,
+    columns,
+    rows,
+    notes
+});
 
 impl ExperimentReport {
     /// Creates an empty report.
@@ -88,22 +98,18 @@ impl ExperimentReport {
 
 /// Serializes `data` to `target/experiments/<id>.json` (best effort: a
 /// read-only filesystem only prints a warning).
-pub fn write_json<T: Serialize>(id: &str, data: &T) {
+pub fn write_json<T: ToJson + ?Sized>(id: &str, data: &T) {
     let dir = out_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{id}.json"));
-    match serde_json::to_string_pretty(data) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("[wrote {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+    let s = thermo_util::json::encode_pretty(data);
+    if let Err(e) = fs::write(&path, s) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[wrote {}]", path.display());
     }
 }
 

@@ -12,14 +12,13 @@
 //! reference bits say *whether* a page was touched, not *how much placing
 //! it in slow memory will hurt.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use thermo_mem::{PageSize, Tier, Vpn};
 use thermo_sim::{Engine, PolicyHook};
 use thermo_vm::ScanHit;
 
 /// Configuration for [`ClockPolicy`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockConfig {
     /// Sweep period, virtual ns.
     pub sweep_period_ns: u64,
@@ -30,12 +29,15 @@ pub struct ClockConfig {
 
 impl Default for ClockConfig {
     fn default() -> Self {
-        Self { sweep_period_ns: 1_000_000_000, fast_target_fraction: 0.6 }
+        Self {
+            sweep_period_ns: 1_000_000_000,
+            fast_target_fraction: 0.6,
+        }
     }
 }
 
 /// Statistics for the CLOCK baseline.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClockStats {
     /// Sweeps completed.
     pub sweeps: u64,
@@ -77,8 +79,11 @@ impl ClockPolicy {
         // Pass 1: read+clear A bits everywhere; referenced slow pages get
         // promoted (CLOCK second chance across tiers), idle fast pages
         // enter the demotion queue.
-        let regions: Vec<(Vpn, u64)> =
-            engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+        let regions: Vec<(Vpn, u64)> = engine
+            .vmas()
+            .iter()
+            .map(|v| (v.start.vpn(), v.len / 4096))
+            .collect();
         self.idle_queue.clear();
         for (start, n) in regions {
             self.scratch.clear();
@@ -157,7 +162,9 @@ mod tests {
 
         fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
             let page = self.i % (self.n_huge / 2); // first half hot
-            acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+            acc.push(Access::read(
+                self.base + page * (2 << 20) + (self.i * 64) % (2 << 20),
+            ));
             self.i += 1;
             Some(2_000)
         }
@@ -166,7 +173,11 @@ mod tests {
     #[test]
     fn clock_enforces_capacity_target_on_idle_pages() {
         let mut engine = Engine::new(SimConfig::paper_defaults(128 << 20, 128 << 20));
-        let mut w = HalfHot { base: VirtAddr(0), n_huge: 16, i: 0 };
+        let mut w = HalfHot {
+            base: VirtAddr(0),
+            n_huge: 16,
+            i: 0,
+        };
         w.init(&mut engine);
         let mut clock = ClockPolicy::new(ClockConfig {
             sweep_period_ns: 200_000_000,
@@ -212,7 +223,9 @@ mod tests {
 
         fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
             let page = (self.i / 200_000) % self.n_huge; // shift every ~0.4s
-            acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+            acc.push(Access::read(
+                self.base + page * (2 << 20) + (self.i * 64) % (2 << 20),
+            ));
             self.i += 1;
             Some(2_000)
         }
@@ -221,7 +234,11 @@ mod tests {
     #[test]
     fn referenced_slow_pages_get_promoted() {
         let mut engine = Engine::new(SimConfig::paper_defaults(128 << 20, 128 << 20));
-        let mut w = RotatingHot { base: VirtAddr(0), n_huge: 6, i: 0 };
+        let mut w = RotatingHot {
+            base: VirtAddr(0),
+            n_huge: 6,
+            i: 0,
+        };
         w.init(&mut engine);
         let mut clock = ClockPolicy::new(ClockConfig {
             sweep_period_ns: 100_000_000,
@@ -231,6 +248,9 @@ mod tests {
         assert!(clock.stats().demotions > 0);
         // The hot spot rotated onto demoted pages, so promotions must have
         // pulled referenced pages back.
-        assert!(clock.stats().promotions > 0, "CLOCK must give referenced pages a second chance");
+        assert!(
+            clock.stats().promotions > 0,
+            "CLOCK must give referenced pages a second chance"
+        );
     }
 }

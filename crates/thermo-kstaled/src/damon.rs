@@ -16,14 +16,13 @@
 //! sampled page*, not the region's aggregate access *rate* — so, like all
 //! A-bit schemes, it cannot bound the slowdown of a placement decision.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use thermo_mem::{PageSize, Tier, Vpn, PAGES_PER_HUGE};
 use thermo_sim::{Engine, PolicyHook};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 
 /// Configuration of the DAMON-style monitor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DamonConfig {
     /// Sampling interval: one A-bit probe per region per interval.
     pub sample_interval_ns: u64,
@@ -55,7 +54,7 @@ impl Default for DamonConfig {
 }
 
 /// One monitored region: `[start, start + n_pages)` in 4KB page units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Region {
     /// First 4KB page.
     pub start: Vpn,
@@ -77,7 +76,7 @@ impl Region {
 }
 
 /// Statistics for the DAMON baseline.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DamonStats {
     /// Sampling passes performed.
     pub samples: u64,
@@ -211,7 +210,10 @@ impl Damon {
                 for h in first..last {
                     let vpn = Vpn(h * PAGES_PER_HUGE as u64);
                     if engine.tier_of_vpn(vpn) == Some(Tier::Fast)
-                        && engine.page_table().lookup(vpn).map(|m| (m.base_vpn, m.size))
+                        && engine
+                            .page_table()
+                            .lookup(vpn)
+                            .map(|m| (m.base_vpn, m.size))
                             == Some((vpn, PageSize::Huge2M))
                         && engine.migrate_page(vpn, Tier::Slow).is_ok()
                     {
@@ -223,7 +225,10 @@ impl Damon {
                 for h in first..last {
                     let vpn = Vpn(h * PAGES_PER_HUGE as u64);
                     if engine.tier_of_vpn(vpn) == Some(Tier::Slow)
-                        && engine.page_table().lookup(vpn).map(|m| (m.base_vpn, m.size))
+                        && engine
+                            .page_table()
+                            .lookup(vpn)
+                            .map(|m| (m.base_vpn, m.size))
                             == Some((vpn, PageSize::Huge2M))
                     {
                         engine.unpoison_page(vpn);
@@ -327,7 +332,9 @@ mod tests {
 
         fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
             let page = self.i % (self.n_huge / 2);
-            acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+            acc.push(Access::read(
+                self.base + page * (2 << 20) + (self.i * 64) % (2 << 20),
+            ));
             self.i += 1;
             Some(2_000)
         }
@@ -340,9 +347,16 @@ mod tests {
     #[test]
     fn damon_builds_and_adapts_regions() {
         let mut e = engine();
-        let mut w = HalfHot { base: VirtAddr(0), n_huge: 16, i: 0 };
+        let mut w = HalfHot {
+            base: VirtAddr(0),
+            n_huge: 16,
+            i: 0,
+        };
         w.init(&mut e);
-        let mut d = Damon::new(DamonConfig { min_regions: 8, ..DamonConfig::default() });
+        let mut d = Damon::new(DamonConfig {
+            min_regions: 8,
+            ..DamonConfig::default()
+        });
         run_for(&mut e, &mut w, &mut d, 8_000_000_000);
         assert!(d.stats().samples > 50);
         assert!(d.stats().aggregations >= 2);
@@ -358,9 +372,16 @@ mod tests {
     #[test]
     fn damon_demotes_the_idle_half_and_keeps_the_hot_half() {
         let mut e = engine();
-        let mut w = HalfHot { base: VirtAddr(0), n_huge: 16, i: 0 };
+        let mut w = HalfHot {
+            base: VirtAddr(0),
+            n_huge: 16,
+            i: 0,
+        };
         w.init(&mut e);
-        let mut d = Damon::new(DamonConfig { min_regions: 16, ..DamonConfig::default() });
+        let mut d = Damon::new(DamonConfig {
+            min_regions: 16,
+            ..DamonConfig::default()
+        });
         run_for(&mut e, &mut w, &mut d, 20_000_000_000);
         assert!(d.stats().demotions > 0, "idle half must be demoted");
         // The hot half must still be fast.
@@ -394,16 +415,30 @@ mod tests {
                 }
             }
             fn next_op(&mut self, now: u64, acc: &mut Vec<Access>) -> Option<u64> {
-                let page = if now < self.shift_at { 0 } else { self.n_huge - 1 };
-                acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+                let page = if now < self.shift_at {
+                    0
+                } else {
+                    self.n_huge - 1
+                };
+                acc.push(Access::read(
+                    self.base + page * (2 << 20) + (self.i * 64) % (2 << 20),
+                ));
                 self.i += 1;
                 Some(2_000)
             }
         }
         let mut e = engine();
-        let mut w = Shift { base: VirtAddr(0), n_huge: 8, i: 0, shift_at: 12_000_000_000 };
+        let mut w = Shift {
+            base: VirtAddr(0),
+            n_huge: 8,
+            i: 0,
+            shift_at: 12_000_000_000,
+        };
         w.init(&mut e);
-        let mut d = Damon::new(DamonConfig { min_regions: 8, ..DamonConfig::default() });
+        let mut d = Damon::new(DamonConfig {
+            min_regions: 8,
+            ..DamonConfig::default()
+        });
         run_for(&mut e, &mut w, &mut d, 24_000_000_000);
         assert!(d.stats().demotions > 0);
         assert!(d.stats().promotions > 0, "renewed access must promote");

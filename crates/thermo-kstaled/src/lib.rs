@@ -17,7 +17,6 @@
 //! * [`clock::ClockPolicy`] — a CLOCK-style capacity-driven placement
 //!   baseline (the §7 related-work design point Thermostat improves on).
 
-
 #![warn(missing_docs)]
 pub mod clock;
 pub mod damon;
@@ -25,14 +24,13 @@ pub mod damon;
 pub use clock::{ClockConfig, ClockPolicy, ClockStats};
 pub use damon::{Damon, DamonConfig, DamonStats};
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use thermo_mem::{PageSize, Vpn, PAGES_PER_HUGE};
 use thermo_sim::{Engine, PolicyHook};
 use thermo_vm::ScanHit;
 
 /// Configuration for the [`Kstaled`] scanner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KstaledConfig {
     /// Scan period in virtual ns (Linux's kstaled defaults to seconds-scale
     /// scanning; the paper detects idleness over 10s windows).
@@ -41,7 +39,9 @@ pub struct KstaledConfig {
 
 impl Default for KstaledConfig {
     fn default() -> Self {
-        Self { scan_period_ns: 2_000_000_000 }
+        Self {
+            scan_period_ns: 2_000_000_000,
+        }
     }
 }
 
@@ -94,8 +94,12 @@ impl Kstaled {
     /// Huge pages idle for at least `min_idle_ns`, by base VPN.
     pub fn idle_pages(&self, min_idle_ns: u64) -> Vec<Vpn> {
         let need = min_idle_ns.div_ceil(self.config.scan_period_ns).max(1) as u32;
-        let mut v: Vec<Vpn> =
-            self.ages.iter().filter(|(_, s)| s.idle_scans >= need).map(|(k, _)| *k).collect();
+        let mut v: Vec<Vpn> = self
+            .ages
+            .iter()
+            .filter(|(_, s)| s.idle_scans >= need)
+            .map(|(k, _)| *k)
+            .collect();
         v.sort();
         v
     }
@@ -112,8 +116,11 @@ impl PolicyHook for Kstaled {
     }
 
     fn tick(&mut self, engine: &mut Engine) {
-        let regions: Vec<(Vpn, u64)> =
-            engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+        let regions: Vec<(Vpn, u64)> = engine
+            .vmas()
+            .iter()
+            .map(|v| (v.start.vpn(), v.len / 4096))
+            .collect();
         for (start, n) in regions {
             self.scratch.clear();
             engine.scan_and_clear_accessed(start, n, &mut self.scratch);
@@ -165,7 +172,9 @@ impl HotRegionMonitor {
         let mut ever_hot = HashMap::new();
         let mut scratch = Vec::new();
         for &t in targets {
-            engine.split_huge(t).expect("HotRegionMonitor target must be a mapped huge page");
+            engine
+                .split_huge(t)
+                .expect("HotRegionMonitor target must be a mapped huge page");
             // Clear A bits so the first interval starts clean.
             scratch.clear();
             engine.scan_and_clear_accessed(t, PAGES_PER_HUGE as u64, &mut scratch);
@@ -204,7 +213,9 @@ impl HotRegionMonitor {
             .map(|(vpn, hot)| (*vpn, hot.iter().filter(|h| **h).count() as u32))
             .collect();
         for vpn in self.ever_hot.keys() {
-            engine.collapse_huge(*vpn).expect("collapse after monitoring");
+            engine
+                .collapse_huge(*vpn)
+                .expect("collapse after monitoring");
         }
         out.sort();
         out
@@ -273,7 +284,9 @@ mod tests {
 
         fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
             let page = self.i % self.hot_huge;
-            acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+            acc.push(Access::read(
+                self.base + page * (2 << 20) + (self.i * 64) % (2 << 20),
+            ));
             self.i += 1;
             Some(10_000)
         }
@@ -291,8 +304,14 @@ mod tests {
     #[test]
     fn idle_fraction_detects_untouched_pages() {
         let (mut e, base) = setup(10);
-        let mut w = PartialToucher { base, hot_huge: 3, i: 0 };
-        let mut ks = Kstaled::new(KstaledConfig { scan_period_ns: 1_000_000_000 });
+        let mut w = PartialToucher {
+            base,
+            hot_huge: 3,
+            i: 0,
+        };
+        let mut ks = Kstaled::new(KstaledConfig {
+            scan_period_ns: 1_000_000_000,
+        });
         run_for(&mut e, &mut w, &mut ks, 12_000_000_000);
         assert!(ks.scans() >= 10);
         assert_eq!(ks.tracked_pages(), 10);
@@ -304,8 +323,14 @@ mod tests {
     #[test]
     fn fully_hot_workload_has_no_idle_pages() {
         let (mut e, base) = setup(4);
-        let mut w = PartialToucher { base, hot_huge: 4, i: 0 };
-        let mut ks = Kstaled::new(KstaledConfig { scan_period_ns: 500_000_000 });
+        let mut w = PartialToucher {
+            base,
+            hot_huge: 4,
+            i: 0,
+        };
+        let mut ks = Kstaled::new(KstaledConfig {
+            scan_period_ns: 500_000_000,
+        });
         run_for(&mut e, &mut w, &mut ks, 6_000_000_000);
         assert_eq!(ks.idle_fraction(2_000_000_000), 0.0);
     }

@@ -6,7 +6,6 @@
 //! and physical frame numbers from being mixed up (the classic source of
 //! bugs in memory-management code).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -24,7 +23,7 @@ const HUGE_SHIFT: u32 = 21;
 
 /// Page granularity: the paper's mechanism is explicitly *huge-page-aware*
 /// and manipulates both sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PageSize {
     /// 4KB base page.
     Small4K,
@@ -68,19 +67,19 @@ impl fmt::Display for PageSize {
 }
 
 /// A virtual address in the simulated process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtAddr(pub u64);
 
 /// A physical address in the simulated two-tier memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysAddr(pub u64);
 
 /// A virtual page number: a [`VirtAddr`] shifted down by 12.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Vpn(pub u64);
 
 /// A physical frame number: a [`PhysAddr`] shifted down by 12.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pfn(pub u64);
 
 impl VirtAddr {
@@ -324,3 +323,7 @@ mod tests {
         assert_eq!(format!("{}", PageSize::Huge2M), "2MB");
     }
 }
+
+thermo_util::json_newtype!(VirtAddr);
+thermo_util::json_newtype!(Vpn);
+thermo_util::json_newtype!(Pfn);

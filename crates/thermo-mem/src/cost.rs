@@ -5,17 +5,15 @@
 //! spend relative to an all-DRAM system is `(1 - c) + c * r`, i.e. a saving
 //! of `c * (1 - r)`. Table 4 evaluates r ∈ {1/3, 1/4, 1/5}.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost model for a two-tier configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Slow-memory cost per GB relative to DRAM (e.g. 0.25).
     pub slow_cost_ratio: f64,
 }
 
 /// Outcome of a cost evaluation for one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostReport {
     /// Fraction of the footprint placed in slow memory (0..=1).
     pub cold_fraction: f64,
@@ -42,7 +40,11 @@ impl CostModel {
 
     /// The three ratios evaluated in Table 4: 1/3, 1/4 and 1/5 of DRAM cost.
     pub fn table4_models() -> [CostModel; 3] {
-        [CostModel::new(1.0 / 3.0), CostModel::new(0.25), CostModel::new(0.2)]
+        [
+            CostModel::new(1.0 / 3.0),
+            CostModel::new(0.25),
+            CostModel::new(0.2),
+        ]
     }
 
     /// Evaluates savings when `cold_fraction` of the footprint is in slow
@@ -67,7 +69,11 @@ impl CostModel {
     /// Evaluates savings from absolute footprints in bytes.
     pub fn evaluate_bytes(&self, fast_bytes: u64, slow_bytes: u64) -> CostReport {
         let total = fast_bytes + slow_bytes;
-        let cold_fraction = if total == 0 { 0.0 } else { slow_bytes as f64 / total as f64 };
+        let cold_fraction = if total == 0 {
+            0.0
+        } else {
+            slow_bytes as f64 / total as f64
+        };
         self.evaluate(cold_fraction)
     }
 }

@@ -46,9 +46,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MemError::OutOfMemory { tier: Tier::Fast, size: PageSize::Huge2M };
+        let e = MemError::OutOfMemory {
+            tier: Tier::Fast,
+            size: PageSize::Huge2M,
+        };
         assert!(format!("{e}").contains("out of memory"));
-        let e = MemError::AlreadyInTier { pfn: Pfn(3), tier: Tier::Slow };
+        let e = MemError::AlreadyInTier {
+            pfn: Pfn(3),
+            tier: Tier::Slow,
+        };
         assert!(format!("{e}").contains("already resides"));
     }
 

@@ -13,7 +13,6 @@
 use crate::addr::{PageSize, Pfn, PAGES_PER_HUGE};
 use crate::error::MemError;
 use crate::tier::Tier;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 const WORDS_PER_BITMAP: usize = PAGES_PER_HUGE / 64;
@@ -24,7 +23,7 @@ type Bitmap = [u64; WORDS_PER_BITMAP];
 const FULL_FREE: Bitmap = [u64::MAX; WORDS_PER_BITMAP];
 
 /// Allocation statistics of one tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FrameStats {
     /// Total 4KB frames managed.
     pub total_frames: u64,
@@ -121,7 +120,10 @@ impl FrameAllocator {
     /// Panics on double free, on freeing an unowned frame, or on freeing a
     /// misaligned huge page.
     pub fn free(&mut self, pfn: Pfn, size: PageSize) {
-        assert!(self.owns(pfn), "freeing frame {pfn} not owned by this allocator");
+        assert!(
+            self.owns(pfn),
+            "freeing frame {pfn} not owned by this allocator"
+        );
         match size {
             PageSize::Huge2M => self.free_huge_block(pfn),
             PageSize::Small4K => self.free_small(pfn),
@@ -130,7 +132,10 @@ impl FrameAllocator {
 
     fn block_of(&self, pfn: Pfn) -> (u64, usize) {
         let rel = pfn.0 - self.base.0;
-        (rel / PAGES_PER_HUGE as u64, (rel % PAGES_PER_HUGE as u64) as usize)
+        (
+            rel / PAGES_PER_HUGE as u64,
+            (rel % PAGES_PER_HUGE as u64) as usize,
+        )
     }
 
     fn pfn_of(&self, block: u64, idx: usize) -> Pfn {
@@ -140,7 +145,10 @@ impl FrameAllocator {
     fn alloc_huge(&mut self) -> Result<Pfn, MemError> {
         let Some(&block) = self.free_huge.iter().next() else {
             self.stats.failed_allocs += 1;
-            return Err(MemError::OutOfMemory { tier: self.tier_hint(), size: PageSize::Huge2M });
+            return Err(MemError::OutOfMemory {
+                tier: self.tier_hint(),
+                size: PageSize::Huge2M,
+            });
         };
         self.free_huge.remove(&block);
         self.stats.huge_allocs += 1;
@@ -163,7 +171,10 @@ impl FrameAllocator {
         // Break a fully-free huge block.
         let Some(&block) = self.free_huge.iter().next() else {
             self.stats.failed_allocs += 1;
-            return Err(MemError::OutOfMemory { tier: self.tier_hint(), size: PageSize::Small4K });
+            return Err(MemError::OutOfMemory {
+                tier: self.tier_hint(),
+                size: PageSize::Small4K,
+            });
         };
         self.free_huge.remove(&block);
         let mut bitmap = FULL_FREE;
@@ -187,7 +198,10 @@ impl FrameAllocator {
 
     fn free_small(&mut self, pfn: Pfn) {
         let (block, idx) = self.block_of(pfn);
-        assert!(!self.free_huge.contains(&block), "double free of small frame {pfn}");
+        assert!(
+            !self.free_huge.contains(&block),
+            "double free of small frame {pfn}"
+        );
         let bitmap = self.partial.entry(block).or_insert([0; WORDS_PER_BITMAP]);
         assert!(!test_bit(bitmap, idx), "double free of small frame {pfn}");
         set_bit(bitmap, idx);
@@ -261,7 +275,10 @@ mod tests {
         }
         assert!(matches!(
             a.alloc(PageSize::Small4K),
-            Err(MemError::OutOfMemory { size: PageSize::Small4K, .. })
+            Err(MemError::OutOfMemory {
+                size: PageSize::Small4K,
+                ..
+            })
         ));
         assert_eq!(a.stats().failed_allocs, 1);
     }
@@ -280,7 +297,9 @@ mod tests {
     #[test]
     fn coalescing_restores_huge_block() {
         let mut a = alloc_2_blocks();
-        let frames: Vec<Pfn> = (0..PAGES_PER_HUGE).map(|_| a.alloc(PageSize::Small4K).unwrap()).collect();
+        let frames: Vec<Pfn> = (0..PAGES_PER_HUGE)
+            .map(|_| a.alloc(PageSize::Small4K).unwrap())
+            .collect();
         assert_eq!(a.free_huge_blocks(), 1);
         for f in frames {
             a.free(f, PageSize::Small4K);

@@ -37,7 +37,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod addr;
 pub mod cost;
@@ -49,7 +48,10 @@ pub mod startgap;
 pub mod tier;
 pub mod wear;
 
-pub use addr::{translate, PageSize, Pfn, PhysAddr, VirtAddr, Vpn, CACHE_LINE_BYTES, HUGE_PAGE_BYTES, PAGES_PER_HUGE, SMALL_PAGE_BYTES};
+pub use addr::{
+    translate, PageSize, Pfn, PhysAddr, VirtAddr, Vpn, CACHE_LINE_BYTES, HUGE_PAGE_BYTES,
+    PAGES_PER_HUGE, SMALL_PAGE_BYTES,
+};
 pub use cost::{CostModel, CostReport};
 pub use error::MemError;
 pub use frame::{FrameAllocator, FrameStats};
@@ -91,7 +93,13 @@ impl PhysicalMemory {
         let slow_frames = slow_params.capacity_bytes / SMALL_PAGE_BYTES as u64 / block * block;
         let fast = FrameAllocator::new(Pfn(0), fast_frames);
         let slow = FrameAllocator::new(Pfn(fast_frames), slow_frames);
-        Self { fast, slow, fast_params, slow_params, wear: WearTracker::new() }
+        Self {
+            fast,
+            slow,
+            fast_params,
+            slow_params,
+            wear: WearTracker::new(),
+        }
     }
 
     /// Returns the tier that owns `pfn`.

@@ -13,11 +13,10 @@
 
 use crate::addr::PageSize;
 use crate::tier::Tier;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction/intent of a migration, matching Table 3's two columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MigrationKind {
     /// A page classified cold being demoted to slow memory.
     ToSlow,
@@ -36,7 +35,7 @@ impl fmt::Display for MigrationKind {
 }
 
 /// One completed migration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationRecord {
     /// Virtual time at which the migration completed (ns).
     pub at_ns: u64,
@@ -49,7 +48,7 @@ pub struct MigrationRecord {
 }
 
 /// Aggregate migration statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MigrationStats {
     /// Pages demoted to slow memory.
     pub to_slow_pages: u64,
@@ -151,7 +150,12 @@ impl MigrationEngine {
         let cost = self.migration_cost_ns(size);
         self.stats.copy_time_ns += cost;
         if self.keep_history {
-            self.history.push(MigrationRecord { at_ns: now_ns, bytes, kind, size });
+            self.history.push(MigrationRecord {
+                at_ns: now_ns,
+                bytes,
+                kind,
+                size,
+            });
         }
         cost
     }
@@ -232,6 +236,9 @@ mod tests {
     #[test]
     fn kind_display() {
         assert_eq!(format!("{}", MigrationKind::ToSlow), "migration");
-        assert_eq!(format!("{}", MigrationKind::BackToFast), "false-classification");
+        assert_eq!(
+            format!("{}", MigrationKind::BackToFast),
+            "false-classification"
+        );
     }
 }

@@ -7,11 +7,10 @@
 //! way Thermostat's kernel patch asks for the NVM node.
 
 use crate::tier::Tier;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A NUMA zone id as exposed to the (simulated) guest OS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NumaZone(pub u32);
 
 impl fmt::Display for NumaZone {
@@ -21,7 +20,7 @@ impl fmt::Display for NumaZone {
 }
 
 /// The guest-visible topology: one zone per tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NumaTopology {
     _private: (),
 }

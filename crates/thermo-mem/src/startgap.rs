@@ -11,10 +11,8 @@
 //! logical→physical map stays algebraic — two registers (`start`, `gap`)
 //! — so no translation table is needed.
 
-use serde::{Deserialize, Serialize};
-
 /// Start-Gap remapper over `n` logical lines in `n + 1` physical slots.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StartGap {
     n: u64,
     start: u64,
@@ -25,7 +23,7 @@ pub struct StartGap {
 }
 
 /// Wear-levelling statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StartGapStats {
     /// Total writes observed.
     pub writes: u64,

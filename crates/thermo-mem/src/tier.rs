@@ -6,11 +6,10 @@
 //! (the BadgerTrap fault latency, §4.2), which is what
 //! [`TierParams::slow_1us`] encodes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which of the two memory tiers a frame belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tier {
     /// Conventional DRAM ("fast memory" in the paper).
     Fast,
@@ -39,7 +38,7 @@ impl fmt::Display for Tier {
 }
 
 /// Performance and cost parameters of one memory tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TierParams {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -83,13 +82,21 @@ impl TierParams {
     /// An optimistic near-future slow memory: 400ns (the low end of the
     /// projections cited in §1).
     pub fn slow_400ns(capacity_bytes: u64) -> Self {
-        Self { read_latency_ns: 400, write_latency_ns: 400, ..Self::slow_1us(capacity_bytes) }
+        Self {
+            read_latency_ns: 400,
+            write_latency_ns: 400,
+            ..Self::slow_1us(capacity_bytes)
+        }
     }
 
     /// A pessimistic slow memory: 3us (the "several microseconds" end of the
     /// §1 projection range).
     pub fn slow_3us(capacity_bytes: u64) -> Self {
-        Self { read_latency_ns: 3_000, write_latency_ns: 3_000, ..Self::slow_1us(capacity_bytes) }
+        Self {
+            read_latency_ns: 3_000,
+            write_latency_ns: 3_000,
+            ..Self::slow_1us(capacity_bytes)
+        }
     }
 
     /// Latency of an access of the given kind.
@@ -125,7 +132,9 @@ mod tests {
 
     #[test]
     fn slow_memory_is_cheaper() {
-        assert!(TierParams::slow_1us(1).relative_cost_per_gb < TierParams::dram(1).relative_cost_per_gb);
+        assert!(
+            TierParams::slow_1us(1).relative_cost_per_gb < TierParams::dram(1).relative_cost_per_gb
+        );
     }
 
     #[test]
@@ -142,3 +151,11 @@ mod tests {
         assert_eq!(format!("{}", Tier::Slow), "slow");
     }
 }
+
+thermo_util::json_struct!(TierParams {
+    capacity_bytes,
+    read_latency_ns,
+    write_latency_ns,
+    bandwidth_bytes_per_sec,
+    relative_cost_per_gb,
+});

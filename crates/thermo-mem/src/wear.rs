@@ -8,11 +8,10 @@
 //! style wear-leveller would flatten.
 
 use crate::addr::Pfn;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Aggregate wear statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WearStats {
     /// Total bytes ever written to the slow tier.
     pub total_bytes_written: u64,
@@ -35,7 +34,12 @@ impl WearStats {
     /// a device of `capacity_bytes`, at the observed write rate.
     ///
     /// Returns `f64::INFINITY` when nothing has been written.
-    pub fn lifetime_years(&self, capacity_bytes: u64, endurance_cycles: u64, elapsed_ns: u64) -> f64 {
+    pub fn lifetime_years(
+        &self,
+        capacity_bytes: u64,
+        endurance_cycles: u64,
+        elapsed_ns: u64,
+    ) -> f64 {
         let rate = self.write_mbps(elapsed_ns) * 1e6; // bytes/sec
         if rate == 0.0 {
             return f64::INFINITY;
@@ -114,7 +118,9 @@ mod tests {
     #[test]
     fn lifetime_infinite_without_writes() {
         let s = WearStats::default();
-        assert!(s.lifetime_years(1 << 30, 1_000_000, 1_000_000_000).is_infinite());
+        assert!(s
+            .lifetime_years(1 << 30, 1_000_000, 1_000_000_000)
+            .is_infinite());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! coalescing, and conservation of the used-frame count under arbitrary
 //! interleavings of allocs and frees.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use thermo_mem::{FrameAllocator, PageSize, Pfn, PAGES_PER_HUGE};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{any, frange, vec_of, weighted, Just, Strategy};
 
 #[derive(Debug, Clone)]
 enum Action {
@@ -15,19 +16,17 @@ enum Action {
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        3 => Just(Action::AllocSmall),
-        2 => Just(Action::AllocHuge),
-        2 => any::<usize>().prop_map(Action::FreeSmall),
-        1 => any::<usize>().prop_map(Action::FreeHuge),
-    ]
+    weighted(vec![
+        (3, Just(Action::AllocSmall).boxed()),
+        (2, Just(Action::AllocHuge).boxed()),
+        (2, any::<usize>().prop_map(Action::FreeSmall).boxed()),
+        (1, any::<usize>().prop_map(Action::FreeHuge).boxed()),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn allocator_invariants(actions in prop::collection::vec(action_strategy(), 1..200)) {
+#[test]
+fn allocator_invariants() {
+    forall!(cases = 64, (actions in vec_of(action_strategy(), 1..200)) => {
         let blocks = 4u64;
         let mut a = FrameAllocator::new(Pfn(0), blocks * PAGES_PER_HUGE as u64);
         let mut live_small: Vec<Pfn> = Vec::new();
@@ -38,15 +37,15 @@ proptest! {
             match act {
                 Action::AllocSmall => {
                     if let Ok(f) = a.alloc(PageSize::Small4K) {
-                        prop_assert!(live_set.insert(f.0), "frame {f} double-allocated");
+                        assert!(live_set.insert(f.0), "frame {f} double-allocated");
                         live_small.push(f);
                     }
                 }
                 Action::AllocHuge => {
                     if let Ok(f) = a.alloc(PageSize::Huge2M) {
-                        prop_assert!(f.is_huge_aligned());
+                        assert!(f.is_huge_aligned());
                         for i in 0..PAGES_PER_HUGE as u64 {
-                            prop_assert!(live_set.insert(f.0 + i), "huge frame overlaps live frame");
+                            assert!(live_set.insert(f.0 + i), "huge frame overlaps live frame");
                         }
                         live_huge.push(f);
                     }
@@ -69,7 +68,7 @@ proptest! {
                 }
             }
             // Conservation: stats agree with our model.
-            prop_assert_eq!(a.stats().used_frames as usize, live_set.len());
+            assert_eq!(a.stats().used_frames as usize, live_set.len());
         }
 
         // Free everything: allocator must coalesce back to fully-free state.
@@ -79,21 +78,22 @@ proptest! {
         for f in live_huge {
             a.free(f, PageSize::Huge2M);
         }
-        prop_assert_eq!(a.stats().used_frames, 0);
-        prop_assert_eq!(a.free_huge_blocks(), blocks);
-    }
+        assert_eq!(a.stats().used_frames, 0);
+        assert_eq!(a.free_huge_blocks(), blocks);
+    });
+}
 
-    #[test]
-    fn cost_model_savings_monotone_in_cold_fraction(
-        ratio in 0.05f64..1.0,
-        c1 in 0.0f64..1.0,
-        c2 in 0.0f64..1.0,
-    ) {
+#[test]
+fn cost_model_savings_monotone_in_cold_fraction() {
+    forall!(cases = 64,
+        (ratio in frange(0.05f64..1.0)),
+        (c1 in frange(0.0f64..1.0)),
+        (c2 in frange(0.0f64..1.0)) => {
         let m = thermo_mem::CostModel::new(ratio);
         let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
-        prop_assert!(m.evaluate(lo).savings_fraction <= m.evaluate(hi).savings_fraction + 1e-12);
+        assert!(m.evaluate(lo).savings_fraction <= m.evaluate(hi).savings_fraction + 1e-12);
         // Spend + savings == 1.
         let r = m.evaluate(c1);
-        prop_assert!((r.relative_spend + r.savings_fraction - 1.0).abs() < 1e-12);
-    }
+        assert!((r.relative_spend + r.savings_fraction - 1.0).abs() < 1e-12);
+    });
 }

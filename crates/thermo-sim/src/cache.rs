@@ -8,11 +8,10 @@
 //! Modelling the LLC lets the harnesses verify that claim (and lets the
 //! Figure 2 study measure true memory access rates).
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::{Pfn, CACHE_LINE_BYTES};
 
 /// Geometry and latency of the LLC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -26,7 +25,10 @@ impl LlcConfig {
     /// Number of sets implied by the geometry.
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes as usize / CACHE_LINE_BYTES;
-        assert!(lines.is_multiple_of(self.ways) && lines > 0, "bad LLC geometry");
+        assert!(
+            lines.is_multiple_of(self.ways) && lines > 0,
+            "bad LLC geometry"
+        );
         lines / self.ways
     }
 }
@@ -35,7 +37,11 @@ impl Default for LlcConfig {
     /// 4 MiB, 16-way: the paper's 45MB LLC scaled down in proportion to the
     /// scaled application footprints (DESIGN.md §1).
     fn default() -> Self {
-        Self { size_bytes: 4 << 20, ways: 16, hit_ns: 30 }
+        Self {
+            size_bytes: 4 << 20,
+            ways: 16,
+            hit_ns: 30,
+        }
     }
 }
 
@@ -46,10 +52,14 @@ struct Line {
     lru: u64,
 }
 
-const INVALID_LINE: Line = Line { valid: false, tag: 0, lru: 0 };
+const INVALID_LINE: Line = Line {
+    valid: false,
+    tag: 0,
+    lru: 0,
+};
 
 /// Hit/miss statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LlcStats {
     /// Hits.
     pub hits: u64,
@@ -82,7 +92,10 @@ pub struct Llc {
 
 impl std::fmt::Debug for Llc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Llc").field("config", &self.config).field("stats", &self.stats).finish()
+        f.debug_struct("Llc")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -90,7 +103,13 @@ impl Llc {
     /// Creates an LLC with the given geometry.
     pub fn new(config: LlcConfig) -> Self {
         let sets = config.sets();
-        Self { config, sets, lines: vec![INVALID_LINE; sets * config.ways], tick: 0, stats: LlcStats::default() }
+        Self {
+            config,
+            sets,
+            lines: vec![INVALID_LINE; sets * config.ways],
+            tick: 0,
+            stats: LlcStats::default(),
+        }
     }
 
     /// Configuration in use.
@@ -124,7 +143,11 @@ impl Llc {
                 victim = i;
             }
         }
-        slots[victim] = Line { valid: true, tag: line, lru: self.tick };
+        slots[victim] = Line {
+            valid: true,
+            tag: line,
+            lru: self.tick,
+        };
         self.stats.misses += 1;
         false
     }
@@ -167,7 +190,11 @@ mod tests {
 
     fn tiny() -> Llc {
         // 2 sets x 2 ways x 64B = 256B cache.
-        Llc::new(LlcConfig { size_bytes: 256, ways: 2, hit_ns: 10 })
+        Llc::new(LlcConfig {
+            size_bytes: 256,
+            ways: 2,
+            hit_ns: 10,
+        })
     }
 
     #[test]
@@ -203,7 +230,11 @@ mod tests {
 
     #[test]
     fn invalidate_frame_drops_lines() {
-        let mut c = Llc::new(LlcConfig { size_bytes: 1 << 20, ways: 16, hit_ns: 10 });
+        let mut c = Llc::new(LlcConfig {
+            size_bytes: 1 << 20,
+            ways: 16,
+            hit_ns: 10,
+        });
         // Touch all 64 lines of frame 5.
         let base = Pfn(5).addr().0 / 64;
         for l in base..base + 64 {
@@ -226,7 +257,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad LLC geometry")]
     fn bad_geometry_panics() {
-        Llc::new(LlcConfig { size_bytes: 100, ways: 3, hit_ns: 1 });
+        Llc::new(LlcConfig {
+            size_bytes: 100,
+            ways: 3,
+            hit_ns: 1,
+        });
     }
 
     #[test]
@@ -235,3 +270,9 @@ mod tests {
         assert!(c.sets() > 0);
     }
 }
+
+thermo_util::json_struct!(LlcConfig {
+    size_bytes,
+    ways,
+    hit_ns
+});

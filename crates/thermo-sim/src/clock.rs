@@ -5,10 +5,8 @@
 //! and per-op compute costs. Slowdown (the quantity Thermostat bounds) is a
 //! ratio of virtual times between runs.
 
-use serde::{Deserialize, Serialize};
-
 /// Monotonic virtual clock, in nanoseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VirtualClock {
     now_ns: u64,
 }

@@ -1,7 +1,6 @@
 //! Simulation configuration.
 
 use crate::cache::LlcConfig;
-use serde::{Deserialize, Serialize};
 use thermo_mem::TierParams;
 use thermo_trap::TrapConfig;
 use thermo_vm::{TlbConfig, Vpid, WalkConfig};
@@ -14,7 +13,7 @@ use thermo_vm::{TlbConfig, Vpid, WalkConfig};
 /// reproduces that methodology exactly and is the default. `Direct` instead
 /// models a real slow device: every LLC miss to a slow-tier frame pays the
 /// tier's latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColdAccessModel {
     /// The paper's software emulation: poisoned PTEs, fault = slow access.
     /// LLC misses are charged DRAM latency regardless of tier.
@@ -27,7 +26,7 @@ pub enum ColdAccessModel {
 }
 
 /// Full configuration of one simulated machine + guest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// TLB geometry (§4.1 hardware by default).
     pub tlb: TlbConfig,
@@ -117,3 +116,24 @@ mod tests {
         assert_eq!(c.slow.capacity_bytes, 2 << 20);
     }
 }
+
+thermo_util::json_enum!(ColdAccessModel {
+    FaultEmulated,
+    Direct
+});
+thermo_util::json_struct!(SimConfig {
+    tlb,
+    walk,
+    llc,
+    fast,
+    slow,
+    trap,
+    cold_model,
+    vpid,
+    minor_fault_small_ns,
+    minor_fault_huge_ns,
+    thp_enabled,
+    track_true_access,
+    tlb_flush_period_ns,
+    series_bucket_ns,
+});

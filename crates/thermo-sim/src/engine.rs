@@ -14,14 +14,14 @@
 //! Everything is deterministic: no host randomness, no threads.
 
 use crate::cache::Llc;
-use crate::config::{ColdAccessModel, SimConfig};
 use crate::clock::VirtualClock;
+use crate::config::{ColdAccessModel, SimConfig};
 use crate::process::{Process, Vma};
 use crate::series::RateSeries;
 use crate::stats::EngineStats;
 use std::collections::HashMap;
 use thermo_mem::{
-    translate, MemError, MigrationEngine, MigrationStats, PageSize, PhysicalMemory, Pfn, Tier,
+    translate, MemError, MigrationEngine, MigrationStats, PageSize, Pfn, PhysicalMemory, Tier,
     VirtAddr, Vpn, PAGES_PER_HUGE,
 };
 use thermo_trap::{TrapStats, TrapUnit};
@@ -40,7 +40,7 @@ const SCAN_SHOOTDOWN_NS: u64 = 1_000;
 
 /// Footprint breakdown by page size and tier — the series plotted in the
 /// paper's Figures 5–10 ("2MB_hot_data", "4KB_cold_data", ...).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FootprintBreakdown {
     /// Bytes of 2MB pages in the fast tier.
     pub huge_fast: u64,
@@ -131,7 +131,14 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Maps a new VMA; frames are allocated lazily on first touch.
-    pub fn mmap(&mut self, len: u64, thp: bool, writable: bool, file_backed: bool, name: impl Into<String>) -> VirtAddr {
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        thp: bool,
+        writable: bool,
+        file_backed: bool,
+        name: impl Into<String>,
+    ) -> VirtAddr {
         self.process.mmap(len, thp, writable, file_backed, name)
     }
 
@@ -155,7 +162,10 @@ impl Engine {
         if self.clock.now_ns() >= self.next_tlb_flush_ns {
             // OS noise: timer tick / context switch flushes the TLB.
             self.tlb.flush_all();
-            let period = self.config.tlb_flush_period_ns.expect("flush scheduled only when configured");
+            let period = self
+                .config
+                .tlb_flush_period_ns
+                .expect("flush scheduled only when configured");
             self.next_tlb_flush_ns = self.clock.now_ns() + period;
         }
 
@@ -240,7 +250,8 @@ impl Engine {
         // BadgerTrap installs a (temporary) translation even for poisoned
         // pages, so repeated accesses only fault again after a TLB eviction
         // or shootdown.
-        self.tlb.insert(mapping.base_vpn, mapping.pte.pfn(), mapping.size, self.vpid);
+        self.tlb
+            .insert(mapping.base_vpn, mapping.pte.pfn(), mapping.size, self.vpid);
         (mapping.pte.pfn(), mapping.size)
     }
 
@@ -270,7 +281,9 @@ impl Engine {
             .mem
             .alloc(Tier::Fast, PageSize::Small4K)
             .expect("fast tier out of memory during demand paging");
-        self.pt.map_small(vpn, frame, vma.writable).expect("demand-paged page must be unmapped");
+        self.pt
+            .map_small(vpn, frame, vma.writable)
+            .expect("demand-paged page must be unmapped");
         *lat += self.config.minor_fault_small_ns;
         self.stats.minor_faults_small += 1;
         self.pt.lookup(vpn).expect("just mapped")
@@ -308,19 +321,26 @@ impl Engine {
 
     /// Poisons the leaf at `base_vpn` for access counting.
     pub fn poison_page(&mut self, base_vpn: Vpn, size: PageSize) {
-        self.trap.poison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn, size);
+        self.trap
+            .poison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn, size);
         self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
     }
 
     /// Unpoisons the leaf at `base_vpn`, returning its fault count.
     pub fn unpoison_page(&mut self, base_vpn: Vpn) -> u64 {
         self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
-        self.trap.unpoison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn)
+        self.trap
+            .unpoison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn)
     }
 
     /// Scans and clears Accessed bits over `[start, start + n_pages)`,
     /// appending the results to `out` and charging kernel time.
-    pub fn scan_and_clear_accessed(&mut self, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+    pub fn scan_and_clear_accessed(
+        &mut self,
+        start: Vpn,
+        n_pages: u64,
+        out: &mut Vec<ScanHit>,
+    ) -> ScanCost {
         let cost = scan_and_clear(&mut self.pt, &mut self.tlb, self.vpid, start, n_pages, out);
         self.stats.kernel_time_ns += cost.time_ns(SCAN_VISIT_NS, SCAN_SHOOTDOWN_NS);
         cost
@@ -350,7 +370,10 @@ impl Engine {
         let old = m.pte.pfn();
         let cur = self.mem.tier_of(old);
         if cur == target {
-            return Err(MemError::AlreadyInTier { pfn: old, tier: cur });
+            return Err(MemError::AlreadyInTier {
+                pfn: old,
+                tier: cur,
+            });
         }
         let new = self.mem.alloc(target, m.size)?;
         for i in 0..m.size.small_pages() as u64 {
@@ -378,11 +401,20 @@ impl Engine {
     ///
     /// Panics if any of the 512 children is missing or not a 4KB leaf.
     pub fn migrate_split_huge(&mut self, base_vpn: Vpn, target: Tier) -> Result<(), MemError> {
-        assert!(base_vpn.is_huge_aligned(), "split-huge migration needs an aligned base");
-        let first = self.pt.lookup(base_vpn).expect("migrating unmapped split page");
+        assert!(
+            base_vpn.is_huge_aligned(),
+            "split-huge migration needs an aligned base"
+        );
+        let first = self
+            .pt
+            .lookup(base_vpn)
+            .expect("migrating unmapped split page");
         assert_eq!(first.size, PageSize::Small4K, "page is not split");
         if self.mem.tier_of(first.pte.pfn()) == target {
-            return Err(MemError::AlreadyInTier { pfn: first.pte.pfn(), tier: target });
+            return Err(MemError::AlreadyInTier {
+                pfn: first.pte.pfn(),
+                tier: target,
+            });
         }
         let new = self.mem.alloc(target, PageSize::Huge2M)?;
         for i in 0..PAGES_PER_HUGE as u64 {
@@ -395,7 +427,9 @@ impl Engine {
             self.pt.with_pte_mut(vpn, |pte| pte.set_pfn(new.offset(i)));
             self.tlb.shootdown(vpn, PageSize::Small4K, self.vpid);
         }
-        let cost = self.mig.record(target, PageSize::Huge2M, self.clock.now_ns());
+        let cost = self
+            .mig
+            .record(target, PageSize::Huge2M, self.clock.now_ns());
         self.stats.kernel_time_ns += cost;
         Ok(())
     }
@@ -409,8 +443,12 @@ impl Engine {
     /// Computes the footprint breakdown by walking every VMA's leaves.
     pub fn footprint_breakdown(&mut self) -> FootprintBreakdown {
         let mut b = FootprintBreakdown::default();
-        let vmas: Vec<(Vpn, u64)> =
-            self.process.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+        let vmas: Vec<(Vpn, u64)> = self
+            .process
+            .vmas()
+            .iter()
+            .map(|v| (v.start.vpn(), v.len / 4096))
+            .collect();
         let mem = &self.mem;
         for (start, n) in vmas {
             self.pt.for_each_leaf_mut(start, n, |_, size, pte| {
@@ -551,6 +589,13 @@ impl Engine {
     }
 }
 
+thermo_util::json_struct!(FootprintBreakdown {
+    huge_fast,
+    huge_slow,
+    small_fast,
+    small_slow
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,7 +697,10 @@ mod tests {
         e.migrate_page(hvpn, Tier::Slow).unwrap();
         assert_eq!(e.tier_of_vpn(hvpn), Some(Tier::Slow));
         // Already there -> error.
-        assert!(matches!(e.migrate_page(hvpn, Tier::Slow), Err(MemError::AlreadyInTier { .. })));
+        assert!(matches!(
+            e.migrate_page(hvpn, Tier::Slow),
+            Err(MemError::AlreadyInTier { .. })
+        ));
         e.migrate_page(hvpn, Tier::Fast).unwrap();
         assert_eq!(e.tier_of_vpn(hvpn), Some(Tier::Fast));
         let ms = e.migration_stats();
@@ -716,7 +764,10 @@ mod tests {
         e.migrate_page(b.vpn(), Tier::Slow).unwrap();
         let rb = e.region_breakdown();
         let get = |name: &str| {
-            rb.iter().find(|(n, _)| n == name).map(|(_, b)| *b).expect("region present")
+            rb.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| *b)
+                .expect("region present")
         };
         assert_eq!(get("hot-region").cold(), 0);
         assert_eq!(get("cold-region").cold(), 2 << 20);
@@ -771,7 +822,11 @@ mod tests {
         e.access(small_vma, true); // carves a 4KB frame out of the only block
         let thp_vma = e.mmap(2 << 20, true, true, false, "thp");
         e.access(thp_vma, true);
-        assert_eq!(e.stats().minor_faults_huge, 0, "no huge frame was available");
+        assert_eq!(
+            e.stats().minor_faults_huge,
+            0,
+            "no huge frame was available"
+        );
         assert_eq!(e.stats().minor_faults_small, 2);
         assert_eq!(e.rss_bytes(), 2 * 4096);
         // And with THP disabled the same layout never even tries.

@@ -6,10 +6,8 @@
 //! This histogram uses logarithmic buckets (2% resolution) so recording is
 //! allocation-free and O(1) per operation.
 
-use serde::{Deserialize, Serialize};
-
 /// Log-bucketed latency histogram (nanosecond domain).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyHistogram {
     /// Bucket counts; bucket i covers `[GROWTH^i, GROWTH^(i+1))` ns.
     buckets: Vec<u64>,
@@ -24,7 +22,12 @@ const N_BUCKETS: usize = 1600; // 1.02^1600 ~ 5.8e13 ns — far beyond any op
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Self { buckets: vec![0; N_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+        Self {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
     }
 
     fn index(ns: u64) -> usize {
@@ -70,7 +73,10 @@ impl LatencyHistogram {
     ///
     /// Panics when `p` is outside `(0, 100]`.
     pub fn percentile_ns(&self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
+        assert!(
+            p > 0.0 && p <= 100.0,
+            "percentile must be in (0, 100], got {p}"
+        );
         if self.count == 0 {
             return 0;
         }

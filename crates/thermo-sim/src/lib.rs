@@ -23,7 +23,6 @@
 //! assert_eq!(engine.rss_bytes(), 2 << 20);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod cache;
 pub mod clock;

@@ -7,11 +7,10 @@
 //! Regions are 2MB-aligned so THP can back them; actual frames are
 //! allocated on first touch by the engine's demand-paging path.
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::{VirtAddr, HUGE_PAGE_BYTES};
 
 /// One virtual memory area.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vma {
     /// First byte.
     pub start: VirtAddr,
@@ -52,7 +51,10 @@ const MMAP_BASE: u64 = 1 << 32;
 impl Process {
     /// An empty address space.
     pub fn new() -> Self {
-        Self { vmas: Vec::new(), next: MMAP_BASE }
+        Self {
+            vmas: Vec::new(),
+            next: MMAP_BASE,
+        }
     }
 
     /// Maps a new region of `len` bytes (rounded up to 4KB) and returns its
@@ -62,12 +64,26 @@ impl Process {
     /// # Panics
     ///
     /// Panics if `len` is zero.
-    pub fn mmap(&mut self, len: u64, thp: bool, writable: bool, file_backed: bool, name: impl Into<String>) -> VirtAddr {
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        thp: bool,
+        writable: bool,
+        file_backed: bool,
+        name: impl Into<String>,
+    ) -> VirtAddr {
         assert!(len > 0, "cannot map an empty region");
         let len = (len + 4095) & !4095;
         let start = VirtAddr(self.next);
         debug_assert!(start.is_huge_aligned());
-        self.vmas.push(Vma { start, len, thp, writable, file_backed, name: name.into() });
+        self.vmas.push(Vma {
+            start,
+            len,
+            thp,
+            writable,
+            file_backed,
+            name: name.into(),
+        });
         // Advance past the region plus a guard gap, re-aligned to 2MB.
         let end = start.0 + len;
         self.next = (end + 2 * HUGE_PAGE_BYTES as u64 - 1) & !(HUGE_PAGE_BYTES as u64 - 1);
@@ -97,7 +113,11 @@ impl Process {
 
     /// Total virtual bytes in file-backed VMAs.
     pub fn file_backed_bytes(&self) -> u64 {
-        self.vmas.iter().filter(|v| v.file_backed).map(|v| v.len).sum()
+        self.vmas
+            .iter()
+            .filter(|v| v.file_backed)
+            .map(|v| v.len)
+            .sum()
     }
 }
 
@@ -143,7 +163,9 @@ mod tests {
     #[test]
     fn find_with_many_vmas() {
         let mut p = Process::new();
-        let bases: Vec<_> = (0..20).map(|i| p.mmap(1 << 20, false, true, false, format!("r{i}"))).collect();
+        let bases: Vec<_> = (0..20)
+            .map(|i| p.mmap(1 << 20, false, true, false, format!("r{i}")))
+            .collect();
         for (i, b) in bases.iter().enumerate() {
             assert_eq!(p.find(*b).unwrap().name, format!("r{i}"));
         }

@@ -8,7 +8,6 @@
 
 use crate::engine::Engine;
 use crate::workload::{Access, Workload};
-use serde::{Deserialize, Serialize};
 
 /// A kernel-side policy that wants periodic control of the machine
 /// (Thermostat's daemon, kstaled, or nothing).
@@ -34,7 +33,7 @@ impl PolicyHook for NoPolicy {
 }
 
 /// Result of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOutcome {
     /// Operations completed.
     pub ops: u64,
@@ -93,7 +92,11 @@ pub fn run_for(
         engine.advance_compute(compute_ns);
         ops += 1;
     }
-    RunOutcome { ops, start_ns: start, end_ns: engine.now_ns() }
+    RunOutcome {
+        ops,
+        start_ns: start,
+        end_ns: engine.now_ns(),
+    }
 }
 
 /// Runs `workload` for `duration_ns`, recording each operation's total
@@ -126,7 +129,11 @@ pub fn run_for_instrumented(
         hist.record(engine.now_ns() - t0);
         ops += 1;
     }
-    RunOutcome { ops, start_ns: start, end_ns: engine.now_ns() }
+    RunOutcome {
+        ops,
+        start_ns: start,
+        end_ns: engine.now_ns(),
+    }
 }
 
 /// Runs exactly `n_ops` operations (or fewer if the workload finishes).
@@ -153,7 +160,11 @@ pub fn run_ops(
         engine.advance_compute(compute_ns);
         ops += 1;
     }
-    RunOutcome { ops, start_ns: start, end_ns: engine.now_ns() }
+    RunOutcome {
+        ops,
+        start_ns: start,
+        end_ns: engine.now_ns(),
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +227,12 @@ mod tests {
     #[test]
     fn run_for_respects_deadline() {
         let mut e = engine();
-        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: None };
+        let mut w = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: None,
+        };
         w.init(&mut e);
         let out = run_for(&mut e, &mut w, &mut NoPolicy, 1_000_000);
         assert!(out.ops > 0);
@@ -227,7 +243,12 @@ mod tests {
     #[test]
     fn run_ops_runs_exact_count() {
         let mut e = engine();
-        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: None };
+        let mut w = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: None,
+        };
         w.init(&mut e);
         let out = run_ops(&mut e, &mut w, &mut NoPolicy, 500);
         assert_eq!(out.ops, 500);
@@ -236,7 +257,12 @@ mod tests {
     #[test]
     fn finite_workload_ends_early() {
         let mut e = engine();
-        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: Some(10) };
+        let mut w = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: Some(10),
+        };
         w.init(&mut e);
         let out = run_for(&mut e, &mut w, &mut NoPolicy, u64::MAX / 2);
         assert_eq!(out.ops, 10);
@@ -245,9 +271,18 @@ mod tests {
     #[test]
     fn policy_ticks_at_period() {
         let mut e = engine();
-        let mut w = Toucher { base: VirtAddr(0), n: 64, i: 0, limit: None };
+        let mut w = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: None,
+        };
         w.init(&mut e);
-        let mut p = TickCounter { period: 1_000_000, next: 1_000_000, ticks: 0 };
+        let mut p = TickCounter {
+            period: 1_000_000,
+            next: 1_000_000,
+            ticks: 0,
+        };
         run_for(&mut e, &mut w, &mut p, 10_000_000);
         assert!(
             (9..=11).contains(&p.ticks),
@@ -258,8 +293,16 @@ mod tests {
 
     #[test]
     fn slowdown_math() {
-        let base = RunOutcome { ops: 100, start_ns: 0, end_ns: 1_000 };
-        let slower = RunOutcome { ops: 100, start_ns: 0, end_ns: 1_030 };
+        let base = RunOutcome {
+            ops: 100,
+            start_ns: 0,
+            end_ns: 1_000,
+        };
+        let slower = RunOutcome {
+            ops: 100,
+            start_ns: 0,
+            end_ns: 1_030,
+        };
         assert!((slower.slowdown_vs(&base) - 0.03).abs() < 1e-12);
     }
 
@@ -267,7 +310,12 @@ mod tests {
     fn determinism_same_seed_same_result() {
         let mk = || {
             let mut e = engine();
-            let mut w = Toucher { base: VirtAddr(0), n: 1024, i: 0, limit: None };
+            let mut w = Toucher {
+                base: VirtAddr(0),
+                n: 1024,
+                i: 0,
+                limit: None,
+            };
             w.init(&mut e);
             let out = run_ops(&mut e, &mut w, &mut NoPolicy, 2000);
             (out.end_ns, e.stats().llc_misses, e.tlb_stats().misses)

@@ -6,10 +6,8 @@
 //! [`SampledSeries`] records point-in-time samples (e.g. bytes of cold
 //! data).
 
-use serde::{Deserialize, Serialize};
-
 /// Counts events into fixed-width virtual-time buckets.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RateSeries {
     bucket_ns: u64,
     buckets: Vec<u64>,
@@ -23,7 +21,10 @@ impl RateSeries {
     /// Panics if `bucket_ns` is zero.
     pub fn new(bucket_ns: u64) -> Self {
         assert!(bucket_ns > 0, "bucket width must be positive");
-        Self { bucket_ns, buckets: Vec::new() }
+        Self {
+            bucket_ns,
+            buckets: Vec::new(),
+        }
     }
 
     /// Bucket width, ns.
@@ -78,7 +79,7 @@ impl RateSeries {
 }
 
 /// Point-in-time samples of a value (e.g. cold bytes at each scan).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SampledSeries {
     points: Vec<(u64, f64)>,
 }

@@ -1,9 +1,7 @@
 //! Engine-level statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by the access pipeline.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total memory accesses issued by the application.
     pub accesses: u64,
@@ -72,7 +70,11 @@ mod tests {
 
     #[test]
     fn slow_fault_fraction() {
-        let s = EngineStats { slow_trap_faults: 30, app_time_ns: 1_000_000, ..Default::default() };
+        let s = EngineStats {
+            slow_trap_faults: 30,
+            app_time_ns: 1_000_000,
+            ..Default::default()
+        };
         assert!((s.slow_fault_time_fraction(1_000) - 0.03).abs() < 1e-12);
     }
 }

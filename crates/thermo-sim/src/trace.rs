@@ -7,10 +7,9 @@
 //! could replay identical YCSB request streams across configurations.
 
 use crate::workload::{Access, FootprintInfo, Workload};
-use serde::{Deserialize, Serialize};
 
 /// One recorded operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceOp {
     /// Memory accesses issued by the op.
     pub accesses: Vec<Access>,
@@ -19,7 +18,7 @@ pub struct TraceOp {
 }
 
 /// A recorded operation stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     ops: Vec<TraceOp>,
 }
@@ -42,7 +41,10 @@ impl Trace {
                 break;
             };
             now += compute_ns;
-            ops.push(TraceOp { accesses: accesses.clone(), compute_ns });
+            ops.push(TraceOp {
+                accesses: accesses.clone(),
+                compute_ns,
+            });
         }
         Self { ops }
     }
@@ -67,13 +69,14 @@ impl Trace {
         self.ops.iter().map(|o| o.accesses.len() as u64).sum()
     }
 
-    /// Serializes to JSON.
+    /// Serializes to JSON (infallible for this type; the `Result` is kept
+    /// for call-site compatibility).
     ///
     /// # Errors
     ///
-    /// Propagates serde errors (effectively infallible for this type).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Never fails.
+    pub fn to_json(&self) -> Result<String, thermo_util::json::JsonError> {
+        Ok(thermo_util::json::encode(self))
     }
 
     /// Deserializes from JSON.
@@ -81,15 +84,19 @@ impl Trace {
     /// # Errors
     ///
     /// Returns the underlying parse error for malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, thermo_util::json::JsonError> {
+        thermo_util::json::decode(s)
     }
 
     /// Wraps the trace in a replaying [`Workload`]. `looped` restarts the
     /// trace at the end (for open-ended runs); otherwise replay finishes
     /// after one pass.
     pub fn into_workload(self, looped: bool) -> TraceWorkload {
-        TraceWorkload { trace: self, pos: 0, looped }
+        TraceWorkload {
+            trace: self,
+            pos: 0,
+            looped,
+        }
     }
 }
 
@@ -166,7 +173,10 @@ mod tests {
 
     fn recorded() -> (Engine, Trace) {
         let mut e = Engine::new(SimConfig::paper_defaults(16 << 20, 16 << 20));
-        let mut w = Counter { base: VirtAddr(0), i: 0 };
+        let mut w = Counter {
+            base: VirtAddr(0),
+            i: 0,
+        };
         w.init(&mut e);
         let t = Trace::record(&mut w, 1000);
         (e, t)
@@ -189,7 +199,10 @@ mod tests {
         // Re-replaying on a fresh identical engine gives identical stats.
         let run = |trace: Trace| {
             let mut e = Engine::new(SimConfig::paper_defaults(16 << 20, 16 << 20));
-            let mut w = Counter { base: VirtAddr(0), i: 0 };
+            let mut w = Counter {
+                base: VirtAddr(0),
+                i: 0,
+            };
             w.init(&mut e); // maps the same region at the same address
             let mut r = trace.into_workload(false);
             run_ops(&mut e, &mut r, &mut NoPolicy, 100);
@@ -223,3 +236,9 @@ mod tests {
         assert!(w.next_op(0, &mut acc).is_none());
     }
 }
+
+thermo_util::json_struct!(TraceOp {
+    accesses,
+    compute_ns
+});
+thermo_util::json_struct!(Trace { ops });

@@ -6,11 +6,10 @@
 //! caches) plus a fixed compute cost. The engine executes the accesses; the
 //! runner charges the compute time.
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::VirtAddr;
 
 /// One memory access issued by a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// Target address.
     pub va: VirtAddr,
@@ -31,7 +30,7 @@ impl Access {
 }
 
 /// Rough footprint declaration, used by the Table 2 harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FootprintInfo {
     /// Anonymous (heap) bytes the workload will touch.
     pub anon_bytes: u64,
@@ -71,3 +70,5 @@ mod tests {
         assert_eq!(a.va, w.va);
     }
 }
+
+thermo_util::json_struct!(Access { va, write });

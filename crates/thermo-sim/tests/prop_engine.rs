@@ -3,9 +3,10 @@
 //! collapse, poison, unpoison, migrate) — the exact operations Thermostat
 //! performs concurrently with the app.
 
-use proptest::prelude::*;
 use thermo_mem::{PageSize, Tier, VirtAddr, PAGES_PER_HUGE};
 use thermo_sim::{Engine, SimConfig};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{any, range, vec_of, weighted, Strategy};
 
 const N_HUGE: u64 = 8;
 
@@ -20,14 +21,24 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => ((0u16..N_HUGE as u16), any::<u16>()).prop_map(|(p, l)| Op::Access(p, l)),
-        1 => (0u8..N_HUGE as u8).prop_map(Op::Split),
-        1 => (0u8..N_HUGE as u8).prop_map(Op::Collapse),
-        1 => (0u8..N_HUGE as u8).prop_map(Op::Poison),
-        1 => (0u8..N_HUGE as u8).prop_map(Op::Unpoison),
-        1 => ((0u8..N_HUGE as u8), any::<bool>()).prop_map(|(p, s)| Op::Migrate(p, s)),
-    ]
+    weighted(vec![
+        (
+            4,
+            (range(0u16..N_HUGE as u16), any::<u16>())
+                .prop_map(|(p, l)| Op::Access(p, l))
+                .boxed(),
+        ),
+        (1, range(0u8..N_HUGE as u8).prop_map(Op::Split).boxed()),
+        (1, range(0u8..N_HUGE as u8).prop_map(Op::Collapse).boxed()),
+        (1, range(0u8..N_HUGE as u8).prop_map(Op::Poison).boxed()),
+        (1, range(0u8..N_HUGE as u8).prop_map(Op::Unpoison).boxed()),
+        (
+            1,
+            (range(0u8..N_HUGE as u8), any::<bool>())
+                .prop_map(|(p, s)| Op::Migrate(p, s))
+                .boxed(),
+        ),
+    ])
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,11 +47,9 @@ enum PageState {
     Split,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn engine_state_survives_arbitrary_kernel_ops(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn engine_state_survives_arbitrary_kernel_ops() {
+    forall!(cases = 32, (ops in vec_of(op_strategy(), 1..300)) => {
         let mut engine = Engine::new(SimConfig::paper_defaults(64 << 20, 64 << 20));
         let base = engine.mmap(N_HUGE * (2 << 20), true, true, false, "heap");
         for p in 0..N_HUGE {
@@ -97,24 +106,24 @@ proptest! {
                 }
             }
             // Invariants after every operation:
-            prop_assert_eq!(engine.rss_bytes(), rss, "RSS must be conserved");
+            assert_eq!(engine.rss_bytes(), rss, "RSS must be conserved");
             let fb = engine.footprint_breakdown();
-            prop_assert_eq!(fb.total(), rss, "breakdown must cover the footprint");
+            assert_eq!(fb.total(), rss, "breakdown must cover the footprint");
             // Every page still translates, with the state we expect.
             for (i, st) in state.iter().enumerate() {
                 let m = engine.page_table().lookup(vpn(base, i)).expect("page mapped");
                 let expect = if *st == PageState::Huge { PageSize::Huge2M } else { PageSize::Small4K };
-                prop_assert_eq!(m.size, expect);
-                prop_assert_eq!(m.pte.poisoned(), poisoned[i]);
+                assert_eq!(m.size, expect);
+                assert_eq!(m.pte.poisoned(), poisoned[i]);
             }
         }
 
         // Accesses after the storm still work and produce sane latencies.
         for p in 0..N_HUGE {
             let lat = engine.access(base + p * (2 << 20) + 64, false);
-            prop_assert!(lat < 1_000_000, "latency {lat}ns is absurd");
+            assert!(lat < 1_000_000, "latency {lat}ns is absurd");
         }
-    }
+    });
 }
 
 fn vpn(base: VirtAddr, p: usize) -> thermo_mem::Vpn {

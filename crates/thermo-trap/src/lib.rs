@@ -21,15 +21,13 @@
 //! simulation engine calls [`TrapUnit::on_fault`] from its access pipeline
 //! whenever a walk resolves a poisoned leaf.
 
-
 #![warn(missing_docs)]
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use thermo_mem::{PageSize, Vpn};
 use thermo_vm::{PageTable, Tlb, Vpid};
 
 /// Configuration of the trap unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrapConfig {
     /// Latency of one intercepted fault, in ns. The paper measures ~1us for
     /// its guest-side BadgerTrap handler and deliberately uses that as the
@@ -39,12 +37,14 @@ pub struct TrapConfig {
 
 impl Default for TrapConfig {
     fn default() -> Self {
-        Self { fault_latency_ns: 1_000 }
+        Self {
+            fault_latency_ns: 1_000,
+        }
     }
 }
 
 /// Aggregate trap statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrapStats {
     /// Total intercepted faults.
     pub faults: u64,
@@ -76,7 +76,11 @@ pub struct TrapUnit {
 impl TrapUnit {
     /// Creates a trap unit with the given configuration.
     pub fn new(config: TrapConfig) -> Self {
-        Self { config, counters: HashMap::new(), stats: TrapStats::default() }
+        Self {
+            config,
+            counters: HashMap::new(),
+            stats: TrapStats::default(),
+        }
     }
 
     /// The configured per-fault latency, ns.
@@ -101,12 +105,22 @@ impl TrapUnit {
     ///
     /// Panics if the leaf is unmapped or its size disagrees with `size` —
     /// the policy layer is responsible for poisoning only pages it mapped.
-    pub fn poison(&mut self, pt: &mut PageTable, tlb: &mut Tlb, vpid: Vpid, base_vpn: Vpn, size: PageSize) {
+    pub fn poison(
+        &mut self,
+        pt: &mut PageTable,
+        tlb: &mut Tlb,
+        vpid: Vpid,
+        base_vpn: Vpn,
+        size: PageSize,
+    ) {
         let found = pt.with_pte_mut(base_vpn, |pte| pte.poison()).is_some();
         assert!(found, "poisoning unmapped page {base_vpn}");
         let mapping = pt.lookup(base_vpn).expect("just poisoned");
         assert_eq!(mapping.size, size, "poison size mismatch at {base_vpn}");
-        assert_eq!(mapping.base_vpn, base_vpn, "poison must target the leaf base");
+        assert_eq!(
+            mapping.base_vpn, base_vpn,
+            "poison must target the leaf base"
+        );
         tlb.shootdown(base_vpn, size, vpid);
         self.counters.insert(base_vpn, Counter { faults: 0, size });
         self.stats.poisoned_pages = self.counters.len() as u64;
@@ -119,7 +133,13 @@ impl TrapUnit {
     /// # Panics
     ///
     /// Panics if the page is not currently poisoned by this unit.
-    pub fn unpoison(&mut self, pt: &mut PageTable, tlb: &mut Tlb, vpid: Vpid, base_vpn: Vpn) -> u64 {
+    pub fn unpoison(
+        &mut self,
+        pt: &mut PageTable,
+        tlb: &mut Tlb,
+        vpid: Vpid,
+        base_vpn: Vpn,
+    ) -> u64 {
         let counter = self
             .counters
             .remove(&base_vpn)
@@ -173,7 +193,9 @@ impl TrapUnit {
     ///
     /// Returns `None` if the page is not poisoned.
     pub fn take_count(&mut self, base_vpn: Vpn) -> Option<u64> {
-        self.counters.get_mut(&base_vpn).map(|c| std::mem::take(&mut c.faults))
+        self.counters
+            .get_mut(&base_vpn)
+            .map(|c| std::mem::take(&mut c.faults))
     }
 
     /// Iterates over `(base_vpn, faults)` of every poisoned page.
@@ -266,7 +288,9 @@ mod tests {
 
     #[test]
     fn fault_latency_configurable() {
-        let mut trap = TrapUnit::new(TrapConfig { fault_latency_ns: 400 });
+        let mut trap = TrapUnit::new(TrapConfig {
+            fault_latency_ns: 400,
+        });
         assert_eq!(trap.fault_latency_ns(), 400);
         trap.set_fault_latency_ns(3_000);
         assert_eq!(trap.on_fault(Vpn(1)), 3_000);
@@ -323,3 +347,5 @@ mod tests {
         assert_eq!(trap.poisoned_len(), 2);
     }
 }
+
+thermo_util::json_struct!(TrapConfig { fault_latency_ns });

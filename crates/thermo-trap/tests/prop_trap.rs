@@ -2,10 +2,11 @@
 //! attributed to exactly one poisoned page and surfaces exactly once
 //! through `unpoison`/`take_count`, under arbitrary interleavings.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use thermo_mem::{PageSize, Pfn, Vpn};
 use thermo_trap::{TrapConfig, TrapUnit};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{range, vec_of, weighted, Strategy};
 use thermo_vm::{PageTable, Tlb, Vpid};
 
 const N_PAGES: u64 = 16;
@@ -19,19 +20,17 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        1 => (0u8..N_PAGES as u8).prop_map(Op::Poison),
-        1 => (0u8..N_PAGES as u8).prop_map(Op::Unpoison),
-        3 => (0u8..N_PAGES as u8).prop_map(Op::Fault),
-        1 => (0u8..N_PAGES as u8).prop_map(Op::Take),
-    ]
+    weighted(vec![
+        (1, range(0u8..N_PAGES as u8).prop_map(Op::Poison).boxed()),
+        (1, range(0u8..N_PAGES as u8).prop_map(Op::Unpoison).boxed()),
+        (3, range(0u8..N_PAGES as u8).prop_map(Op::Fault).boxed()),
+        (1, range(0u8..N_PAGES as u8).prop_map(Op::Take).boxed()),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fault_counts_conserved(ops in prop::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn fault_counts_conserved() {
+    forall!(cases = 64, (ops in vec_of(op_strategy(), 1..300)) => {
         let mut pt = PageTable::new();
         let mut tlb = Tlb::default();
         let mut trap = TrapUnit::new(TrapConfig::default());
@@ -59,18 +58,18 @@ proptest! {
                     if poisoned[p as usize] {
                         let got = trap.unpoison(&mut pt, &mut tlb, vpid, Vpn(p as u64));
                         let want = pending.remove(&p).unwrap_or(0);
-                        prop_assert_eq!(got, want, "unpoison must return pending faults");
+                        assert_eq!(got, want, "unpoison must return pending faults");
                         collected += got;
                         poisoned[p as usize] = false;
                         // PTE poison bit must be clear again.
-                        prop_assert!(!pt.lookup(Vpn(p as u64)).unwrap().pte.poisoned());
+                        assert!(!pt.lookup(Vpn(p as u64)).unwrap().pte.poisoned());
                     }
                 }
                 Op::Fault(p) => {
                     // The engine only faults on poisoned pages; mirror that.
                     if poisoned[p as usize] {
                         let lat = trap.on_fault(Vpn(p as u64));
-                        prop_assert_eq!(lat, 1_000);
+                        assert_eq!(lat, 1_000);
                         *pending.get_mut(&p).expect("tracked") += 1;
                         faults_on_poisoned += 1;
                     }
@@ -79,19 +78,19 @@ proptest! {
                     if poisoned[p as usize] {
                         let got = trap.take_count(Vpn(p as u64)).expect("poisoned page");
                         let want = std::mem::take(pending.get_mut(&p).expect("tracked"));
-                        prop_assert_eq!(got, want, "take_count must drain pending faults");
+                        assert_eq!(got, want, "take_count must drain pending faults");
                         collected += got;
                     } else {
-                        prop_assert_eq!(trap.take_count(Vpn(p as u64)), None);
+                        assert_eq!(trap.take_count(Vpn(p as u64)), None);
                     }
                 }
             }
             // Conservation: collected + still-pending == all faults.
             let pending_total: u64 = pending.values().sum();
-            prop_assert_eq!(collected + pending_total, faults_on_poisoned);
+            assert_eq!(collected + pending_total, faults_on_poisoned);
             // Aggregate stats agree.
-            prop_assert_eq!(trap.stats().faults, faults_on_poisoned);
-            prop_assert_eq!(trap.poisoned_len(), pending.len());
+            assert_eq!(trap.stats().faults, faults_on_poisoned);
+            assert_eq!(trap.poisoned_len(), pending.len());
         }
-    }
+    });
 }

@@ -1,0 +1,209 @@
+//! A tiny Criterion-shaped bench harness for `harness = false` bench
+//! targets.
+//!
+//! Mirrors the subset of the `criterion` API the workspace's benches use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`](crate::criterion_group!)/
+//! [`criterion_main!`](crate::criterion_main!) macros) so the bench
+//! sources migrate with an import swap. Measurement is intentionally
+//! simple: a short warmup, then `sample_size` timed iterations, mean
+//! reported on stdout. Set `THERMO_BENCH_FAST=1` to run each routine
+//! once (smoke mode for CI).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn fast_mode() -> bool {
+    std::env::var_os("THERMO_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Top-level bench context handed to every registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; benches inside share the group's settings.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group (reported as `group/name`).
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Controls how `iter_batched` amortizes setup; only the per-iteration
+/// flavour is used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Run setup before every routine invocation.
+    PerIteration,
+    /// Accepted for compatibility; treated like `PerIteration`.
+    SmallInput,
+}
+
+/// Timer handle passed to the bench closure.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup (untimed).
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` input each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, f: F)
+where
+    F: FnOnce(&mut Bencher),
+{
+    let iters = if fast_mode() { 1 } else { sample_size.max(1) };
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    if b.timed_iters == 0 {
+        println!("bench {name:<40} (no measurement)");
+        return;
+    }
+    let mean = b.total / b.timed_iters as u32;
+    println!(
+        "bench {name:<40} {:>12.3} µs/iter ({} iters)",
+        mean.as_secs_f64() * 1e6,
+        b.timed_iters
+    );
+}
+
+/// Declares a bench group function, Criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::bench::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, Criterion-style:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let count = std::cell::Cell::new(0u32);
+        let mut c = Criterion::default();
+        c.bench_function("counting", |b| b.iter(|| count.set(count.get() + 1)));
+        // Warmup + timed iterations (exact count depends on fast mode).
+        let expected = if fast_mode() { 2 } else { 11 };
+        assert_eq!(count.get(), expected);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let count = std::cell::Cell::new(0u32);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function(format!("case-{}", 1), |b| {
+            b.iter_batched(
+                || 5u32,
+                |x| count.set(count.get() + x),
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+        let expected = if fast_mode() { 2 * 5 } else { 4 * 5 };
+        assert_eq!(count.get(), expected);
+    }
+}

@@ -1,0 +1,29 @@
+//! Hermetic utility layer for the Thermostat reproduction.
+//!
+//! The workspace must build and test **offline** (no registry access, no
+//! vendored third-party sources), so the handful of external crates the
+//! seed depended on are replaced by small in-tree equivalents:
+//!
+//! * [`rng`] — a deterministic xoshiro256**-based PRNG with a
+//!   `rand::rngs::SmallRng`-compatible surface (`seed_from_u64`,
+//!   `gen`, `gen_range`, shuffling, gaussian/zipf helpers).
+//! * [`json`] — a minimal JSON value model, parser and writer plus
+//!   [`json::ToJson`]/[`json::FromJson`] traits and `impl` macros,
+//!   replacing `serde`/`serde_json` for configs, traces and reports.
+//! * [`proptest_lite`] — a seeded property-test runner ([`forall!`]) with
+//!   shrink-on-failure for integer, tuple and vector inputs, replacing
+//!   `proptest`.
+//! * [`bench`] — a tiny Criterion-shaped bench harness
+//!   ([`criterion_group!`]/[`criterion_main!`]) for `harness = false`
+//!   bench targets.
+//!
+//! Every generator here is fully deterministic: the same seed produces the
+//! same stream on every platform, which is what makes the repo's
+//! determinism tests (same seed ⇒ byte-identical run artifacts) possible.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod proptest_lite;
+pub mod rng;

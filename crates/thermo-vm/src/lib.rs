@@ -36,7 +36,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod pagetable;
 pub mod pte;

@@ -9,7 +9,6 @@
 //! frame (see `thermo-mem::frame`).
 
 use crate::pte::Pte;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use thermo_mem::{PageSize, Pfn, Vpn, PAGES_PER_HUGE};
@@ -50,7 +49,9 @@ impl fmt::Display for MapError {
             MapError::AlreadyMapped { vpn } => write!(f, "page {vpn} is already mapped"),
             MapError::NotMapped { vpn } => write!(f, "page {vpn} is not mapped"),
             MapError::Misaligned { vpn } => write!(f, "page {vpn} is not 2MB aligned"),
-            MapError::WrongKind { vpn, reason } => write!(f, "wrong mapping kind at {vpn}: {reason}"),
+            MapError::WrongKind { vpn, reason } => {
+                write!(f, "wrong mapping kind at {vpn}: {reason}")
+            }
         }
     }
 }
@@ -58,7 +59,7 @@ impl fmt::Display for MapError {
 impl Error for MapError {}
 
 /// A resolved translation, as returned by [`PageTable::lookup`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mapping {
     /// The leaf entry (copied; use the `with_pte_mut` family to modify).
     pub pte: Pte,
@@ -75,7 +76,10 @@ impl Mapping {
     pub fn frame_for(&self, vpn: Vpn) -> Pfn {
         match self.size {
             PageSize::Small4K => self.pte.pfn(),
-            PageSize::Huge2M => self.pte.pfn().offset((vpn - self.base_vpn) % PAGES_PER_HUGE as u64),
+            PageSize::Huge2M => self
+                .pte
+                .pfn()
+                .offset((vpn - self.base_vpn) % PAGES_PER_HUGE as u64),
         }
     }
 }
@@ -93,7 +97,10 @@ struct Pt {
 
 impl Pt {
     fn new() -> Box<Self> {
-        Box::new(Pt { entries: [Pte::empty(); FANOUT], present: 0 })
+        Box::new(Pt {
+            entries: [Pte::empty(); FANOUT],
+            present: 0,
+        })
     }
 }
 
@@ -106,7 +113,10 @@ impl Pd {
     fn new() -> Box<Self> {
         let mut entries = Vec::with_capacity(FANOUT);
         entries.resize_with(FANOUT, || PdEntry::Empty);
-        Box::new(Pd { entries, present: 0 })
+        Box::new(Pd {
+            entries,
+            present: 0,
+        })
     }
 }
 
@@ -169,7 +179,11 @@ impl Default for PageTable {
 impl PageTable {
     /// Creates an empty page table.
     pub fn new() -> Self {
-        Self { root: Pml4::new(), mapped_small: 0, mapped_huge: 0 }
+        Self {
+            root: Pml4::new(),
+            mapped_small: 0,
+            mapped_huge: 0,
+        }
     }
 
     /// Number of mapped 4KB leaves.
@@ -204,7 +218,9 @@ impl PageTable {
             }
             PdEntry::Table(_) => {}
         }
-        let PdEntry::Table(pt) = &mut pd.entries[i2] else { unreachable!() };
+        let PdEntry::Table(pt) = &mut pd.entries[i2] else {
+            unreachable!()
+        };
         if pt.entries[i1].present() {
             return Err(MapError::AlreadyMapped { vpn });
         }
@@ -255,7 +271,11 @@ impl PageTable {
         match &mut pd.entries[i2] {
             PdEntry::Empty => Err(MapError::NotMapped { vpn }),
             PdEntry::Huge(pte) => {
-                let m = Mapping { pte: *pte, size: PageSize::Huge2M, base_vpn: vpn.huge_base() };
+                let m = Mapping {
+                    pte: *pte,
+                    size: PageSize::Huge2M,
+                    base_vpn: vpn.huge_base(),
+                };
                 pd.entries[i2] = PdEntry::Empty;
                 pd.present -= 1;
                 self.mapped_huge -= 1;
@@ -265,7 +285,11 @@ impl PageTable {
                 if !pt.entries[i1].present() {
                     return Err(MapError::NotMapped { vpn });
                 }
-                let m = Mapping { pte: pt.entries[i1], size: PageSize::Small4K, base_vpn: vpn };
+                let m = Mapping {
+                    pte: pt.entries[i1],
+                    size: PageSize::Small4K,
+                    base_vpn: vpn,
+                };
                 pt.entries[i1] = Pte::empty();
                 pt.present -= 1;
                 self.mapped_small -= 1;
@@ -285,12 +309,18 @@ impl PageTable {
         let pd = pdpt.entries[i3].as_ref()?;
         match &pd.entries[i2] {
             PdEntry::Empty => None,
-            PdEntry::Huge(pte) => {
-                Some(Mapping { pte: *pte, size: PageSize::Huge2M, base_vpn: vpn.huge_base() })
-            }
+            PdEntry::Huge(pte) => Some(Mapping {
+                pte: *pte,
+                size: PageSize::Huge2M,
+                base_vpn: vpn.huge_base(),
+            }),
             PdEntry::Table(pt) => {
                 let pte = pt.entries[i1];
-                pte.present().then_some(Mapping { pte, size: PageSize::Small4K, base_vpn: vpn })
+                pte.present().then_some(Mapping {
+                    pte,
+                    size: PageSize::Small4K,
+                    base_vpn: vpn,
+                })
             }
         }
     }
@@ -340,7 +370,10 @@ impl PageTable {
         let huge_pte = match &pd.entries[i2] {
             PdEntry::Empty => return Err(MapError::NotMapped { vpn }),
             PdEntry::Table(_) => {
-                return Err(MapError::WrongKind { vpn, reason: "already split (4KB table)" })
+                return Err(MapError::WrongKind {
+                    vpn,
+                    reason: "already split (4KB table)",
+                })
             }
             PdEntry::Huge(pte) => *pte,
         };
@@ -348,7 +381,8 @@ impl PageTable {
         let base = huge_pte.pfn();
         for (i, entry) in pt.entries.iter_mut().enumerate() {
             let mut child = Pte::new(base.offset(i as u64), huge_pte.writable(), false);
-            child.0 |= huge_pte.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY | crate::pte::BIT_POISON);
+            child.0 |= huge_pte.0
+                & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY | crate::pte::BIT_POISON);
             *entry = child;
         }
         pt.present = FANOUT as u16;
@@ -383,24 +417,39 @@ impl PageTable {
         let pt = match &pd.entries[i2] {
             PdEntry::Empty => return Err(MapError::NotMapped { vpn }),
             PdEntry::Huge(_) => {
-                return Err(MapError::WrongKind { vpn, reason: "already a huge page" })
+                return Err(MapError::WrongKind {
+                    vpn,
+                    reason: "already a huge page",
+                })
             }
             PdEntry::Table(pt) => pt,
         };
         if pt.present as usize != FANOUT {
-            return Err(MapError::WrongKind { vpn, reason: "not all 512 children present" });
+            return Err(MapError::WrongKind {
+                vpn,
+                reason: "not all 512 children present",
+            });
         }
         let first = pt.entries[0];
         if !first.pfn().is_huge_aligned() {
-            return Err(MapError::WrongKind { vpn, reason: "base frame not huge-aligned" });
+            return Err(MapError::WrongKind {
+                vpn,
+                reason: "base frame not huge-aligned",
+            });
         }
         let mut acc = first.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY);
         for (i, child) in pt.entries.iter().enumerate() {
             if child.pfn() != first.pfn().offset(i as u64) {
-                return Err(MapError::WrongKind { vpn, reason: "frames not contiguous" });
+                return Err(MapError::WrongKind {
+                    vpn,
+                    reason: "frames not contiguous",
+                });
             }
             if child.writable() != first.writable() || child.poisoned() != first.poisoned() {
-                return Err(MapError::WrongKind { vpn, reason: "children flags disagree" });
+                return Err(MapError::WrongKind {
+                    vpn,
+                    reason: "children flags disagree",
+                });
             }
             acc |= child.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY);
         }
@@ -511,14 +560,23 @@ mod tests {
         ));
         let mut pt = PageTable::new();
         pt.map_small(Vpn(HUGE_VPN.0 + 5), Pfn(9), true).unwrap();
-        assert!(matches!(pt.map_huge(HUGE_VPN, Pfn(1024), true), Err(MapError::AlreadyMapped { .. })));
+        assert!(matches!(
+            pt.map_huge(HUGE_VPN, Pfn(1024), true),
+            Err(MapError::AlreadyMapped { .. })
+        ));
     }
 
     #[test]
     fn misaligned_huge_rejected() {
         let mut pt = PageTable::new();
-        assert!(matches!(pt.map_huge(Vpn(3), Pfn(1024), true), Err(MapError::Misaligned { .. })));
-        assert!(matches!(pt.map_huge(HUGE_VPN, Pfn(1000), true), Err(MapError::Misaligned { .. })));
+        assert!(matches!(
+            pt.map_huge(Vpn(3), Pfn(1024), true),
+            Err(MapError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            pt.map_huge(HUGE_VPN, Pfn(1000), true),
+            Err(MapError::Misaligned { .. })
+        ));
     }
 
     #[test]
@@ -563,7 +621,10 @@ mod tests {
         pt.map_small(Vpn(HUGE_VPN.0 + 5), Pfn(9999), true).unwrap();
         assert!(matches!(
             pt.collapse_huge(HUGE_VPN),
-            Err(MapError::WrongKind { reason: "frames not contiguous", .. })
+            Err(MapError::WrongKind {
+                reason: "frames not contiguous",
+                ..
+            })
         ));
     }
 
@@ -573,16 +634,25 @@ mod tests {
         pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
         pt.split_huge(HUGE_VPN).unwrap();
         pt.unmap(Vpn(HUGE_VPN.0 + 5)).unwrap();
-        assert!(matches!(pt.collapse_huge(HUGE_VPN), Err(MapError::WrongKind { .. })));
+        assert!(matches!(
+            pt.collapse_huge(HUGE_VPN),
+            Err(MapError::WrongKind { .. })
+        ));
     }
 
     #[test]
     fn split_of_split_or_missing_fails() {
         let mut pt = PageTable::new();
-        assert!(matches!(pt.split_huge(HUGE_VPN), Err(MapError::NotMapped { .. })));
+        assert!(matches!(
+            pt.split_huge(HUGE_VPN),
+            Err(MapError::NotMapped { .. })
+        ));
         pt.map_huge(HUGE_VPN, Pfn(2048), true).unwrap();
         pt.split_huge(HUGE_VPN).unwrap();
-        assert!(matches!(pt.split_huge(HUGE_VPN), Err(MapError::WrongKind { .. })));
+        assert!(matches!(
+            pt.split_huge(HUGE_VPN),
+            Err(MapError::WrongKind { .. })
+        ));
     }
 
     #[test]
@@ -691,6 +761,13 @@ mod tests {
         assert!(format!("{}", MapError::AlreadyMapped { vpn: Vpn(1) }).contains("already"));
         assert!(format!("{}", MapError::NotMapped { vpn: Vpn(1) }).contains("not mapped"));
         assert!(format!("{}", MapError::Misaligned { vpn: Vpn(1) }).contains("aligned"));
-        assert!(format!("{}", MapError::WrongKind { vpn: Vpn(1), reason: "x" }).contains("x"));
+        assert!(format!(
+            "{}",
+            MapError::WrongKind {
+                vpn: Vpn(1),
+                reason: "x"
+            }
+        )
+        .contains("x"));
     }
 }

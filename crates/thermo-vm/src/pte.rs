@@ -7,7 +7,6 @@
 //! the BadgerTrap-style fault handler. We reproduce the exact bit positions
 //! so the mechanism reads like the kernel code it models.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use thermo_mem::Pfn;
 
@@ -33,7 +32,7 @@ const PFN_MASK: u64 = 0x0000_ffff_ffff_f000;
 ///
 /// The PFN field occupies bits 12..48 (36 bits, enough for any simulated
 /// memory size); flag bits follow the x86-64 layout above.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Pte(pub u64);
 
 impl Pte {

@@ -11,11 +11,10 @@
 
 use crate::pagetable::PageTable;
 use crate::tlb::{Tlb, Vpid};
-use serde::{Deserialize, Serialize};
 use thermo_mem::{PageSize, Vpn};
 
 /// One scanned leaf.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanHit {
     /// Base VPN of the leaf.
     pub base_vpn: Vpn,
@@ -28,7 +27,7 @@ pub struct ScanHit {
 }
 
 /// Cost accounting for a scan pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanCost {
     /// PTEs visited.
     pub ptes_visited: u64,
@@ -60,7 +59,12 @@ pub fn scan_and_clear(
     pt.for_each_leaf_mut(start, n_pages, |base_vpn, size, pte| {
         cost.ptes_visited += 1;
         let accessed = pte.accessed();
-        out.push(ScanHit { base_vpn, size, accessed, dirty: pte.dirty() });
+        out.push(ScanHit {
+            base_vpn,
+            size,
+            accessed,
+            dirty: pte.dirty(),
+        });
         if accessed {
             pte.clear_accessed();
             to_flush.push((base_vpn, size));
@@ -76,11 +80,21 @@ pub fn scan_and_clear(
 /// Reads the Accessed bits in `[start, start + n_pages)` without clearing
 /// them (no shootdowns, so no overhead — but the bits saturate: once set
 /// they stay set).
-pub fn read_accessed(pt: &mut PageTable, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+pub fn read_accessed(
+    pt: &mut PageTable,
+    start: Vpn,
+    n_pages: u64,
+    out: &mut Vec<ScanHit>,
+) -> ScanCost {
     let mut cost = ScanCost::default();
     pt.for_each_leaf_mut(start, n_pages, |base_vpn, size, pte| {
         cost.ptes_visited += 1;
-        out.push(ScanHit { base_vpn, size, accessed: pte.accessed(), dirty: pte.dirty() });
+        out.push(ScanHit {
+            base_vpn,
+            size,
+            accessed: pte.accessed(),
+            dirty: pte.dirty(),
+        });
     });
     cost
 }
@@ -114,7 +128,10 @@ mod tests {
         assert_eq!(cost.shootdowns, 1);
         // Bit is cleared and the TLB entry is gone.
         assert!(!pt.lookup(Vpn(0)).unwrap().pte.accessed());
-        assert!(matches!(tlb.lookup(Vpn(3), V), crate::tlb::TlbOutcome::Miss));
+        assert!(matches!(
+            tlb.lookup(Vpn(3), V),
+            crate::tlb::TlbOutcome::Miss
+        ));
     }
 
     #[test]
@@ -142,7 +159,10 @@ mod tests {
 
     #[test]
     fn scan_cost_time() {
-        let c = ScanCost { ptes_visited: 10, shootdowns: 3 };
+        let c = ScanCost {
+            ptes_visited: 10,
+            shootdowns: 3,
+        };
         assert_eq!(c.time_ns(100, 1000), 10 * 100 + 3 * 1000);
     }
 }

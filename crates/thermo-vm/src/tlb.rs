@@ -11,15 +11,14 @@
 //! with true-LRU within a set, tagged with a VPID (the paper discusses KVM's
 //! use of VPIDs in §4.2).
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::{PageSize, Pfn, Vpn, PAGES_PER_HUGE};
 
 /// Virtual processor id tag (KVM tags guest TLB entries with a VPID).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Vpid(pub u16);
 
 /// Geometry of one TLB array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbGeometry {
     /// Total entries.
     pub entries: usize,
@@ -34,7 +33,10 @@ impl TlbGeometry {
     ///
     /// Panics when `entries % ways != 0` or either is zero.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries > 0 && ways > 0 && entries.is_multiple_of(ways), "bad TLB geometry {entries}/{ways}");
+        assert!(
+            entries > 0 && ways > 0 && entries.is_multiple_of(ways),
+            "bad TLB geometry {entries}/{ways}"
+        );
         Self { entries, ways }
     }
 
@@ -44,7 +46,7 @@ impl TlbGeometry {
 }
 
 /// Configuration of the full TLB hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// L1 array for 4KB translations.
     pub l1_small: TlbGeometry,
@@ -130,7 +132,7 @@ pub enum TlbOutcome {
 }
 
 /// Per-level hit/miss statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// L1 hits.
     pub l1_hits: u64,
@@ -166,7 +168,10 @@ struct Array {
 
 impl Array {
     fn new(geo: TlbGeometry) -> Self {
-        Self { geo, sets: vec![Entry::INVALID; geo.entries] }
+        Self {
+            geo,
+            sets: vec![Entry::INVALID; geo.entries],
+        }
     }
 
     fn set_index(&self, vpn: Vpn, size: PageSize) -> usize {
@@ -210,7 +215,14 @@ impl Array {
                 victim = i;
             }
         }
-        slots[victim] = Entry { valid: true, vpn, pfn, size, vpid, lru: tick };
+        slots[victim] = Entry {
+            valid: true,
+            vpn,
+            pfn,
+            size,
+            vpid,
+            lru: tick,
+        };
     }
 
     fn invalidate(&mut self, vpn: Vpn, size: PageSize, vpid: Vpid) -> bool {
@@ -252,7 +264,10 @@ pub struct Tlb {
 
 impl std::fmt::Debug for Tlb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tlb").field("config", &self.config).field("stats", &self.stats).finish()
+        f.debug_struct("Tlb")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -284,21 +299,35 @@ impl Tlb {
         let hbase = vpn.huge_base();
         if let Some(pfn) = self.l1_small.lookup(vpn, PageSize::Small4K, vpid, tick) {
             self.stats.l1_hits += 1;
-            return TlbOutcome::HitL1 { pfn, size: PageSize::Small4K };
+            return TlbOutcome::HitL1 {
+                pfn,
+                size: PageSize::Small4K,
+            };
         }
         if let Some(pfn) = self.l1_huge.lookup(hbase, PageSize::Huge2M, vpid, tick) {
             self.stats.l1_hits += 1;
-            return TlbOutcome::HitL1 { pfn, size: PageSize::Huge2M };
+            return TlbOutcome::HitL1 {
+                pfn,
+                size: PageSize::Huge2M,
+            };
         }
         if let Some(pfn) = self.l2.lookup(vpn, PageSize::Small4K, vpid, tick) {
             self.stats.l2_hits += 1;
-            self.l1_small.insert(vpn, pfn, PageSize::Small4K, vpid, tick);
-            return TlbOutcome::HitL2 { pfn, size: PageSize::Small4K };
+            self.l1_small
+                .insert(vpn, pfn, PageSize::Small4K, vpid, tick);
+            return TlbOutcome::HitL2 {
+                pfn,
+                size: PageSize::Small4K,
+            };
         }
         if let Some(pfn) = self.l2.lookup(hbase, PageSize::Huge2M, vpid, tick) {
             self.stats.l2_hits += 1;
-            self.l1_huge.insert(hbase, pfn, PageSize::Huge2M, vpid, tick);
-            return TlbOutcome::HitL2 { pfn, size: PageSize::Huge2M };
+            self.l1_huge
+                .insert(hbase, pfn, PageSize::Huge2M, vpid, tick);
+            return TlbOutcome::HitL2 {
+                pfn,
+                size: PageSize::Huge2M,
+            };
         }
         self.stats.misses += 1;
         TlbOutcome::Miss
@@ -375,7 +404,13 @@ mod tests {
         let mut tlb = Tlb::default();
         assert_eq!(tlb.lookup(Vpn(5), V0), TlbOutcome::Miss);
         tlb.insert(Vpn(5), Pfn(50), PageSize::Small4K, V0);
-        assert_eq!(tlb.lookup(Vpn(5), V0), TlbOutcome::HitL1 { pfn: Pfn(50), size: PageSize::Small4K });
+        assert_eq!(
+            tlb.lookup(Vpn(5), V0),
+            TlbOutcome::HitL1 {
+                pfn: Pfn(50),
+                size: PageSize::Small4K
+            }
+        );
         assert_eq!(tlb.stats().l1_hits, 1);
         assert_eq!(tlb.stats().misses, 1);
     }
@@ -406,9 +441,15 @@ mod tests {
         tlb.insert(Vpn(1), Pfn(11), PageSize::Small4K, V0);
         tlb.insert(Vpn(2), Pfn(12), PageSize::Small4K, V0);
         tlb.insert(Vpn(3), Pfn(13), PageSize::Small4K, V0); // evicts vpn 1 from L1
-        assert!(matches!(tlb.lookup(Vpn(1), V0), TlbOutcome::HitL2 { pfn: Pfn(11), .. }));
+        assert!(matches!(
+            tlb.lookup(Vpn(1), V0),
+            TlbOutcome::HitL2 { pfn: Pfn(11), .. }
+        ));
         // Promoted: now an L1 hit.
-        assert!(matches!(tlb.lookup(Vpn(1), V0), TlbOutcome::HitL1 { pfn: Pfn(11), .. }));
+        assert!(matches!(
+            tlb.lookup(Vpn(1), V0),
+            TlbOutcome::HitL1 { pfn: Pfn(11), .. }
+        ));
     }
 
     #[test]
@@ -442,7 +483,10 @@ mod tests {
         tlb.insert(Vpn(6), Pfn(60), PageSize::Small4K, Vpid(2));
         tlb.flush_vpid(Vpid(1));
         assert_eq!(tlb.lookup(Vpn(5), Vpid(1)), TlbOutcome::Miss);
-        assert!(matches!(tlb.lookup(Vpn(6), Vpid(2)), TlbOutcome::HitL1 { .. }));
+        assert!(matches!(
+            tlb.lookup(Vpn(6), Vpid(2)),
+            TlbOutcome::HitL1 { .. }
+        ));
     }
 
     #[test]
@@ -482,7 +526,10 @@ mod tests {
         let mut tlb = Tlb::default();
         tlb.insert(Vpn(1), Pfn(11), PageSize::Small4K, V0);
         tlb.insert(Vpn(1), Pfn(99), PageSize::Small4K, V0);
-        assert!(matches!(tlb.lookup(Vpn(1), V0), TlbOutcome::HitL1 { pfn: Pfn(99), .. }));
+        assert!(matches!(
+            tlb.lookup(Vpn(1), V0),
+            TlbOutcome::HitL1 { pfn: Pfn(99), .. }
+        ));
     }
 
     #[test]
@@ -501,3 +548,12 @@ mod tests {
         TlbGeometry::new(10, 3);
     }
 }
+
+thermo_util::json_newtype!(Vpid);
+thermo_util::json_struct!(TlbGeometry { entries, ways });
+thermo_util::json_struct!(TlbConfig {
+    l1_small,
+    l1_huge,
+    l2,
+    l2_hit_ns
+});

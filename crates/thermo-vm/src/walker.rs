@@ -9,11 +9,10 @@
 //! accesses ("2MB huge pages ... improve the cacheability of intermediate
 //! levels of the page tables").
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::PageSize;
 
 /// Paging mode of the simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PagingMode {
     /// Bare-metal one-dimensional walks.
     Native,
@@ -22,7 +21,7 @@ pub enum PagingMode {
 }
 
 /// Maximum page-walk step counts (memory accesses), per §2.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkSteps {
     /// Native, 4KB leaf: 4-level walk.
     pub native_small: u32,
@@ -36,12 +35,17 @@ pub struct WalkSteps {
 
 impl Default for WalkSteps {
     fn default() -> Self {
-        Self { native_small: 4, native_huge: 3, nested_small: 24, nested_huge: 15 }
+        Self {
+            native_small: 4,
+            native_huge: 3,
+            nested_small: 24,
+            nested_huge: 15,
+        }
     }
 }
 
 /// Cost model for page walks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WalkConfig {
     /// Paging mode.
     pub mode: PagingMode,
@@ -70,7 +74,10 @@ impl WalkConfig {
 
     /// Nested paging (the paper's KVM environment) with default costs.
     pub fn nested() -> Self {
-        Self { mode: PagingMode::Nested, ..Self::native() }
+        Self {
+            mode: PagingMode::Nested,
+            ..Self::native()
+        }
     }
 
     /// Number of steps for a walk resolving a leaf of `size`.
@@ -153,3 +160,18 @@ mod tests {
         assert_eq!(all_cached, 24 * 4);
     }
 }
+
+thermo_util::json_enum!(PagingMode { Native, Nested });
+thermo_util::json_struct!(WalkSteps {
+    native_small,
+    native_huge,
+    nested_small,
+    nested_huge
+});
+thermo_util::json_struct!(WalkConfig {
+    mode,
+    steps,
+    pwc_hit_fraction,
+    cached_step_ns,
+    memory_step_ns
+});

@@ -2,9 +2,10 @@
 //! arbitrary map/split/collapse sequences, and TLB coherence after
 //! shootdowns.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use thermo_mem::{PageSize, Pfn, Vpn, PAGES_PER_HUGE};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{any, range, vec_of, weighted, Strategy};
 use thermo_vm::{PageTable, Tlb, TlbOutcome, Vpid};
 
 #[derive(Debug, Clone)]
@@ -17,23 +18,26 @@ enum Action {
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..8).prop_map(Action::MapHuge),
-        (0u8..8).prop_map(Action::Split),
-        (0u8..8).prop_map(Action::Collapse),
-        (0u8..8).prop_map(Action::Unmap),
-        ((0u8..8), (0u16..512)).prop_map(|(s, o)| Action::Touch(s, o)),
-    ]
+    weighted(vec![
+        (1, range(0u8..8).prop_map(Action::MapHuge).boxed()),
+        (1, range(0u8..8).prop_map(Action::Split).boxed()),
+        (1, range(0u8..8).prop_map(Action::Collapse).boxed()),
+        (1, range(0u8..8).prop_map(Action::Unmap).boxed()),
+        (
+            1,
+            (range(0u8..8), range(0u16..512))
+                .prop_map(|(s, o)| Action::Touch(s, o))
+                .boxed(),
+        ),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Whatever sequence of huge-page operations runs, every mapped 4KB page
-    /// translates to the frame implied by its huge page's base frame, and
-    /// split/collapse never change translations.
-    #[test]
-    fn translations_stable_under_split_collapse(actions in prop::collection::vec(action_strategy(), 1..120)) {
+/// Whatever sequence of huge-page operations runs, every mapped 4KB page
+/// translates to the frame implied by its huge page's base frame, and
+/// split/collapse never change translations.
+#[test]
+fn translations_stable_under_split_collapse() {
+    forall!(cases = 48, (actions in vec_of(action_strategy(), 1..120)) => {
         let mut pt = PageTable::new();
         // slot i <-> huge page at vpn 512*i; frame base 512*(i+1) when mapped.
         let mut mapped = [false; 8];
@@ -82,28 +86,31 @@ proptest! {
                     let vpn = Vpn((s * PAGES_PER_HUGE) as u64 + off as u64);
                     match pt.lookup(vpn) {
                         Some(m) => {
-                            prop_assert!(mapped[s]);
+                            assert!(mapped[s]);
                             let expect = Pfn(((s + 1) * PAGES_PER_HUGE) as u64 + off as u64);
-                            prop_assert_eq!(m.frame_for(vpn), expect);
+                            assert_eq!(m.frame_for(vpn), expect);
                             let expect_size = if split[s] { PageSize::Small4K } else { PageSize::Huge2M };
-                            prop_assert_eq!(m.size, expect_size);
+                            assert_eq!(m.size, expect_size);
                         }
-                        None => prop_assert!(!mapped[s]),
+                        None => assert!(!mapped[s]),
                     }
                 }
             }
             // Leaf counters stay consistent.
             let hs = mapped.iter().zip(split.iter()).filter(|(m, s)| **m && !**s).count() as u64;
             let ss = mapped.iter().zip(split.iter()).filter(|(m, s)| **m && **s).count() as u64 * PAGES_PER_HUGE as u64;
-            prop_assert_eq!(pt.mapped_huge_pages(), hs);
-            prop_assert_eq!(pt.mapped_small_pages(), ss);
+            assert_eq!(pt.mapped_huge_pages(), hs);
+            assert_eq!(pt.mapped_small_pages(), ss);
         }
-    }
+    });
+}
 
-    /// The TLB never returns a stale frame: after any interleaving of
-    /// inserts and shootdowns, a hit must agree with the shadow map.
-    #[test]
-    fn tlb_never_stale(ops in prop::collection::vec((0u64..64, 0u64..1000, any::<bool>()), 1..300)) {
+/// The TLB never returns a stale frame: after any interleaving of
+/// inserts and shootdowns, a hit must agree with the shadow map.
+#[test]
+fn tlb_never_stale() {
+    let op = (range(0u64..64), range(0u64..1000), any::<bool>());
+    forall!(cases = 48, (ops in vec_of(op, 1..300)) => {
         let mut tlb = Tlb::default();
         let vpid = Vpid(1);
         let mut shadow: HashMap<u64, u64> = HashMap::new();
@@ -119,18 +126,20 @@ proptest! {
             for probe in [vpn, vpn ^ 1, 0] {
                 match tlb.lookup(Vpn(probe), vpid) {
                     TlbOutcome::HitL1 { pfn, .. } | TlbOutcome::HitL2 { pfn, .. } => {
-                        prop_assert_eq!(Some(&pfn.0), shadow.get(&probe), "stale TLB entry for vpn {}", probe);
+                        assert_eq!(Some(&pfn.0), shadow.get(&probe), "stale TLB entry for vpn {probe}");
                     }
                     TlbOutcome::Miss => {} // misses are always legal
                 }
             }
         }
-    }
+    });
+}
 
-    /// Splitting preserves the poison and A/D bits on all children, and
-    /// collapse folds them back, so no monitoring state is ever lost.
-    #[test]
-    fn split_collapse_preserve_bits(poison in any::<bool>(), accessed in any::<bool>()) {
+/// Splitting preserves the poison and A/D bits on all children, and
+/// collapse folds them back, so no monitoring state is ever lost.
+#[test]
+fn split_collapse_preserve_bits() {
+    forall!(cases = 48, (poison in any::<bool>()), (accessed in any::<bool>()) => {
         let mut pt = PageTable::new();
         pt.map_huge(Vpn(0), Pfn(512), true).unwrap();
         pt.with_pte_mut(Vpn(0), |p| {
@@ -140,13 +149,13 @@ proptest! {
         pt.split_huge(Vpn(0)).unwrap();
         for i in [0u64, 200, 511] {
             let pte = pt.lookup(Vpn(i)).unwrap().pte;
-            prop_assert_eq!(pte.poisoned(), poison);
-            prop_assert_eq!(pte.accessed(), accessed);
+            assert_eq!(pte.poisoned(), poison);
+            assert_eq!(pte.accessed(), accessed);
         }
         pt.collapse_huge(Vpn(0)).unwrap();
         let pte = pt.lookup(Vpn(0)).unwrap().pte;
-        prop_assert_eq!(pte.poisoned(), poison);
-        prop_assert_eq!(pte.accessed(), accessed);
-        prop_assert_eq!(pte.pfn(), Pfn(512));
-    }
+        assert_eq!(pte.poisoned(), poison);
+        assert_eq!(pte.accessed(), accessed);
+        assert_eq!(pte.pfn(), Pfn(512));
+    });
 }

@@ -8,9 +8,9 @@
 
 use crate::common::{percent, AppConfig, Region};
 use crate::dist::{fnv_mix, KeyDist, ScrambledZipfian};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SeedableRng;
+use thermo_util::rng::SmallRng;
 
 /// Paper footprint (Table 2): 12.3GB RSS, 5MB file-mapped.
 const PAPER_RSS: u64 = 12_300_000_000;
@@ -77,7 +77,11 @@ impl Workload for Aerospike {
         accesses.push(Access::read(index.slot(fnv_mix(key), INDEX_ENTRY)));
         for l in 0..2 {
             let va = data.slot_line(key, SLOT_BYTES, l);
-            accesses.push(if write { Access::write(va) } else { Access::read(va) });
+            accesses.push(if write {
+                Access::write(va)
+            } else {
+                Access::read(va)
+            });
         }
         Some(self.compute_ns)
     }
@@ -97,7 +101,11 @@ mod tests {
 
     fn tiny() -> (Engine, Aerospike) {
         let e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
-        let a = Aerospike::new(AppConfig { scale: 512, seed: 2, read_pct: 95 });
+        let a = Aerospike::new(AppConfig {
+            scale: 512,
+            seed: 2,
+            read_pct: 95,
+        });
         (e, a)
     }
 
@@ -118,7 +126,11 @@ mod tests {
     fn write_heavy_mix_writes_more() {
         let mix_writes = |read_pct: u8| {
             let mut e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
-            let mut a = Aerospike::new(AppConfig { scale: 512, seed: 2, read_pct });
+            let mut a = Aerospike::new(AppConfig {
+                scale: 512,
+                seed: 2,
+                read_pct,
+            });
             a.init(&mut e);
             let before = e.stats().writes;
             run_ops(&mut e, &mut a, &mut NoPolicy, 10_000);
@@ -132,13 +144,20 @@ mod tests {
         let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
         cfg.track_true_access = true;
         let mut e = Engine::new(cfg);
-        let mut a = Aerospike::new(AppConfig { scale: 512, seed: 2, read_pct: 95 });
+        let mut a = Aerospike::new(AppConfig {
+            scale: 512,
+            seed: 2,
+            read_pct: 95,
+        });
         a.init(&mut e);
         e.reset_true_access();
         run_ops(&mut e, &mut a, &mut NoPolicy, 50_000);
         // Some resident pages saw zero traffic in the window.
         let touched = e.true_access_counts().len() as u64;
         let resident_pages = e.rss_bytes() / 4096;
-        assert!(touched < resident_pages, "zipf tail should leave pages untouched");
+        assert!(
+            touched < resident_pages,
+            "zipf tail should leave pages untouched"
+        );
     }
 }

@@ -14,9 +14,9 @@
 //!   (the cold 15–20%).
 
 use crate::common::{AppConfig, Region};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 
 /// Ratings partitions (scanned warm data).
 const PAPER_RATINGS: u64 = 4_000_000_000;
@@ -71,9 +71,27 @@ impl Workload for Analytics {
     }
 
     fn init(&mut self, engine: &mut Engine) {
-        let ratings = Region::map(engine, self.cfg.scaled(PAPER_RATINGS), true, false, "spark-ratings");
-        let model = Region::map(engine, self.cfg.scaled(PAPER_MODEL), true, false, "spark-model");
-        let old_gen = Region::map(engine, self.cfg.scaled(PAPER_OLD_GEN), true, false, "spark-oldgen");
+        let ratings = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_RATINGS),
+            true,
+            false,
+            "spark-ratings",
+        );
+        let model = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_MODEL),
+            true,
+            false,
+            "spark-model",
+        );
+        let old_gen = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_OLD_GEN),
+            true,
+            false,
+            "spark-oldgen",
+        );
         // The old generation was materialized earlier in the job; the
         // ratings are paged in lazily as the first iteration scans them
         // (Figure 9's footprint growth).
@@ -123,7 +141,11 @@ mod tests {
 
     fn setup() -> (Engine, Analytics) {
         let e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
-        let a = Analytics::new(AppConfig { scale: 512, seed: 5, read_pct: 95 });
+        let a = Analytics::new(AppConfig {
+            scale: 512,
+            seed: 5,
+            read_pct: 95,
+        });
         (e, a)
     }
 
@@ -154,15 +176,18 @@ mod tests {
         let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
         cfg.track_true_access = true;
         let mut e = Engine::new(cfg);
-        let mut a = Analytics::new(AppConfig { scale: 512, seed: 5, read_pct: 95 });
+        let mut a = Analytics::new(AppConfig {
+            scale: 512,
+            seed: 5,
+            read_pct: 95,
+        });
         a.init(&mut e);
         e.reset_true_access();
         run_ops(&mut e, &mut a, &mut NoPolicy, 10_000);
         let old = a.old_gen.unwrap();
-        let touched_old = e
-            .true_access_counts()
-            .keys()
-            .any(|v| v.addr() >= old.base && v.addr() < thermo_mem::VirtAddr(old.base.0 + old.bytes));
+        let touched_old = e.true_access_counts().keys().any(|v| {
+            v.addr() >= old.base && v.addr() < thermo_mem::VirtAddr(old.base.0 + old.bytes)
+        });
         assert!(!touched_old, "old generation must stay cold");
     }
 

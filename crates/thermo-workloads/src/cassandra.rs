@@ -14,9 +14,9 @@
 
 use crate::common::{percent, AppConfig, Region};
 use crate::dist::{fnv_mix, KeyDist, ZipfianDist};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 
 /// Paper Table 2: 8GB RSS.
 const PAPER_HEAP: u64 = 4_000_000_000;
@@ -76,13 +76,34 @@ impl Workload for Cassandra {
     }
 
     fn init(&mut self, engine: &mut Engine) {
-        let heap = Region::map(engine, self.cfg.scaled(PAPER_HEAP), true, false, "cass-heap");
-        let memtable =
-            Region::map(engine, self.cfg.scaled(PAPER_MEMTABLE), true, false, "cass-memtable");
-        let sstables =
-            Region::map(engine, self.cfg.scaled(PAPER_SSTABLE), true, true, "cass-sstables");
-        let commitlog =
-            Region::map(engine, self.cfg.scaled(PAPER_COMMITLOG), true, true, "cass-commitlog");
+        let heap = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_HEAP),
+            true,
+            false,
+            "cass-heap",
+        );
+        let memtable = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_MEMTABLE),
+            true,
+            false,
+            "cass-memtable",
+        );
+        let sstables = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_SSTABLE),
+            true,
+            true,
+            "cass-sstables",
+        );
+        let commitlog = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_COMMITLOG),
+            true,
+            true,
+            "cass-commitlog",
+        );
         // The load phase fills the heap and flushes initial SSTables; the
         // Memtable starts empty and grows during the run.
         heap.warm(engine);
@@ -153,7 +174,11 @@ mod tests {
 
     fn setup(read_pct: u8) -> (Engine, Cassandra) {
         let e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
-        let c = Cassandra::new(AppConfig { scale: 512, seed: 3, read_pct });
+        let c = Cassandra::new(AppConfig {
+            scale: 512,
+            seed: 3,
+            read_pct,
+        });
         (e, c)
     }
 
@@ -185,7 +210,11 @@ mod tests {
         let file = e.process().file_backed_bytes() as f64;
         let total = e.process().virtual_bytes() as f64;
         // Table 2: 4GB file-mapped of ~12GB total mapped.
-        assert!(file / total > 0.25 && file / total < 0.5, "file share {}", file / total);
+        assert!(
+            file / total > 0.25 && file / total < 0.5,
+            "file share {}",
+            file / total
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! tiers — so one Thermostat instance manages the mixed footprint exactly
 //! as the host OS would across containers.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 
 /// One tenant: a workload plus its share of the operation stream.
 pub struct Tenant {
@@ -45,14 +45,22 @@ impl Colocated {
     /// Panics if `tenants` is empty or all weights are zero.
     pub fn new(tenants: Vec<Tenant>, seed: u64) -> Self {
         assert!(!tenants.is_empty(), "need at least one tenant");
-        assert!(tenants.iter().any(|t| t.weight > 0), "need a positive weight");
+        assert!(
+            tenants.iter().any(|t| t.weight > 0),
+            "need a positive weight"
+        );
         let name = tenants
             .iter()
             .map(|t| t.workload.name().to_string())
             .collect::<Vec<_>>()
             .join("+");
         let finished = vec![false; tenants.len()];
-        Self { tenants, finished, rng: SmallRng::seed_from_u64(seed ^ 0xc01c), name }
+        Self {
+            tenants,
+            finished,
+            rng: SmallRng::seed_from_u64(seed ^ 0xc01c),
+            name,
+        }
     }
 
     /// Number of tenants still running.
@@ -131,7 +139,11 @@ mod tests {
     #[test]
     fn two_tenants_share_one_machine() {
         let mut e = engine();
-        let cfg = AppConfig { scale: 512, seed: 4, read_pct: 95 };
+        let cfg = AppConfig {
+            scale: 512,
+            seed: 4,
+            read_pct: 95,
+        };
         let mut c = Colocated::new(
             vec![
                 Tenant::new(AppId::Redis.build(cfg), 3),
@@ -193,7 +205,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive weight")]
     fn zero_weights_rejected() {
-        let cfg = AppConfig { scale: 512, seed: 4, read_pct: 95 };
+        let cfg = AppConfig {
+            scale: 512,
+            seed: 4,
+            read_pct: 95,
+        };
         Colocated::new(vec![Tenant::new(AppId::Redis.build(cfg), 0)], 1);
     }
 }

@@ -1,9 +1,8 @@
 //! Shared scaffolding for the six application generators.
 
-use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
 use thermo_mem::VirtAddr;
 use thermo_sim::Engine;
+use thermo_util::rng::SmallRng;
 
 /// Scaling and seeding knobs shared by every generator.
 ///
@@ -11,7 +10,7 @@ use thermo_sim::Engine;
 /// them down by [`AppConfig::scale`] together with the LLC so the
 /// footprint:cache:TLB-reach ratios stay in the studied regime (see
 /// DESIGN.md §1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppConfig {
     /// Footprint divisor relative to the paper's Table 2 (default 16:
     /// Redis's 17.2GB becomes ~1.1GB).
@@ -25,7 +24,11 @@ pub struct AppConfig {
 
 impl Default for AppConfig {
     fn default() -> Self {
-        Self { scale: 16, seed: 0x7e57_0001, read_pct: 95 }
+        Self {
+            scale: 16,
+            seed: 0x7e57_0001,
+            read_pct: 95,
+        }
     }
 }
 
@@ -39,7 +42,7 @@ impl AppConfig {
 }
 
 /// A mapped region plus address arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Region {
     /// First byte.
     pub base: VirtAddr,
@@ -69,7 +72,11 @@ impl Region {
     /// around the region (so multi-line values at the last slot stay inside
     /// the mapping).
     pub fn slot_line(&self, i: u64, slot_bytes: u64, line: u64) -> VirtAddr {
-        VirtAddr(self.at(i.wrapping_mul(slot_bytes).wrapping_add(line * 64)).0 & !63)
+        VirtAddr(
+            self.at(i.wrapping_mul(slot_bytes).wrapping_add(line * 64))
+                .0
+                & !63,
+        )
     }
 
     /// Number of slots of `slot_bytes` that fit.
@@ -100,19 +107,22 @@ impl AlignExt for VirtAddr {
 
 /// Draws true with probability `pct`/100.
 pub fn percent(rng: &mut SmallRng, pct: u8) -> bool {
-    use rand::Rng;
+    use thermo_util::rng::Rng;
     rng.gen_range(0..100u8) < pct
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use thermo_sim::SimConfig;
+    use thermo_util::rng::SeedableRng;
 
     #[test]
     fn scaled_rounds_to_huge() {
-        let cfg = AppConfig { scale: 16, ..Default::default() };
+        let cfg = AppConfig {
+            scale: 16,
+            ..Default::default()
+        };
         let s = cfg.scaled(17_200_000_000);
         assert_eq!(s % (2 << 20), 0);
         assert!(s >= 17_200_000_000 / 16);
@@ -120,7 +130,10 @@ mod tests {
 
     #[test]
     fn region_addressing() {
-        let r = Region { base: VirtAddr(1 << 32), bytes: 4096 };
+        let r = Region {
+            base: VirtAddr(1 << 32),
+            bytes: 4096,
+        };
         assert_eq!(r.at(0), r.base);
         assert_eq!(r.at(4096), r.base); // wraps
         assert_eq!(r.slot(1, 100).0 % 64, 0);

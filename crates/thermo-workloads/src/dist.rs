@@ -5,8 +5,8 @@
 //! for Redis where "0.01% of the keys account for 90% of the traffic".
 //! These generators reproduce those shapes deterministically.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use thermo_util::rng::Rng;
+use thermo_util::rng::SmallRng;
 
 /// A distribution over integer keys `0..n`.
 pub trait KeyDist {
@@ -70,12 +70,21 @@ impl ZipfianDist {
     /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "empty key space");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1), got {theta}");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
         let zeta_n = Self::zeta(n, theta);
         let zeta_theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
-        Self { n, theta, alpha, zeta_n, eta }
+        Self {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -125,12 +134,16 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Scrambled Zipfian over `0..n` with YCSB's default theta.
     pub fn new(n: u64) -> Self {
-        Self { inner: ZipfianDist::new(n, ZipfianDist::YCSB_THETA) }
+        Self {
+            inner: ZipfianDist::new(n, ZipfianDist::YCSB_THETA),
+        }
     }
 
     /// Scrambled Zipfian with explicit skew.
     pub fn with_theta(n: u64, theta: f64) -> Self {
-        Self { inner: ZipfianDist::new(n, theta) }
+        Self {
+            inner: ZipfianDist::new(n, theta),
+        }
     }
 }
 
@@ -217,7 +230,7 @@ impl KeyDist for HotspotDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use thermo_util::rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)
@@ -237,7 +250,10 @@ mod tests {
         let d = UniformDist::new(100);
         let h = histogram(&d, 100_000);
         let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
-        assert!(*min > 700 && *max < 1300, "uniform too skewed: {min}..{max}");
+        assert!(
+            *min > 700 && *max < 1300,
+            "uniform too skewed: {min}..{max}"
+        );
     }
 
     #[test]
@@ -271,7 +287,10 @@ mod tests {
         assert!(max as f64 / 200_000.0 > 0.08);
         // Popularity must not be concentrated in the low indices.
         let low: u64 = h[..100].iter().sum();
-        assert!((low as f64 / 200_000.0) < 0.5, "scramble failed to spread head");
+        assert!(
+            (low as f64 / 200_000.0) < 0.5,
+            "scramble failed to spread head"
+        );
     }
 
     #[test]

@@ -23,7 +23,6 @@
 //! assert_eq!(out.ops, 1_000);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod aerospike;
 pub mod analytics;

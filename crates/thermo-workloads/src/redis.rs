@@ -10,9 +10,9 @@
 
 use crate::common::{percent, AppConfig, Region};
 use crate::dist::{fnv_mix, HotspotDist, KeyDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SeedableRng;
+use thermo_util::rng::SmallRng;
 
 /// Paper footprint (Table 2): 17.2GB RSS, ~1MB file-mapped.
 const PAPER_RSS: u64 = 17_200_000_000;
@@ -83,12 +83,16 @@ impl Workload for Redis {
         );
         let key = dist.sample(&mut self.rng);
         let write = !percent(&mut self.rng, 90); // 90:10 GET:SET
-        // 1. Hash-index probe.
+                                                 // 1. Hash-index probe.
         accesses.push(Access::read(index.slot(fnv_mix(key), INDEX_ENTRY)));
         // 2. Value access: the [12] value-size distribution is dominated by
         //    small values; one cache line carries the common case.
         let va = data.slot_line(key, SLOT_BYTES, 0);
-        accesses.push(if write { Access::write(va) } else { Access::read(va) });
+        accesses.push(if write {
+            Access::write(va)
+        } else {
+            Access::read(va)
+        });
         Some(self.compute_ns)
     }
 
@@ -106,7 +110,11 @@ mod tests {
     use thermo_sim::{run_ops, NoPolicy, SimConfig};
 
     fn tiny_cfg() -> AppConfig {
-        AppConfig { scale: 512, seed: 1, read_pct: 95 } // ~34MB
+        AppConfig {
+            scale: 512,
+            seed: 1,
+            read_pct: 95,
+        } // ~34MB
     }
 
     fn engine() -> Engine {

@@ -7,13 +7,12 @@ use crate::common::AppConfig;
 use crate::redis::Redis;
 use crate::tpcc::Tpcc;
 use crate::websearch::WebSearch;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 use thermo_sim::Workload;
 
 /// The paper's six applications (§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AppId {
     /// Aerospike NoSQL store (YCSB Zipfian).
     Aerospike,
@@ -119,11 +118,15 @@ impl FromStr for AppId {
         match s.to_ascii_lowercase().as_str() {
             "aerospike" => Ok(AppId::Aerospike),
             "cassandra" => Ok(AppId::Cassandra),
-            "in-memory-analytics" | "analytics" | "in-mem-analytics" => Ok(AppId::InMemoryAnalytics),
+            "in-memory-analytics" | "analytics" | "in-mem-analytics" => {
+                Ok(AppId::InMemoryAnalytics)
+            }
             "mysql-tpcc" | "tpcc" | "mysql" => Ok(AppId::MysqlTpcc),
             "redis" => Ok(AppId::Redis),
             "web-search" | "websearch" | "search" => Ok(AppId::WebSearch),
-            other => Err(ParseAppError { name: other.to_string() }),
+            other => Err(ParseAppError {
+                name: other.to_string(),
+            }),
         }
     }
 }
@@ -143,7 +146,10 @@ mod tests {
     #[test]
     fn aliases_parse() {
         assert_eq!("tpcc".parse::<AppId>().unwrap(), AppId::MysqlTpcc);
-        assert_eq!("analytics".parse::<AppId>().unwrap(), AppId::InMemoryAnalytics);
+        assert_eq!(
+            "analytics".parse::<AppId>().unwrap(),
+            AppId::InMemoryAnalytics
+        );
         assert_eq!("websearch".parse::<AppId>().unwrap(), AppId::WebSearch);
     }
 

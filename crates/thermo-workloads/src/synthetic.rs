@@ -9,13 +9,12 @@
 
 use crate::common::Region;
 use crate::dist::{KeyDist, ScrambledZipfian, UniformDist};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 
 /// Access pattern within one region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Pattern {
     /// Uniform random lines.
     Uniform,
@@ -31,7 +30,7 @@ pub enum Pattern {
 }
 
 /// Specification of one region.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionSpec {
     /// Region name (VMA tag).
     pub name: String,
@@ -90,7 +89,10 @@ impl Synthetic {
     pub fn new(specs: Vec<RegionSpec>, compute_ns: u64, seed: u64) -> Self {
         assert!(!specs.is_empty(), "need at least one region");
         let total_weight: u32 = specs.iter().map(|s| s.weight).sum();
-        assert!(total_weight > 0, "at least one region needs a positive weight");
+        assert!(
+            total_weight > 0,
+            "at least one region needs a positive weight"
+        );
         Self {
             rng: SmallRng::seed_from_u64(seed ^ 0x5e17),
             dists: Vec::new(),
@@ -121,7 +123,8 @@ impl Workload for Synthetic {
             let lines = region.bytes / 64;
             match spec.pattern {
                 Pattern::Zipfian { theta } => {
-                    self.dists.push(Some(ScrambledZipfian::with_theta(lines, theta)));
+                    self.dists
+                        .push(Some(ScrambledZipfian::with_theta(lines, theta)));
                     self.uniform.push(None);
                 }
                 Pattern::Uniform => {
@@ -152,12 +155,14 @@ impl Workload for Synthetic {
         let region = self.regions[idx];
         let write = self.rng.gen_range(0..100u8) < spec.write_pct;
         let line = match spec.pattern {
-            Pattern::Uniform => {
-                self.uniform[idx].as_ref().expect("uniform dist").sample(&mut self.rng)
-            }
-            Pattern::Zipfian { .. } => {
-                self.dists[idx].as_ref().expect("zipf dist").sample(&mut self.rng)
-            }
+            Pattern::Uniform => self.uniform[idx]
+                .as_ref()
+                .expect("uniform dist")
+                .sample(&mut self.rng),
+            Pattern::Zipfian { .. } => self.dists[idx]
+                .as_ref()
+                .expect("zipf dist")
+                .sample(&mut self.rng),
             Pattern::Sequential => {
                 let c = self.cursors[idx];
                 self.cursors[idx] = (c + 1) % (region.bytes / 64);
@@ -171,15 +176,29 @@ impl Workload for Synthetic {
         };
         for l in 0..spec.lines_per_op as u64 {
             let va = region.at((line + l) * 64);
-            accesses.push(if write { Access::write(va) } else { Access::read(va) });
+            accesses.push(if write {
+                Access::write(va)
+            } else {
+                Access::read(va)
+            });
         }
         Some(self.compute_ns)
     }
 
     fn footprint(&self) -> FootprintInfo {
         FootprintInfo {
-            anon_bytes: self.specs.iter().filter(|s| !s.file_backed).map(|s| s.bytes).sum(),
-            file_bytes: self.specs.iter().filter(|s| s.file_backed).map(|s| s.bytes).sum(),
+            anon_bytes: self
+                .specs
+                .iter()
+                .filter(|s| !s.file_backed)
+                .map(|s| s.bytes)
+                .sum(),
+            file_bytes: self
+                .specs
+                .iter()
+                .filter(|s| s.file_backed)
+                .map(|s| s.bytes)
+                .sum(),
         }
     }
 }
@@ -251,7 +270,10 @@ mod tests {
         };
         let hot = sum_in(w.regions()[0]);
         let warm = sum_in(w.regions()[1]);
-        assert!(hot > 5 * warm, "90:10 weights must show in traffic ({hot} vs {warm})");
+        assert!(
+            hot > 5 * warm,
+            "90:10 weights must show in traffic ({hot} vs {warm})"
+        );
     }
 
     #[test]
@@ -274,6 +296,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive weight")]
     fn all_zero_weights_panics() {
-        Synthetic::new(vec![RegionSpec::anon("x", 1 << 20, 0, Pattern::Frozen)], 100, 1);
+        Synthetic::new(
+            vec![RegionSpec::anon("x", 1 << 20, 0, Pattern::Frozen)],
+            100,
+            1,
+        );
     }
 }

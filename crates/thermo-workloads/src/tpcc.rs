@@ -11,9 +11,9 @@
 
 use crate::common::{percent, AppConfig, Region};
 use crate::dist::{fnv_mix, KeyDist, ScrambledZipfian, ZipfianDist};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SeedableRng;
+use thermo_util::rng::SmallRng;
 
 /// Hot tables: WAREHOUSE, DISTRICT, NEW_ORDER working set.
 const PAPER_HOT_TABLES: u64 = 256_000_000;
@@ -72,13 +72,41 @@ impl Workload for Tpcc {
     }
 
     fn init(&mut self, engine: &mut Engine) {
-        let hot = Region::map(engine, self.cfg.scaled(PAPER_HOT_TABLES), true, false, "tpcc-hot");
-        let mid = Region::map(engine, self.cfg.scaled(PAPER_MID_TABLES), true, false, "tpcc-mid");
-        let cold =
-            Region::map(engine, self.cfg.scaled(PAPER_COLD_TABLES), true, false, "tpcc-lineitem");
-        let files =
-            Region::map(engine, self.cfg.scaled(PAPER_BUFFER_FILES), true, true, "tpcc-ibd");
-        let redo = Region::map(engine, self.cfg.scaled(PAPER_REDO_LOG), true, true, "tpcc-redo");
+        let hot = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_HOT_TABLES),
+            true,
+            false,
+            "tpcc-hot",
+        );
+        let mid = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_MID_TABLES),
+            true,
+            false,
+            "tpcc-mid",
+        );
+        let cold = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_COLD_TABLES),
+            true,
+            false,
+            "tpcc-lineitem",
+        );
+        let files = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_BUFFER_FILES),
+            true,
+            true,
+            "tpcc-ibd",
+        );
+        let redo = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_REDO_LOG),
+            true,
+            true,
+            "tpcc-redo",
+        );
         // Database load phase populates everything.
         hot.warm(engine);
         mid.warm(engine);
@@ -114,7 +142,11 @@ impl Workload for Tpcc {
             let k = dist.sample(&mut self.rng);
             let write = percent(&mut self.rng, 40);
             let va = mid.slot(k, ROW_SLOT);
-            accesses.push(if write { Access::write(va) } else { Access::read(va) });
+            accesses.push(if write {
+                Access::write(va)
+            } else {
+                Access::read(va)
+            });
         }
         // order-line/history append. The insert point rings over a small
         // active tail; rows behind it are never read again (the paper:
@@ -145,7 +177,7 @@ impl Workload for Tpcc {
 
 impl Tpcc {
     fn rng_next(&mut self) -> u64 {
-        use rand::Rng;
+        use thermo_util::rng::Rng;
         self.rng.gen()
     }
 }
@@ -157,7 +189,11 @@ mod tests {
 
     fn setup() -> (Engine, Tpcc) {
         let e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
-        let t = Tpcc::new(AppConfig { scale: 512, seed: 4, read_pct: 95 });
+        let t = Tpcc::new(AppConfig {
+            scale: 512,
+            seed: 4,
+            read_pct: 95,
+        });
         (e, t)
     }
 
@@ -176,7 +212,11 @@ mod tests {
         let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
         cfg.track_true_access = true;
         let mut e = Engine::new(cfg);
-        let mut t = Tpcc::new(AppConfig { scale: 512, seed: 4, read_pct: 95 });
+        let mut t = Tpcc::new(AppConfig {
+            scale: 512,
+            seed: 4,
+            read_pct: 95,
+        });
         t.init(&mut e);
         e.reset_true_access();
         run_ops(&mut e, &mut t, &mut NoPolicy, 20_000);
@@ -204,7 +244,10 @@ mod tests {
         let (mut e, mut t) = setup();
         t.init(&mut e);
         let fp = t.footprint();
-        assert!(fp.anon_bytes > fp.file_bytes, "RSS 6GB > file 3.5GB in Table 2");
+        assert!(
+            fp.anon_bytes > fp.file_bytes,
+            "RSS 6GB > file 3.5GB in Table 2"
+        );
         assert!(e.process().file_backed_bytes() > 0);
     }
 

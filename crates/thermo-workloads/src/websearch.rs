@@ -14,9 +14,9 @@
 
 use crate::common::{AppConfig, Region};
 use crate::dist::{fnv_mix, KeyDist, ZipfianDist};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use thermo_sim::{Access, Engine, FootprintInfo, Workload};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 
 /// Inverted index + doc store (anon; Solr caches dominate RSS).
 const PAPER_INDEX: u64 = 2_000_000_000;
@@ -67,16 +67,33 @@ impl Workload for WebSearch {
     }
 
     fn init(&mut self, engine: &mut Engine) {
-        let index = Region::map(engine, self.cfg.scaled(PAPER_INDEX), true, false, "solr-index");
-        let caches = Region::map(engine, self.cfg.scaled(PAPER_CACHES), true, false, "solr-caches");
-        let files = Region::map(engine, self.cfg.scaled(PAPER_FILES), true, true, "solr-segments");
+        let index = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_INDEX),
+            true,
+            false,
+            "solr-index",
+        );
+        let caches = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_CACHES),
+            true,
+            false,
+            "solr-caches",
+        );
+        let files = Region::map(
+            engine,
+            self.cfg.scaled(PAPER_FILES),
+            true,
+            true,
+            "solr-segments",
+        );
         index.warm(engine);
         caches.warm(engine);
         files.warm(engine);
         // Natural-language term frequencies over the *active* slice of the
         // index; the archival remainder is loaded but not queried.
-        let active_slots =
-            ((index.n_slots(POSTING_SLOT) as f64) * ACTIVE_INDEX_FRACTION) as u64;
+        let active_slots = ((index.n_slots(POSTING_SLOT) as f64) * ACTIVE_INDEX_FRACTION) as u64;
         self.term_dist = Some(ZipfianDist::new(active_slots.max(1), 0.8));
         self.index = Some(index);
         self.caches = Some(caches);
@@ -101,7 +118,9 @@ impl Workload for WebSearch {
             accesses.push(Access::read(index.slot_line(slot, POSTING_SLOT, 1)));
         }
         // Result-cache fill.
-        accesses.push(Access::write(caches.at((fnv_mix(q ^ 0xc0de) % caches.bytes) & !63)));
+        accesses.push(Access::write(
+            caches.at((fnv_mix(q ^ 0xc0de) % caches.bytes) & !63),
+        ));
         Some(self.compute_ns)
     }
 
@@ -120,7 +139,11 @@ mod tests {
 
     fn setup() -> (Engine, WebSearch) {
         let e = Engine::new(SimConfig::paper_defaults(256 << 20, 256 << 20));
-        let w = WebSearch::new(AppConfig { scale: 512, seed: 6, read_pct: 95 });
+        let w = WebSearch::new(AppConfig {
+            scale: 512,
+            seed: 6,
+            read_pct: 95,
+        });
         (e, w)
     }
 
@@ -140,7 +163,11 @@ mod tests {
         let mut cfg = SimConfig::paper_defaults(256 << 20, 256 << 20);
         cfg.track_true_access = true;
         let mut e = Engine::new(cfg);
-        let mut w = WebSearch::new(AppConfig { scale: 512, seed: 6, read_pct: 95 });
+        let mut w = WebSearch::new(AppConfig {
+            scale: 512,
+            seed: 6,
+            read_pct: 95,
+        });
         w.init(&mut e);
         e.reset_true_access();
         run_ops(&mut e, &mut w, &mut NoPolicy, 30_000);
@@ -149,7 +176,8 @@ mod tests {
             .true_access_counts()
             .iter()
             .filter(|(v, _)| {
-                v.addr() >= index.base && v.addr() < thermo_mem::VirtAddr(index.base.0 + index.bytes)
+                v.addr() >= index.base
+                    && v.addr() < thermo_mem::VirtAddr(index.base.0 + index.bytes)
             })
             .map(|(_, c)| *c)
             .collect();

@@ -6,11 +6,10 @@
 //! sampled subset is the sampled fraction times the global threshold
 //! (`f · x / (100 · ts)`).
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::Vpn;
 
 /// A sampled huge page with its estimated rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Candidate {
     /// Base VPN of the huge page.
     pub vpn: Vpn,
@@ -19,7 +18,7 @@ pub struct Candidate {
 }
 
 /// Classification outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
     /// Pages to place in slow memory, coldest first.
     pub cold: Vec<Candidate>,
@@ -59,7 +58,12 @@ pub fn classify(mut candidates: Vec<Candidate>, budget: f64) -> Classification {
             hot.push(c);
         }
     }
-    Classification { cold, hot, cold_rate: cum, budget }
+    Classification {
+        cold,
+        hot,
+        cold_rate: cum,
+        budget,
+    }
 }
 
 #[cfg(test)]
@@ -67,7 +71,10 @@ mod tests {
     use super::*;
 
     fn cand(vpn: u64, rate: f64) -> Candidate {
-        Candidate { vpn: Vpn(vpn), rate_per_sec: rate }
+        Candidate {
+            vpn: Vpn(vpn),
+            rate_per_sec: rate,
+        }
     }
 
     #[test]
@@ -112,6 +119,37 @@ mod tests {
         let c = classify(vec![cand(1, 5.0), cand(2, 1.0)], 0.5);
         assert!(c.cold.is_empty());
         assert_eq!(c.hot.len(), 2);
+    }
+
+    #[test]
+    fn ten_percent_coldest_selected_under_matching_budget() {
+        // The paper's target: place ~10% of memory cold. 100 pages with
+        // rates 0..100/s; a budget equal to the sum of the 10 coldest
+        // rates must select exactly those 10 pages, coldest first.
+        let cands: Vec<Candidate> = (0..100).map(|i| cand(i, i as f64)).collect();
+        let budget: f64 = (0..10).map(|i| i as f64).sum(); // 45.0
+        let c = classify(cands, budget);
+        let cold_vpns: Vec<u64> = c.cold.iter().map(|c| c.vpn.0).collect();
+        assert_eq!(cold_vpns, (0..10).collect::<Vec<u64>>());
+        assert_eq!(c.hot.len(), 90);
+        assert!((c.cold_rate - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_candidate_within_and_over_budget() {
+        let c = classify(vec![cand(7, 10.0)], 10.0);
+        assert_eq!(c.cold.len(), 1, "exactly-at-budget page is cold");
+        let c = classify(vec![cand(7, 10.1)], 10.0);
+        assert!(c.cold.is_empty(), "over-budget single page stays hot");
+        assert_eq!(c.hot.len(), 1);
+    }
+
+    #[test]
+    fn everything_cold_under_infinite_budget() {
+        let cands: Vec<Candidate> = (0..20).map(|i| cand(i, (i * 7) as f64)).collect();
+        let c = classify(cands, f64::INFINITY);
+        assert_eq!(c.cold.len(), 20);
+        assert!(c.hot.is_empty());
     }
 
     #[test]

@@ -8,11 +8,9 @@
 //! slow-memory latency `ts` allows `x / (100 · ts)` slow accesses per
 //! second (30K/s for the paper's 3% and 1us).
 
-use serde::{Deserialize, Serialize};
-
 /// How the monitoring step counts accesses to sampled pages (§3.3 and the
 /// §6.1 hardware-extension discussion).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MonitorMode {
     /// BadgerTrap-style PTE poisoning: count TLB-miss faults on ≤K sampled
     /// 4KB pages (the paper's software-only mechanism).
@@ -29,7 +27,7 @@ pub enum MonitorMode {
 }
 
 /// Thermostat parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermostatConfig {
     /// Maximum tolerable slowdown in percent (the paper evaluates 3, 6, 10).
     pub tolerable_slowdown_pct: f64,
@@ -102,12 +100,18 @@ impl ThermostatConfig {
             self.tolerable_slowdown_pct > 0.0 && self.tolerable_slowdown_pct < 100.0,
             "tolerable slowdown must be in (0, 100)%"
         );
-        assert!(self.slow_mem_latency_ns > 0, "slow memory latency must be positive");
+        assert!(
+            self.slow_mem_latency_ns > 0,
+            "slow memory latency must be positive"
+        );
         assert!(
             self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
             "sample fraction must be in (0, 1]"
         );
-        assert!(self.max_poison_per_page > 0, "poison budget must be positive");
+        assert!(
+            self.max_poison_per_page > 0,
+            "poison budget must be positive"
+        );
         assert!(self.sampling_period_ns >= 3, "sampling period too short");
     }
 }
@@ -159,3 +163,55 @@ mod tests {
         c.validate();
     }
 }
+
+// `MonitorMode` carries data in one variant, so its JSON form is written by
+// hand: unit variants as strings, `PebsSampling` externally tagged
+// (`{"PebsSampling":{"period":64}}`), matching what the derive produced.
+impl thermo_util::json::ToJson for MonitorMode {
+    fn to_json(&self) -> thermo_util::json::Value {
+        use thermo_util::json::Value;
+        match self {
+            MonitorMode::PoisonSampling => Value::Str("PoisonSampling".to_string()),
+            MonitorMode::IdealCmBit => Value::Str("IdealCmBit".to_string()),
+            MonitorMode::PebsSampling { period } => Value::Obj(vec![(
+                "PebsSampling".to_string(),
+                Value::Obj(vec![("period".to_string(), Value::U64(*period as u64))]),
+            )]),
+        }
+    }
+}
+
+impl thermo_util::json::FromJson for MonitorMode {
+    fn from_json(v: &thermo_util::json::Value) -> Result<Self, thermo_util::json::JsonError> {
+        use thermo_util::json::JsonError;
+        match v.as_str() {
+            Some("PoisonSampling") => return Ok(MonitorMode::PoisonSampling),
+            Some("IdealCmBit") => return Ok(MonitorMode::IdealCmBit),
+            Some(other) => {
+                return Err(JsonError::new(format!(
+                    "MonitorMode: unknown variant {other:?}"
+                )))
+            }
+            None => {}
+        }
+        let inner = v
+            .get("PebsSampling")
+            .and_then(|inner| inner.get("period"))
+            .ok_or_else(|| JsonError::new(format!("MonitorMode: unexpected shape {v:?}")))?;
+        let period: u32 = thermo_util::json::FromJson::from_json(inner)?;
+        Ok(MonitorMode::PebsSampling { period })
+    }
+}
+
+thermo_util::json_struct!(ThermostatConfig {
+    tolerable_slowdown_pct,
+    slow_mem_latency_ns,
+    sample_fraction,
+    max_poison_per_page,
+    sampling_period_ns,
+    correction_enabled,
+    monitor_mode,
+    split_placement_enabled,
+    split_placement_min_cold_children,
+    seed,
+});

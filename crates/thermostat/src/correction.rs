@@ -8,11 +8,10 @@
 //! remaining cold pages is below the threshold."* This both repairs
 //! sampling errors and adapts to working-set changes.
 
-use serde::{Deserialize, Serialize};
 use thermo_mem::Vpn;
 
 /// Observed per-period access count of one cold page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ColdObservation {
     /// Base VPN of the cold huge page.
     pub vpn: Vpn,
@@ -21,7 +20,7 @@ pub struct ColdObservation {
 }
 
 /// Correction decision.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorrectionPlan {
     /// Pages to promote back to fast memory, hottest first.
     pub promote: Vec<Vpn>,
@@ -60,7 +59,11 @@ pub fn plan_correction(
         promote.push(o.vpn);
         remaining -= o.count as f64 / period_sec;
     }
-    CorrectionPlan { promote, rate_before, rate_after: remaining.max(0.0) }
+    CorrectionPlan {
+        promote,
+        rate_before,
+        rate_after: remaining.max(0.0),
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +73,10 @@ mod tests {
     const SEC: u64 = 1_000_000_000;
 
     fn obs(vpn: u64, count: u64) -> ColdObservation {
-        ColdObservation { vpn: Vpn(vpn), count }
+        ColdObservation {
+            vpn: Vpn(vpn),
+            count,
+        }
     }
 
     #[test]
@@ -84,7 +90,11 @@ mod tests {
     #[test]
     fn promotes_hottest_first_until_under_threshold() {
         // Counts: 100, 50, 5, 1 over 1s; threshold 10/s.
-        let p = plan_correction(vec![obs(1, 5), obs(2, 100), obs(3, 50), obs(4, 1)], 10.0, SEC);
+        let p = plan_correction(
+            vec![obs(1, 5), obs(2, 100), obs(3, 50), obs(4, 1)],
+            10.0,
+            SEC,
+        );
         assert_eq!(p.promote, vec![Vpn(2), Vpn(3)]);
         assert!((p.rate_after - 6.0).abs() < 1e-9);
     }
@@ -123,5 +133,30 @@ mod tests {
     #[should_panic(expected = "period")]
     fn zero_period_panics() {
         plan_correction(vec![], 1.0, 0);
+    }
+
+    #[test]
+    fn exactly_at_threshold_needs_no_promotion() {
+        // Boundary: remaining rate == threshold stops promotion.
+        let p = plan_correction(vec![obs(1, 40), obs(2, 10)], 50.0, SEC);
+        assert!(p.promote.is_empty());
+        assert!((p.rate_after - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_observation_over_threshold_promotes_it() {
+        let p = plan_correction(vec![obs(3, 1000)], 999.0, SEC);
+        assert_eq!(p.promote, vec![Vpn(3)]);
+        assert_eq!(p.rate_after, 0.0);
+    }
+
+    #[test]
+    fn zero_count_pages_never_promoted() {
+        // Pages with zero faults can never reduce the rate; once the
+        // positive-count pages are promoted the planner must stop rather
+        // than uselessly promoting the zero-count remainder.
+        let p = plan_correction(vec![obs(1, 0), obs(2, 0), obs(3, 7)], 0.0, SEC);
+        assert_eq!(p.promote, vec![Vpn(3)]);
+        assert_eq!(p.rate_after, 0.0);
     }
 }

@@ -24,17 +24,16 @@ use crate::classify::{classify, Candidate};
 use crate::config::{MonitorMode, ThermostatConfig};
 use crate::correction::{plan_correction, ColdObservation};
 use crate::estimate::extrapolate;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use thermo_mem::{MemError, PageSize, Tier, Vpn, PAGES_PER_HUGE};
 use thermo_sim::{Engine, FootprintBreakdown, PolicyHook};
+use thermo_util::rng::SeedableRng;
+use thermo_util::rng::SliceRandom;
+use thermo_util::rng::SmallRng;
 use thermo_vm::ScanHit;
 
 /// Which of Figure 4's three scans runs next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Split,
     Poison,
@@ -63,7 +62,7 @@ struct ColdPage {
 }
 
 /// One record per completed sampling period (drives Figures 5–10).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeriodRecord {
     /// Virtual time at the end of the period's classify scan.
     pub at_ns: u64,
@@ -85,7 +84,7 @@ pub struct PeriodRecord {
 }
 
 /// Aggregate daemon statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DaemonStats {
     /// Completed sampling periods.
     pub periods: u64,
@@ -120,6 +119,11 @@ pub struct Daemon {
     carry_counts: HashMap<Vpn, u64>,
     /// §6 split placement: cold 4KB child -> parent huge-page base.
     partial_children: BTreeMap<Vpn, Vpn>,
+    /// Huge pages already sampled in the current coverage epoch. The paper
+    /// picks a *different* random sample each period "so that eventually
+    /// all pages are sampled"; pages outside this set get priority, and the
+    /// epoch resets once every candidate has been visited.
+    sampled_epoch: HashSet<Vpn>,
     history: Vec<PeriodRecord>,
     stats: DaemonStats,
     scratch: Vec<ScanHit>,
@@ -144,6 +148,7 @@ impl Daemon {
             cold: BTreeMap::new(),
             carry_counts: HashMap::new(),
             partial_children: BTreeMap::new(),
+            sampled_epoch: HashSet::new(),
             history: Vec::new(),
             stats: DaemonStats::default(),
             scratch: Vec::new(),
@@ -193,8 +198,11 @@ impl Daemon {
 
         // Candidate set: huge pages currently resident in fast memory.
         let mut candidates: Vec<Vpn> = Vec::new();
-        let regions: Vec<(Vpn, u64)> =
-            engine.vmas().iter().map(|v| (v.start.vpn(), v.len / 4096)).collect();
+        let regions: Vec<(Vpn, u64)> = engine
+            .vmas()
+            .iter()
+            .map(|v| (v.start.vpn(), v.len / 4096))
+            .collect();
         for (start, n) in regions {
             self.scratch.clear();
             engine.read_accessed(start, n, &mut self.scratch);
@@ -214,13 +222,25 @@ impl Daemon {
         let n_candidates = candidates.len();
         let want = ((n_candidates as f64 * self.config.sample_fraction).round() as usize)
             .clamp(1, n_candidates);
+        // Coverage epoch: prefer candidates not yet sampled this epoch so
+        // every page is eventually visited (small footprints would
+        // otherwise resample the same pages indefinitely).
+        if candidates.iter().all(|v| self.sampled_epoch.contains(v)) {
+            self.sampled_epoch.clear();
+        }
         candidates.shuffle(&mut self.rng);
+        candidates.sort_by_key(|v| self.sampled_epoch.contains(v)); // stable: unseen first
         candidates.truncate(want);
+        for &vpn in &candidates {
+            self.sampled_epoch.insert(vpn);
+        }
         self.sampled_fraction_actual = want as f64 / n_candidates as f64;
 
         self.sample.clear();
         for vpn in candidates {
-            engine.split_huge(vpn).expect("sampling candidate must be a huge page");
+            engine
+                .split_huge(vpn)
+                .expect("sampling candidate must be a huge page");
             self.scratch.clear();
             engine.scan_and_clear_accessed(vpn, PAGES_PER_HUGE as u64, &mut self.scratch);
             self.sample.push(SampledPage {
@@ -238,14 +258,20 @@ impl Daemon {
     /// contiguous huge frames in slow memory, so the 512 child PTEs fold
     /// back into one huge PTE whose poisoning continues the §3.5 monitor.
     fn consolidate_previous_cold(&mut self, engine: &mut Engine) {
-        let split_pages: Vec<Vpn> =
-            self.cold.iter().filter(|(_, c)| c.split).map(|(v, _)| *v).collect();
+        let split_pages: Vec<Vpn> = self
+            .cold
+            .iter()
+            .filter(|(_, c)| c.split)
+            .map(|(v, _)| *v)
+            .collect();
         for vpn in split_pages {
             let mut sum = 0;
             for i in 0..PAGES_PER_HUGE as u64 {
                 sum += engine.unpoison_page(vpn.offset(i));
             }
-            engine.collapse_huge(vpn).expect("demoted page must be collapsible");
+            engine
+                .collapse_huge(vpn)
+                .expect("demoted page must be collapsible");
             engine.poison_page(vpn, PageSize::Huge2M);
             *self.carry_counts.entry(vpn).or_insert(0) += sum;
             self.cold.get_mut(&vpn).expect("tracked cold page").split = false;
@@ -313,8 +339,13 @@ impl Daemon {
                     for &child in &sp.monitored {
                         faults += engine.unpoison_page(child);
                     }
-                    extrapolate(faults, sp.monitored.len() as u32, sp.accessed_children, window)
-                        .rate_per_sec
+                    extrapolate(
+                        faults,
+                        sp.monitored.len() as u32,
+                        sp.accessed_children,
+                        window,
+                    )
+                    .rate_per_sec
                 }
                 MonitorMode::IdealCmBit => {
                     let counts = engine.true_access_counts();
@@ -331,14 +362,16 @@ impl Daemon {
                         .snapshot
                         .iter()
                         .map(|(v, old)| {
-                            counts.get(v).copied().unwrap_or(0).saturating_sub(*old)
-                                / period as u64
+                            counts.get(v).copied().unwrap_or(0).saturating_sub(*old) / period as u64
                         })
                         .sum();
                     (sampled * period as u64) as f64 / (window as f64 / 1e9)
                 }
             };
-            estimates.push(Candidate { vpn: sp.vpn, rate_per_sec: rate });
+            estimates.push(Candidate {
+                vpn: sp.vpn,
+                rate_per_sec: rate,
+            });
         }
 
         // 2. §3.5 correction over the existing cold set (whole cold huge
@@ -389,17 +422,24 @@ impl Daemon {
                 Err(MemError::OutOfMemory { .. }) => {
                     self.stats.demote_oom += 1;
                     // Slow tier full: the page stays hot.
-                    engine.collapse_huge(c.vpn).expect("sampled page must collapse");
+                    engine
+                        .collapse_huge(c.vpn)
+                        .expect("sampled page must collapse");
                 }
                 Err(e) => panic!("unexpected demotion failure: {e}"),
             }
         }
         for c in &result.hot {
-            let sp = sample.iter().find(|s| s.vpn == c.vpn).expect("sampled page tracked");
+            let sp = sample
+                .iter()
+                .find(|s| s.vpn == c.vpn)
+                .expect("sampled page tracked");
             if self.try_split_place(engine, sp) {
                 continue;
             }
-            engine.collapse_huge(c.vpn).expect("sampled page must collapse");
+            engine
+                .collapse_huge(c.vpn)
+                .expect("sampled page must collapse");
         }
 
         // 4. Period record. The slow-memory access rate is what the paper's
@@ -407,8 +447,8 @@ impl Daemon {
         // emulation (or direct slow-tier accesses in Direct mode) — the
         // engine's slow series records exactly that.
         let slow_faults = engine.slow_series().total();
-        let observed =
-            (slow_faults - self.last_slow_faults) as f64 / (self.config.sampling_period_ns as f64 / 1e9);
+        let observed = (slow_faults - self.last_slow_faults) as f64
+            / (self.config.sampling_period_ns as f64 / 1e9);
         self.last_slow_faults = slow_faults;
         let breakdown = engine.footprint_breakdown();
         self.history.push(PeriodRecord {
@@ -454,7 +494,9 @@ impl Daemon {
         }
         if placed == 0 {
             // Nothing moved (e.g. slow tier full): restore the huge page.
-            engine.collapse_huge(sp.vpn).expect("sampled page must collapse");
+            engine
+                .collapse_huge(sp.vpn)
+                .expect("sampled page must collapse");
             return false;
         }
         self.stats.pages_split_placed += 1;
@@ -495,7 +537,9 @@ impl Daemon {
                 engine.unpoison_page(vpn.offset(i));
             }
             engine.migrate_split_huge(vpn, Tier::Fast).map(|()| {
-                engine.collapse_huge(vpn).expect("promoted page must collapse");
+                engine
+                    .collapse_huge(vpn)
+                    .expect("promoted page must collapse");
             })
         } else {
             engine.unpoison_page(vpn);
@@ -547,6 +591,28 @@ impl PolicyHook for Daemon {
         self.next_due_ns += self.config.scan_interval_ns();
     }
 }
+
+thermo_util::json_struct!(PeriodRecord {
+    at_ns,
+    breakdown,
+    demoted_rate,
+    slow_rate_observed,
+    demoted,
+    promoted,
+    correction_rate_before,
+    correction_rate_after,
+});
+
+thermo_util::json_struct!(DaemonStats {
+    periods,
+    pages_sampled,
+    pages_demoted,
+    pages_promoted,
+    demote_oom,
+    promote_oom,
+    pages_split_placed,
+    split_children_demoted,
+});
 
 #[cfg(test)]
 mod tests {
@@ -604,12 +670,20 @@ mod tests {
     #[test]
     fn daemon_demotes_idle_pages_not_the_hot_one() {
         let mut e = engine();
-        let mut w = OneHot { base: VirtAddr(0), n_huge: 16, i: 0 };
+        let mut w = OneHot {
+            base: VirtAddr(0),
+            n_huge: 16,
+            i: 0,
+        };
         w.init(&mut e);
         let mut d = Daemon::new(fast_config());
         run_for(&mut e, &mut w, &mut d, 5_000_000_000);
         assert!(d.stats().periods >= 3, "daemon must have completed periods");
-        assert!(d.cold_pages() >= 8, "idle pages must be demoted, got {}", d.cold_pages());
+        assert!(
+            d.cold_pages() >= 8,
+            "idle pages must be demoted, got {}",
+            d.cold_pages()
+        );
         // The hot page stays in fast memory.
         assert_eq!(e.tier_of_vpn(w.base.vpn()), Some(Tier::Fast));
         // Demoted pages ended up consolidated as huge pages in slow tier.
@@ -620,7 +694,11 @@ mod tests {
     #[test]
     fn cold_pages_stay_monitored_and_counted() {
         let mut e = engine();
-        let mut w = OneHot { base: VirtAddr(0), n_huge: 8, i: 0 };
+        let mut w = OneHot {
+            base: VirtAddr(0),
+            n_huge: 8,
+            i: 0,
+        };
         w.init(&mut e);
         let mut d = Daemon::new(fast_config());
         run_for(&mut e, &mut w, &mut d, 4_000_000_000);
@@ -628,8 +706,7 @@ mod tests {
         assert!(cold > 0);
         // Every tracked cold page is either huge-poisoned or child-poisoned.
         for &vpn in d.cold.keys() {
-            let poisoned = e.trap().is_poisoned(vpn)
-                || e.trap().is_poisoned(vpn.offset(0));
+            let poisoned = e.trap().is_poisoned(vpn) || e.trap().is_poisoned(vpn.offset(0));
             assert!(poisoned, "cold page {vpn} must be monitored");
         }
     }
@@ -657,7 +734,9 @@ mod tests {
 
         fn next_op(&mut self, now: u64, acc: &mut Vec<Access>) -> Option<u64> {
             let page = if now < self.shift_at_ns { 0 } else { 1 };
-            acc.push(Access::read(self.base + page * (2 << 20) + (self.i * 64) % (2 << 20)));
+            acc.push(Access::read(
+                self.base + page * (2 << 20) + (self.i * 64) % (2 << 20),
+            ));
             self.i += 1;
             Some(2_000)
         }
@@ -666,15 +745,27 @@ mod tests {
     #[test]
     fn correction_promotes_page_that_becomes_hot() {
         let mut e = engine();
-        let mut w = PhaseShift { base: VirtAddr(0), n_huge: 8, i: 0, shift_at_ns: 3_000_000_000 };
+        let mut w = PhaseShift {
+            base: VirtAddr(0),
+            n_huge: 8,
+            i: 0,
+            shift_at_ns: 3_000_000_000,
+        };
         w.init(&mut e);
         let mut d = Daemon::new(fast_config());
         run_for(&mut e, &mut w, &mut d, 8_000_000_000);
         // Page 1 was idle in phase 1 (likely demoted) but must be back in
         // fast memory by the end.
         let page1 = (w.base + (2 << 20)).vpn();
-        assert_eq!(e.tier_of_vpn(page1), Some(Tier::Fast), "hot page must be promoted back");
-        assert!(d.stats().pages_promoted > 0, "correction must have promoted pages");
+        assert_eq!(
+            e.tier_of_vpn(page1),
+            Some(Tier::Fast),
+            "hot page must be promoted back"
+        );
+        assert!(
+            d.stats().pages_promoted > 0,
+            "correction must have promoted pages"
+        );
     }
 
     #[test]
@@ -718,15 +809,25 @@ mod tests {
             }
         }
         let mut e = engine();
-        let mut w = SparseHot { base: VirtAddr(0), i: 0 };
+        let mut w = SparseHot {
+            base: VirtAddr(0),
+            i: 0,
+        };
         w.init(&mut e);
         let mut cfg = fast_config();
         cfg.split_placement_enabled = true;
         cfg.sample_fraction = 1.0; // always sample both pages
         let mut d = Daemon::new(cfg);
         run_for(&mut e, &mut w, &mut d, 3_000_000_000);
-        assert!(d.stats().pages_split_placed > 0, "sparse-hot page must be split-placed");
-        assert!(d.partial_children() > 400, "most children go cold: {}", d.partial_children());
+        assert!(
+            d.stats().pages_split_placed > 0,
+            "sparse-hot page must be split-placed"
+        );
+        assert!(
+            d.partial_children() > 400,
+            "most children go cold: {}",
+            d.partial_children()
+        );
         // The hot children stayed in fast memory.
         assert_eq!(e.tier_of_vpn(w.base.vpn()), Some(Tier::Fast));
         // And cold children really are in the slow tier.
@@ -737,7 +838,11 @@ mod tests {
     #[test]
     fn split_placement_off_by_default_keeps_pages_whole() {
         let mut e = engine();
-        let mut w = OneHot { base: VirtAddr(0), n_huge: 8, i: 0 };
+        let mut w = OneHot {
+            base: VirtAddr(0),
+            n_huge: 8,
+            i: 0,
+        };
         w.init(&mut e);
         let mut d = Daemon::new(fast_config());
         run_for(&mut e, &mut w, &mut d, 2_000_000_000);
@@ -748,7 +853,11 @@ mod tests {
     #[test]
     fn history_records_periods() {
         let mut e = engine();
-        let mut w = OneHot { base: VirtAddr(0), n_huge: 4, i: 0 };
+        let mut w = OneHot {
+            base: VirtAddr(0),
+            n_huge: 4,
+            i: 0,
+        };
         w.init(&mut e);
         let mut d = Daemon::new(fast_config());
         run_for(&mut e, &mut w, &mut d, 3_000_000_000);

@@ -6,10 +6,8 @@
 //! accessed. The monitored 4KB pages comprise a random sample of accessed
 //! pages, while the remaining pages have a negligible access rate."*
 
-use serde::{Deserialize, Serialize};
-
 /// Access-rate estimate for one huge page.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PageEstimate {
     /// Total faults observed across the poisoned sample.
     pub sampled_faults: u64,
@@ -46,7 +44,12 @@ pub fn extrapolate(
         let total = per_page * accessed_pages as f64;
         total / (window_ns as f64 / 1e9)
     };
-    PageEstimate { sampled_faults, sampled_pages, accessed_pages, rate_per_sec: rate }
+    PageEstimate {
+        sampled_faults,
+        sampled_pages,
+        accessed_pages,
+        rate_per_sec: rate,
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +96,44 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
         extrapolate(1, 1, 1, 0);
+    }
+
+    #[test]
+    fn sampling_correction_factor_is_accessed_over_sampled() {
+        // The paper's K=50 cap: 50 poisoned pages out of 512 accessed
+        // children. The extrapolation multiplier must be exactly
+        // accessed/sampled = 10.24, independent of the fault count.
+        for faults in [1u64, 50, 1000] {
+            let e = extrapolate(faults, 50, 512, SEC);
+            let direct = faults as f64; // faults/sec with a 1s window
+            assert!((e.rate_per_sec / direct - 512.0 / 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_children_hot_full_poison() {
+        // All 512 children accessed and all monitored: no extrapolation,
+        // the rate is the raw fault rate.
+        let e = extrapolate(2048, 512, 512, 2 * SEC);
+        assert!((e.rate_per_sec - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_page_sample_extrapolates_to_whole_huge_page() {
+        // Degenerate single-child sample: 1 poisoned page stands in for
+        // 512 accessed children.
+        let e = extrapolate(3, 1, 512, SEC);
+        assert!((e.rate_per_sec - 3.0 * 512.0).abs() < 1e-9);
+        assert_eq!(e.sampled_faults, 3);
+        assert_eq!(e.accessed_pages, 512);
+    }
+
+    #[test]
+    fn accessed_without_sample_is_cold_not_nan() {
+        // Prefilter saw accesses but no page could be poisoned (e.g. all
+        // children raced to unpoison): the estimate must be 0, not NaN.
+        let e = extrapolate(0, 0, 12, SEC);
+        assert_eq!(e.rate_per_sec, 0.0);
+        assert!(e.rate_per_sec.is_finite());
     }
 }

@@ -47,7 +47,6 @@
 //! assert!(daemon.cold_pages() > 0, "idle pages should be in slow memory");
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod classify;
 pub mod config;

@@ -1,20 +1,18 @@
 //! Property tests for Thermostat's pure policy logic: the §3.2 estimator,
 //! §3.4 classifier and §3.5 correction planner.
 
-use proptest::prelude::*;
 use thermo_mem::Vpn;
+use thermo_util::forall;
+use thermo_util::proptest_lite::{any, frange, range, vec_of};
 use thermostat::{classify, extrapolate, plan_correction, Candidate, ColdObservation};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The classifier's cold set never exceeds the budget, is maximal on
-    /// the sorted order, and partitions the input.
-    #[test]
-    fn classifier_respects_budget_and_partitions(
-        rates in prop::collection::vec(0.0f64..5_000.0, 0..200),
-        budget in 0.0f64..50_000.0,
-    ) {
+/// The classifier's cold set never exceeds the budget, is maximal on
+/// the sorted order, and partitions the input.
+#[test]
+fn classifier_respects_budget_and_partitions() {
+    forall!(cases = 128,
+        (rates in vec_of(frange(0.0f64..5_000.0), 0..200)),
+        (budget in frange(0.0f64..50_000.0)) => {
         let candidates: Vec<Candidate> = rates
             .iter()
             .enumerate()
@@ -23,30 +21,31 @@ proptest! {
         let n = candidates.len();
         let c = classify(candidates, budget);
         // Partition.
-        prop_assert_eq!(c.cold.len() + c.hot.len(), n);
+        assert_eq!(c.cold.len() + c.hot.len(), n);
         // Budget respected.
-        prop_assert!(c.cold_rate <= budget + 1e-9);
+        assert!(c.cold_rate <= budget + 1e-9);
         // Cold set is the coldest prefix: every cold rate <= every hot rate.
         let max_cold = c.cold.iter().map(|x| x.rate_per_sec).fold(0.0, f64::max);
         let min_hot = c.hot.iter().map(|x| x.rate_per_sec).fold(f64::INFINITY, f64::min);
-        prop_assert!(c.cold.is_empty() || c.hot.is_empty() || max_cold <= min_hot + 1e-9);
+        assert!(c.cold.is_empty() || c.hot.is_empty() || max_cold <= min_hot + 1e-9);
         // Greedy maximality: the cheapest hot page would break the budget.
         if let Some(h) = c.hot.iter().map(|x| x.rate_per_sec).fold(None::<f64>, |m, r| {
             Some(m.map_or(r, |m| m.min(r)))
         }) {
-            prop_assert!(c.cold_rate + h > budget - 1e-9);
+            assert!(c.cold_rate + h > budget - 1e-9);
         }
-    }
+    });
+}
 
-    /// The correction planner always brings the kept rate to (at most) the
-    /// threshold, promotes hottest-first, and never promotes when already
-    /// under the threshold.
-    #[test]
-    fn correction_reaches_threshold_promoting_hottest_first(
-        counts in prop::collection::vec(0u64..100_000, 0..100),
-        threshold in 0.0f64..200_000.0,
-        period_secs in 1u64..60,
-    ) {
+/// The correction planner always brings the kept rate to (at most) the
+/// threshold, promotes hottest-first, and never promotes when already
+/// under the threshold.
+#[test]
+fn correction_reaches_threshold_promoting_hottest_first() {
+    forall!(cases = 128,
+        (counts in vec_of(range(0u64..100_000), 0..100)),
+        (threshold in frange(0.0f64..200_000.0)),
+        (period_secs in range(1u64..60)) => {
         let period_ns = period_secs * 1_000_000_000;
         let obs: Vec<ColdObservation> = counts
             .iter()
@@ -56,10 +55,10 @@ proptest! {
         let total: u64 = counts.iter().sum();
         let rate_before = total as f64 / period_secs as f64;
         let plan = plan_correction(obs.clone(), threshold, period_ns);
-        prop_assert!((plan.rate_before - rate_before).abs() < 1e-6);
-        prop_assert!(plan.rate_after <= threshold.max(0.0) + 1e-6);
+        assert!((plan.rate_before - rate_before).abs() < 1e-6);
+        assert!(plan.rate_after <= threshold.max(0.0) + 1e-6);
         if rate_before <= threshold {
-            prop_assert!(plan.promote.is_empty(), "no promotion needed under threshold");
+            assert!(plan.promote.is_empty(), "no promotion needed under threshold");
         }
         // Hottest-first: promoted pages' counts dominate kept pages'.
         let promoted: std::collections::HashSet<Vpn> = plan.promote.iter().copied().collect();
@@ -74,42 +73,44 @@ proptest! {
             .map(|o| o.count)
             .max();
         if let (Some(mp), Some(mk)) = (min_promoted, max_kept) {
-            prop_assert!(mp >= mk, "promoted {mp} < kept {mk}");
+            assert!(mp >= mk, "promoted {mp} < kept {mk}");
         }
-    }
+    });
+}
 
-    /// The estimator is scale-correct: doubling faults doubles the rate,
-    /// doubling the window halves it, and the extrapolation multiplier is
-    /// exactly accessed/sampled.
-    #[test]
-    fn estimator_scaling_laws(
-        faults in 0u64..10_000,
-        sampled in 1u32..512,
-        accessed_extra in 0u32..512,
-        window_ms in 1u64..100_000,
-    ) {
+/// The estimator is scale-correct: doubling faults doubles the rate,
+/// doubling the window halves it, and the extrapolation multiplier is
+/// exactly accessed/sampled.
+#[test]
+fn estimator_scaling_laws() {
+    forall!(cases = 128,
+        (faults in range(0u64..10_000)),
+        (sampled in range(1u32..512)),
+        (accessed_extra in range(0u32..512)),
+        (window_ms in range(1u64..100_000)) => {
         let accessed = sampled + accessed_extra.min(512 - sampled);
         let w = window_ms * 1_000_000;
         let e1 = extrapolate(faults, sampled, accessed, w);
         let e2 = extrapolate(faults * 2, sampled, accessed, w);
-        prop_assert!((e2.rate_per_sec - 2.0 * e1.rate_per_sec).abs() < 1e-6 * (1.0 + e1.rate_per_sec));
+        assert!((e2.rate_per_sec - 2.0 * e1.rate_per_sec).abs() < 1e-6 * (1.0 + e1.rate_per_sec));
         let e3 = extrapolate(faults, sampled, accessed, w * 2);
-        prop_assert!((e3.rate_per_sec - e1.rate_per_sec / 2.0).abs() < 1e-6 * (1.0 + e1.rate_per_sec));
+        assert!((e3.rate_per_sec - e1.rate_per_sec / 2.0).abs() < 1e-6 * (1.0 + e1.rate_per_sec));
         // Multiplier check against the direct formula.
         let direct = faults as f64 / sampled as f64 * accessed as f64 / (w as f64 / 1e9);
-        prop_assert!((e1.rate_per_sec - direct).abs() < 1e-9 * (1.0 + direct));
-    }
+        assert!((e1.rate_per_sec - direct).abs() < 1e-9 * (1.0 + direct));
+    });
+}
 
-    /// Classification is deterministic and order-insensitive: shuffling the
-    /// candidate list never changes the outcome sets.
-    #[test]
-    fn classifier_order_insensitive(
-        rates in prop::collection::vec(0.0f64..1_000.0, 1..60),
-        budget in 0.0f64..10_000.0,
-        seed in any::<u64>(),
-    ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Classification is deterministic and order-insensitive: shuffling the
+/// candidate list never changes the outcome sets.
+#[test]
+fn classifier_order_insensitive() {
+    forall!(cases = 128,
+        (rates in vec_of(frange(0.0f64..1_000.0), 1..60)),
+        (budget in frange(0.0f64..10_000.0)),
+        (seed in any::<u64>()) => {
+        use thermo_util::rng::SeedableRng;
+        use thermo_util::rng::SliceRandom;
         let mk = |order: &[Candidate]| {
             let c = classify(order.to_vec(), budget);
             let mut cold: Vec<u64> = c.cold.iter().map(|x| x.vpn.0).collect();
@@ -122,7 +123,7 @@ proptest! {
             .map(|(i, r)| Candidate { vpn: Vpn(i as u64 * 512), rate_per_sec: *r })
             .collect();
         let mut shuffled = original.clone();
-        shuffled.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
-        prop_assert_eq!(mk(&original), mk(&shuffled));
-    }
+        shuffled.shuffle(&mut thermo_util::rng::SmallRng::seed_from_u64(seed));
+        assert_eq!(mk(&original), mk(&shuffled));
+    });
 }

@@ -14,7 +14,11 @@ const DURATION_NS: u64 = 30_000_000_000;
 
 fn build() -> (Engine, Colocated) {
     let mut engine = Engine::new(SimConfig::paper_defaults(1 << 30, 1 << 30));
-    let cfg = AppConfig { scale: 64, seed: 21, read_pct: 90 };
+    let cfg = AppConfig {
+        scale: 64,
+        seed: 21,
+        read_pct: 90,
+    };
     let mut tenants = Colocated::new(
         vec![
             Tenant::new(AppId::Redis.build(cfg), 4),
@@ -29,7 +33,10 @@ fn build() -> (Engine, Colocated) {
 fn main() {
     let (mut engine, mut tenants) = build();
     let base = run_for(&mut engine, &mut tenants, &mut NoPolicy, DURATION_NS);
-    println!("baseline (all-DRAM): {:.0} ops/s across both tenants", base.ops_per_sec());
+    println!(
+        "baseline (all-DRAM): {:.0} ops/s across both tenants",
+        base.ops_per_sec()
+    );
 
     let (mut engine, mut tenants) = build();
     let mut daemon = Daemon::new(ThermostatConfig {
@@ -44,7 +51,10 @@ fn main() {
     );
 
     println!("who went cold? (per-region breakdown)");
-    println!("{:<16} {:>9} {:>9} {:>7}", "region", "total MB", "cold MB", "cold");
+    println!(
+        "{:<16} {:>9} {:>9} {:>7}",
+        "region", "total MB", "cold MB", "cold"
+    );
     for (name, b) in engine.region_breakdown() {
         if b.total() == 0 {
             continue;

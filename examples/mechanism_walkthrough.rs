@@ -71,11 +71,13 @@ fn main() {
     for &p in &sample {
         let mut hits = Vec::new();
         engine.scan_and_clear_accessed(vpn(p), PAGES_PER_HUGE as u64, &mut hits);
-        let accessed: Vec<Vpn> =
-            hits.iter().filter(|h| h.accessed).map(|h| h.base_vpn).collect();
+        let accessed: Vec<Vpn> = hits
+            .iter()
+            .filter(|h| h.accessed)
+            .map(|h| h.base_vpn)
+            .collect();
         let n_accessed = accessed.len() as u32;
-        let chosen: Vec<Vpn> =
-            accessed.into_iter().take(cfg.max_poison_per_page).collect();
+        let chosen: Vec<Vpn> = accessed.into_iter().take(cfg.max_poison_per_page).collect();
         for &c in &chosen {
             engine.poison_page(c, PageSize::Small4K);
         }
@@ -102,7 +104,10 @@ fn main() {
             est.rate_per_sec,
             PAGE_RATES[*p as usize]
         );
-        candidates.push(Candidate { vpn: vpn(*p), rate_per_sec: est.rate_per_sec });
+        candidates.push(Candidate {
+            vpn: vpn(*p),
+            rate_per_sec: est.rate_per_sec,
+        });
     }
     let budget = (sample.len() as f64 / N_PAGES as f64) * cfg.target_slow_access_rate();
     let result = classify(candidates, budget);

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use thermo_util::rng::SmallRng;
+use thermo_util::rng::{Rng, SeedableRng};
 use thermostat_suite::core::{Daemon, ThermostatConfig};
 use thermostat_suite::mem::VirtAddr;
 use thermostat_suite::sim::{run_for, Access, Engine, NoPolicy, SimConfig, Workload};
@@ -47,8 +47,11 @@ impl Workload for Skewed {
 fn main() {
     let make = || {
         let mut engine = Engine::new(SimConfig::paper_defaults(128 << 20, 128 << 20));
-        let mut app =
-            Skewed { heap: VirtAddr(0), bytes: 64 << 20, rng: SmallRng::seed_from_u64(42) };
+        let mut app = Skewed {
+            heap: VirtAddr(0),
+            bytes: 64 << 20,
+            rng: SmallRng::seed_from_u64(42),
+        };
         app.init(&mut engine);
         (engine, app)
     };
@@ -57,7 +60,10 @@ fn main() {
     // Baseline: everything stays in DRAM.
     let (mut engine, mut app) = make();
     let baseline = run_for(&mut engine, &mut app, &mut NoPolicy, duration);
-    println!("baseline:   {:>9.0} ops/s (all-DRAM)", baseline.ops_per_sec());
+    println!(
+        "baseline:   {:>9.0} ops/s (all-DRAM)",
+        baseline.ops_per_sec()
+    );
 
     // Thermostat: 3% tolerable slowdown, 1s sampling periods.
     let (mut engine, mut app) = make();
@@ -86,5 +92,8 @@ fn main() {
     let savings = thermostat_suite::mem::CostModel::new(0.25)
         .evaluate(fb.cold_fraction())
         .savings_fraction;
-    println!("cost:       {:.0}% memory-spend savings at 0.25x slow-memory pricing", savings * 100.0);
+    println!(
+        "cost:       {:.0}% memory-spend savings at 0.25x slow-memory pricing",
+        savings * 100.0
+    );
 }

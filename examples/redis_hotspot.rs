@@ -25,7 +25,11 @@ fn engine(thp: bool) -> Engine {
 }
 
 fn app_cfg() -> AppConfig {
-    AppConfig { scale: SCALE, seed: 7, read_pct: 90 }
+    AppConfig {
+        scale: SCALE,
+        seed: 7,
+        read_pct: 90,
+    }
 }
 
 fn main() {
@@ -69,7 +73,5 @@ fn main() {
         daemon.config().tolerable_slowdown_pct,
         e3.stats().slow_trap_faults
     );
-    println!(
-        "hotspot lesson: only the uniform residue is placeable — hot keys pin most pages hot"
-    );
+    println!("hotspot lesson: only the uniform residue is placeable — hot keys pin most pages hot");
 }

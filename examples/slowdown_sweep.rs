@@ -17,7 +17,11 @@ const SCALE: u64 = 64;
 
 fn build() -> (Engine, Box<dyn thermostat_suite::sim::Workload>) {
     let mut engine = Engine::new(SimConfig::paper_defaults(512 << 20, 512 << 20));
-    let mut w = AppId::Cassandra.build(AppConfig { scale: SCALE, seed: 3, read_pct: 5 });
+    let mut w = AppId::Cassandra.build(AppConfig {
+        scale: SCALE,
+        seed: 3,
+        read_pct: 5,
+    });
     w.init(&mut engine);
     (engine, w)
 }
@@ -26,7 +30,10 @@ fn main() {
     let (mut engine, mut w) = build();
     let base = run_for(&mut engine, w.as_mut(), &mut NoPolicy, DURATION_NS);
 
-    println!("Cassandra write-heavy, {} virtual seconds per point\n", DURATION_NS / 1_000_000_000);
+    println!(
+        "Cassandra write-heavy, {} virtual seconds per point\n",
+        DURATION_NS / 1_000_000_000
+    );
     println!("slowdown_target  budget(acc/s)  cold_frac  actual_slowdown  savings(0.25x)");
     for target in [1.0, 3.0, 6.0, 10.0] {
         let (mut engine, mut w) = build();

@@ -18,7 +18,11 @@ fn run_at(slowdown_pct: f64) -> (f64, f64) {
     let mut cfg = SimConfig::paper_defaults(512 << 20, 512 << 20);
     cfg.vpid = thermostat_suite::vm::Vpid(1);
     let mut engine = Engine::new(cfg);
-    let mut w = AppId::MysqlTpcc.build(AppConfig { scale: SCALE, seed: 11, read_pct: 95 });
+    let mut w = AppId::MysqlTpcc.build(AppConfig {
+        scale: SCALE,
+        seed: 11,
+        read_pct: 95,
+    });
     w.init(&mut engine);
     let mut daemon = Daemon::new(ThermostatConfig {
         tolerable_slowdown_pct: slowdown_pct,
@@ -26,13 +30,20 @@ fn run_at(slowdown_pct: f64) -> (f64, f64) {
         ..ThermostatConfig::paper_defaults()
     });
     let out = run_for(&mut engine, w.as_mut(), &mut daemon, DURATION_NS);
-    (engine.footprint_breakdown().cold_fraction(), out.ops_per_sec())
+    (
+        engine.footprint_breakdown().cold_fraction(),
+        out.ops_per_sec(),
+    )
 }
 
 fn main() {
     // Baseline throughput for reference.
     let mut engine = Engine::new(SimConfig::paper_defaults(512 << 20, 512 << 20));
-    let mut w = AppId::MysqlTpcc.build(AppConfig { scale: SCALE, seed: 11, read_pct: 95 });
+    let mut w = AppId::MysqlTpcc.build(AppConfig {
+        scale: SCALE,
+        seed: 11,
+        read_pct: 95,
+    });
     w.init(&mut engine);
     let base = run_for(&mut engine, w.as_mut(), &mut NoPolicy, DURATION_NS);
     println!("baseline: {:.0} transactions/s\n", base.ops_per_sec());

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the Thermostat reproduction.
+#
+# The workspace is hermetic: it has ZERO crates.io dependencies (everything
+# external the seed used — rand, serde/serde_json, proptest, criterion,
+# parking_lot — was replaced by the in-tree `thermo-util` crate). Every step
+# below therefore runs with `--offline`; if a change reintroduces a network
+# dependency, the build step fails here first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline (entire workspace)"
+cargo test -q --offline --workspace
+
+echo "==> smoke-run benches (THERMO_BENCH_FAST=1)"
+THERMO_BENCH_FAST=1 cargo bench -q --offline --workspace >/dev/null
+
+echo "CI OK"

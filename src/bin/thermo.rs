@@ -73,27 +73,34 @@ fn parse(mut argv: Vec<String>) -> Result<Option<Args>, String> {
             };
             let mut it = argv.into_iter();
             while let Some(flag) = it.next() {
-                let mut grab = |name: &str| {
-                    it.next().ok_or_else(|| format!("{name} needs a value"))
-                };
+                let mut grab =
+                    |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
                 match flag.as_str() {
                     "--policy" => args.policy = grab("--policy")?,
                     "--slowdown" => {
-                        args.slowdown =
-                            grab("--slowdown")?.parse().map_err(|e| format!("--slowdown: {e}"))?
+                        args.slowdown = grab("--slowdown")?
+                            .parse()
+                            .map_err(|e| format!("--slowdown: {e}"))?
                     }
                     "--secs" => {
-                        args.secs = grab("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?
+                        args.secs = grab("--secs")?
+                            .parse()
+                            .map_err(|e| format!("--secs: {e}"))?
                     }
                     "--scale" => {
-                        args.scale = grab("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+                        args.scale = grab("--scale")?
+                            .parse()
+                            .map_err(|e| format!("--scale: {e}"))?
                     }
                     "--period-ms" => {
-                        args.period_ms =
-                            grab("--period-ms")?.parse().map_err(|e| format!("--period-ms: {e}"))?
+                        args.period_ms = grab("--period-ms")?
+                            .parse()
+                            .map_err(|e| format!("--period-ms: {e}"))?
                     }
                     "--seed" => {
-                        args.seed = grab("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                        args.seed = grab("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
                     }
                     "--write-heavy" => args.read_pct = 5,
                     other => return Err(format!("unknown flag {other}")),
@@ -116,8 +123,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let footprint =
-        (args.app.paper_rss_bytes() + args.app.paper_file_bytes()) / args.scale;
+    let footprint = (args.app.paper_rss_bytes() + args.app.paper_file_bytes()) / args.scale;
     let cfg = SimConfig::paper_defaults(footprint * 2 + (64 << 20), footprint + (64 << 20));
     let mut engine = Engine::new(cfg);
     let mut workload = args.app.build(AppConfig {
@@ -145,7 +151,9 @@ fn main() -> ExitCode {
             &mut daemon
         }
         "kstaled" => {
-            ks = Kstaled::new(KstaledConfig { scan_period_ns: args.period_ms * 1_000_000 });
+            ks = Kstaled::new(KstaledConfig {
+                scan_period_ns: args.period_ms * 1_000_000,
+            });
             &mut ks
         }
         other => {

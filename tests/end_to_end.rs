@@ -20,19 +20,30 @@ fn sim_config() -> SimConfig {
 }
 
 fn daemon_config() -> ThermostatConfig {
-    ThermostatConfig { sampling_period_ns: 300_000_000, ..ThermostatConfig::paper_defaults() }
+    ThermostatConfig {
+        sampling_period_ns: 300_000_000,
+        ..ThermostatConfig::paper_defaults()
+    }
 }
 
 fn baseline(app: AppId) -> f64 {
     let mut engine = Engine::new(sim_config());
-    let mut w = app.build(AppConfig { scale: SCALE, seed: 99, read_pct: 95 });
+    let mut w = app.build(AppConfig {
+        scale: SCALE,
+        seed: 99,
+        read_pct: 95,
+    });
     w.init(&mut engine);
     run_for(&mut engine, w.as_mut(), &mut NoPolicy, DURATION_NS).ops_per_sec()
 }
 
 fn managed(app: AppId) -> (f64, Engine, Daemon) {
     let mut engine = Engine::new(sim_config());
-    let mut w = app.build(AppConfig { scale: SCALE, seed: 99, read_pct: 95 });
+    let mut w = app.build(AppConfig {
+        scale: SCALE,
+        seed: 99,
+        read_pct: 95,
+    });
     w.init(&mut engine);
     let mut daemon = Daemon::new(daemon_config());
     let out = run_for(&mut engine, w.as_mut(), &mut daemon, DURATION_NS);
@@ -45,10 +56,17 @@ fn tpcc_finds_cold_data_within_slowdown_budget() {
     let (tput, mut engine, daemon) = managed(AppId::MysqlTpcc);
     assert!(daemon.stats().periods >= 8, "daemon must have run");
     let cold = engine.footprint_breakdown().cold_fraction();
-    assert!(cold > 0.10, "TPCC has large cold tables; found only {:.1}%", cold * 100.0);
+    assert!(
+        cold > 0.10,
+        "TPCC has large cold tables; found only {:.1}%",
+        cold * 100.0
+    );
     let slowdown = (base / tput - 1.0) * 100.0;
     // 3% target plus generous noise allowance for the miniature scale.
-    assert!(slowdown < 6.0, "slowdown {slowdown:.2}% blew through the target");
+    assert!(
+        slowdown < 6.0,
+        "slowdown {slowdown:.2}% blew through the target"
+    );
 }
 
 #[test]
@@ -56,9 +74,16 @@ fn websearch_archival_index_goes_cold_with_tiny_slowdown() {
     let base = baseline(AppId::WebSearch);
     let (tput, mut engine, _daemon) = managed(AppId::WebSearch);
     let cold = engine.footprint_breakdown().cold_fraction();
-    assert!(cold > 0.15, "archival index must be placed, got {:.1}%", cold * 100.0);
+    assert!(
+        cold > 0.15,
+        "archival index must be placed, got {:.1}%",
+        cold * 100.0
+    );
     let slowdown = (base / tput - 1.0) * 100.0;
-    assert!(slowdown < 3.0, "web search is compute-bound; got {slowdown:.2}%");
+    assert!(
+        slowdown < 3.0,
+        "web search is compute-bound; got {slowdown:.2}%"
+    );
 }
 
 #[test]
@@ -101,7 +126,10 @@ fn demoted_pages_live_in_slow_tier_and_stay_monitored() {
     assert!(daemon.cold_pages() > 0);
     // Cross-check: the trap unit still monitors pages (cold monitoring
     // never stops while pages are placed).
-    assert!(engine.trap().poisoned_len() > 0, "cold pages must stay poisoned");
+    assert!(
+        engine.trap().poisoned_len() > 0,
+        "cold pages must stay poisoned"
+    );
     // And the engine counted faults against slow pages.
     assert!(engine.stats().slow_trap_faults > 0 || engine.stats().slow_tier_accesses > 0);
 }
@@ -112,7 +140,10 @@ fn migration_traffic_is_modest() {
     let ms = engine.migration_stats();
     let mbps = ms.to_slow_mbps(DURATION_NS);
     // Table 3's claim, scaled: migration bandwidth is trivially small.
-    assert!(mbps < 200.0, "migration traffic {mbps:.1} MB/s is implausible");
+    assert!(
+        mbps < 200.0,
+        "migration traffic {mbps:.1} MB/s is implausible"
+    );
 }
 
 #[test]
@@ -142,7 +173,11 @@ fn runs_are_reproducible_across_threads() {
 #[test]
 fn baseline_run_never_touches_slow_memory() {
     let mut engine = Engine::new(sim_config());
-    let mut w = AppId::Redis.build(AppConfig { scale: SCALE, seed: 1, read_pct: 90 });
+    let mut w = AppId::Redis.build(AppConfig {
+        scale: SCALE,
+        seed: 1,
+        read_pct: 90,
+    });
     w.init(&mut engine);
     run_for(&mut engine, w.as_mut(), &mut NoPolicy, DURATION_NS / 4);
     assert_eq!(engine.stats().slow_tier_accesses, 0);

@@ -12,13 +12,17 @@ use thermostat_suite::sim::{run_for, Access, Engine, SimConfig, Workload};
 struct ColdHeavy {
     base: VirtAddr,
     n_huge: u64,
-    rng: rand::rngs::SmallRng,
+    rng: thermo_util::rng::SmallRng,
 }
 
 impl ColdHeavy {
     fn new(n_huge: u64) -> Self {
-        use rand::SeedableRng;
-        Self { base: VirtAddr(0), n_huge, rng: rand::rngs::SmallRng::seed_from_u64(9) }
+        use thermo_util::rng::SeedableRng;
+        Self {
+            base: VirtAddr(0),
+            n_huge,
+            rng: thermo_util::rng::SmallRng::seed_from_u64(9),
+        }
     }
 }
 
@@ -35,9 +39,13 @@ impl Workload for ColdHeavy {
     }
 
     fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
-        use rand::Rng;
+        use thermo_util::rng::Rng;
         let hot = self.rng.gen::<f64>() < 0.9;
-        let page = if hot { 0 } else { self.rng.gen_range(0..self.n_huge / 4) };
+        let page = if hot {
+            0
+        } else {
+            self.rng.gen_range(0..self.n_huge / 4)
+        };
         let off: u64 = self.rng.gen_range(0..(2u64 << 20)) & !63;
         acc.push(Access::read(self.base + page * (2 << 20) + off));
         Some(1_000)
@@ -66,7 +74,10 @@ fn slow_tier_exhaustion_is_survived_and_counted() {
     run_for(&mut engine, &mut w, &mut d, 4_000_000_000);
     // The slow tier (8MB = 4 huge pages, minus rounding) filled up…
     assert!(d.cold_pages() >= 2, "some pages must have been placed");
-    assert!(engine.free_bytes(Tier::Slow) < 2 << 20, "slow tier should be full");
+    assert!(
+        engine.free_bytes(Tier::Slow) < 2 << 20,
+        "slow tier should be full"
+    );
     // …further demotions failed and were counted, not fatal.
     assert!(d.stats().demote_oom > 0, "OOM demotions must be recorded");
     // The engine stayed consistent throughout.
@@ -86,7 +97,11 @@ fn thp_disabled_engine_runs_thermostat_with_nothing_to_do() {
     let mut d = daemon();
     run_for(&mut engine, &mut w, &mut d, 2_000_000_000);
     assert!(d.stats().periods > 0, "daemon still ticks");
-    assert_eq!(d.stats().pages_demoted, 0, "no huge pages, nothing to place");
+    assert_eq!(
+        d.stats().pages_demoted,
+        0,
+        "no huge pages, nothing to place"
+    );
     assert_eq!(engine.footprint_breakdown().cold(), 0);
 }
 
@@ -100,7 +115,10 @@ fn os_noise_tlb_flushes_do_not_break_monitoring() {
     let mut d = daemon();
     run_for(&mut engine, &mut w, &mut d, 3_000_000_000);
     assert!(d.stats().periods >= 8);
-    assert!(d.cold_pages() > 0, "flushing makes pages look colder, never breaks placement");
+    assert!(
+        d.cold_pages() > 0,
+        "flushing makes pages look colder, never breaks placement"
+    );
     assert_eq!(engine.footprint_breakdown().total(), engine.rss_bytes());
 }
 
@@ -121,12 +139,13 @@ fn config_serde_roundtrips() {
     // The public configuration types are data (C-SERDE): they must survive
     // a JSON roundtrip unchanged.
     let sim = SimConfig::paper_defaults(1 << 30, 2 << 30);
-    let j = serde_json::to_string(&sim).expect("serialize SimConfig");
-    let back: SimConfig = serde_json::from_str(&j).expect("deserialize SimConfig");
+    let j = thermo_util::json::encode(&sim);
+    let back: SimConfig = thermo_util::json::decode(&j).expect("deserialize SimConfig");
     assert_eq!(sim, back);
 
     let th = ThermostatConfig::paper_defaults();
-    let j = serde_json::to_string(&th).expect("serialize ThermostatConfig");
-    let back: ThermostatConfig = serde_json::from_str(&j).expect("deserialize ThermostatConfig");
+    let j = thermo_util::json::encode(&th);
+    let back: ThermostatConfig =
+        thermo_util::json::decode(&j).expect("deserialize ThermostatConfig");
     assert_eq!(th, back);
 }

@@ -11,13 +11,17 @@ use thermostat_suite::sim::{run_for, Access, Engine, SimConfig, Workload};
 struct Harmonic {
     base: VirtAddr,
     n_huge: u64,
-    rng: rand::rngs::SmallRng,
+    rng: thermo_util::rng::SmallRng,
 }
 
 impl Harmonic {
     fn new(n_huge: u64) -> Self {
-        use rand::SeedableRng;
-        Self { base: VirtAddr(0), n_huge, rng: rand::rngs::SmallRng::seed_from_u64(5) }
+        use thermo_util::rng::SeedableRng;
+        Self {
+            base: VirtAddr(0),
+            n_huge,
+            rng: thermo_util::rng::SmallRng::seed_from_u64(5),
+        }
     }
 }
 
@@ -34,7 +38,7 @@ impl Workload for Harmonic {
     }
 
     fn next_op(&mut self, _now: u64, acc: &mut Vec<Access>) -> Option<u64> {
-        use rand::Rng;
+        use thermo_util::rng::Rng;
         // Inverse-CDF-ish harmonic pick.
         let u: f64 = self.rng.gen();
         let page = ((self.n_huge as f64).powf(u) - 1.0) as u64 % self.n_huge;
@@ -71,9 +75,12 @@ fn check_invariants(engine: &mut Engine, daemon: &Daemon, workload_pages: u64, b
                 cold_seen += 1;
                 // Every slow page is monitored: poisoned at huge grain
                 // (consolidated) or at 4KB grain (freshly demoted).
-                let monitored = engine.trap().is_poisoned(mapping.base_vpn)
-                    || engine.trap().is_poisoned(vpn);
-                assert!(monitored, "slow page {vpn} must be poisoned for §3.5 monitoring");
+                let monitored =
+                    engine.trap().is_poisoned(mapping.base_vpn) || engine.trap().is_poisoned(vpn);
+                assert!(
+                    monitored,
+                    "slow page {vpn} must be poisoned for §3.5 monitoring"
+                );
             }
             Tier::Fast => {
                 // Fast pages may be split/poisoned only while being sampled
@@ -83,7 +90,11 @@ fn check_invariants(engine: &mut Engine, daemon: &Daemon, workload_pages: u64, b
             }
         }
     }
-    assert_eq!(cold_seen, daemon.cold_pages() as u64, "daemon cold set must match tier state");
+    assert_eq!(
+        cold_seen,
+        daemon.cold_pages() as u64,
+        "daemon cold set must match tier state"
+    );
 }
 
 #[test]
@@ -106,7 +117,11 @@ fn footprint_breakdown_equals_rss() {
     let mut daemon = fast_daemon();
     run_for(&mut engine, &mut w, &mut daemon, 2_000_000_000);
     let fb = engine.footprint_breakdown();
-    assert_eq!(fb.total(), engine.rss_bytes(), "breakdown must account every resident byte");
+    assert_eq!(
+        fb.total(),
+        engine.rss_bytes(),
+        "breakdown must account every resident byte"
+    );
 }
 
 #[test]
@@ -143,9 +158,16 @@ fn ideal_cm_bit_mode_runs_and_classifies() {
         ..ThermostatConfig::paper_defaults()
     });
     run_for(&mut engine, &mut w, &mut daemon, 3_000_000_000);
-    assert!(daemon.cold_pages() > 0, "CM-bit monitoring must classify too");
+    assert!(
+        daemon.cold_pages() > 0,
+        "CM-bit monitoring must classify too"
+    );
     // The hardware mode never poisons fast-tier pages for sampling.
-    assert_eq!(engine.stats().fast_trap_faults, 0, "CM-bit mode has no sampling faults");
+    assert_eq!(
+        engine.stats().fast_trap_faults,
+        0,
+        "CM-bit mode has no sampling faults"
+    );
 }
 
 #[test]
@@ -178,7 +200,11 @@ fn thermostat_usable_while_footprint_grows() {
         }
     }
     let mut engine = small_engine();
-    let mut w = Grower { base: VirtAddr(0), touched: 0, i: 0 };
+    let mut w = Grower {
+        base: VirtAddr(0),
+        touched: 0,
+        i: 0,
+    };
     w.init(&mut engine);
     let mut daemon = fast_daemon();
     run_for(&mut engine, &mut w, &mut daemon, 4_000_000_000);
