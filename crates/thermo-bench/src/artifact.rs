@@ -1,0 +1,175 @@
+//! Canonical per-experiment artifacts: everything a harness run produced,
+//! serialized as deterministic JSON so it can be diffed against golden
+//! expectations (see [`crate::golden`]).
+//!
+//! The printable [`ExperimentReport`] only carries pre-formatted table
+//! cells; regressions in the daemon's classify/estimate path can hide
+//! behind rounding. The artifact therefore also captures the raw
+//! trajectory of every run — the full per-period [`PeriodRecord`]
+//! history, the final [`DaemonStats`], and the scalar metrics each figure
+//! derives its cells from — as exact numbers.
+
+use crate::harness::{AppRun, EvalParams};
+use crate::report::{write_json, ExperimentReport};
+use thermo_sim::RunOutcome;
+use thermo_util::json_struct;
+use thermostat::{DaemonStats, PeriodRecord};
+
+/// One run's raw results inside an [`ExperimentArtifact`].
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Application name.
+    pub app: String,
+    /// Run flavour: `"baseline"`, `"thermostat"`, or an ablation label.
+    pub kind: String,
+    /// Ops completed and virtual start/end times.
+    pub outcome: RunOutcome,
+    /// Throughput, ops per virtual second.
+    pub ops_per_sec: f64,
+    /// Mean cold fraction over the measured window.
+    pub cold_fraction_mean: f64,
+    /// Final cold fraction.
+    pub cold_fraction_final: f64,
+    /// Migration bandwidth toward slow memory, MB/s.
+    pub migration_mbps: f64,
+    /// False-classification (back-to-fast) bandwidth, MB/s.
+    pub false_class_mbps: f64,
+    /// Slow-memory access events per second over the run.
+    pub slow_access_rate: f64,
+    /// Smoothed slow-access rate series (the Figure 3 curve).
+    pub slow_rate_series: Vec<f64>,
+    /// Mean per-operation latency, ns.
+    pub mean_latency_ns: f64,
+    /// 99th-percentile per-operation latency, ns.
+    pub p99_latency_ns: u64,
+    /// Final daemon statistics (zeros for baseline runs).
+    pub daemon: DaemonStats,
+    /// Per-period records (empty for baseline runs).
+    pub history: Vec<PeriodRecord>,
+}
+
+json_struct!(RunArtifact {
+    app,
+    kind,
+    outcome,
+    ops_per_sec,
+    cold_fraction_mean,
+    cold_fraction_final,
+    migration_mbps,
+    false_class_mbps,
+    slow_access_rate,
+    slow_rate_series,
+    mean_latency_ns,
+    p99_latency_ns,
+    daemon,
+    history,
+});
+
+impl RunArtifact {
+    /// Captures `run` under the given flavour label.
+    pub fn from_run(kind: &str, run: &AppRun) -> Self {
+        Self {
+            app: run.app.clone(),
+            kind: kind.to_string(),
+            outcome: run.outcome,
+            ops_per_sec: run.ops_per_sec,
+            cold_fraction_mean: run.cold_fraction_mean,
+            cold_fraction_final: run.cold_fraction_final,
+            migration_mbps: run.migration_mbps,
+            false_class_mbps: run.false_class_mbps,
+            slow_access_rate: run.slow_access_rate,
+            slow_rate_series: run.slow_rate_series.clone(),
+            mean_latency_ns: run.mean_latency_ns,
+            p99_latency_ns: run.p99_latency_ns,
+            daemon: run.daemon,
+            history: run.history.clone(),
+        }
+    }
+}
+
+/// A complete experiment result: the printable report plus the raw runs
+/// and the parameters that produced them.
+#[derive(Debug, Clone)]
+pub struct ExperimentArtifact {
+    /// The printable table (what the binary shows on stdout).
+    pub report: ExperimentReport,
+    /// The evaluation parameters the experiment ran at.
+    pub params: EvalParams,
+    /// Raw per-run results, in execution order.
+    pub runs: Vec<RunArtifact>,
+}
+
+json_struct!(ExperimentArtifact {
+    report,
+    params,
+    runs
+});
+
+impl ExperimentArtifact {
+    /// Wraps a finished report with its parameters; runs are pushed as
+    /// they complete.
+    pub fn new(report: ExperimentReport, params: &EvalParams) -> Self {
+        Self {
+            report,
+            params: *params,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Records one run's raw results.
+    pub fn push_run(&mut self, kind: &str, run: &AppRun) {
+        self.runs.push(RunArtifact::from_run(kind, run));
+    }
+
+    /// Prints the report table and persists both JSON artifacts under
+    /// `target/experiments/`: `<id>.json` (the report, unchanged shape)
+    /// and `<id>.artifact.json` (report + params + raw runs).
+    pub fn finish(&self) {
+        println!("{}", self.report.render());
+        write_json(&self.report.id, &self.report);
+        write_json(&format!("{}.artifact", self.report.id), self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_util::json::{decode, encode};
+
+    fn sample_run() -> AppRun {
+        AppRun {
+            app: "redis".into(),
+            outcome: RunOutcome {
+                ops: 100,
+                start_ns: 0,
+                end_ns: 1_000_000,
+            },
+            ops_per_sec: 1e8,
+            cold_fraction_mean: 0.25,
+            cold_fraction_final: 0.5,
+            history: vec![],
+            daemon: DaemonStats::default(),
+            migration_mbps: 1.5,
+            false_class_mbps: 0.5,
+            slow_access_rate: 10.0,
+            slow_rate_series: vec![1.0, 2.0],
+            mean_latency_ns: 120.0,
+            p99_latency_ns: 900,
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_json() {
+        let mut a = ExperimentArtifact::new(
+            ExperimentReport::new("t", "title", &["a"]),
+            &EvalParams::smoke(),
+        );
+        a.push_run("baseline", &sample_run());
+        let text = encode(&a);
+        let back: ExperimentArtifact = decode(&text).expect("decodes");
+        assert_eq!(encode(&back), text, "decode/encode must be stable");
+        assert_eq!(back.runs.len(), 1);
+        assert_eq!(back.runs[0].kind, "baseline");
+        assert_eq!(back.params.scale, EvalParams::smoke().scale);
+    }
+}

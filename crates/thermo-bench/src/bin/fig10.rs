@@ -1,12 +1,7 @@
 //! Figure 10: cold/hot data identified at run time (paper: ~40% cold
-//! at 1.0% degradation).
+//! at 1.0% degradation). Parameters live in the experiment registry so
+//! the golden harness runs the identical experiment.
 
 fn main() {
-    thermo_bench::figs::footprint_figure(
-        "fig10",
-        thermo_workloads::AppId::WebSearch,
-        95,
-        "~40%",
-        1.0,
-    );
+    thermo_bench::experiments::run_and_finish("fig10");
 }

@@ -1,12 +1,7 @@
 //! Figure 5: cold/hot data identified at run time (paper: ~40-50% cold
-//! at 2.0% degradation).
+//! at 2.0% degradation). Parameters live in the experiment registry so
+//! the golden harness runs the identical experiment.
 
 fn main() {
-    thermo_bench::figs::footprint_figure(
-        "fig5",
-        thermo_workloads::AppId::Cassandra,
-        5,
-        "~40-50%",
-        2.0,
-    );
+    thermo_bench::experiments::run_and_finish("fig5");
 }

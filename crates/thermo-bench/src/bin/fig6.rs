@@ -1,12 +1,7 @@
 //! Figure 6: cold/hot data identified at run time (paper: ~40-50% cold
-//! at 1.3% degradation).
+//! at 1.3% degradation). Parameters live in the experiment registry so
+//! the golden harness runs the identical experiment.
 
 fn main() {
-    thermo_bench::figs::footprint_figure(
-        "fig6",
-        thermo_workloads::AppId::MysqlTpcc,
-        95,
-        "~40-50%",
-        1.3,
-    );
+    thermo_bench::experiments::run_and_finish("fig6");
 }

@@ -1,12 +1,7 @@
 //! Figure 7: cold/hot data identified at run time (paper: ~15% cold
-//! at 1.0% degradation).
+//! at 1.0% degradation). Parameters live in the experiment registry so
+//! the golden harness runs the identical experiment.
 
 fn main() {
-    thermo_bench::figs::footprint_figure(
-        "fig7",
-        thermo_workloads::AppId::Aerospike,
-        95,
-        "~15%",
-        1.0,
-    );
+    thermo_bench::experiments::run_and_finish("fig7");
 }

@@ -1,6 +1,8 @@
 //! Figure 8: amount of cold data in Redis identified at run time
 //! (paper: ~10% cold at 2% throughput degradation, hotspot load).
+//! Parameters live in the experiment registry so the golden harness
+//! runs the identical experiment.
 
 fn main() {
-    thermo_bench::figs::footprint_figure("fig8", thermo_workloads::AppId::Redis, 90, "~10%", 2.0);
+    thermo_bench::experiments::run_and_finish("fig8");
 }

@@ -1,12 +1,7 @@
 //! Figure 9: cold/hot data identified at run time (paper: ~15-20% cold
-//! at 3.0% degradation).
+//! at 3.0% degradation). Parameters live in the experiment registry so
+//! the golden harness runs the identical experiment.
 
 fn main() {
-    thermo_bench::figs::footprint_figure(
-        "fig9",
-        thermo_workloads::AppId::InMemoryAnalytics,
-        95,
-        "~15-20%",
-        3.0,
-    );
+    thermo_bench::experiments::run_and_finish("fig9");
 }

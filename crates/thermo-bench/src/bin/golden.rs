@@ -1,0 +1,74 @@
+//! Golden-artifact regression checker.
+//!
+//! Re-runs every registry experiment (fig5–fig10, tab2–tab4) at the
+//! fixed smoke scale ([`EvalParams::smoke`]) and structurally diffs the
+//! resulting artifacts against the checked-in expectations in
+//! `goldens/`, with the tolerance bands of
+//! [`thermo_bench::golden::DiffConfig::goldens`].
+//!
+//! ```console
+//! $ golden check            # diff all experiments, exit 1 on mismatch
+//! $ golden check fig8 tab4  # just these ids
+//! $ golden bless            # overwrite goldens with fresh artifacts
+//! ```
+//!
+//! Usually invoked through `scripts/golden.sh`, which CI runs on every
+//! change. Set `THERMO_GOLDEN_DIR` to point at an alternate tree.
+
+use thermo_bench::experiments::{self, Experiment};
+use thermo_bench::golden::{canonical_json, check_artifact, golden_dir, DiffConfig};
+use thermo_bench::EvalParams;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_else(|| "check".to_string());
+    let ids: Vec<String> = args.collect();
+    if !matches!(mode.as_str(), "check" | "bless") {
+        eprintln!("usage: golden [check|bless] [id...]");
+        std::process::exit(2);
+    }
+    let selected: Vec<&'static Experiment> = if ids.is_empty() {
+        experiments::ALL.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id `{id}`; registered ids:");
+                    for e in experiments::ALL {
+                        eprintln!("  {}", e.id);
+                    }
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let dir = golden_dir();
+    let params = EvalParams::smoke();
+    let cfg = DiffConfig::goldens();
+    let mut failures = 0usize;
+    for exp in selected {
+        let artifact = (exp.run)(&params);
+        match mode.as_str() {
+            "bless" => {
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+                let path = dir.join(format!("{}.json", exp.id));
+                std::fs::write(&path, canonical_json(&artifact))
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                println!("blessed {}", path.display());
+            }
+            _ => match check_artifact(&artifact, &dir, &cfg) {
+                Ok(()) => println!("golden ok: {}", exp.id),
+                Err(report) => {
+                    eprintln!("{report}");
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        eprintln!("golden check FAILED: {failures} experiment(s) diverged");
+        std::process::exit(1);
+    }
+}

@@ -1,56 +1,8 @@
 //! Table 2: application memory footprints (resident set size and
 //! file-mapped pages), scaled by THERMO_SCALE from the paper's values.
-
-use thermo_bench::harness::EvalParams;
-use thermo_bench::report::ExperimentReport;
-use thermo_sim::Engine;
-use thermo_workloads::AppId;
+//! Implementation in `thermo_bench::tabs`, shared with the golden
+//! harness.
 
 fn main() {
-    let p = EvalParams::from_env();
-    let mut r = ExperimentReport::new(
-        "tab2",
-        &format!(
-            "application footprints at scale 1/{} (paper values in GB)",
-            p.scale
-        ),
-        &[
-            "app",
-            "rss(MB)",
-            "file_mapped(MB)",
-            "paper_rss(GB)",
-            "paper_file",
-        ],
-    );
-    for app in AppId::ALL {
-        let mut engine = Engine::new(p.sim_config(app));
-        let mut w = app.build(p.app_config());
-        w.init(&mut engine);
-        // Run briefly so growing workloads (Cassandra, analytics) show
-        // their steady footprint.
-        thermo_sim::run_for(
-            &mut engine,
-            w.as_mut(),
-            &mut thermo_sim::NoPolicy,
-            p.duration_ns / 4,
-        );
-        let rss = engine.rss_bytes();
-        let file = engine.process().file_backed_bytes().min(rss);
-        r.row(vec![
-            app.to_string(),
-            format!("{:.0}", rss as f64 / 1e6),
-            format!("{:.0}", file as f64 / 1e6),
-            format!("{:.1}", app.paper_rss_bytes() as f64 / 1e9),
-            human(app.paper_file_bytes()),
-        ]);
-    }
-    r.finish();
-}
-
-fn human(b: u64) -> String {
-    if b >= 1_000_000_000 {
-        format!("{:.1}GB", b as f64 / 1e9)
-    } else {
-        format!("{:.0}MB", b as f64 / 1e6)
-    }
+    thermo_bench::experiments::run_and_finish("tab2");
 }

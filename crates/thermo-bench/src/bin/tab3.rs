@@ -1,46 +1,9 @@
 //! Table 3: data migration rate and false-classification rate (MB/s).
 //! Paper: migration < 16 MB/s and false classification < 10 MB/s on
 //! average for every application — far below slow-memory bandwidth.
-
-use thermo_bench::harness::{thermostat_run, EvalParams};
-use thermo_bench::report::ExperimentReport;
-use thermo_workloads::AppId;
+//! Implementation in `thermo_bench::tabs`, shared with the golden
+//! harness.
 
 fn main() {
-    let p = EvalParams::from_env();
-    let mut r = ExperimentReport::new(
-        "tab3",
-        "migration and false-classification bandwidth (MB/s)",
-        &[
-            "app",
-            "migration",
-            "false-classification",
-            "paper_mig",
-            "paper_fc",
-        ],
-    );
-    let paper = [
-        ("13.3", "9.2"),
-        ("9.6", "3.8"),
-        ("16", "0.4"),
-        ("6", "1.8"),
-        ("11.3", "10"),
-        ("1.6", "0.3"),
-    ];
-    for (app, (pm, pf)) in AppId::ALL.into_iter().zip(paper) {
-        let mut params = p;
-        if app == AppId::Cassandra {
-            params.read_pct = 5;
-        }
-        let (run, _, _) = thermostat_run(app, &params);
-        r.row(vec![
-            app.to_string(),
-            format!("{:.2}", run.migration_mbps),
-            format!("{:.2}", run.false_class_mbps),
-            pm.to_string(),
-            pf.to_string(),
-        ]);
-    }
-    r.note("rates scale with footprint: at scale 1/16 expect roughly 1/16 of the paper's MB/s");
-    r.finish();
+    thermo_bench::experiments::run_and_finish("tab3");
 }

@@ -1,47 +1,9 @@
 //! Table 4: memory spending savings relative to an all-DRAM system when
 //! slow memory costs 1/3, 1/4 or 1/5 of DRAM per GB. Savings =
 //! cold_fraction x (1 - cost_ratio); the cold fractions come from live
-//! Thermostat runs at the 3% target.
-
-use thermo_bench::harness::{thermostat_run, EvalParams};
-use thermo_bench::report::{pct, ExperimentReport};
-use thermo_mem::CostModel;
-use thermo_workloads::AppId;
+//! Thermostat runs at the 3% target. Implementation in
+//! `thermo_bench::tabs`, shared with the golden harness.
 
 fn main() {
-    let p = EvalParams::from_env();
-    let mut r = ExperimentReport::new(
-        "tab4",
-        "memory cost savings vs all-DRAM at slow:DRAM cost ratios 1/3, 1/4, 1/5",
-        &[
-            "app",
-            "cold_frac",
-            "0.33x",
-            "0.25x",
-            "0.20x",
-            "paper(0.25x)",
-        ],
-    );
-    let paper_quarter = ["11%", "30%", "12%", "30%", "19%", "30%"];
-    for (app, paper) in AppId::ALL.into_iter().zip(paper_quarter) {
-        let mut params = p;
-        if app == AppId::Cassandra {
-            params.read_pct = 5;
-        }
-        let (run, _, _) = thermostat_run(app, &params);
-        let cold = run.cold_fraction_final;
-        let cells: Vec<String> = CostModel::table4_models()
-            .iter()
-            .map(|m| pct(m.evaluate(cold).savings_fraction))
-            .collect();
-        r.row(vec![
-            app.to_string(),
-            pct(cold),
-            cells[0].clone(),
-            cells[1].clone(),
-            cells[2].clone(),
-            paper.to_string(),
-        ]);
-    }
-    r.finish();
+    thermo_bench::experiments::run_and_finish("tab4");
 }

@@ -1,0 +1,123 @@
+//! The golden-checked experiment registry: one entry per fig/tab harness
+//! whose artifact is captured, determinism-tested, and diffed against
+//! `goldens/` in CI.
+//!
+//! Binaries call [`run_and_finish`] so the figure parameters (workload,
+//! read mix, paper expectations) live in exactly one place; the `golden`
+//! binary and `tests/determinism.rs` iterate [`ALL`] so a new experiment
+//! added here is automatically regression-gated and cannot silently opt
+//! out of determinism.
+
+use crate::artifact::ExperimentArtifact;
+use crate::figs::footprint_artifact;
+use crate::harness::EvalParams;
+use crate::tabs::{tab2_artifact, tab3_artifact, tab4_artifact};
+use thermo_workloads::AppId;
+
+/// A registered experiment: a stable id and an artifact-producing run
+/// function parameterized by the evaluation scale.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Stable id; also the report/golden file stem (e.g. `"fig8"`).
+    pub id: &'static str,
+    /// Runs the experiment at the given parameters.
+    pub run: fn(&EvalParams) -> ExperimentArtifact,
+}
+
+fn fig5(p: &EvalParams) -> ExperimentArtifact {
+    footprint_artifact("fig5", AppId::Cassandra, 5, "~40-50%", 2.0, p)
+}
+
+fn fig6(p: &EvalParams) -> ExperimentArtifact {
+    footprint_artifact("fig6", AppId::MysqlTpcc, 95, "~40-50%", 1.3, p)
+}
+
+fn fig7(p: &EvalParams) -> ExperimentArtifact {
+    footprint_artifact("fig7", AppId::Aerospike, 95, "~15%", 1.0, p)
+}
+
+fn fig8(p: &EvalParams) -> ExperimentArtifact {
+    footprint_artifact("fig8", AppId::Redis, 90, "~10%", 2.0, p)
+}
+
+fn fig9(p: &EvalParams) -> ExperimentArtifact {
+    footprint_artifact("fig9", AppId::InMemoryAnalytics, 95, "~15-20%", 3.0, p)
+}
+
+fn fig10(p: &EvalParams) -> ExperimentArtifact {
+    footprint_artifact("fig10", AppId::WebSearch, 95, "~40%", 1.0, p)
+}
+
+/// Every golden-checked experiment, in bless/check order.
+pub const ALL: &[Experiment] = &[
+    Experiment {
+        id: "fig5",
+        run: fig5,
+    },
+    Experiment {
+        id: "fig6",
+        run: fig6,
+    },
+    Experiment {
+        id: "fig7",
+        run: fig7,
+    },
+    Experiment {
+        id: "fig8",
+        run: fig8,
+    },
+    Experiment {
+        id: "fig9",
+        run: fig9,
+    },
+    Experiment {
+        id: "fig10",
+        run: fig10,
+    },
+    Experiment {
+        id: "tab2",
+        run: tab2_artifact,
+    },
+    Experiment {
+        id: "tab3",
+        run: tab3_artifact,
+    },
+    Experiment {
+        id: "tab4",
+        run: tab4_artifact,
+    },
+];
+
+/// Looks up a registered experiment by id.
+pub fn by_id(id: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.id == id)
+}
+
+/// Runs the experiment at the environment-configured evaluation scale and
+/// prints + persists its artifacts (the fig/tab binaries' entry point).
+///
+/// # Panics
+///
+/// Panics when `id` is not registered.
+pub fn run_and_finish(id: &str) {
+    let exp = by_id(id).unwrap_or_else(|| panic!("unknown experiment id `{id}`"));
+    (exp.run)(&EvalParams::from_env()).finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        for (i, e) in ALL.iter().enumerate() {
+            assert!(by_id(e.id).is_some());
+            assert!(
+                !ALL[..i].iter().any(|o| o.id == e.id),
+                "duplicate id {}",
+                e.id
+            );
+        }
+        assert!(by_id("nope").is_none());
+    }
+}

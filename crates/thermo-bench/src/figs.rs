@@ -2,22 +2,25 @@
 //! (paper Figures 5–10): run baseline + Thermostat, print the cold/hot
 //! footprint time series and the achieved slowdown.
 
+use crate::artifact::ExperimentArtifact;
 use crate::harness::{baseline_run, slowdown_pct, thermostat_run, EvalParams};
 use crate::report::{f, pct, ExperimentReport};
 use thermo_workloads::AppId;
 
-/// Runs the Figure 5–10 experiment for `app` and reports it under `id`.
+/// Runs the Figure 5–10 experiment for `app` at `params` and returns the
+/// full artifact (report + raw baseline/Thermostat runs) under `id`.
 ///
 /// `paper_cold` and `paper_slowdown_pct` are the values the paper reports
 /// for this figure; they are echoed in the notes for eyeball comparison.
-pub fn footprint_figure(
+pub fn footprint_artifact(
     id: &str,
     app: AppId,
     read_pct: u8,
     paper_cold: &str,
     paper_slowdown_pct: f64,
-) {
-    let mut p = EvalParams::from_env();
+    params: &EvalParams,
+) -> ExperimentArtifact {
+    let mut p = *params;
     p.read_pct = read_pct;
     let (base, _) = baseline_run(app, &p);
     let (run, mut engine, _daemon) = thermostat_run(app, &p);
@@ -91,5 +94,9 @@ pub fn footprint_figure(
         })
         .collect();
     r.note(format!("cold mass by region: {}", tops.join(", ")));
-    r.finish();
+
+    let mut artifact = ExperimentArtifact::new(r, &p);
+    artifact.push_run("baseline", &base);
+    artifact.push_run("thermostat", &run);
+    artifact
 }

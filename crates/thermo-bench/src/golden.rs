@@ -1,0 +1,402 @@
+//! Golden-artifact comparison: structural JSON diff with per-field
+//! numeric tolerance bands, plus the bless/check plumbing used by the
+//! `golden` binary and `scripts/golden.sh`.
+//!
+//! The simulation is a pure function of the seed and `thermo_util::json`
+//! output is byte-stable (see `tests/determinism.rs`), so an unchanged
+//! tree reproduces checked-in expectations exactly. The diff is still
+//! *structural* with tolerances rather than a byte compare, for two
+//! reasons: a mismatch report must name the first diverging field/period
+//! (a byte diff of a 2000-line artifact names a character offset), and
+//! intentional micro-tuning of derived float metrics (throughput,
+//! bandwidth, latency) should be absorbed up to a small band while
+//! policy *decisions* — integer counters like pages demoted per period —
+//! stay exact, so a classify/estimate regression can never hide inside a
+//! tolerance.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::artifact::ExperimentArtifact;
+use thermo_util::json::{parse, to_string_pretty, ToJson, Value};
+
+/// A numeric tolerance band applied to fields whose dotted path contains
+/// `pattern`.
+#[derive(Debug, Clone, Copy)]
+pub struct ToleranceBand {
+    /// Substring matched against the full field path
+    /// (e.g. `"ops_per_sec"`, `"latency"`).
+    pub pattern: &'static str,
+    /// Allowed relative deviation: `|a-e| <= rel * max(1, |e|)`.
+    pub rel: f64,
+}
+
+/// Diff configuration: the default float tolerance plus per-field bands.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Relative tolerance for floats not matched by any band.
+    pub default_rel: f64,
+    /// Per-field overrides, first match wins.
+    pub bands: Vec<ToleranceBand>,
+}
+
+impl DiffConfig {
+    /// Exact comparison (used by tests).
+    pub fn exact() -> Self {
+        Self {
+            default_rel: 0.0,
+            bands: Vec::new(),
+        }
+    }
+
+    /// The tolerance policy for checked-in goldens (rationale in
+    /// DESIGN.md): integers exact, floats near-exact by default, and a
+    /// 2% band on *derived measurement* fields — throughput, migration
+    /// bandwidth, latency, access rates — so micro-tuning of the cost
+    /// model doesn't force a re-bless, while every policy decision
+    /// (demotions, promotions, footprint bytes) must match exactly.
+    pub fn goldens() -> Self {
+        Self {
+            default_rel: 1e-9,
+            bands: vec![
+                ToleranceBand {
+                    pattern: "ops_per_sec",
+                    rel: 0.02,
+                },
+                ToleranceBand {
+                    pattern: "mbps",
+                    rel: 0.02,
+                },
+                ToleranceBand {
+                    pattern: "latency",
+                    rel: 0.02,
+                },
+                ToleranceBand {
+                    pattern: "rate",
+                    rel: 0.02,
+                },
+                ToleranceBand {
+                    pattern: "series",
+                    rel: 0.02,
+                },
+            ],
+        }
+    }
+
+    fn band_for(&self, path: &str) -> Option<f64> {
+        self.bands
+            .iter()
+            .find(|b| path.contains(b.pattern))
+            .map(|b| b.rel)
+    }
+}
+
+/// One structural divergence between expectation and actual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Dotted path of the diverging field (e.g. `runs[1].history[2].demoted`).
+    pub path: String,
+    /// Expected value (from the golden), rendered compactly.
+    pub expected: String,
+    /// Actual value (from the fresh run), rendered compactly.
+    pub actual: String,
+    /// Why it diverged (type mismatch, beyond band, missing, ...).
+    pub reason: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {}, got {} ({})",
+            self.path, self.expected, self.actual, self.reason
+        )
+    }
+}
+
+/// Structurally compares `actual` against `expected`, returning every
+/// divergence (empty = match). Object key order is ignored; numeric
+/// fields use the configured tolerance bands.
+pub fn diff_values(expected: &Value, actual: &Value, cfg: &DiffConfig) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    walk("$", expected, actual, cfg, &mut out);
+    out
+}
+
+fn short(v: &Value) -> String {
+    let s = thermo_util::json::to_string(v);
+    if s.len() <= 48 {
+        return s;
+    }
+    let mut end = 47;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+fn push(out: &mut Vec<Mismatch>, path: &str, e: &Value, a: &Value, reason: impl Into<String>) {
+    out.push(Mismatch {
+        path: path.to_string(),
+        expected: short(e),
+        actual: short(a),
+        reason: reason.into(),
+    });
+}
+
+fn walk(path: &str, e: &Value, a: &Value, cfg: &DiffConfig, out: &mut Vec<Mismatch>) {
+    match (e, a) {
+        (Value::Obj(ef), Value::Obj(af)) => {
+            for (k, ev) in ef {
+                match a.get(k) {
+                    Some(av) => walk(&format!("{path}.{k}"), ev, av, cfg, out),
+                    None => push(
+                        out,
+                        &format!("{path}.{k}"),
+                        ev,
+                        &Value::Null,
+                        "missing field",
+                    ),
+                }
+            }
+            for (k, av) in af {
+                if e.get(k).is_none() {
+                    push(
+                        out,
+                        &format!("{path}.{k}"),
+                        &Value::Null,
+                        av,
+                        "unexpected field",
+                    );
+                }
+            }
+        }
+        (Value::Arr(ea), Value::Arr(aa)) => {
+            if ea.len() != aa.len() {
+                push(
+                    out,
+                    path,
+                    e,
+                    a,
+                    format!("array length {} vs {}", ea.len(), aa.len()),
+                );
+            }
+            for (i, (ev, av)) in ea.iter().zip(aa).enumerate() {
+                walk(&format!("{path}[{i}]"), ev, av, cfg, out);
+            }
+        }
+        _ => {
+            let (en, an) = (e.as_f64(), a.as_f64());
+            if let (Some(ef), Some(af)) = (en, an) {
+                // Both numeric: integers compare exactly unless a band
+                // explicitly covers the field; floats get the band or the
+                // default tolerance.
+                let both_int = matches!(e, Value::U64(_) | Value::I64(_))
+                    && matches!(a, Value::U64(_) | Value::I64(_));
+                match cfg.band_for(path) {
+                    None if both_int => {
+                        if e.as_i64() != a.as_i64() || e.as_u64() != a.as_u64() {
+                            push(out, path, e, a, "integers must match exactly");
+                        }
+                    }
+                    band => {
+                        let rel = band.unwrap_or(cfg.default_rel);
+                        if (af - ef).abs() > rel * ef.abs().max(1.0) {
+                            push(out, path, e, a, format!("beyond ±{rel:e} relative band"));
+                        }
+                    }
+                }
+            } else if e != a {
+                push(out, path, e, a, "value mismatch");
+            }
+        }
+    }
+}
+
+/// Index of the first period that diverges, extracted from a mismatch
+/// path like `$.runs[1].history[7].demoted`.
+fn first_diverging_period(mismatches: &[Mismatch]) -> Option<(usize, String)> {
+    mismatches
+        .iter()
+        .filter_map(|m| {
+            let (_, rest) = m.path.split_once("history[")?;
+            let (idx, _) = rest.split_once(']')?;
+            Some((idx.parse::<usize>().ok()?, m.path.clone()))
+        })
+        .min()
+}
+
+/// Renders a human-readable mismatch report for one experiment, naming
+/// the first diverging period when the divergence is in a run history.
+pub fn render_mismatch_report(id: &str, mismatches: &[Mismatch]) -> String {
+    let mut out = format!(
+        "golden mismatch for `{id}`: {} field(s) diverge\n",
+        mismatches.len()
+    );
+    if let Some((period, path)) = first_diverging_period(mismatches) {
+        out.push_str(&format!(
+            "  first diverging period: #{period} (at {path})\n"
+        ));
+    }
+    const SHOW: usize = 20;
+    for m in mismatches.iter().take(SHOW) {
+        out.push_str(&format!("  - {m}\n"));
+    }
+    if mismatches.len() > SHOW {
+        out.push_str(&format!("  … and {} more\n", mismatches.len() - SHOW));
+    }
+    out.push_str(&format!(
+        "  (intentional change? re-bless with `scripts/golden.sh bless {id}`)"
+    ));
+    out
+}
+
+/// Directory holding the checked-in golden expectations. Overridable via
+/// `THERMO_GOLDEN_DIR`; defaults to `<repo root>/goldens`.
+pub fn golden_dir() -> PathBuf {
+    std::env::var_os("THERMO_GOLDEN_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("goldens")
+        })
+}
+
+/// Canonical golden serialization of an artifact: pretty-printed JSON
+/// with a trailing newline, round-tripped through the parser so the
+/// in-memory and on-disk forms compare identically.
+pub fn canonical_json(artifact: &ExperimentArtifact) -> String {
+    let mut s = to_string_pretty(&artifact.to_json());
+    s.push('\n');
+    s
+}
+
+/// Checks a freshly produced artifact against `goldens/<id>.json`.
+/// Returns `Ok(())` on match, or the rendered mismatch report.
+pub fn check_artifact(
+    artifact: &ExperimentArtifact,
+    dir: &Path,
+    cfg: &DiffConfig,
+) -> Result<(), String> {
+    let id = &artifact.report.id;
+    let path = dir.join(format!("{id}.json"));
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "no golden for `{id}` at {} ({e}); bless it with `scripts/golden.sh bless {id}`",
+            path.display()
+        )
+    })?;
+    let expected =
+        parse(&text).map_err(|e| format!("golden {} is not valid JSON: {e}", path.display()))?;
+    // Canonicalize the fresh artifact through the same codec the golden
+    // went through, so the diff sees what a re-bless would write.
+    let actual = parse(&canonical_json(artifact)).expect("artifact JSON reparses");
+    let mismatches = diff_values(&expected, &actual, cfg);
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(render_mismatch_report(id, &mismatches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_values_match() {
+        let v = obj(vec![
+            ("a", Value::U64(1)),
+            ("b", Value::F64(0.5)),
+            ("c", Value::Arr(vec![Value::Str("x".into())])),
+        ]);
+        assert!(diff_values(&v, &v.clone(), &DiffConfig::goldens()).is_empty());
+    }
+
+    #[test]
+    fn integer_divergence_is_exact_regardless_of_size() {
+        let e = obj(vec![("demoted", Value::U64(3))]);
+        let a = obj(vec![("demoted", Value::U64(4))]);
+        let ms = diff_values(&e, &a, &DiffConfig::goldens());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].path, "$.demoted");
+        assert!(ms[0].reason.contains("exactly"));
+    }
+
+    #[test]
+    fn float_band_absorbs_small_drift_but_not_large() {
+        let cfg = DiffConfig::goldens();
+        let e = obj(vec![("ops_per_sec", Value::F64(1000.0))]);
+        let close = obj(vec![("ops_per_sec", Value::F64(1015.0))]); // +1.5%
+        let far = obj(vec![("ops_per_sec", Value::F64(1500.0))]); // +50%
+        assert!(diff_values(&e, &close, &cfg).is_empty());
+        assert_eq!(diff_values(&e, &far, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn default_float_tolerance_is_tight() {
+        let cfg = DiffConfig::goldens();
+        let e = obj(vec![("cold_fraction", Value::F64(0.25))]);
+        let a = obj(vec![("cold_fraction", Value::F64(0.26))]);
+        assert_eq!(diff_values(&e, &a, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn missing_and_unexpected_fields_are_reported() {
+        let e = obj(vec![("a", Value::U64(1)), ("b", Value::U64(2))]);
+        let a = obj(vec![("a", Value::U64(1)), ("z", Value::U64(9))]);
+        let ms = diff_values(&e, &a, &DiffConfig::exact());
+        let reasons: Vec<&str> = ms.iter().map(|m| m.reason.as_str()).collect();
+        assert!(reasons.contains(&"missing field"));
+        assert!(reasons.contains(&"unexpected field"));
+    }
+
+    #[test]
+    fn array_length_and_type_mismatches() {
+        let e = Value::Arr(vec![Value::U64(1), Value::U64(2)]);
+        let a = Value::Arr(vec![Value::U64(1)]);
+        let ms = diff_values(&e, &a, &DiffConfig::exact());
+        assert!(ms[0].reason.contains("array length"));
+        let ms = diff_values(&Value::Bool(true), &Value::U64(1), &DiffConfig::exact());
+        assert_eq!(ms.len(), 1, "bool vs number is a type mismatch");
+    }
+
+    #[test]
+    fn report_names_first_diverging_period() {
+        let ms = vec![
+            Mismatch {
+                path: "$.runs[1].history[7].demoted".into(),
+                expected: "3".into(),
+                actual: "4".into(),
+                reason: "integers must match exactly".into(),
+            },
+            Mismatch {
+                path: "$.runs[1].history[2].promoted".into(),
+                expected: "0".into(),
+                actual: "1".into(),
+                reason: "integers must match exactly".into(),
+            },
+        ];
+        let report = render_mismatch_report("fig8", &ms);
+        assert!(report.contains("first diverging period: #2"), "{report}");
+        assert!(report.contains("golden mismatch for `fig8`"));
+        assert!(report.contains("bless"));
+    }
+
+    #[test]
+    fn object_key_order_is_ignored() {
+        let e = obj(vec![("a", Value::U64(1)), ("b", Value::U64(2))]);
+        let a = obj(vec![("b", Value::U64(2)), ("a", Value::U64(1))]);
+        assert!(diff_values(&e, &a, &DiffConfig::exact()).is_empty());
+    }
+}

@@ -55,6 +55,27 @@ impl EvalParams {
         }
     }
 
+    /// Fixed smoke-scale parameters for the golden-artifact regression
+    /// harness (`golden` binary, determinism tests).
+    ///
+    /// Deliberately ignores the `THERMO_*` environment overrides: golden
+    /// expectations are only comparable when every run uses the exact
+    /// same scale, duration, and seed. Small enough that the full
+    /// fig5–fig10 + tab2–tab4 sweep stays in CI smoke-test territory,
+    /// large enough that each run completes several sampling periods.
+    pub fn smoke() -> Self {
+        Self {
+            scale: 512,
+            duration_ns: 1_500_000_000,
+            sampling_period_ns: 250_000_000,
+            tolerable_slowdown_pct: 3.0,
+            read_pct: 95,
+            seed: 0xa5_2017,
+            thp: true,
+            track_true_access: false,
+        }
+    }
+
     /// Simulator configuration sized for `app` at this scale.
     ///
     /// The TLB and LLC scale with the footprint (DESIGN.md §1): the
@@ -104,6 +125,19 @@ impl EvalParams {
         }
     }
 }
+
+// Serialized into every experiment artifact so golden checks can verify
+// the expectation file and the fresh run used the same parameters.
+thermo_util::json_struct!(EvalParams {
+    scale,
+    duration_ns,
+    sampling_period_ns,
+    tolerable_slowdown_pct,
+    read_pct,
+    seed,
+    thp,
+    track_true_access,
+});
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)

@@ -66,6 +66,14 @@ impl RunOutcome {
     }
 }
 
+// Serialized into the per-experiment artifacts (thermo-bench) so golden
+// diffs can compare completed-op counts and virtual end times directly.
+thermo_util::json_struct!(RunOutcome {
+    ops,
+    start_ns,
+    end_ns
+});
+
 /// Runs `workload` until virtual `duration_ns` elapses (measured from the
 /// engine's current time) or the workload finishes.
 pub fn run_for(

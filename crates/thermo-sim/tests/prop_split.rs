@@ -1,0 +1,230 @@
+//! Property test for the §6 split-placement (4KB-child) path under
+//! fragmentation, mirroring the invariant style of `prop_migrate.rs`.
+//!
+//! The daemon's split placement keeps a hot page's accessed children in
+//! fast memory and scatters the cold children into the slow tier, which
+//! fragments the slow allocator's free lists; later whole-page demotions
+//! then need a contiguous huge frame and must fail cleanly. After every
+//! operation three invariants hold:
+//!
+//! 1. **No VPN double-booked across tiers** — per-tier allocator books
+//!    equal the bytes the page table maps in that tier, exactly;
+//! 2. **Children cover exactly the parent's range** — a split page's 512
+//!    children all translate, sum to one huge page of mapped bytes, and
+//!    the total mapped footprint never changes;
+//! 3. **Collapse restores a whole huge page** — when a collapse
+//!    succeeds, every child translates to the same tier as the base and
+//!    the page is huge again in the footprint breakdown.
+
+use thermo_mem::{Tier, VirtAddr, Vpn, PAGES_PER_HUGE};
+use thermo_sim::{Engine, SimConfig};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{any, range, vec_of, weighted, Strategy};
+
+const N_HUGE: u64 = 8;
+const HUGE_BYTES: u64 = 2 << 20;
+const FAST_BYTES: u64 = 64 << 20;
+// Room for only 3 of the 8 huge pages: child placements fill the slow
+// tier piecemeal and whole-page migrations regularly OOM or land on a
+// fragmented free list.
+const SLOW_BYTES: u64 = 3 * HUGE_BYTES;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Split a page, then place every 16th-stride child from `mask`'s
+    /// offset into the slow tier — the §6 cold-children placement.
+    SplitPlace(u8, u8),
+    /// Bring one split-placed child back to fast (the §3.5 correction).
+    PromoteChild(u8, u16),
+    /// Demote one child to slow (fragmentation churn).
+    DemoteChild(u8, u16),
+    /// Whole-page split migration toward a tier.
+    MigrateSplit(u8, bool),
+    /// Try to fold the children back into a huge page.
+    Collapse(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    weighted(vec![
+        (
+            3,
+            (range(0u8..N_HUGE as u8), any::<u8>())
+                .prop_map(|(p, m)| Op::SplitPlace(p, m))
+                .boxed(),
+        ),
+        (
+            2,
+            (range(0u8..N_HUGE as u8), range(0u16..PAGES_PER_HUGE as u16))
+                .prop_map(|(p, c)| Op::PromoteChild(p, c))
+                .boxed(),
+        ),
+        (
+            2,
+            (range(0u8..N_HUGE as u8), range(0u16..PAGES_PER_HUGE as u16))
+                .prop_map(|(p, c)| Op::DemoteChild(p, c))
+                .boxed(),
+        ),
+        (
+            1,
+            (range(0u8..N_HUGE as u8), any::<bool>())
+                .prop_map(|(p, s)| Op::MigrateSplit(p, s))
+                .boxed(),
+        ),
+        (2, range(0u8..N_HUGE as u8).prop_map(Op::Collapse).boxed()),
+    ])
+}
+
+/// Invariant 1: frame accounting cross-check — what the allocator booked
+/// per tier must equal what the page table maps per tier, byte for byte.
+fn assert_single_tier_residency(engine: &mut Engine) {
+    let fb = engine.footprint_breakdown();
+    let fast_used = FAST_BYTES - engine.free_bytes(Tier::Fast);
+    let slow_used = SLOW_BYTES - engine.free_bytes(Tier::Slow);
+    assert_eq!(
+        fb.huge_fast + fb.small_fast,
+        fast_used,
+        "fast tier books ≠ mapped bytes"
+    );
+    assert_eq!(
+        fb.huge_slow + fb.small_slow,
+        slow_used,
+        "slow tier books ≠ mapped bytes"
+    );
+}
+
+/// Invariant 2: a split parent's children cover exactly its 2MB range —
+/// every child translates, and their mapped bytes sum to one huge page.
+fn assert_children_cover_parent(engine: &Engine, base: VirtAddr, p: usize) {
+    let mut mapped = 0u64;
+    for c in 0..PAGES_PER_HUGE {
+        assert!(
+            engine.tier_of_vpn(vpn(base, p, c)).is_some(),
+            "child {c} of split page {p} lost its mapping"
+        );
+        mapped += 4096;
+    }
+    assert_eq!(mapped, HUGE_BYTES, "children must cover the parent range");
+}
+
+#[test]
+fn split_placement_under_fragmentation_keeps_invariants() {
+    forall!(cases = 32, (ops in vec_of(op_strategy(), 1..200)) => {
+        let mut engine = Engine::new(SimConfig::paper_defaults(FAST_BYTES, SLOW_BYTES));
+        let base = engine.mmap(N_HUGE * HUGE_BYTES, true, true, false, "heap");
+        for p in 0..N_HUGE {
+            engine.access(base + p * HUGE_BYTES, true);
+        }
+        let total_mapped = {
+            let fb = engine.footprint_breakdown();
+            fb.total()
+        };
+        let mut split = [false; N_HUGE as usize];
+
+        for op in ops {
+            match op {
+                Op::SplitPlace(p, mask) => {
+                    let p = p as usize;
+                    if !split[p] {
+                        engine.split_huge(vpn(base, p, 0)).unwrap();
+                        split[p] = true;
+                    }
+                    // Place a pseudo-cold subset: children congruent to
+                    // mask mod 16 go slow; OOM means the child stays put.
+                    for c in ((mask as usize % 16)..PAGES_PER_HUGE).step_by(16) {
+                        let v = vpn(base, p, c);
+                        let before = engine.tier_of_vpn(v);
+                        match engine.migrate_page(v, Tier::Slow) {
+                            Ok(()) => assert_eq!(engine.tier_of_vpn(v), Some(Tier::Slow)),
+                            Err(_) => assert_eq!(engine.tier_of_vpn(v), before),
+                        }
+                    }
+                }
+                Op::PromoteChild(p, c) | Op::DemoteChild(p, c) => {
+                    let (p, c) = (p as usize, c as usize);
+                    if split[p] {
+                        let target = if matches!(op, Op::PromoteChild(..)) {
+                            Tier::Fast
+                        } else {
+                            Tier::Slow
+                        };
+                        let v = vpn(base, p, c);
+                        let before = engine.tier_of_vpn(v);
+                        match engine.migrate_page(v, target) {
+                            Ok(()) => assert_eq!(engine.tier_of_vpn(v), Some(target)),
+                            Err(_) => assert_eq!(engine.tier_of_vpn(v), before),
+                        }
+                    }
+                }
+                Op::MigrateSplit(p, to_slow) => {
+                    let p = p as usize;
+                    if split[p] {
+                        let target = if to_slow { Tier::Slow } else { Tier::Fast };
+                        if engine.migrate_split_huge(vpn(base, p, 0), target).is_ok() {
+                            for c in 0..PAGES_PER_HUGE {
+                                assert_eq!(engine.tier_of_vpn(vpn(base, p, c)), Some(target));
+                            }
+                        }
+                    }
+                }
+                Op::Collapse(p) => {
+                    let p = p as usize;
+                    if split[p] && engine.collapse_huge(vpn(base, p, 0)).is_ok() {
+                        split[p] = false;
+                        // Invariant 3: a successful collapse restores one
+                        // whole huge page, uniformly in the base's tier.
+                        let tier = engine.tier_of_vpn(vpn(base, p, 0));
+                        assert!(tier.is_some(), "collapsed page must map");
+                        for c in 0..PAGES_PER_HUGE {
+                            assert_eq!(
+                                engine.tier_of_vpn(vpn(base, p, c)),
+                                tier,
+                                "collapse left child {c} in a different tier"
+                            );
+                        }
+                    }
+                }
+            }
+
+            assert_single_tier_residency(&mut engine);
+            for p in 0..N_HUGE as usize {
+                if split[p] {
+                    assert_children_cover_parent(&engine, base, p);
+                }
+            }
+            // The workload never unmaps: split/collapse/placement must
+            // conserve the total mapped footprint exactly.
+            let fb = engine.footprint_breakdown();
+            assert_eq!(fb.total(), total_mapped, "mapped footprint changed");
+        }
+
+        // Wind-down: promote every split child home. The fast tier has
+        // room for the whole footprint, so each promotion must land (or
+        // already be there); collapse may still fail when per-child
+        // migrations left the physical frames non-contiguous — that is
+        // fine, the range just stays mapped as 4KB pages in fast memory.
+        for p in 0..N_HUGE as usize {
+            if !split[p] {
+                continue;
+            }
+            for c in 0..PAGES_PER_HUGE {
+                let _ = engine.migrate_page(vpn(base, p, c), Tier::Fast);
+                assert_eq!(
+                    engine.tier_of_vpn(vpn(base, p, c)),
+                    Some(Tier::Fast),
+                    "fast tier has room: promotion of child {c} must succeed"
+                );
+            }
+            if engine.collapse_huge(vpn(base, p, 0)).is_ok() {
+                split[p] = false;
+            }
+            assert_children_cover_parent(&engine, base, p);
+        }
+        assert_single_tier_residency(&mut engine);
+        let fb = engine.footprint_breakdown();
+        assert_eq!(fb.total(), total_mapped, "wind-down lost mapped bytes");
+    });
+}
+
+fn vpn(base: VirtAddr, p: usize, child: usize) -> Vpn {
+    Vpn(base.vpn().0 + (p * PAGES_PER_HUGE + child) as u64)
+}

@@ -6,17 +6,206 @@
 //! [`Bencher::iter`]/[`Bencher::iter_batched`], [`black_box`], and the
 //! [`criterion_group!`](crate::criterion_group!)/
 //! [`criterion_main!`](crate::criterion_main!) macros) so the bench
-//! sources migrate with an import swap. Measurement is intentionally
-//! simple: a short warmup, then `sample_size` timed iterations, mean
-//! reported on stdout. Set `THERMO_BENCH_FAST=1` to run each routine
-//! once (smoke mode for CI).
+//! sources migrate with an import swap.
+//!
+//! Measurement: a short warmup, then `sample_size` timed iterations with
+//! per-iteration samples, reported as one parseable line per bench —
+//! `bench <name> median <m> µs (mean <x> σ <s> min <a> max <b>, <n>
+//! iters)` — in every mode, including the `THERMO_BENCH_FAST=1` smoke
+//! mode CI uses (single-shot there, so σ = 0).
+//!
+//! Perf PRs are self-verifying through two environment knobs handled by
+//! the [`criterion_main!`](crate::criterion_main!) epilogue:
+//!
+//! * `THERMO_BENCH_JSON=path` — write every bench's [`BenchStats`] to
+//!   `path` as a machine-readable baseline;
+//! * `THERMO_BENCH_BASELINE=path` — compare against a saved baseline and
+//!   **exit non-zero** if any bench's median regressed more than
+//!   `THERMO_BENCH_MAX_REGRESSION_PCT` percent (default 50).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::json_struct;
 
 pub use std::hint::black_box;
 
 fn fast_mode() -> bool {
     std::env::var_os("THERMO_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Results of every bench run so far in this process, drained by
+/// [`finalize`] from the `criterion_main!` epilogue.
+static RESULTS: Mutex<Vec<BenchStats>> = Mutex::new(Vec::new());
+
+/// Summary statistics for one bench's timed iterations, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Bench name (`group/name` inside groups).
+    pub name: String,
+    /// Timed iterations (excludes the warmup).
+    pub iters: u64,
+    /// Median iteration time, ns.
+    pub median_ns: f64,
+    /// Mean iteration time, ns.
+    pub mean_ns: f64,
+    /// Population standard deviation, ns (0 for a single sample).
+    pub stddev_ns: f64,
+    /// Fastest iteration, ns.
+    pub min_ns: f64,
+    /// Slowest iteration, ns.
+    pub max_ns: f64,
+}
+
+json_struct!(BenchStats {
+    name,
+    iters,
+    median_ns,
+    mean_ns,
+    stddev_ns,
+    min_ns,
+    max_ns,
+});
+
+impl BenchStats {
+    /// Computes the summary from raw per-iteration samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty.
+    pub fn from_samples(name: &str, samples: &[Duration]) -> Self {
+        assert!(!samples.is_empty(), "bench produced no samples");
+        let mut ns: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let n = ns.len();
+        let median = if n % 2 == 1 {
+            ns[n / 2]
+        } else {
+            (ns[n / 2 - 1] + ns[n / 2]) / 2.0
+        };
+        let mean = ns.iter().sum::<f64>() / n as f64;
+        let var = ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Self {
+            name: name.to_string(),
+            iters: n as u64,
+            median_ns: median,
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            min_ns: ns[0],
+            max_ns: ns[n - 1],
+        }
+    }
+
+    /// The uniform one-line report, identical in shape across normal and
+    /// smoke mode so CI output is always machine-parseable.
+    pub fn report_line(&self) -> String {
+        format!(
+            "bench {:<40} median {:>12.3} µs (mean {:.3} σ {:.3} min {:.3} max {:.3}, {} iters)",
+            self.name,
+            self.median_ns / 1e3,
+            self.mean_ns / 1e3,
+            self.stddev_ns / 1e3,
+            self.min_ns / 1e3,
+            self.max_ns / 1e3,
+            self.iters
+        )
+    }
+}
+
+/// The baseline file format written via `THERMO_BENCH_JSON` and read via
+/// `THERMO_BENCH_BASELINE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// Every bench's statistics, in execution order.
+    pub benches: Vec<BenchStats>,
+}
+
+json_struct!(BenchBaseline { benches });
+
+/// Compares `current` against `baseline`: one report string per bench
+/// whose median regressed more than `max_regression_pct` percent.
+/// Benches missing from the baseline are skipped (new benches must not
+/// fail the gate).
+pub fn regressions(
+    current: &[BenchStats],
+    baseline: &[BenchStats],
+    max_regression_pct: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            continue;
+        };
+        if base.median_ns <= 0.0 {
+            continue;
+        }
+        let pct = (cur.median_ns / base.median_ns - 1.0) * 100.0;
+        if pct > max_regression_pct {
+            out.push(format!(
+                "bench regression: {} median {:.3} µs vs baseline {:.3} µs (+{:.1}%, threshold {:.0}%)",
+                cur.name,
+                cur.median_ns / 1e3,
+                base.median_ns / 1e3,
+                pct,
+                max_regression_pct
+            ));
+        }
+    }
+    out
+}
+
+/// Epilogue run by [`criterion_main!`](crate::criterion_main!): writes
+/// the optional baseline JSON, checks the optional saved baseline, and
+/// returns the process exit code (0 = ok, 1 = regression detected).
+pub fn finalize() -> i32 {
+    let results = std::mem::take(&mut *RESULTS.lock().expect("bench results lock"));
+    if let Some(path) = std::env::var_os("THERMO_BENCH_JSON") {
+        let file = BenchBaseline {
+            benches: results.clone(),
+        };
+        let mut text = crate::json::encode_pretty(&file);
+        text.push('\n');
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("[bench baseline written to {}]", path.to_string_lossy()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.to_string_lossy());
+                return 1;
+            }
+        }
+    }
+    let Some(path) = std::env::var_os("THERMO_BENCH_BASELINE") else {
+        return 0;
+    };
+    let threshold = std::env::var("THERMO_BENCH_MAX_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0);
+    let baseline: BenchBaseline = match std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| crate::json::decode(&text).map_err(|e| e.to_string()))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "error: cannot load bench baseline {}: {e}",
+                path.to_string_lossy()
+            );
+            return 1;
+        }
+    };
+    let failures = regressions(&results, &baseline.benches, threshold);
+    for f in &failures {
+        eprintln!("{f}");
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "[bench baseline check ok: {} bench(es) within {threshold}%]",
+            results.len()
+        );
+        0
+    } else {
+        1
+    }
 }
 
 /// Top-level bench context handed to every registered bench function.
@@ -91,8 +280,7 @@ pub enum BatchSize {
 /// Timer handle passed to the bench closure.
 pub struct Bencher {
     iters: usize,
-    total: Duration,
-    timed_iters: u64,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
@@ -106,8 +294,7 @@ impl Bencher {
         for _ in 0..self.iters {
             let start = Instant::now();
             black_box(routine());
-            self.total += start.elapsed();
-            self.timed_iters += 1;
+            self.samples.push(start.elapsed());
         }
     }
 
@@ -123,8 +310,7 @@ impl Bencher {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            self.total += start.elapsed();
-            self.timed_iters += 1;
+            self.samples.push(start.elapsed());
         }
     }
 }
@@ -136,20 +322,16 @@ where
     let iters = if fast_mode() { 1 } else { sample_size.max(1) };
     let mut b = Bencher {
         iters,
-        total: Duration::ZERO,
-        timed_iters: 0,
+        samples: Vec::with_capacity(iters),
     };
     f(&mut b);
-    if b.timed_iters == 0 {
+    if b.samples.is_empty() {
         println!("bench {name:<40} (no measurement)");
         return;
     }
-    let mean = b.total / b.timed_iters as u32;
-    println!(
-        "bench {name:<40} {:>12.3} µs/iter ({} iters)",
-        mean.as_secs_f64() * 1e6,
-        b.timed_iters
-    );
+    let stats = BenchStats::from_samples(name, &b.samples);
+    println!("{}", stats.report_line());
+    RESULTS.lock().expect("bench results lock").push(stats);
 }
 
 /// Declares a bench group function, Criterion-style:
@@ -166,11 +348,16 @@ macro_rules! criterion_group {
 
 /// Declares the bench binary's `main`, Criterion-style:
 /// `criterion_main!(benches);`
+///
+/// After all groups run, the epilogue writes/checks baselines per the
+/// `THERMO_BENCH_JSON` / `THERMO_BENCH_BASELINE` environment knobs and
+/// exits non-zero on a detected regression.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            std::process::exit($crate::bench::finalize());
         }
     };
 }
@@ -205,5 +392,72 @@ mod tests {
         g.finish();
         let expected = if fast_mode() { 2 * 5 } else { 4 * 5 };
         assert_eq!(count.get(), expected);
+    }
+
+    fn stats(name: &str, median_us: f64) -> BenchStats {
+        BenchStats {
+            name: name.to_string(),
+            iters: 5,
+            median_ns: median_us * 1e3,
+            mean_ns: median_us * 1e3,
+            stddev_ns: 0.0,
+            min_ns: median_us * 1e3,
+            max_ns: median_us * 1e3,
+        }
+    }
+
+    #[test]
+    fn stats_from_samples() {
+        let us = Duration::from_micros;
+        let s = BenchStats::from_samples("s", &[us(3), us(1), us(2), us(10)]);
+        assert_eq!(s.iters, 4);
+        assert!((s.median_ns - 2_500.0).abs() < 1e-6, "{}", s.median_ns);
+        assert!((s.mean_ns - 4_000.0).abs() < 1e-6);
+        assert!((s.min_ns - 1_000.0).abs() < 1e-6);
+        assert!((s.max_ns - 10_000.0).abs() < 1e-6);
+        // Population σ of [1,2,3,10]ms: mean 4, var (9+4+1+36)/4 = 12.5.
+        assert!((s.stddev_ns - 1e3 * 12.5f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_has_zero_sigma_and_parseable_line() {
+        // Smoke mode produces single-sample sets; the report line must
+        // keep the full statistics shape (σ = 0), not skip them.
+        let s = BenchStats::from_samples("solo", &[Duration::from_micros(7)]);
+        assert_eq!(s.iters, 1);
+        assert_eq!(s.stddev_ns, 0.0);
+        assert_eq!(s.median_ns, s.mean_ns);
+        let line = s.report_line();
+        assert!(line.contains("median"), "{line}");
+        assert!(line.contains("σ 0.000"), "{line}");
+        assert!(line.contains("1 iters"), "{line}");
+    }
+
+    #[test]
+    fn regression_detection_thresholds() {
+        let base = vec![stats("a", 100.0), stats("b", 100.0)];
+        let current = vec![
+            stats("a", 120.0), // +20%: under a 50% threshold
+            stats("b", 200.0), // +100%: over it
+            stats("new", 5.0), // not in baseline: skipped
+        ];
+        let fails = regressions(&current, &base, 50.0);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("b"), "{fails:?}");
+        assert!(fails[0].contains("+100.0%"), "{fails:?}");
+        // Tighter threshold catches both.
+        assert_eq!(regressions(&current, &base, 10.0).len(), 2);
+        // Improvements never fail.
+        assert!(regressions(&base, &current, 10.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_json_roundtrip() {
+        let file = BenchBaseline {
+            benches: vec![stats("a", 1.5)],
+        };
+        let text = crate::json::encode_pretty(&file);
+        let back: BenchBaseline = crate::json::decode(&text).expect("decodes");
+        assert_eq!(back, file);
     }
 }

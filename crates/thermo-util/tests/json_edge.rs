@@ -1,0 +1,167 @@
+//! Edge-case coverage for `thermo_util::json` — the codec every golden
+//! artifact and baseline file goes through. Byte-stable output is a
+//! correctness property here (golden diffs and the determinism suite
+//! depend on it), so these tests pin the exact bytes for the awkward
+//! corners: signed float zero, extreme magnitudes, escaped strings,
+//! empty collections, and the failing-decode error paths.
+
+use thermo_util::json::{decode, encode, encode_pretty, parse, to_string, Value};
+
+/// Round-trips a float through encode/parse and compares *bit patterns*,
+/// not `==`, so `-0.0` cannot silently degrade to `+0.0`.
+fn roundtrip_bits(f: f64) {
+    let text = encode(&f);
+    let back: f64 = decode(&text).expect("float text must re-parse");
+    assert_eq!(
+        back.to_bits(),
+        f.to_bits(),
+        "{f:?} -> {text:?} -> {back:?} changed bit pattern"
+    );
+}
+
+#[test]
+fn negative_zero_keeps_its_sign() {
+    assert_eq!(encode(&-0.0f64), "-0.0");
+    roundtrip_bits(-0.0);
+    roundtrip_bits(0.0);
+    // And the two zeros stay distinguishable in the serialized form, so
+    // a golden diff of the bytes never confuses them.
+    assert_ne!(encode(&-0.0f64), encode(&0.0f64));
+}
+
+#[test]
+fn extreme_magnitudes_roundtrip_exactly() {
+    for f in [
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE, // smallest normal
+        f64::from_bits(1), // smallest subnormal, 5e-324
+        1e300,
+        -1e300,
+        1e-300,
+        4503599627370497.0, // 2^52 + 1: last integer-dense float
+        f64::EPSILON,
+    ] {
+        roundtrip_bits(f);
+    }
+}
+
+#[test]
+fn integral_floats_stay_floats() {
+    // Trailing ".0" is what keeps an integral F64 re-parsing as F64
+    // instead of U64 — losing it would flip value kinds between a bless
+    // and a check of the same artifact.
+    assert_eq!(encode(&1.0f64), "1.0");
+    assert_eq!(encode(&-3.0f64), "-3.0");
+    assert!(matches!(parse("1.0").unwrap(), Value::F64(_)));
+    assert!(matches!(parse("1").unwrap(), Value::U64(1)));
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null_and_fail_decode() {
+    assert_eq!(encode(&f64::NAN), "null");
+    assert_eq!(encode(&f64::INFINITY), "null");
+    assert_eq!(encode(&f64::NEG_INFINITY), "null");
+    // The lossy `null` does not decode back into a number.
+    let err = decode::<f64>("null").unwrap_err();
+    assert!(err.to_string().contains("expected number"), "{err}");
+}
+
+#[test]
+fn string_escaping_covers_controls_and_multibyte() {
+    let nasty = "quote\" back\\slash \n\r\t \u{8}\u{c} bell\u{7} nul\u{0} déjà 🧊";
+    let enc = encode(nasty);
+    assert_eq!(
+        enc,
+        "\"quote\\\" back\\\\slash \\n\\r\\t \\b\\f bell\\u0007 nul\\u0000 déjà 🧊\""
+    );
+    let back: String = decode(&enc).expect("escaped string must re-parse");
+    assert_eq!(back, nasty);
+}
+
+#[test]
+fn empty_collections_have_fixed_compact_forms() {
+    let empty_vec: Vec<u64> = Vec::new();
+    assert_eq!(encode(&empty_vec), "[]");
+    assert_eq!(to_string(&Value::Obj(Vec::new())), "{}");
+    assert_eq!(to_string(&Value::Arr(Vec::new())), "[]");
+    // Pretty-printing must not explode empties across lines either —
+    // goldens embed them ("history": [] for baseline runs).
+    assert_eq!(encode_pretty(&empty_vec), "[]");
+    let back: Vec<u64> = decode("[]").unwrap();
+    assert!(back.is_empty());
+}
+
+#[derive(Debug)]
+struct Knobs {
+    period_ns: u64,
+    fraction: f64,
+}
+thermo_util::json_struct!(Knobs {
+    period_ns,
+    fraction
+});
+
+#[test]
+fn struct_decode_reports_missing_and_mistyped_fields() {
+    let knobs = Knobs {
+        period_ns: 10u64,
+        fraction: 0.5f64,
+    };
+    let enc = encode(&knobs);
+    let back: Knobs = decode(&enc).unwrap();
+    assert_eq!(back.period_ns, 10);
+
+    let missing = decode::<Knobs>("{\"period_ns\": 10}").unwrap_err();
+    assert!(missing.to_string().contains("fraction"), "{missing}");
+
+    let mistyped = decode::<Knobs>("{\"period_ns\": \"ten\", \"fraction\": 0.5}").unwrap_err();
+    assert!(mistyped.to_string().contains("expected"), "{mistyped}");
+}
+
+#[test]
+fn scalar_decode_failures_name_the_expected_shape() {
+    let out_of_range = decode::<u8>("300").unwrap_err();
+    assert!(
+        out_of_range.to_string().contains("out of range"),
+        "{out_of_range}"
+    );
+
+    let negative_into_unsigned = decode::<u64>("-1").unwrap_err();
+    assert!(
+        negative_into_unsigned.to_string().contains("unsigned"),
+        "{negative_into_unsigned}"
+    );
+
+    let not_an_array = decode::<Vec<u64>>("{}").unwrap_err();
+    assert!(
+        not_an_array.to_string().contains("expected array"),
+        "{not_an_array}"
+    );
+
+    let not_a_bool = decode::<bool>("1").unwrap_err();
+    assert!(
+        not_a_bool.to_string().contains("expected bool"),
+        "{not_a_bool}"
+    );
+}
+
+#[test]
+fn malformed_documents_fail_to_parse() {
+    for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "tru", "1..2", ""] {
+        assert!(parse(bad).is_err(), "{bad:?} should not parse");
+    }
+}
+
+#[test]
+fn roundtrip_stability_encode_is_idempotent() {
+    // encode(parse(encode(x))) == encode(x): the property golden blessing
+    // relies on when it rewrites a parsed artifact.
+    let knobs = Knobs {
+        period_ns: u64::MAX,
+        fraction: 1.0 / 3.0,
+    };
+    let once = encode(&knobs);
+    let twice = to_string(&parse(&once).unwrap());
+    assert_eq!(once, twice);
+}

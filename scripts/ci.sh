@@ -21,4 +21,7 @@ cargo test -q --offline --workspace
 echo "==> smoke-run benches (THERMO_BENCH_FAST=1)"
 THERMO_BENCH_FAST=1 cargo bench -q --offline --workspace >/dev/null
 
+echo "==> golden-artifact check (scripts/golden.sh check)"
+scripts/golden.sh check
+
 echo "CI OK"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Golden-artifact gate for the fig/tab experiment registry.
+#
+#   scripts/golden.sh check [id...]   re-run experiments at smoke scale and
+#                                     structurally diff against goldens/
+#                                     (tolerance bands; exit 1 on mismatch)
+#   scripts/golden.sh bless [id...]   overwrite goldens/ with fresh artifacts
+#
+# With no ids, all registered experiments (fig5–fig10, tab2–tab4) run.
+# The diff is structural, not byte-based: integers (policy decisions)
+# must match exactly, floats (derived measurements) get per-field
+# tolerance bands — see DESIGN.md "Golden artifacts". Set
+# THERMO_GOLDEN_DIR to check against an alternate golden tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+case "$mode" in
+  check|bless) ;;
+  *)
+    echo "usage: scripts/golden.sh [check|bless] [id...]" >&2
+    exit 2
+    ;;
+esac
+
+exec cargo run -q --release --offline -p thermo-bench --bin golden -- "$mode" "$@"

@@ -97,6 +97,30 @@ fn distinct_seeds_diverge() {
 }
 
 #[test]
+fn every_registry_experiment_is_byte_deterministic() {
+    // Smoke-run the full fig/tab registry twice: each harness entry must
+    // serialize to byte-identical artifact JSON, which is the property
+    // the golden checker (`scripts/golden.sh`) builds on. Registration is
+    // enough to be covered here — new experiments can't silently opt out.
+    let params = thermostat_suite::bench::EvalParams {
+        // A third of the golden smoke duration: identity of two reruns
+        // doesn't need the full window, just the full pipeline.
+        duration_ns: 500_000_000,
+        ..thermostat_suite::bench::EvalParams::smoke()
+    };
+    for exp in thermostat_suite::bench::experiments::ALL {
+        let a = encode(&(exp.run)(&params));
+        let b = encode(&(exp.run)(&params));
+        assert_eq!(a, b, "experiment {} artifact not byte-identical", exp.id);
+        assert!(
+            a.contains("\"report\"") && a.contains("\"runs\""),
+            "experiment {} artifact missing report/runs sections",
+            exp.id
+        );
+    }
+}
+
+#[test]
 fn json_encoding_is_itself_deterministic() {
     // Re-encoding the same value twice is byte-stable (ordered object
     // fields, no HashMap iteration anywhere in the serializer).
