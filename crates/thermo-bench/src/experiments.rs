@@ -93,6 +93,62 @@ pub fn by_id(id: &str) -> Option<&'static Experiment> {
     ALL.iter().find(|e| e.id == id)
 }
 
+/// One registry experiment's artifact plus the wall-clock time its job
+/// took. The wall time is *observability only* — it is never serialized
+/// into the artifact, so parallel scheduling can't leak into goldens
+/// (DESIGN.md §9).
+pub struct TimedRun {
+    /// The experiment's registry id.
+    pub id: &'static str,
+    /// The artifact the run produced.
+    pub artifact: ExperimentArtifact,
+    /// Wall-clock duration of this experiment's job.
+    pub wall: std::time::Duration,
+}
+
+/// Runs `selected` experiments as parallel jobs on a `workers`-wide
+/// `thermo-exec` pool, returning artifacts **in `selected` order** with
+/// per-experiment wall-clock timings.
+///
+/// Every experiment seeds itself from `params` exactly as in a serial
+/// run (the pool's derived per-job seeds are unused), and results merge
+/// in job-id order, so the artifacts are byte-identical for any worker
+/// count — see `tests/exec_determinism.rs`.
+///
+/// # Panics
+///
+/// Panics when an experiment job panics, naming the failing id.
+pub fn run_parallel(
+    selected: &[&'static Experiment],
+    params: &EvalParams,
+    workers: usize,
+) -> Vec<TimedRun> {
+    let jobs: Vec<_> = selected
+        .iter()
+        .map(|exp| {
+            move |_ctx: &thermo_exec::JobCtx| {
+                let t0 = std::time::Instant::now();
+                let artifact = (exp.run)(params);
+                TimedRun {
+                    id: exp.id,
+                    artifact,
+                    wall: t0.elapsed(),
+                }
+            }
+        })
+        .collect();
+    thermo_exec::run_jobs(jobs, &thermo_exec::ExecConfig::new(workers, params.seed)).unwrap_or_else(
+        |e| {
+            let which = match e {
+                thermo_exec::ExecError::JobPanicked { job_id, .. } => {
+                    selected.get(job_id as usize).map_or("?", |x| x.id)
+                }
+            };
+            panic!("experiment `{which}` failed: {e}")
+        },
+    )
+}
+
 /// Runs the experiment at the environment-configured evaluation scale and
 /// prints + persists its artifacts (the fig/tab binaries' entry point).
 ///

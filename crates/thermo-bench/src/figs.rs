@@ -3,7 +3,7 @@
 //! footprint time series and the achieved slowdown.
 
 use crate::artifact::ExperimentArtifact;
-use crate::harness::{baseline_run, slowdown_pct, thermostat_run, EvalParams};
+use crate::harness::{paired_runs, slowdown_pct, EvalParams};
 use crate::report::{f, pct, ExperimentReport};
 use thermo_workloads::AppId;
 
@@ -22,8 +22,10 @@ pub fn footprint_artifact(
 ) -> ExperimentArtifact {
     let mut p = *params;
     p.read_pct = read_pct;
-    let (base, _) = baseline_run(app, &p);
-    let (run, mut engine, _daemon) = thermostat_run(app, &p);
+    // Baseline and Thermostat are independent engines: fan them across
+    // the execution pool (merged in fixed order, so the artifact is
+    // byte-identical to a serial run).
+    let (base, (run, mut engine, _daemon)) = paired_runs(app, &p);
     let sd = slowdown_pct(&run, &base);
 
     let mut r = ExperimentReport::new(

@@ -76,6 +76,27 @@ impl EvalParams {
         }
     }
 
+    /// Fixed full evaluation-scale parameters for the opt-in second
+    /// golden tier (`scripts/golden.sh check --full`, ROADMAP item 2):
+    /// the 1/16 scale and timing the figure binaries default to, but
+    /// frozen like [`EvalParams::smoke`] so full-tier goldens stay
+    /// comparable across machines. Roughly 80x the smoke duration at 32x
+    /// the footprint — affordable only because the registry fans out
+    /// across the `thermo-exec` pool; not part of default CI, and its
+    /// goldens are blessed separately under `goldens/full/`.
+    pub fn full() -> Self {
+        Self {
+            scale: 16,
+            duration_ns: 120_000_000_000,
+            sampling_period_ns: 3_000_000_000,
+            tolerable_slowdown_pct: 3.0,
+            read_pct: 95,
+            seed: 0xa5_2017,
+            thp: true,
+            track_true_access: false,
+        }
+    }
+
     /// Simulator configuration sized for `app` at this scale.
     ///
     /// The TLB and LLC scale with the footprint (DESIGN.md §1): the
@@ -248,6 +269,48 @@ pub fn baseline_run(app: AppId, p: &EvalParams) -> (AppRun, Engine) {
 /// Runs `app` under the Thermostat daemon.
 pub fn thermostat_run(app: AppId, p: &EvalParams) -> (AppRun, Engine, Daemon) {
     thermostat_run_with(app, p, p.thermostat_config())
+}
+
+/// Runs the baseline and Thermostat flavours of `app` as two parallel
+/// jobs on the `thermo-exec` pool (worker count from `THERMO_JOBS`,
+/// default available parallelism).
+///
+/// Each flavour is an independent engine seeded from `p` exactly as in
+/// the serial [`baseline_run`]/[`thermostat_run`] path — the pool's
+/// per-job seeds are deliberately unused so artifacts stay byte-identical
+/// to the serial goldens — and the pair merges in fixed job-id order
+/// (baseline first), so the result is independent of worker count.
+pub fn paired_runs(app: AppId, p: &EvalParams) -> (AppRun, (AppRun, Engine, Daemon)) {
+    /// Either flavour's output, boxed so the job result stays small.
+    enum Half {
+        Base(Box<(AppRun, Engine)>),
+        Thermo(Box<(AppRun, Engine, Daemon)>),
+    }
+    let jobs: Vec<_> = (0..2u8)
+        .map(|k| {
+            move |_ctx: &thermo_exec::JobCtx| {
+                if k == 0 {
+                    Half::Base(Box::new(baseline_run(app, p)))
+                } else {
+                    Half::Thermo(Box::new(thermostat_run(app, p)))
+                }
+            }
+        })
+        .collect();
+    let out = thermo_exec::run_jobs(jobs, &thermo_exec::ExecConfig::from_env(p.seed))
+        .unwrap_or_else(|e| panic!("paired run for {app} failed: {e}"));
+    let mut base = None;
+    let mut thermo = None;
+    for half in out {
+        match half {
+            Half::Base(b) => base = Some(b.0),
+            Half::Thermo(t) => thermo = Some(*t),
+        }
+    }
+    (
+        base.expect("job 0 is the baseline"),
+        thermo.expect("job 1 is the thermostat run"),
+    )
 }
 
 /// Runs `app` under a daemon built from an explicit configuration (used by

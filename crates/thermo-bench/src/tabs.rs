@@ -1,12 +1,38 @@
 //! Shared implementation of the paper's evaluation tables 2–4, factored
 //! out of the binaries so the golden harness (and determinism tests) can
 //! run them at smoke scale and capture full artifacts.
+//!
+//! Each table is six fully independent per-application runs, so they fan
+//! out across the `thermo-exec` pool (worker count from `THERMO_JOBS`);
+//! results merge in `AppId::ALL` order — job id = app index — so the
+//! rendered rows and artifacts are byte-identical to a serial run.
 
 use crate::artifact::{ExperimentArtifact, RunArtifact};
-use crate::harness::{baseline_run, thermostat_run, EvalParams};
+use crate::harness::{baseline_run, thermostat_run, AppRun, EvalParams};
 use crate::report::{pct, ExperimentReport};
 use thermo_mem::CostModel;
 use thermo_workloads::AppId;
+
+/// Runs the Thermostat flavour for every application in `AppId::ALL`
+/// order as parallel jobs (Cassandra gets the write-heavy mix, matching
+/// the paper's YCSB setup for it).
+fn thermostat_runs_all(p: &EvalParams) -> Vec<AppRun> {
+    let jobs: Vec<_> = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            move |_ctx: &thermo_exec::JobCtx| {
+                let mut params = *p;
+                if app == AppId::Cassandra {
+                    params.read_pct = 5;
+                }
+                let (run, _, _) = thermostat_run(app, &params);
+                run
+            }
+        })
+        .collect();
+    thermo_exec::run_jobs(jobs, &thermo_exec::ExecConfig::from_env(p.seed))
+        .unwrap_or_else(|e| panic!("table run failed: {e}"))
+}
 
 /// Table 2: application memory footprints (resident set size and
 /// file-mapped pages), scaled by the footprint divisor from the paper's
@@ -26,17 +52,28 @@ pub fn tab2_artifact(p: &EvalParams) -> ExperimentArtifact {
             "paper_file",
         ],
     );
+    let jobs: Vec<_> = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            move |_ctx: &thermo_exec::JobCtx| {
+                // Run briefly (a quarter of the measured window) so growing
+                // workloads (Cassandra, analytics) show their steady
+                // footprint.
+                let short = EvalParams {
+                    duration_ns: p.duration_ns / 4,
+                    ..*p
+                };
+                let (run, engine) = baseline_run(app, &short);
+                let rss = engine.rss_bytes();
+                let file = engine.process().file_backed_bytes().min(rss);
+                (run, rss, file)
+            }
+        })
+        .collect();
+    let results = thermo_exec::run_jobs(jobs, &thermo_exec::ExecConfig::from_env(p.seed))
+        .unwrap_or_else(|e| panic!("tab2 run failed: {e}"));
     let mut runs = Vec::new();
-    for app in AppId::ALL {
-        // Run briefly (a quarter of the measured window) so growing
-        // workloads (Cassandra, analytics) show their steady footprint.
-        let short = EvalParams {
-            duration_ns: p.duration_ns / 4,
-            ..*p
-        };
-        let (run, engine) = baseline_run(app, &short);
-        let rss = engine.rss_bytes();
-        let file = engine.process().file_backed_bytes().min(rss);
+    for (app, (run, rss, file)) in AppId::ALL.into_iter().zip(results) {
         r.row(vec![
             app.to_string(),
             format!("{:.0}", rss as f64 / 1e6),
@@ -85,20 +122,15 @@ pub fn tab3_artifact(p: &EvalParams) -> ExperimentArtifact {
         ("11.3", "10"),
         ("1.6", "0.3"),
     ];
-    for (app, (pm, pf)) in AppId::ALL.into_iter().zip(paper) {
-        let mut params = *p;
-        if app == AppId::Cassandra {
-            params.read_pct = 5;
-        }
-        let (run, _, _) = thermostat_run(app, &params);
+    for (run, (pm, pf)) in thermostat_runs_all(p).iter().zip(paper) {
         r.row(vec![
-            app.to_string(),
+            run.app.clone(),
             format!("{:.2}", run.migration_mbps),
             format!("{:.2}", run.false_class_mbps),
             pm.to_string(),
             pf.to_string(),
         ]);
-        runs.push(RunArtifact::from_run("thermostat", &run));
+        runs.push(RunArtifact::from_run("thermostat", run));
     }
     r.note("rates scale with footprint: at scale 1/16 expect roughly 1/16 of the paper's MB/s");
     ExperimentArtifact {
@@ -127,26 +159,21 @@ pub fn tab4_artifact(p: &EvalParams) -> ExperimentArtifact {
     );
     let mut runs = Vec::new();
     let paper_quarter = ["11%", "30%", "12%", "30%", "19%", "30%"];
-    for (app, paper) in AppId::ALL.into_iter().zip(paper_quarter) {
-        let mut params = *p;
-        if app == AppId::Cassandra {
-            params.read_pct = 5;
-        }
-        let (run, _, _) = thermostat_run(app, &params);
+    for (run, paper) in thermostat_runs_all(p).iter().zip(paper_quarter) {
         let cold = run.cold_fraction_final;
         let cells: Vec<String> = CostModel::table4_models()
             .iter()
             .map(|m| pct(m.evaluate(cold).savings_fraction))
             .collect();
         r.row(vec![
-            app.to_string(),
+            run.app.clone(),
             pct(cold),
             cells[0].clone(),
             cells[1].clone(),
             cells[2].clone(),
             paper.to_string(),
         ]);
-        runs.push(RunArtifact::from_run("thermostat", &run));
+        runs.push(RunArtifact::from_run("thermostat", run));
     }
     ExperimentArtifact {
         report: r,

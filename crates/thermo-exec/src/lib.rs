@@ -1,0 +1,364 @@
+//! Deterministic parallel job execution for the Thermostat reproduction.
+//!
+//! The simulation stack is a pure function of its seed, and the golden
+//! regression gate (`scripts/golden.sh`) depends on artifacts staying
+//! byte-identical run over run. That rules out the usual "spray work onto
+//! a thread pool and collect whatever finishes first" approach: scheduling
+//! must never be observable in any output. This crate is the execution
+//! substrate that makes parallelism safe under that constraint:
+//!
+//! * **Jobs are values.** A [`Job`] is consumed by [`Job::run`]; any
+//!   `FnOnce(&JobCtx) -> T + Send` closure is a job via the blanket impl.
+//! * **Stable job ids.** Jobs are numbered by their position in the batch
+//!   (`0..n`); the id is the job's identity in errors and seeds.
+//! * **Per-job seed derivation.** Each job receives
+//!   `seed = derive_stream_seed(base_seed, job_id)`
+//!   ([`thermo_util::rng::derive_stream_seed`], two splitmix64 rounds),
+//!   giving every job a statistically disjoint random stream that depends
+//!   only on `(base_seed, job_id)` — never on which worker ran it.
+//! * **Merge strictly in job-id order.** [`run_jobs`] returns outputs
+//!   ordered by job id regardless of completion order, worker count, or
+//!   OS scheduling, so downstream artifacts are byte-identical for
+//!   `workers = 1` and `workers = 64`.
+//! * **Panic capture.** A panicking job never takes down a worker: the
+//!   panic is caught, the remaining jobs still run (workers drain
+//!   cleanly), and the batch fails with the lowest panicking job id and
+//!   its message ([`ExecError::JobPanicked`]).
+//!
+//! Worker threads are plain `std::thread` + a mutex-guarded job queue —
+//! no external dependencies, per the workspace's hermetic-build policy.
+//! Wall-clock time is intentionally absent from every type here: timing
+//! belongs to the caller's logs, never to merged results (DESIGN.md §9).
+//!
+//! # Example
+//!
+//! ```
+//! use thermo_exec::{run_jobs, ExecConfig, JobCtx};
+//!
+//! let cfg = ExecConfig::new(4, 0xa5_2017);
+//! let jobs: Vec<_> = (0..8u64)
+//!     .map(|i| move |ctx: &JobCtx| (i, ctx.seed))
+//!     .collect();
+//! let out = run_jobs(jobs, &cfg).unwrap();
+//! // Outputs are in job-id order no matter which worker ran what.
+//! assert_eq!(out.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+//!            (0..8).collect::<Vec<_>>());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::thread;
+
+use thermo_util::rng::derive_stream_seed;
+
+/// Per-job execution context handed to [`Job::run`].
+///
+/// Everything here is a pure function of the batch configuration and the
+/// job's position — re-running the same batch reproduces the same
+/// contexts, which is what keeps seeded jobs deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCtx {
+    /// This job's stable id: its index in the submitted batch.
+    pub job_id: u64,
+    /// This job's derived seed:
+    /// `derive_stream_seed(base_seed, job_id)`. Jobs that need
+    /// randomness must draw from a generator seeded with this value (or
+    /// ignore it and carry their own fixed seed); they must never consult
+    /// wall-clock time or thread identity.
+    pub seed: u64,
+}
+
+/// A unit of work the pool can execute.
+///
+/// Implemented for any `FnOnce(&JobCtx) -> T + Send` closure, so most
+/// call sites never name this trait. Implement it directly when a job
+/// carries enough state that a named struct reads better.
+pub trait Job: Send {
+    /// The job's result type, sent back to the submitting thread.
+    type Output: Send;
+
+    /// Runs the job to completion, consuming it.
+    fn run(self, ctx: &JobCtx) -> Self::Output;
+}
+
+impl<F, T> Job for F
+where
+    F: FnOnce(&JobCtx) -> T + Send,
+    T: Send,
+{
+    type Output = T;
+
+    fn run(self, ctx: &JobCtx) -> T {
+        self(ctx)
+    }
+}
+
+/// Batch execution configuration: worker count and the base seed every
+/// per-job seed derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads (clamped to at least 1 and at most the job count).
+    pub workers: usize,
+    /// Base seed; job `i` runs with `derive_stream_seed(base_seed, i)`.
+    pub base_seed: u64,
+}
+
+impl ExecConfig {
+    /// Explicit worker count and base seed.
+    pub fn new(workers: usize, base_seed: u64) -> Self {
+        Self { workers, base_seed }
+    }
+
+    /// Single-worker configuration (serial execution, same semantics).
+    pub fn serial(base_seed: u64) -> Self {
+        Self::new(1, base_seed)
+    }
+
+    /// Worker count from the environment ([`jobs_from_env`]): `THERMO_JOBS`
+    /// if set and positive, else the machine's available parallelism.
+    pub fn from_env(base_seed: u64) -> Self {
+        Self::new(jobs_from_env(), base_seed)
+    }
+}
+
+/// Reads the worker count from `THERMO_JOBS` (any positive integer),
+/// defaulting to [`std::thread::available_parallelism`] (1 if unknown).
+pub fn jobs_from_env() -> usize {
+    std::env::var("THERMO_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Why a batch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A job panicked. All other jobs still ran to completion (workers
+    /// drain the queue regardless); the batch reports the lowest
+    /// panicking job id so reruns reproduce the same error.
+    JobPanicked {
+        /// Stable id of the (lowest) panicking job.
+        job_id: u64,
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::JobPanicked { job_id, message } => {
+                write!(f, "job {job_id} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `jobs` across `cfg.workers` threads and returns their outputs
+/// **in job-id order** (index `i` of the result corresponds to `jobs[i]`).
+///
+/// The output is a pure function of `(jobs, cfg.base_seed)`: worker
+/// count, completion order, and OS scheduling are unobservable, so two
+/// invocations with different `cfg.workers` merge to identical results —
+/// the property the golden-artifact gate depends on (see
+/// `thermo-bench/tests/exec_determinism.rs`).
+///
+/// A panicking job does not abort the batch: every remaining job still
+/// runs, then the batch fails with the lowest panicking job id.
+pub fn run_jobs<J: Job>(jobs: Vec<J>, cfg: &ExecConfig) -> Result<Vec<J::Output>, ExecError> {
+    let n = jobs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = cfg.workers.clamp(1, n);
+    // The queue hands out (job_id, job) pairs in submission order; each
+    // worker takes the next pending job, so ids also encode intended
+    // ordering. Results accumulate unordered and are sorted at the end —
+    // the single point where scheduling nondeterminism is erased.
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let results: Mutex<Vec<(usize, Result<J::Output, String>)>> = Mutex::new(Vec::with_capacity(n));
+
+    let work = || loop {
+        // Never hold the queue lock while running a job.
+        let next = queue.lock().expect("job queue lock").next();
+        let Some((id, job)) = next else {
+            return;
+        };
+        let ctx = JobCtx {
+            job_id: id as u64,
+            seed: derive_stream_seed(cfg.base_seed, id as u64),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&ctx))).map_err(panic_message);
+        results.lock().expect("results lock").push((id, outcome));
+    };
+
+    if workers == 1 {
+        // Serial fast path: same code path as a worker, no threads.
+        work();
+    } else {
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(work);
+            }
+        });
+    }
+
+    let mut collected = results.into_inner().expect("results lock");
+    collected.sort_by_key(|(id, _)| *id);
+    debug_assert_eq!(collected.len(), n, "every job reports exactly once");
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic: Option<(u64, String)> = None;
+    for (id, r) in collected {
+        match r {
+            Ok(v) => out.push(v),
+            Err(message) => {
+                if first_panic.is_none() {
+                    first_panic = Some((id as u64, message));
+                }
+            }
+        }
+    }
+    match first_panic {
+        Some((job_id, message)) => Err(ExecError::JobPanicked { job_id, message }),
+        None => Ok(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn outputs_merge_in_job_id_order_despite_scheduling() {
+        // Earlier jobs sleep longer, so with 4 workers completion order
+        // is roughly the reverse of submission order — the merge must
+        // hide that entirely.
+        let jobs: Vec<_> = (0..8u64)
+            .map(|i| {
+                move |ctx: &JobCtx| {
+                    thread::sleep(Duration::from_millis(8 - i));
+                    ctx.job_id
+                }
+            })
+            .collect();
+        let out = run_jobs(jobs, &ExecConfig::new(4, 1)).unwrap();
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_count_is_unobservable() {
+        let mk = |workers| {
+            let jobs: Vec<_> = (0..16u64)
+                .map(|i| move |ctx: &JobCtx| (i, ctx.seed))
+                .collect();
+            run_jobs(jobs, &ExecConfig::new(workers, 99)).unwrap()
+        };
+        let serial = mk(1);
+        assert_eq!(serial, mk(3));
+        assert_eq!(serial, mk(16));
+        assert_eq!(serial, mk(64), "more workers than jobs is fine");
+    }
+
+    #[test]
+    fn per_job_seeds_are_derived_and_disjoint() {
+        let base = 0xa5_2017;
+        let jobs: Vec<_> = (0..32u64).map(|_| |ctx: &JobCtx| ctx.seed).collect();
+        let seeds = run_jobs(jobs, &ExecConfig::new(4, base)).unwrap();
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(
+                s,
+                derive_stream_seed(base, i as u64),
+                "job {i} seed must derive from (base, job_id) only"
+            );
+        }
+        let unique: std::collections::BTreeSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "per-job seeds must be distinct");
+    }
+
+    #[test]
+    fn panic_fails_batch_with_lowest_id_and_workers_drain() {
+        let ran = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..8u64)
+            .map(|i| {
+                let ran = &ran;
+                move |ctx: &JobCtx| {
+                    if i == 5 || i == 3 {
+                        panic!("boom {i}");
+                    }
+                    ran.lock().unwrap().push(ctx.job_id);
+                    i
+                }
+            })
+            .collect();
+        let err = run_jobs(jobs, &ExecConfig::new(4, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::JobPanicked {
+                job_id: 3,
+                message: "boom 3".into()
+            },
+            "batch reports the lowest panicking job id"
+        );
+        assert!(err.to_string().contains("job 3 panicked: boom 3"));
+        // Workers drained the whole queue: every non-panicking job ran.
+        let mut survivors = ran.lock().unwrap().clone();
+        survivors.sort_unstable();
+        assert_eq!(survivors, vec![0, 1, 2, 4, 6, 7]);
+    }
+
+    #[test]
+    fn pool_is_reusable_after_a_panicking_batch() {
+        let bad: Vec<fn(&JobCtx) -> u64> = vec![|_| panic!("first batch fails")];
+        assert!(run_jobs(bad, &ExecConfig::new(2, 0)).is_err());
+        let good: Vec<_> = (0..4u64).map(|i| move |_: &JobCtx| i * i).collect();
+        assert_eq!(
+            run_jobs(good, &ExecConfig::new(2, 0)).unwrap(),
+            vec![0, 1, 4, 9]
+        );
+    }
+
+    #[test]
+    fn empty_batch_and_zero_workers_are_fine() {
+        let none: Vec<fn(&JobCtx) -> u64> = Vec::new();
+        assert_eq!(
+            run_jobs(none, &ExecConfig::new(0, 0)).unwrap(),
+            Vec::<u64>::new()
+        );
+        let one: Vec<_> = vec![|ctx: &JobCtx| ctx.job_id];
+        assert_eq!(run_jobs(one, &ExecConfig::new(0, 0)).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_submitting_scope() {
+        // Scoped threads: jobs can capture references, not just 'static.
+        let data = vec![10u64, 20, 30];
+        let jobs: Vec<_> = (0..data.len())
+            .map(|i| {
+                let data = &data;
+                move |_: &JobCtx| data[i] + 1
+            })
+            .collect();
+        assert_eq!(
+            run_jobs(jobs, &ExecConfig::new(2, 0)).unwrap(),
+            vec![11, 21, 31]
+        );
+    }
+}

@@ -42,7 +42,10 @@ pub use config::{ColdAccessModel, SimConfig};
 pub use engine::{Engine, FootprintBreakdown};
 pub use latency::LatencyHistogram;
 pub use process::{Process, Vma};
-pub use runner::{run_for, run_for_instrumented, run_ops, NoPolicy, PolicyHook, RunOutcome};
+pub use runner::{
+    run_for, run_for_instrumented, run_ops, run_tenants_sharded, NoPolicy, PolicyHook, RunOutcome,
+    ShardOutcome,
+};
 pub use series::{RateSeries, SampledSeries};
 pub use stats::EngineStats;
 pub use trace::{Trace, TraceOp, TraceWorkload};

@@ -61,8 +61,17 @@ impl RunOutcome {
 
     /// Slowdown of this run relative to `baseline` (same op count):
     /// `elapsed / baseline.elapsed - 1`, e.g. `0.03` = 3% slower.
+    ///
+    /// A zero-length baseline carries no timing information, so the
+    /// comparison is defined as 0 rather than the NaN/inf the naive
+    /// division would produce (which would poison every downstream
+    /// aggregate it flows into).
     pub fn slowdown_vs(&self, baseline: &RunOutcome) -> f64 {
-        self.elapsed_ns() as f64 / baseline.elapsed_ns() as f64 - 1.0
+        let base = baseline.elapsed_ns();
+        if base == 0 {
+            return 0.0;
+        }
+        self.elapsed_ns() as f64 / base as f64 - 1.0
     }
 }
 
@@ -83,7 +92,10 @@ pub fn run_for(
     duration_ns: u64,
 ) -> RunOutcome {
     let start = engine.now_ns();
-    let deadline = start + duration_ns;
+    // Saturate: `duration_ns = u64::MAX` means "until the workload
+    // finishes", and an engine already deep into virtual time must not
+    // wrap the deadline back before `start`.
+    let deadline = start.saturating_add(duration_ns);
     let mut ops = 0u64;
     let mut accesses: Vec<Access> = Vec::with_capacity(16);
     while engine.now_ns() < deadline {
@@ -118,7 +130,8 @@ pub fn run_for_instrumented(
     hist: &mut crate::latency::LatencyHistogram,
 ) -> RunOutcome {
     let start = engine.now_ns();
-    let deadline = start + duration_ns;
+    // Saturating for the same reason as `run_for`.
+    let deadline = start.saturating_add(duration_ns);
     let mut ops = 0u64;
     let mut accesses: Vec<Access> = Vec::with_capacity(16);
     while engine.now_ns() < deadline {
@@ -173,6 +186,81 @@ pub fn run_ops(
         start_ns: start,
         end_ns: engine.now_ns(),
     }
+}
+
+/// Everything a tenant shard produced, merged back in shard-id order by
+/// [`run_tenants_sharded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Stable shard id (`0..n_tenants`), also this tenant's job id in the
+    /// execution pool.
+    pub shard_id: u64,
+    /// The seed this shard's engine/workload were built from
+    /// (`derive_stream_seed(base_seed, shard_id)`).
+    pub seed: u64,
+    /// The tenant's run outcome (ops completed, virtual start/end times).
+    pub outcome: RunOutcome,
+    /// Final engine counters for this tenant.
+    pub stats: crate::stats::EngineStats,
+    /// Final footprint breakdown (per-tier, per-page-size bytes).
+    pub breakdown: crate::engine::FootprintBreakdown,
+}
+
+// Serialized by multi-tenant harnesses so sharded sweeps can be golden-
+// checked like single-tenant experiments.
+thermo_util::json_struct!(ShardOutcome {
+    shard_id,
+    seed,
+    outcome,
+    stats,
+    breakdown,
+});
+
+/// Runs `n_tenants` fully independent tenants — each its own engine,
+/// workload, and policy — across the [`thermo_exec`] worker pool and
+/// returns their outcomes **in shard-id order**.
+///
+/// `build` is called once per shard, *on the worker thread that runs the
+/// shard*, with `(shard_id, seed)` where
+/// `seed = derive_stream_seed(cfg.base_seed, shard_id)`; it must
+/// construct the tenant purely from those two values (plus captured
+/// configuration) so the shard is a pure function of its id. Each tenant
+/// then runs for `duration_ns` of its own virtual time. Because tenants
+/// share no state and results merge by shard id, the output is
+/// byte-identical for any worker count — the scale-out path promised in
+/// the ROADMAP without giving up artifact determinism.
+///
+/// # Errors
+///
+/// Returns [`thermo_exec::ExecError`] when any shard panics (the batch
+/// still drains; the lowest panicking shard id is reported).
+pub fn run_tenants_sharded<F>(
+    n_tenants: usize,
+    duration_ns: u64,
+    cfg: &thermo_exec::ExecConfig,
+    build: F,
+) -> Result<Vec<ShardOutcome>, thermo_exec::ExecError>
+where
+    F: Fn(u64, u64) -> (Engine, Box<dyn Workload>, Box<dyn PolicyHook>) + Sync,
+{
+    let build = &build;
+    let jobs: Vec<_> = (0..n_tenants)
+        .map(|_| {
+            move |ctx: &thermo_exec::JobCtx| {
+                let (mut engine, mut workload, mut policy) = build(ctx.job_id, ctx.seed);
+                workload.init(&mut engine);
+                let outcome = run_for(&mut engine, workload.as_mut(), policy.as_mut(), duration_ns);
+                ShardOutcome {
+                    shard_id: ctx.job_id,
+                    seed: ctx.seed,
+                    outcome,
+                    stats: engine.stats(),
+                    breakdown: engine.footprint_breakdown(),
+                }
+            }
+        })
+        .collect();
+    thermo_exec::run_jobs(jobs, cfg)
 }
 
 #[cfg(test)]
@@ -312,6 +400,123 @@ mod tests {
             end_ns: 1_030,
         };
         assert!((slower.slowdown_vs(&base) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_vs_zero_length_baseline_is_finite() {
+        let empty = RunOutcome {
+            ops: 0,
+            start_ns: 5,
+            end_ns: 5,
+        };
+        let run = RunOutcome {
+            ops: 100,
+            start_ns: 0,
+            end_ns: 1_000,
+        };
+        assert_eq!(run.slowdown_vs(&empty), 0.0, "no baseline info => 0");
+        assert_eq!(empty.slowdown_vs(&empty), 0.0);
+        assert!(run.slowdown_vs(&empty).is_finite());
+    }
+
+    #[test]
+    fn run_for_deadline_saturates_instead_of_overflowing() {
+        let mut e = engine();
+        let mut w = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: Some(10),
+        };
+        w.init(&mut e);
+        // Advance the clock, then ask for u64::MAX more: start + duration
+        // would wrap to a deadline in the past without the saturation.
+        e.advance_compute(1_000_000);
+        let out = run_for(&mut e, &mut w, &mut NoPolicy, u64::MAX);
+        assert_eq!(out.ops, 10, "workload end, not a wrapped deadline");
+        let mut w2 = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: Some(10),
+        };
+        w2.init(&mut e);
+        let mut hist = crate::latency::LatencyHistogram::new();
+        let out = run_for_instrumented(&mut e, &mut w2, &mut NoPolicy, u64::MAX, &mut hist);
+        assert_eq!(out.ops, 10);
+    }
+
+    /// Builds one shard tenant whose length depends on the shard seed, so
+    /// shard outputs are distinguishable.
+    fn shard_tenant(seed: u64) -> (Engine, Box<dyn Workload>, Box<dyn PolicyHook>) {
+        let w = Toucher {
+            base: VirtAddr(0),
+            n: 64,
+            i: 0,
+            limit: Some(50 + seed % 64),
+        };
+        (engine(), Box::new(w), Box::new(NoPolicy))
+    }
+
+    #[test]
+    fn sharded_tenants_merge_by_shard_id_for_any_worker_count() {
+        let run = |workers| {
+            run_tenants_sharded(
+                6,
+                u64::MAX / 2,
+                &thermo_exec::ExecConfig::new(workers, 0xbeef),
+                |_, seed| shard_tenant(seed),
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "worker count must be unobservable");
+        for (i, s) in serial.iter().enumerate() {
+            assert_eq!(s.shard_id, i as u64, "merge is in shard-id order");
+            assert_eq!(
+                s.seed,
+                thermo_util::rng::derive_stream_seed(0xbeef, i as u64)
+            );
+            assert_eq!(s.outcome.ops, 50 + s.seed % 64, "seed drove the run");
+            assert!(s.stats.accesses > 0);
+        }
+        // Per-shard seeds are disjoint streams: at least two tenants must
+        // have diverged in length (64 residues over 6 draws).
+        let lens: std::collections::BTreeSet<u64> = serial.iter().map(|s| s.outcome.ops).collect();
+        assert!(lens.len() > 1, "shards all identical: seeds not applied");
+    }
+
+    #[test]
+    fn sharded_tenant_panic_reports_shard_id() {
+        let err = run_tenants_sharded(
+            4,
+            1_000_000,
+            &thermo_exec::ExecConfig::new(2, 7),
+            |shard, seed| {
+                if shard == 2 {
+                    panic!("tenant exploded");
+                }
+                shard_tenant(seed)
+            },
+        )
+        .unwrap_err();
+        let thermo_exec::ExecError::JobPanicked { job_id, message } = err;
+        assert_eq!(job_id, 2);
+        assert!(message.contains("tenant exploded"));
+    }
+
+    #[test]
+    fn shard_outcome_roundtrips_through_json() {
+        let outcomes = run_tenants_sharded(
+            2,
+            1_000_000,
+            &thermo_exec::ExecConfig::serial(3),
+            |_, seed| shard_tenant(seed),
+        )
+        .unwrap();
+        let text = thermo_util::json::encode(&outcomes[0]);
+        let back: ShardOutcome = thermo_util::json::decode(&text).expect("decodes");
+        assert_eq!(back, outcomes[0]);
     }
 
     #[test]

@@ -57,6 +57,25 @@ impl EngineStats {
     }
 }
 
+// Serialized inside `ShardOutcome` (multi-tenant shard runs) so sharded
+// sweeps can be golden-checked like single-tenant experiments.
+thermo_util::json_struct!(EngineStats {
+    accesses,
+    writes,
+    walks,
+    walk_time_ns,
+    minor_faults_small,
+    minor_faults_huge,
+    llc_hits,
+    llc_misses,
+    fast_tier_accesses,
+    slow_tier_accesses,
+    slow_trap_faults,
+    fast_trap_faults,
+    app_time_ns,
+    kernel_time_ns,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

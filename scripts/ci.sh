@@ -9,6 +9,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Worker count for the parallel golden gate (thermo-exec pool). Artifacts
+# are byte-identical for any value — see DESIGN.md §9 — so CI only tunes
+# this for speed.
+THERMO_JOBS="${THERMO_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+export THERMO_JOBS
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -18,10 +24,30 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test -q --offline (entire workspace)"
 cargo test -q --offline --workspace
 
-echo "==> smoke-run benches (THERMO_BENCH_FAST=1)"
-THERMO_BENCH_FAST=1 cargo bench -q --offline --workspace >/dev/null
+# Bench regression gate: smoke-run both bench targets against the
+# checked-in baseline (goldens/bench-baseline.json — see EXPERIMENTS.md
+# "Regenerating the bench baseline"). The threshold is deliberately
+# generous until runner timing variance is characterized (ROADMAP):
+# THERMO_BENCH_FAST=1 takes single-shot samples, so only gross
+# regressions (algorithmic blowups, accidental O(n^2)) should trip it.
+THERMO_BENCH_MAX_REGRESSION_PCT="${THERMO_BENCH_MAX_REGRESSION_PCT:-300}"
+echo "==> bench regression gate (THERMO_BENCH_FAST=1, threshold +${THERMO_BENCH_MAX_REGRESSION_PCT}%)"
+for bench in microbench pipeline; do
+  THERMO_BENCH_FAST=1 \
+  THERMO_BENCH_BASELINE="$PWD/goldens/bench-baseline.json" \
+  THERMO_BENCH_MAX_REGRESSION_PCT="$THERMO_BENCH_MAX_REGRESSION_PCT" \
+    cargo bench -q --offline -p thermo-bench --bench "$bench" >/dev/null
+done
 
-echo "==> golden-artifact check (scripts/golden.sh check)"
+# Parallel golden gate: per-experiment and total wall-clock are printed by
+# the golden binary so the THERMO_JOBS speedup is visible in CI logs.
+echo "==> golden-artifact check (scripts/golden.sh check, THERMO_JOBS=$THERMO_JOBS)"
 scripts/golden.sh check
+
+# Determinism cross-check: the cheapest registry experiment re-run
+# serially must match the same goldens the parallel sweep just checked —
+# a live guard that worker count never leaks into artifacts.
+echo "==> golden determinism cross-check (THERMO_JOBS=1, fig10)"
+THERMO_JOBS=1 scripts/golden.sh check fig10
 
 echo "CI OK"

@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
 # Golden-artifact gate for the fig/tab experiment registry.
 #
-#   scripts/golden.sh check [id...]   re-run experiments at smoke scale and
+#   scripts/golden.sh check [--full] [id...]   re-run experiments and
 #                                     structurally diff against goldens/
 #                                     (tolerance bands; exit 1 on mismatch)
-#   scripts/golden.sh bless [id...]   overwrite goldens/ with fresh artifacts
+#   scripts/golden.sh bless [--full] [id...]   overwrite goldens with fresh
+#                                     artifacts
 #
 # With no ids, all registered experiments (fig5–fig10, tab2–tab4) run.
+# Experiments execute as parallel jobs on the thermo-exec pool
+# (THERMO_JOBS workers, default = available parallelism); artifacts are
+# byte-identical for any worker count, so parallelism only changes the
+# wall-clock, which the binary prints per experiment and in total.
+#
+# Two tiers:
+#   default      smoke scale (EvalParams::smoke), goldens/, default CI;
+#   --full       the full 1/16 evaluation scale (EvalParams::full),
+#                goldens/full/, opt-in for release branches — bless it
+#                once before the first check (its goldens are blessed
+#                separately and are NOT part of default CI). Equivalent:
+#                THERMO_GOLDEN_SCALE=full.
+#
 # The diff is structural, not byte-based: integers (policy decisions)
 # must match exactly, floats (derived measurements) get per-field
 # tolerance bands — see DESIGN.md "Golden artifacts". Set
@@ -20,7 +34,7 @@ shift $(( $# > 0 ? 1 : 0 ))
 case "$mode" in
   check|bless) ;;
   *)
-    echo "usage: scripts/golden.sh [check|bless] [id...]" >&2
+    echo "usage: scripts/golden.sh [check|bless] [--full] [id...]" >&2
     exit 2
     ;;
 esac

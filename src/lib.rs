@@ -12,10 +12,13 @@
 //! * [`workloads`] — the six synthetic cloud applications + YCSB driver.
 //! * [`core`] — Thermostat itself: sampling, estimation, classification,
 //!   correction, and the policy daemon.
+//! * [`exec`] — deterministic parallel job execution (worker pool with
+//!   stable job ids, per-job seeds, job-id-order merging).
 //! * [`bench`] — experiment harnesses and report serialization.
 
 #![warn(missing_docs)]
 pub use thermo_bench as bench;
+pub use thermo_exec as exec;
 pub use thermo_kstaled as kstaled;
 pub use thermo_mem as mem;
 pub use thermo_sim as sim;
