@@ -136,7 +136,7 @@ fn main() {
 
     for threshold in [64u32, 192, 320, 448] {
         let mut policy = AbitOnly::new(params.sampling_period_ns, threshold, params.seed);
-        let (run, mut engine) = policy_run(app, &params, &mut policy);
+        let (run, engine) = policy_run(app, &params, &mut policy);
         let cold = engine.footprint_breakdown().cold_fraction();
         let sd = slowdown_pct(&run, &base);
         let verdict = if cold < 0.05 {

@@ -38,7 +38,7 @@ fn main() {
                 sweep_period_ns: params.sampling_period_ns,
                 fast_target_fraction: fast_target,
             });
-            let (crun, mut cengine) = policy_run(app, &params, &mut clock);
+            let (crun, cengine) = policy_run(app, &params, &mut clock);
             let cold = cengine.footprint_breakdown().cold_fraction();
             r.row(vec![
                 app.to_string(),

@@ -44,7 +44,7 @@ fn main() {
                 max_regions: 400,
                 ..DamonConfig::default()
             });
-            let (run, mut engine) = policy_run(app, &params, &mut damon);
+            let (run, engine) = policy_run(app, &params, &mut damon);
             let cold = engine.footprint_breakdown().cold_fraction();
             r.row(vec![
                 app.to_string(),

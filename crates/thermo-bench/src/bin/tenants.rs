@@ -1,0 +1,9 @@
+//! Multi-tenant colocation experiment: three applications side by side,
+//! each with a fixed fast-tier budget and its own per-tenant slowdown
+//! target, fanned out over `thermo_sim::run_tenants_sharded`. Parameters
+//! live in the experiment registry so the golden harness runs the
+//! identical experiment.
+
+fn main() {
+    thermo_bench::experiments::run_and_finish("tenants");
+}

@@ -12,6 +12,7 @@ use crate::artifact::ExperimentArtifact;
 use crate::figs::footprint_artifact;
 use crate::harness::EvalParams;
 use crate::tabs::{tab2_artifact, tab3_artifact, tab4_artifact};
+use crate::tenants::tenants_artifact;
 use thermo_workloads::AppId;
 
 /// A registered experiment: a stable id and an artifact-producing run
@@ -85,6 +86,10 @@ pub const ALL: &[Experiment] = &[
     Experiment {
         id: "tab4",
         run: tab4_artifact,
+    },
+    Experiment {
+        id: "tenants",
+        run: tenants_artifact,
     },
 ];
 

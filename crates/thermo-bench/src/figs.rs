@@ -25,7 +25,7 @@ pub fn footprint_artifact(
     // Baseline and Thermostat are independent engines: fan them across
     // the execution pool (merged in fixed order, so the artifact is
     // byte-identical to a serial run).
-    let (base, (run, mut engine, _daemon)) = paired_runs(app, &p);
+    let (base, (run, engine, _daemon)) = paired_runs(app, &p);
     let sd = slowdown_pct(&run, &base);
 
     let mut r = ExperimentReport::new(

@@ -23,6 +23,7 @@ pub mod golden;
 pub mod harness;
 pub mod report;
 pub mod tabs;
+pub mod tenants;
 
 pub use artifact::{ExperimentArtifact, RunArtifact};
 pub use harness::{baseline_run, thermostat_run, AppRun, EvalParams};

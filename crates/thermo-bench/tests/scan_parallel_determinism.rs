@@ -1,0 +1,56 @@
+//! The contract the off-thread scan pipeline stands on: building policy
+//! `MemoryView` snapshots inline (`THERMO_SCAN_JOBS` unset / `0` / `1`)
+//! or on a `thermo-exec` worker pool (`THERMO_SCAN_JOBS=4`) produces
+//! **byte-identical** artifacts for every registry experiment. Shard
+//! scheduling and worker count must be completely unobservable in every
+//! serialized output — scan shards are cut at fixed absolute huge-page
+//! boundaries and merged in shard-id order, so only wall-clock may
+//! change (see DESIGN.md §10).
+
+use thermo_bench::experiments::{self, run_parallel};
+use thermo_bench::golden::canonical_json;
+use thermo_bench::EvalParams;
+
+/// Runs every registry experiment at a reduced smoke scale with the
+/// given `THERMO_SCAN_JOBS` setting (`None` = unset, the default inline
+/// path) and returns each artifact's canonical golden serialization.
+fn registry_snapshot(scan_jobs: Option<&str>) -> Vec<(&'static str, String)> {
+    match scan_jobs {
+        Some(v) => std::env::set_var("THERMO_SCAN_JOBS", v),
+        None => std::env::remove_var("THERMO_SCAN_JOBS"),
+    }
+    // Pin the experiment/run fan-out so only the scan pool varies.
+    std::env::set_var("THERMO_JOBS", "2");
+    let params = EvalParams {
+        // Same reduced window as tests/exec_determinism.rs: identity
+        // doesn't need the full golden duration, just enough sampling
+        // periods to exercise split/poison/classify/correct.
+        duration_ns: 500_000_000,
+        ..EvalParams::smoke()
+    };
+    let selected: Vec<_> = experiments::ALL.iter().collect();
+    run_parallel(&selected, &params, 2)
+        .into_iter()
+        .map(|r| (r.id, canonical_json(&r.artifact)))
+        .collect()
+}
+
+// One test function on purpose: the sweep mutates THERMO_SCAN_JOBS, and
+// parallel test threads sharing the process environment would race
+// (same structure as tests/exec_determinism.rs).
+#[test]
+fn scan_worker_count_never_changes_artifact_bytes() {
+    let unset = registry_snapshot(None);
+    assert_eq!(unset.len(), experiments::ALL.len());
+    for scan_jobs in ["0", "1", "4"] {
+        let swept = registry_snapshot(Some(scan_jobs));
+        for ((id_a, bytes_a), (id_b, bytes_b)) in unset.iter().zip(&swept) {
+            assert_eq!(id_a, id_b, "merge order must follow the registry");
+            assert_eq!(
+                bytes_a, bytes_b,
+                "experiment {id_a}: THERMO_SCAN_JOBS unset vs {scan_jobs} artifacts differ"
+            );
+        }
+    }
+    std::env::remove_var("THERMO_SCAN_JOBS");
+}

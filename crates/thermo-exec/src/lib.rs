@@ -134,6 +134,24 @@ pub fn jobs_from_env() -> usize {
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// Reads the off-thread scan worker count from `THERMO_SCAN_JOBS`.
+///
+/// Unlike [`jobs_from_env`] (experiment-level fan-out), this knob gates the
+/// *scan pipeline inside* a simulation: how many workers snapshot page-table
+/// shards when a policy builds a `thermo_sim::MemoryView`. Unset, `0`, or
+/// `1` all mean "inline on the app thread" — the conservative default,
+/// since shard-parallel snapshots only pay off when spare cores exist.
+/// Artifacts are byte-identical for every value (shard boundaries and merge
+/// order are fixed, never worker-derived); see
+/// `tests/scan_parallel_determinism.rs`.
+pub fn scan_jobs_from_env() -> usize {
+    std::env::var("THERMO_SCAN_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 /// Why a batch failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {

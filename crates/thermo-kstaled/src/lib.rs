@@ -24,10 +24,9 @@ pub mod damon;
 pub use clock::{ClockConfig, ClockPolicy, ClockStats};
 pub use damon::{Damon, DamonConfig, DamonStats};
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use thermo_mem::{PageSize, Vpn, PAGES_PER_HUGE};
-use thermo_sim::{Engine, PolicyHook};
-use thermo_vm::ScanHit;
+use thermo_sim::{Engine, MemoryView, PlanOp, PolicyHook, PolicyPlan};
 
 /// Configuration for the [`Kstaled`] scanner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,24 +52,39 @@ struct IdleState {
 }
 
 /// The periodic Accessed-bit scanner.
+///
+/// Works entirely through the engine's snapshot/plan seam: each tick takes
+/// a [`MemoryView`] of every VMA (built by `THERMO_SCAN_JOBS` shard
+/// workers off the app thread when configured), updates idle ages from the
+/// snapshot, and clears the observed Accessed bits with one
+/// [`PolicyPlan`] — charging exactly what the historical fused
+/// scan-and-clear paid.
 #[derive(Debug)]
 pub struct Kstaled {
     config: KstaledConfig,
     next_due_ns: u64,
-    ages: HashMap<Vpn, IdleState>,
+    ages: BTreeMap<Vpn, IdleState>,
     scans: u64,
-    scratch: Vec<ScanHit>,
+    scan_workers: usize,
 }
 
 impl Kstaled {
     /// Creates a scanner whose first scan fires one period from t=0.
+    /// Snapshot scans use `THERMO_SCAN_JOBS` shard workers (inline when
+    /// unset).
     pub fn new(config: KstaledConfig) -> Self {
+        Self::with_scan_workers(config, thermo_exec::scan_jobs_from_env())
+    }
+
+    /// [`Kstaled::new`] with an explicit snapshot worker count instead of
+    /// the `THERMO_SCAN_JOBS` environment default.
+    pub fn with_scan_workers(config: KstaledConfig, scan_workers: usize) -> Self {
         Self {
             next_due_ns: config.scan_period_ns,
             config,
-            ages: HashMap::new(),
+            ages: BTreeMap::new(),
             scans: 0,
-            scratch: Vec::new(),
+            scan_workers,
         }
     }
 
@@ -94,14 +108,11 @@ impl Kstaled {
     /// Huge pages idle for at least `min_idle_ns`, by base VPN.
     pub fn idle_pages(&self, min_idle_ns: u64) -> Vec<Vpn> {
         let need = min_idle_ns.div_ceil(self.config.scan_period_ns).max(1) as u32;
-        let mut v: Vec<Vpn> = self
-            .ages
+        self.ages
             .iter()
             .filter(|(_, s)| s.idle_scans >= need)
             .map(|(k, _)| *k)
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// Number of huge pages currently tracked.
@@ -116,29 +127,39 @@ impl PolicyHook for Kstaled {
     }
 
     fn tick(&mut self, engine: &mut Engine) {
-        let regions: Vec<(Vpn, u64)> = engine
-            .vmas()
-            .iter()
-            .map(|v| (v.start.vpn(), v.len / 4096))
-            .collect();
-        for (start, n) in regions {
-            self.scratch.clear();
-            engine.scan_and_clear_accessed(start, n, &mut self.scratch);
-            for hit in &self.scratch {
-                if hit.size != PageSize::Huge2M {
-                    continue;
-                }
-                let st = self.ages.entry(hit.base_vpn).or_default();
-                if hit.accessed {
-                    st.idle_scans = 0;
-                } else {
-                    st.idle_scans += 1;
-                }
+        let ranges = engine.vma_ranges();
+        let view = engine.memory_view(&ranges, self.scan_workers);
+        for p in view.pages() {
+            if p.size != PageSize::Huge2M {
+                continue;
+            }
+            let st = self.ages.entry(p.base_vpn).or_default();
+            if p.accessed {
+                st.idle_scans = 0;
+            } else {
+                st.idle_scans += 1;
             }
         }
+        engine.apply_plan(&clear_accessed_plan(&view));
         self.scans += 1;
         self.next_due_ns += self.config.scan_period_ns;
     }
+}
+
+/// One [`PlanOp::ClearAccessed`] covering every accessed leaf of `view` —
+/// the mutation half of a snapshot-based A-bit scan (same shootdown
+/// charges as the historical fused scan over the same ranges).
+fn clear_accessed_plan(view: &MemoryView) -> PolicyPlan {
+    let mut plan = PolicyPlan::new();
+    plan.push(PlanOp::ClearAccessed {
+        pages: view
+            .pages()
+            .iter()
+            .filter(|p| p.accessed)
+            .map(|p| (p.base_vpn, p.size))
+            .collect(),
+    });
+    plan
 }
 
 /// Number of consecutive accessed scans after which a 4KB region counts as
@@ -153,10 +174,10 @@ pub struct HotRegionMonitor {
     max_scans: u32,
     scans_done: u32,
     /// Per target huge page: per-child consecutive-access streaks.
-    streaks: HashMap<Vpn, Box<[u8; PAGES_PER_HUGE]>>,
+    streaks: BTreeMap<Vpn, Box<[u8; PAGES_PER_HUGE]>>,
     /// Per target huge page: children that ever reached [`HOT_STREAK`].
-    ever_hot: HashMap<Vpn, Box<[bool; PAGES_PER_HUGE]>>,
-    scratch: Vec<ScanHit>,
+    ever_hot: BTreeMap<Vpn, Box<[bool; PAGES_PER_HUGE]>>,
+    scan_workers: usize,
     finished: bool,
 }
 
@@ -168,19 +189,17 @@ impl HotRegionMonitor {
     ///
     /// Panics if any target is not a mapped huge page.
     pub fn start(engine: &mut Engine, targets: &[Vpn], period_ns: u64, max_scans: u32) -> Self {
-        let mut streaks = HashMap::new();
-        let mut ever_hot = HashMap::new();
-        let mut scratch = Vec::new();
+        let mut streaks = BTreeMap::new();
+        let mut ever_hot = BTreeMap::new();
+        // Split each target and clear its children's A bits so the first
+        // interval starts clean (one SplitSample op per page).
+        let mut plan = PolicyPlan::new();
         for &t in targets {
-            engine
-                .split_huge(t)
-                .expect("HotRegionMonitor target must be a mapped huge page");
-            // Clear A bits so the first interval starts clean.
-            scratch.clear();
-            engine.scan_and_clear_accessed(t, PAGES_PER_HUGE as u64, &mut scratch);
+            plan.push(PlanOp::SplitSample { vpn: t });
             streaks.insert(t, Box::new([0u8; PAGES_PER_HUGE]));
             ever_hot.insert(t, Box::new([false; PAGES_PER_HUGE]));
         }
+        engine.apply_plan(&plan);
         Self {
             period_ns,
             next_due_ns: period_ns,
@@ -188,7 +207,7 @@ impl HotRegionMonitor {
             scans_done: 0,
             streaks,
             ever_hot,
-            scratch: Vec::new(),
+            scan_workers: thermo_exec::scan_jobs_from_env(),
             finished: false,
         }
     }
@@ -207,17 +226,16 @@ impl HotRegionMonitor {
     /// Panics if called before [`finished`](Self::finished).
     pub fn finish(self, engine: &mut Engine) -> Vec<(Vpn, u32)> {
         assert!(self.finished, "finish() before monitoring completed");
-        let mut out: Vec<(Vpn, u32)> = self
+        let out: Vec<(Vpn, u32)> = self
             .ever_hot
             .iter()
             .map(|(vpn, hot)| (*vpn, hot.iter().filter(|h| **h).count() as u32))
             .collect();
-        for vpn in self.ever_hot.keys() {
-            engine
-                .collapse_huge(*vpn)
-                .expect("collapse after monitoring");
+        let mut plan = PolicyPlan::new();
+        for &vpn in self.ever_hot.keys() {
+            plan.push(PlanOp::Collapse { vpn });
         }
-        out.sort();
+        engine.apply_plan(&plan);
         out
     }
 }
@@ -232,18 +250,20 @@ impl PolicyHook for HotRegionMonitor {
     }
 
     fn tick(&mut self, engine: &mut Engine) {
-        let targets: Vec<Vpn> = self.streaks.keys().copied().collect();
-        for t in targets {
-            self.scratch.clear();
-            engine.scan_and_clear_accessed(t, PAGES_PER_HUGE as u64, &mut self.scratch);
-            let streaks = self.streaks.get_mut(&t).expect("target tracked");
+        let ranges: Vec<(Vpn, u64)> = self
+            .streaks
+            .keys()
+            .map(|&t| (t, PAGES_PER_HUGE as u64))
+            .collect();
+        let view = engine.memory_view(&ranges, self.scan_workers);
+        for (i, (&t, streaks)) in self.streaks.iter_mut().enumerate() {
             let ever = self.ever_hot.get_mut(&t).expect("target tracked");
-            for hit in &self.scratch {
-                if hit.size != PageSize::Small4K {
+            for p in view.range_pages(i) {
+                if p.size != PageSize::Small4K {
                     continue; // page got collapsed/migrated underneath us
                 }
-                let idx = hit.base_vpn.index_in_huge();
-                if hit.accessed {
+                let idx = p.base_vpn.index_in_huge();
+                if p.accessed {
                     streaks[idx] = streaks[idx].saturating_add(1);
                     if u32::from(streaks[idx]) >= HOT_STREAK {
                         ever[idx] = true;
@@ -253,6 +273,7 @@ impl PolicyHook for HotRegionMonitor {
                 }
             }
         }
+        engine.apply_plan(&clear_accessed_plan(&view));
         self.scans_done += 1;
         if self.scans_done >= self.max_scans {
             self.finished = true;

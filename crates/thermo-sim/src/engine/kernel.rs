@@ -1,0 +1,204 @@
+//! The kernel face of [`Engine`]: the mechanism layer.
+//!
+//! These are the raw operations the OS performs on behalf of a placement
+//! policy — huge-page split/collapse, PTE poisoning, A-bit scans, and page
+//! migration — each charging its virtual-time cost per the paper's
+//! accounting (§3.3 scan/shootdown costs, §4 migration costs). Policy
+//! layers normally reach them through the [`PolicyPlan`](super::PolicyPlan)
+//! seam rather than calling them directly; they stay public for ablation
+//! harnesses, property tests, and simple baselines (CLOCK, DAMON).
+
+use super::{Engine, FootprintBreakdown, SCAN_SHOOTDOWN_NS, SCAN_VISIT_NS, THP_SURGERY_NS};
+use thermo_mem::{MemError, PageSize, Tier, Vpn, PAGES_PER_HUGE};
+use thermo_vm::{scan_and_clear, MapError, ScanCost, ScanHit};
+
+impl Engine {
+    /// Splits the huge page at `base_vpn` (Thermostat sampling step 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the page table.
+    pub fn split_huge(&mut self, base_vpn: Vpn) -> Result<(), MapError> {
+        self.pt.split_huge(base_vpn)?;
+        self.tlb.shootdown(base_vpn, PageSize::Huge2M, self.vpid);
+        self.stats.kernel_time_ns += THP_SURGERY_NS;
+        Ok(())
+    }
+
+    /// Collapses 512 4KB PTEs back into a huge page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] (e.g. frames not contiguous after per-4KB
+    /// migration).
+    pub fn collapse_huge(&mut self, base_vpn: Vpn) -> Result<(), MapError> {
+        self.pt.collapse_huge(base_vpn)?;
+        // Stale 4KB TLB entries still translate to the same frames, so only
+        // kernel cost is charged; entries age out naturally.
+        self.stats.kernel_time_ns += THP_SURGERY_NS;
+        Ok(())
+    }
+
+    /// Poisons the leaf at `base_vpn` for access counting.
+    pub fn poison_page(&mut self, base_vpn: Vpn, size: PageSize) {
+        self.trap
+            .poison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn, size);
+        self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+    }
+
+    /// Unpoisons the leaf at `base_vpn`, returning its fault count.
+    pub fn unpoison_page(&mut self, base_vpn: Vpn) -> u64 {
+        self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+        self.trap
+            .unpoison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn)
+    }
+
+    /// Scans and clears Accessed bits over `[start, start + n_pages)`,
+    /// appending the results to `out` and charging kernel time.
+    pub fn scan_and_clear_accessed(
+        &mut self,
+        start: Vpn,
+        n_pages: u64,
+        out: &mut Vec<ScanHit>,
+    ) -> ScanCost {
+        let cost = scan_and_clear(&mut self.pt, &mut self.tlb, self.vpid, start, n_pages, out);
+        self.stats.kernel_time_ns += cost.time_ns(SCAN_VISIT_NS, SCAN_SHOOTDOWN_NS);
+        cost
+    }
+
+    /// Reads Accessed bits without clearing (no shootdowns).
+    pub fn read_accessed(&mut self, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+        let cost = thermo_vm::read_leaves(&self.pt, start, n_pages, out);
+        self.stats.kernel_time_ns += cost.ptes_visited * SCAN_VISIT_NS;
+        cost
+    }
+
+    /// Clears the Accessed bit of exactly the given leaves, shooting down
+    /// (and charging for) each one whose bit was set.
+    ///
+    /// The mutation half of a split snapshot/clear scan: together with the
+    /// visit cost a [`MemoryView`](super::MemoryView) already charged, the
+    /// total equals a fused [`scan_and_clear_accessed`](Self::scan_and_clear_accessed)
+    /// over the same range.
+    pub fn clear_accessed_set(&mut self, pages: &[(Vpn, PageSize)]) -> ScanCost {
+        let cost = thermo_vm::clear_accessed_set(&mut self.pt, &mut self.tlb, self.vpid, pages);
+        self.stats.kernel_time_ns += cost.time_ns(SCAN_VISIT_NS, SCAN_SHOOTDOWN_NS);
+        cost
+    }
+
+    /// Migrates the leaf at `base_vpn` to `target`, preserving all PTE flags
+    /// (including poison) and keeping the BadgerTrap counter intact.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AlreadyInTier`] if the page is already there, or
+    /// [`MemError::OutOfMemory`] if the target tier is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_vpn` is not the base of a mapped leaf.
+    pub fn migrate_page(&mut self, base_vpn: Vpn, target: Tier) -> Result<(), MemError> {
+        let m = self.pt.lookup(base_vpn).expect("migrating unmapped page");
+        assert_eq!(m.base_vpn, base_vpn, "migrate must target the leaf base");
+        let old = m.pte.pfn();
+        let cur = self.mem.tier_of(old);
+        if cur == target {
+            return Err(MemError::AlreadyInTier {
+                pfn: old,
+                tier: cur,
+            });
+        }
+        let new = self.mem.alloc(target, m.size)?;
+        for i in 0..m.size.small_pages() as u64 {
+            self.llc.invalidate_frame(old.offset(i));
+        }
+        self.mem.free(cur, old, m.size);
+        self.pt.with_pte_mut(base_vpn, |pte| pte.set_pfn(new));
+        self.tlb.shootdown(base_vpn, m.size, self.vpid);
+        let cost = self.mig.record(target, m.size, self.clock.now_ns());
+        self.stats.kernel_time_ns += cost;
+        Ok(())
+    }
+
+    /// Migrates a *split* huge page (512 4KB leaves starting at huge-aligned
+    /// `base_vpn`) into one physically contiguous huge frame in `target`, so
+    /// a later [`collapse_huge`](Self::collapse_huge) can restore the 2MB
+    /// mapping. Counted as one 2MB migration.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when `target` lacks a huge frame;
+    /// [`MemError::AlreadyInTier`] when the first child already lives there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the 512 children is missing or not a 4KB leaf.
+    pub fn migrate_split_huge(&mut self, base_vpn: Vpn, target: Tier) -> Result<(), MemError> {
+        assert!(
+            base_vpn.is_huge_aligned(),
+            "split-huge migration needs an aligned base"
+        );
+        let first = self
+            .pt
+            .lookup(base_vpn)
+            .expect("migrating unmapped split page");
+        assert_eq!(first.size, PageSize::Small4K, "page is not split");
+        if self.mem.tier_of(first.pte.pfn()) == target {
+            return Err(MemError::AlreadyInTier {
+                pfn: first.pte.pfn(),
+                tier: target,
+            });
+        }
+        let new = self.mem.alloc(target, PageSize::Huge2M)?;
+        for i in 0..PAGES_PER_HUGE as u64 {
+            let vpn = base_vpn.offset(i);
+            let m = self.pt.lookup(vpn).expect("split page child missing");
+            assert_eq!(m.size, PageSize::Small4K, "child is not a 4KB leaf");
+            let old = m.pte.pfn();
+            self.llc.invalidate_frame(old);
+            self.mem.free(self.mem.tier_of(old), old, PageSize::Small4K);
+            self.pt.with_pte_mut(vpn, |pte| pte.set_pfn(new.offset(i)));
+            self.tlb.shootdown(vpn, PageSize::Small4K, self.vpid);
+        }
+        let cost = self
+            .mig
+            .record(target, PageSize::Huge2M, self.clock.now_ns());
+        self.stats.kernel_time_ns += cost;
+        Ok(())
+    }
+
+    /// Tier currently backing the leaf that covers `vpn`, or `None` when
+    /// unmapped.
+    pub fn tier_of_vpn(&self, vpn: Vpn) -> Option<Tier> {
+        self.pt.lookup(vpn).map(|m| self.mem.tier_of(m.pte.pfn()))
+    }
+
+    /// Computes the footprint breakdown by walking every VMA's leaves
+    /// (instrumentation — charges no kernel time).
+    pub fn footprint_breakdown(&self) -> FootprintBreakdown {
+        let mut b = FootprintBreakdown::default();
+        for (start, n) in self.vma_ranges() {
+            self.pt.for_each_leaf(start, n, |_, size, pte| {
+                b.count(size, self.mem.tier_of(pte.pfn()));
+            });
+        }
+        b
+    }
+
+    /// Computes the footprint breakdown of every VMA separately, keyed by
+    /// the VMA name — which application structure went cold (e.g. the
+    /// paper's observation that TPCC's LINEITEM table carries the cold
+    /// mass).
+    pub fn region_breakdown(&self) -> Vec<(String, FootprintBreakdown)> {
+        let mut out = Vec::with_capacity(self.process.vmas().len());
+        for v in self.process.vmas() {
+            let mut b = FootprintBreakdown::default();
+            self.pt
+                .for_each_leaf(v.start.vpn(), v.len / 4096, |_, size, pte| {
+                    b.count(size, self.mem.tier_of(pte.pfn()));
+                });
+            out.push((v.name.clone(), b));
+        }
+        out
+    }
+}

@@ -1,0 +1,427 @@
+//! The virtual-time execution engine.
+//!
+//! [`Engine`] owns the whole simulated machine — page table, TLBs, LLC,
+//! two-tier physical memory, the BadgerTrap unit and the migration engine —
+//! and exposes three faces:
+//!
+//! * the **application face** (this module): [`Engine::access`] runs one
+//!   memory access through the pipeline (TLB → page walk → poison fault →
+//!   LLC → memory tier) and charges its latency to virtual time;
+//! * the **kernel face** ([`kernel`], mechanism layer): the raw operations
+//!   policies perform — A-bit scans, huge-page split/collapse, PTE
+//!   poisoning, and page migration between tiers;
+//! * the **policy seam** ([`view`] + [`plan`]): a phase-structured boundary
+//!   for policy layers (`thermostat::Daemon`, `thermo-kstaled`). A policy
+//!   takes a read-only [`MemoryView`] snapshot at a period boundary
+//!   (optionally built by sharded `thermo-exec` workers off the app
+//!   thread), decides purely on that snapshot, and hands back a
+//!   [`PolicyPlan`] that [`Engine::apply_plan`] executes atomically with
+//!   the paper's virtual-time cost accounting.
+//!
+//! Everything is deterministic: no host randomness, and the only threads
+//! are the scoped read-only snapshot workers whose shard boundaries and
+//! merge order are fixed (never worker-derived), so artifacts are
+//! byte-identical for any `THERMO_SCAN_JOBS`.
+
+mod kernel;
+mod plan;
+#[cfg(test)]
+mod tests;
+mod view;
+
+pub use plan::{OpOutcome, PlanOp, PlanReceipt, PolicyPlan};
+pub use view::{MemoryView, PageInfo};
+
+use crate::cache::Llc;
+use crate::clock::VirtualClock;
+use crate::config::{ColdAccessModel, SimConfig};
+use crate::process::{Process, Vma};
+use crate::series::RateSeries;
+use crate::stats::EngineStats;
+use std::collections::HashMap;
+use thermo_mem::{
+    translate, MigrationEngine, MigrationStats, PageSize, Pfn, PhysicalMemory, Tier, VirtAddr, Vpn,
+};
+use thermo_trap::{TrapStats, TrapUnit};
+use thermo_vm::{Mapping, PageTable, Tlb, TlbOutcome, TlbStats, Vpid};
+
+/// Kernel-time cost of one huge-page split or collapse (page-table surgery
+/// plus shootdown), ns.
+pub(crate) const THP_SURGERY_NS: u64 = 5_000;
+/// Kernel-time cost per PTE visited during an A-bit scan, ns.
+pub(crate) const SCAN_VISIT_NS: u64 = 50;
+/// Kernel-time cost per TLB shootdown during an A-bit scan, ns.
+pub(crate) const SCAN_SHOOTDOWN_NS: u64 = 1_000;
+
+/// Footprint breakdown by page size and tier — the series plotted in the
+/// paper's Figures 5–10 ("2MB_hot_data", "4KB_cold_data", ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FootprintBreakdown {
+    /// Bytes of 2MB pages in the fast tier.
+    pub huge_fast: u64,
+    /// Bytes of 2MB pages in the slow tier.
+    pub huge_slow: u64,
+    /// Bytes of 4KB pages in the fast tier.
+    pub small_fast: u64,
+    /// Bytes of 4KB pages in the slow tier.
+    pub small_slow: u64,
+}
+
+impl FootprintBreakdown {
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.huge_fast + self.huge_slow + self.small_fast + self.small_slow
+    }
+
+    /// Bytes in the slow tier (the "cold data" curves).
+    pub fn cold(&self) -> u64 {
+        self.huge_slow + self.small_slow
+    }
+
+    /// Fraction of the footprint in the slow tier (0 when empty).
+    pub fn cold_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.cold() as f64 / t as f64
+        }
+    }
+
+    pub(crate) fn count(&mut self, size: PageSize, tier: Tier) {
+        match (size, tier) {
+            (PageSize::Huge2M, Tier::Fast) => self.huge_fast += size.bytes() as u64,
+            (PageSize::Huge2M, Tier::Slow) => self.huge_slow += size.bytes() as u64,
+            (PageSize::Small4K, Tier::Fast) => self.small_fast += size.bytes() as u64,
+            (PageSize::Small4K, Tier::Slow) => self.small_slow += size.bytes() as u64,
+        }
+    }
+}
+
+/// The simulated machine.
+pub struct Engine {
+    pub(crate) config: SimConfig,
+    pub(crate) clock: VirtualClock,
+    pub(crate) tlb: Tlb,
+    pub(crate) pt: PageTable,
+    pub(crate) mem: PhysicalMemory,
+    pub(crate) llc: Llc,
+    pub(crate) trap: TrapUnit,
+    pub(crate) mig: MigrationEngine,
+    pub(crate) process: Process,
+    pub(crate) stats: EngineStats,
+    /// Slow-tier access events per time bucket (Figure 3).
+    pub(crate) slow_series: RateSeries,
+    /// Exact per-4KB-page access counts (Figure 2 ground truth), when
+    /// enabled.
+    pub(crate) true_access: HashMap<Vpn, u64>,
+    pub(crate) vpid: Vpid,
+    pub(crate) next_tlb_flush_ns: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now_ns", &self.clock.now_ns())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds a machine from `config`.
+    pub fn new(config: SimConfig) -> Self {
+        let mem = PhysicalMemory::new(config.fast.clone(), config.slow.clone());
+        Self {
+            clock: VirtualClock::new(),
+            tlb: Tlb::new(config.tlb),
+            pt: PageTable::new(),
+            llc: Llc::new(config.llc),
+            trap: TrapUnit::new(config.trap),
+            mig: MigrationEngine::with_defaults(),
+            process: Process::new(),
+            stats: EngineStats::default(),
+            slow_series: RateSeries::new(config.series_bucket_ns),
+            true_access: HashMap::new(),
+            vpid: config.vpid,
+            next_tlb_flush_ns: config.tlb_flush_period_ns.unwrap_or(u64::MAX),
+            mem,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application face
+    // ------------------------------------------------------------------
+
+    /// Maps a new VMA; frames are allocated lazily on first touch.
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        thp: bool,
+        writable: bool,
+        file_backed: bool,
+        name: impl Into<String>,
+    ) -> VirtAddr {
+        self.process.mmap(len, thp, writable, file_backed, name)
+    }
+
+    /// Runs one memory access through the pipeline and returns the latency
+    /// charged (also advances the virtual clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an access outside every VMA (a simulated segfault — a bug
+    /// in the workload generator).
+    pub fn access(&mut self, va: VirtAddr, write: bool) -> u64 {
+        let vpn = va.vpn();
+        self.stats.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        }
+        if self.config.track_true_access {
+            *self.true_access.entry(vpn).or_insert(0) += 1;
+        }
+
+        if self.clock.now_ns() >= self.next_tlb_flush_ns {
+            // OS noise: timer tick / context switch flushes the TLB.
+            self.tlb.flush_all();
+            let period = self
+                .config
+                .tlb_flush_period_ns
+                .expect("flush scheduled only when configured");
+            self.next_tlb_flush_ns = self.clock.now_ns() + period;
+        }
+
+        let mut lat = 0u64;
+        let (base_pfn, size) = match self.tlb.lookup(vpn, self.vpid) {
+            TlbOutcome::HitL1 { pfn, size } => (pfn, size),
+            TlbOutcome::HitL2 { pfn, size } => {
+                lat += self.config.tlb.l2_hit_ns;
+                (pfn, size)
+            }
+            TlbOutcome::Miss => self.walk(vpn, write, &mut lat),
+        };
+        let pfn4k = match size {
+            PageSize::Small4K => base_pfn,
+            PageSize::Huge2M => base_pfn.offset(vpn.index_in_huge() as u64),
+        };
+        let pa = translate(va, pfn4k, PageSize::Small4K);
+
+        if self.llc.access(pa.cache_line()) {
+            self.stats.llc_hits += 1;
+            lat += self.llc.hit_ns();
+        } else {
+            self.stats.llc_misses += 1;
+            let tier = self.mem.tier_of(pfn4k);
+            let mem_ns = match (self.config.cold_model, tier) {
+                // Under fault emulation the data physically lives in DRAM.
+                (ColdAccessModel::FaultEmulated, _) => self.config.fast.latency_ns(write),
+                (ColdAccessModel::Direct, Tier::Fast) => self.config.fast.latency_ns(write),
+                (ColdAccessModel::Direct, Tier::Slow) => self.config.slow.latency_ns(write),
+            };
+            lat += mem_ns;
+            match tier {
+                Tier::Fast => self.stats.fast_tier_accesses += 1,
+                Tier::Slow => {
+                    self.stats.slow_tier_accesses += 1;
+                    if self.config.cold_model == ColdAccessModel::Direct {
+                        self.slow_series.record(self.clock.now_ns(), 1);
+                    }
+                }
+            }
+            if write {
+                self.mem.record_write(pfn4k, 64);
+            }
+        }
+
+        self.clock.advance(lat);
+        self.stats.app_time_ns += lat;
+        lat
+    }
+
+    /// Charges pure compute time to the application.
+    pub fn advance_compute(&mut self, ns: u64) {
+        self.clock.advance(ns);
+        self.stats.app_time_ns += ns;
+    }
+
+    fn walk(&mut self, vpn: Vpn, write: bool, lat: &mut u64) -> (Pfn, PageSize) {
+        let mapping = match self.pt.lookup(vpn) {
+            Some(m) => m,
+            None => self.minor_fault(vpn, lat),
+        };
+        self.stats.walks += 1;
+        let wc = self.config.walk.walk_cost_ns(mapping.size);
+        *lat += wc;
+        self.stats.walk_time_ns += wc;
+        self.pt.with_pte_mut(vpn, |pte| {
+            pte.set_accessed();
+            if write {
+                pte.set_dirty();
+            }
+        });
+        if mapping.pte.poisoned() {
+            *lat += self.trap.on_fault(mapping.base_vpn);
+            match self.mem.tier_of(mapping.pte.pfn()) {
+                Tier::Slow => {
+                    self.stats.slow_trap_faults += 1;
+                    self.slow_series.record(self.clock.now_ns(), 1);
+                }
+                Tier::Fast => self.stats.fast_trap_faults += 1,
+            }
+        }
+        // BadgerTrap installs a (temporary) translation even for poisoned
+        // pages, so repeated accesses only fault again after a TLB eviction
+        // or shootdown.
+        self.tlb
+            .insert(mapping.base_vpn, mapping.pte.pfn(), mapping.size, self.vpid);
+        (mapping.pte.pfn(), mapping.size)
+    }
+
+    fn minor_fault(&mut self, vpn: Vpn, lat: &mut u64) -> Mapping {
+        let va = vpn.addr();
+        let vma = self
+            .process
+            .find(va)
+            .unwrap_or_else(|| panic!("segfault: access to unmapped {va}"))
+            .clone();
+        let huge_base = va.align_down(PageSize::Huge2M);
+        let huge_fits = self.config.thp_enabled
+            && vma.thp
+            && huge_base >= vma.start
+            && huge_base.0 + PageSize::Huge2M.bytes() as u64 <= vma.end().0;
+        if huge_fits {
+            if let Ok(frame) = self.mem.alloc(Tier::Fast, PageSize::Huge2M) {
+                self.pt
+                    .map_huge(huge_base.vpn(), frame, vma.writable)
+                    .expect("demand-paged huge window must be unmapped");
+                *lat += self.config.minor_fault_huge_ns;
+                self.stats.minor_faults_huge += 1;
+                return self.pt.lookup(vpn).expect("just mapped");
+            }
+        }
+        let frame = self
+            .mem
+            .alloc(Tier::Fast, PageSize::Small4K)
+            .expect("fast tier out of memory during demand paging");
+        self.pt
+            .map_small(vpn, frame, vma.writable)
+            .expect("demand-paged page must be unmapped");
+        *lat += self.config.minor_fault_small_ns;
+        self.stats.minor_faults_small += 1;
+        self.pt.lookup(vpn).expect("just mapped")
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current virtual time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// TLB statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Trap statistics.
+    pub fn trap_stats(&self) -> TrapStats {
+        self.trap.stats()
+    }
+
+    /// Migration statistics.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.mig.stats()
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> crate::cache::LlcStats {
+        self.llc.stats()
+    }
+
+    /// The slow-tier access-rate series (Figure 3).
+    pub fn slow_series(&self) -> &RateSeries {
+        &self.slow_series
+    }
+
+    /// Resident set size (bytes of mapped physical memory).
+    pub fn rss_bytes(&self) -> u64 {
+        self.pt.mapped_bytes()
+    }
+
+    /// The simulated process (VMA listing).
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// All VMAs (convenience).
+    pub fn vmas(&self) -> &[Vma] {
+        self.process.vmas()
+    }
+
+    /// The VMA ranges as `(start_vpn, n_4k_pages)` pairs — the argument
+    /// shape [`Engine::memory_view`] and the scan helpers take.
+    pub fn vma_ranges(&self) -> Vec<(Vpn, u64)> {
+        self.process
+            .vmas()
+            .iter()
+            .map(|v| (v.start.vpn(), v.len / 4096))
+            .collect()
+    }
+
+    /// Configuration (read-only).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The trap unit (for policy layers that read per-page counters).
+    pub fn trap(&self) -> &TrapUnit {
+        &self.trap
+    }
+
+    /// Mutable trap unit access (counter take/reset by the policy daemon).
+    pub fn trap_mut(&mut self) -> &mut TrapUnit {
+        &mut self.trap
+    }
+
+    /// Read-only page table access.
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// Exact per-4KB-page access counts (empty unless
+    /// `config.track_true_access`).
+    pub fn true_access_counts(&self) -> &HashMap<Vpn, u64> {
+        &self.true_access
+    }
+
+    /// Clears the exact access counters.
+    pub fn reset_true_access(&mut self) {
+        self.true_access.clear();
+    }
+
+    /// Free bytes in `tier`.
+    pub fn free_bytes(&self, tier: Tier) -> u64 {
+        self.mem.free_bytes(tier)
+    }
+
+    /// Physical memory (wear statistics etc.).
+    pub fn memory(&self) -> &PhysicalMemory {
+        &self.mem
+    }
+}
+
+thermo_util::json_struct!(FootprintBreakdown {
+    huge_fast,
+    huge_slow,
+    small_fast,
+    small_slow
+});

@@ -39,7 +39,9 @@ pub mod workload;
 pub use cache::{Llc, LlcConfig, LlcStats};
 pub use clock::VirtualClock;
 pub use config::{ColdAccessModel, SimConfig};
-pub use engine::{Engine, FootprintBreakdown};
+pub use engine::{
+    Engine, FootprintBreakdown, MemoryView, OpOutcome, PageInfo, PlanOp, PlanReceipt, PolicyPlan,
+};
 pub use latency::LatencyHistogram;
 pub use process::{Process, Vma};
 pub use runner::{

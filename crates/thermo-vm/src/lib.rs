@@ -45,6 +45,6 @@ pub mod walker;
 
 pub use pagetable::{MapError, Mapping, PageTable};
 pub use pte::Pte;
-pub use scan::{read_accessed, scan_and_clear, ScanCost, ScanHit};
+pub use scan::{clear_accessed_set, read_accessed, read_leaves, scan_and_clear, ScanCost, ScanHit};
 pub use tlb::{Tlb, TlbConfig, TlbGeometry, TlbOutcome, TlbStats, Vpid};
 pub use walker::{PagingMode, WalkConfig, WalkSteps};

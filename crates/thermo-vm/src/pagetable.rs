@@ -509,6 +509,49 @@ impl PageTable {
         }
     }
 
+    /// Shared-borrow variant of [`for_each_leaf_mut`](Self::for_each_leaf_mut):
+    /// visits every leaf PTE in `[start, start + n_pages)` read-only, passing
+    /// `(base_vpn, size, &pte)`.
+    ///
+    /// Huge leaves are visited once at their base; unmapped holes are
+    /// skipped. Because `&self` suffices, concurrent walkers over disjoint
+    /// (or even overlapping) ranges can run from scoped threads — the basis
+    /// of the off-thread scan pipeline (`thermo_sim::MemoryView`).
+    pub fn for_each_leaf(&self, start: Vpn, n_pages: u64, mut f: impl FnMut(Vpn, PageSize, &Pte)) {
+        let end = Vpn(start.0 + n_pages);
+        let mut vpn = start;
+        while vpn.0 < end.0 {
+            let (i4, i3, i2, i1) = indices(vpn);
+            let Some(pdpt) = self.root.entries[i4].as_ref() else {
+                vpn = Vpn((vpn.0 | 0x7ff_ffff) + 1); // skip to next PML4 slot
+                continue;
+            };
+            let Some(pd) = pdpt.entries[i3].as_ref() else {
+                vpn = Vpn((vpn.0 | 0x3ffff) + 1); // next PDPT slot
+                continue;
+            };
+            match &pd.entries[i2] {
+                PdEntry::Empty => {
+                    vpn = Vpn((vpn.0 | 0x1ff) + 1); // next PD slot
+                }
+                PdEntry::Huge(pte) => {
+                    f(vpn.huge_base(), PageSize::Huge2M, pte);
+                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
+                }
+                PdEntry::Table(pt) => {
+                    let upto = std::cmp::min(end.0 - (vpn.0 - i1 as u64), FANOUT as u64) as usize;
+                    for i in i1..upto {
+                        let pte = &pt.entries[i];
+                        if pte.present() {
+                            f(Vpn(vpn.0 - i1 as u64 + i as u64), PageSize::Small4K, pte);
+                        }
+                    }
+                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
+                }
+            }
+        }
+    }
+
     fn pd_mut(&mut self, i4: usize, i3: usize) -> &mut Pd {
         let pdpt = self.root.entries[i4].get_or_insert_with(Pdpt::new);
         pdpt.entries[i3].get_or_insert_with(Pd::new)
@@ -694,6 +737,24 @@ mod tests {
                 (Vpn(1024), PageSize::Huge2M),
             ]
         );
+    }
+
+    #[test]
+    fn shared_walk_matches_mut_walk() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Vpn(0), Pfn(0), true).unwrap();
+        pt.map_small(Vpn(516), Pfn(516), true).unwrap();
+        pt.map_small(Vpn(518), Pfn(518), false).unwrap();
+        pt.map_huge(Vpn(1024), Pfn(1024), true).unwrap();
+        let mut via_mut = Vec::new();
+        pt.for_each_leaf_mut(Vpn(0), 1536, |vpn, size, pte| {
+            via_mut.push((vpn, size, *pte))
+        });
+        let mut via_shared = Vec::new();
+        pt.for_each_leaf(Vpn(0), 1536, |vpn, size, pte| {
+            via_shared.push((vpn, size, *pte))
+        });
+        assert_eq!(via_mut, via_shared);
     }
 
     #[test]

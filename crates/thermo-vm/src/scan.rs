@@ -99,6 +99,57 @@ pub fn read_accessed(
     cost
 }
 
+/// Shared-borrow variant of [`read_accessed`]: reads every leaf's A/D bits
+/// in `[start, start + n_pages)` without clearing anything.
+///
+/// Taking `&PageTable` (instead of the historical `&mut`) is what lets the
+/// snapshot phase run from scoped worker threads — several shards can walk
+/// the same page table concurrently because nothing is written.
+pub fn read_leaves(pt: &PageTable, start: Vpn, n_pages: u64, out: &mut Vec<ScanHit>) -> ScanCost {
+    let mut cost = ScanCost::default();
+    pt.for_each_leaf(start, n_pages, |base_vpn, size, pte| {
+        cost.ptes_visited += 1;
+        out.push(ScanHit {
+            base_vpn,
+            size,
+            accessed: pte.accessed(),
+            dirty: pte.dirty(),
+        });
+    });
+    cost
+}
+
+/// Clears the Accessed bit of exactly the given leaves, shooting down each
+/// one whose bit was actually set.
+///
+/// This is the mutation half of a split read/clear scan: a read-only
+/// snapshot ([`read_leaves`]) finds the accessed leaves (possibly off the
+/// app thread), then this targeted pass clears only those — O(accessed)
+/// mutating work instead of a second full walk. `ptes_visited` stays 0 so
+/// that `snapshot cost + clear cost` charges exactly what a fused
+/// [`scan_and_clear`] over the same range would have: the visits were
+/// already paid for by the snapshot.
+pub fn clear_accessed_set(
+    pt: &mut PageTable,
+    tlb: &mut Tlb,
+    vpid: Vpid,
+    pages: &[(Vpn, PageSize)],
+) -> ScanCost {
+    let mut cost = ScanCost::default();
+    for &(vpn, size) in pages {
+        let mut was_set = false;
+        pt.with_pte_mut(vpn, |pte| {
+            was_set = pte.accessed();
+            pte.clear_accessed();
+        });
+        if was_set {
+            tlb.shootdown(vpn, size, vpid);
+            cost.shootdowns += 1;
+        }
+    }
+    cost
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +206,81 @@ mod tests {
         assert!(hits.iter().any(|h| h.accessed));
         assert!(pt.lookup(Vpn(512)).unwrap().pte.accessed());
         let _ = tlb; // unchanged
+    }
+
+    #[test]
+    fn read_leaves_matches_read_accessed() {
+        let (mut pt, _tlb) = setup();
+        pt.with_pte_mut(Vpn(0), |p| p.set_accessed());
+        let mut via_mut = Vec::new();
+        let cost_mut = read_accessed(&mut pt, Vpn(0), 1024, &mut via_mut);
+        let mut via_shared = Vec::new();
+        let cost_shared = read_leaves(&pt, Vpn(0), 1024, &mut via_shared);
+        assert_eq!(via_mut, via_shared);
+        assert_eq!(cost_mut, cost_shared);
+    }
+
+    #[test]
+    fn snapshot_then_targeted_clear_equals_fused_scan() {
+        // Two identical page tables: one scanned with the fused
+        // scan_and_clear, one with read_leaves + clear_accessed_set. The
+        // resulting PTE state, hits, and total cost must agree.
+        let build = || {
+            let mut pt = PageTable::new();
+            pt.map_huge(Vpn(0), Pfn(0), true).unwrap();
+            pt.map_small(Vpn(512), Pfn(5000), true).unwrap();
+            pt.map_small(Vpn(513), Pfn(5001), true).unwrap();
+            pt.with_pte_mut(Vpn(0), |p| p.set_accessed());
+            pt.with_pte_mut(Vpn(513), |p| p.set_accessed());
+            pt
+        };
+        let (mut pt_fused, mut tlb_fused) = (build(), Tlb::default());
+        let mut fused_hits = Vec::new();
+        let fused = scan_and_clear(
+            &mut pt_fused,
+            &mut tlb_fused,
+            V,
+            Vpn(0),
+            1024,
+            &mut fused_hits,
+        );
+
+        let (mut pt_split, mut tlb_split) = (build(), Tlb::default());
+        let mut snap_hits = Vec::new();
+        let snap = read_leaves(&pt_split, Vpn(0), 1024, &mut snap_hits);
+        let accessed: Vec<(Vpn, PageSize)> = snap_hits
+            .iter()
+            .filter(|h| h.accessed)
+            .map(|h| (h.base_vpn, h.size))
+            .collect();
+        let clear = clear_accessed_set(&mut pt_split, &mut tlb_split, V, &accessed);
+
+        assert_eq!(fused_hits, snap_hits);
+        assert_eq!(fused.ptes_visited, snap.ptes_visited + clear.ptes_visited);
+        assert_eq!(fused.shootdowns, clear.shootdowns);
+        for vpn in [Vpn(0), Vpn(512), Vpn(513)] {
+            assert_eq!(
+                pt_fused.lookup(vpn).unwrap().pte.accessed(),
+                pt_split.lookup(vpn).unwrap().pte.accessed()
+            );
+        }
+    }
+
+    #[test]
+    fn clear_accessed_set_skips_clear_bits_and_holes() {
+        let (mut pt, mut tlb) = setup();
+        // Vpn(512) mapped but not accessed; Vpn(9999) unmapped.
+        let cost = clear_accessed_set(
+            &mut pt,
+            &mut tlb,
+            V,
+            &[
+                (Vpn(512), PageSize::Small4K),
+                (Vpn(9999), PageSize::Small4K),
+            ],
+        );
+        assert_eq!(cost.shootdowns, 0);
+        assert_eq!(cost.ptes_visited, 0);
     }
 
     #[test]

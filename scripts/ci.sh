@@ -24,25 +24,85 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test -q --offline (entire workspace)"
 cargo test -q --offline --workspace
 
-# Bench regression gate: smoke-run both bench targets against the
-# checked-in baseline (goldens/bench-baseline.json — see EXPERIMENTS.md
-# "Regenerating the bench baseline"). The threshold is deliberately
-# generous until runner timing variance is characterized (ROADMAP):
-# THERMO_BENCH_FAST=1 takes single-shot samples, so only gross
-# regressions (algorithmic blowups, accidental O(n^2)) should trip it.
-THERMO_BENCH_MAX_REGRESSION_PCT="${THERMO_BENCH_MAX_REGRESSION_PCT:-300}"
-echo "==> bench regression gate (THERMO_BENCH_FAST=1, threshold +${THERMO_BENCH_MAX_REGRESSION_PCT}%)"
-for bench in microbench pipeline; do
-  THERMO_BENCH_FAST=1 \
-  THERMO_BENCH_BASELINE="$PWD/goldens/bench-baseline.json" \
-  THERMO_BENCH_MAX_REGRESSION_PCT="$THERMO_BENCH_MAX_REGRESSION_PCT" \
-    cargo bench -q --offline -p thermo-bench --bench "$bench" >/dev/null
+# Bench regression gate: run both bench targets N times in smoke mode and
+# gate on the median of the N single-shot medians against the checked-in
+# baseline (goldens/bench-baseline.json — itself a median-of-5 recording,
+# see EXPERIMENTS.md "Regenerating the bench baseline").
+#
+# Threshold justification (measured while characterizing variance for
+# this gate): single-shot medians of the nanosecond-scale benches move up
+# to ~2.4x across sessions (cache/heap alignment, runner load), but the
+# median-of-5 is far steadier — worst observed within-session sigma was
+# ~35% of the median (llc_access_random), most benches under 10%. A +150%
+# threshold on the median-of-5 therefore only trips on genuine >=2.5x
+# blowups (algorithmic regressions, accidental O(n^2)), not timing noise
+# — down from the provisional single-shot +300% gate.
+THERMO_BENCH_REPS="${THERMO_BENCH_REPS:-5}"
+THERMO_BENCH_MAX_REGRESSION_PCT="${THERMO_BENCH_MAX_REGRESSION_PCT:-150}"
+echo "==> bench regression gate (N=$THERMO_BENCH_REPS smoke reps, median-of-N vs baseline, threshold +${THERMO_BENCH_MAX_REGRESSION_PCT}%)"
+bdir="target/bench-ci"
+rm -rf "$bdir"
+mkdir -p "$bdir"
+for rep in $(seq 1 "$THERMO_BENCH_REPS"); do
+  for bench in microbench pipeline; do
+    THERMO_BENCH_FAST=1 THERMO_BENCH_JSON="$PWD/$bdir/rep$rep-$bench.json" \
+      cargo bench -q --offline -p thermo-bench --bench "$bench" >/dev/null
+  done
 done
+awk -v thr="$THERMO_BENCH_MAX_REGRESSION_PCT" '
+  FNR == 1 { base = (FILENAME ~ /bench-baseline/) }
+  /"name":/ { gsub(/.*"name": *"|",?$/, ""); name = $0 }
+  /"median_ns":/ {
+    gsub(/.*"median_ns": *|,$/, "")
+    if (base) bmed[name] = $0
+    else { if (!(name in meds)) order[++n] = name; meds[name] = meds[name] " " $0 }
+  }
+  END {
+    fail = 0
+    for (k = 1; k <= n; k++) {
+      nm = order[k]
+      m = split(meds[nm], a, " ")
+      for (i = 1; i < m; i++)
+        for (j = i + 1; j <= m; j++)
+          if (a[j] + 0 < a[i] + 0) { t = a[i]; a[i] = a[j]; a[j] = t }
+      med = (m % 2) ? a[(m + 1) / 2] : (a[m / 2] + a[m / 2 + 1]) / 2
+      mean = 0; for (i = 1; i <= m; i++) mean += a[i]; mean /= m
+      ss = 0; for (i = 1; i <= m; i++) ss += (a[i] - mean) ^ 2
+      sd = sqrt(ss / m)
+      if (nm in bmed && bmed[nm] + 0 > 0) pct = (med / bmed[nm] - 1) * 100; else pct = 0
+      printf "    %-42s median-of-%d %12.1f ns  sigma %10.1f ns  vs baseline %+7.1f%%\n", nm, m, med, sd, pct
+      if (pct > thr) {
+        printf "bench regression: %s median-of-%d %.1f ns vs baseline %.1f ns (+%.1f%%, threshold +%s%%)\n", nm, m, med, bmed[nm], pct, thr
+        fail = 1
+      }
+    }
+    exit fail
+  }
+' goldens/bench-baseline.json "$bdir"/rep*.json
 
-# Parallel golden gate: per-experiment and total wall-clock are printed by
-# the golden binary so the THERMO_JOBS speedup is visible in CI logs.
-echo "==> golden-artifact check (scripts/golden.sh check, THERMO_JOBS=$THERMO_JOBS)"
-scripts/golden.sh check
+# Off-thread scan cross-check: the same cheap experiment run with inline
+# policy scans (THERMO_SCAN_JOBS=0) and with a 4-worker scan pool must
+# produce byte-identical artifacts. tests/scan_parallel_determinism.rs is
+# the exhaustive in-process version; this is the live end-to-end guard at
+# the binary boundary.
+echo "==> scan-parallel cross-check (fig10, THERMO_SCAN_JOBS=0 vs 4, byte compare)"
+THERMO_SCALE=512 THERMO_DURATION_SECS=3 THERMO_PERIOD_SECS=1 THERMO_SCAN_JOBS=0 \
+  cargo run -q --release --offline -p thermo-bench --bin fig10 >/dev/null
+cp target/experiments/fig10.artifact.json "$bdir/fig10.scan-inline.artifact.json"
+THERMO_SCALE=512 THERMO_DURATION_SECS=3 THERMO_PERIOD_SECS=1 THERMO_SCAN_JOBS=4 \
+  cargo run -q --release --offline -p thermo-bench --bin fig10 >/dev/null
+cmp "$bdir/fig10.scan-inline.artifact.json" target/experiments/fig10.artifact.json
+echo "    byte-identical"
+
+# Parallel golden gate, run twice: once with inline scans (the pre-seam
+# wall-clock baseline) and once with a 4-worker scan pool, so the
+# off-thread scan speedup — and the fact that the verdict is identical —
+# is visible in CI logs. Per-experiment and total wall-clock are printed
+# by the golden binary.
+echo "==> golden-artifact check, inline scans (THERMO_SCAN_JOBS=1, THERMO_JOBS=$THERMO_JOBS) — wall-clock before"
+THERMO_SCAN_JOBS=1 scripts/golden.sh check
+echo "==> golden-artifact check, off-thread scans (THERMO_SCAN_JOBS=4, THERMO_JOBS=$THERMO_JOBS) — wall-clock after"
+THERMO_SCAN_JOBS=4 scripts/golden.sh check
 
 # Determinism cross-check: the cheapest registry experiment re-run
 # serially must match the same goldens the parallel sweep just checked —

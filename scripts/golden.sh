@@ -7,11 +7,14 @@
 #   scripts/golden.sh bless [--full] [id...]   overwrite goldens with fresh
 #                                     artifacts
 #
-# With no ids, all registered experiments (fig5–fig10, tab2–tab4) run.
-# Experiments execute as parallel jobs on the thermo-exec pool
-# (THERMO_JOBS workers, default = available parallelism); artifacts are
-# byte-identical for any worker count, so parallelism only changes the
-# wall-clock, which the binary prints per experiment and in total.
+# With no ids, all registered experiments (fig5–fig10, tab2–tab4, and
+# the multi-tenant `tenants` colocation run) execute as parallel jobs on
+# the thermo-exec pool (THERMO_JOBS workers, default = available
+# parallelism). Policy scans inside each experiment additionally fan out
+# over their own pool (THERMO_SCAN_JOBS workers, default 1 = inline).
+# Artifacts are byte-identical for any worker count on either knob, so
+# parallelism only changes the wall-clock, which the binary prints per
+# experiment and in total.
 #
 # Two tiers:
 #   default      smoke scale (EvalParams::smoke), goldens/, default CI;
