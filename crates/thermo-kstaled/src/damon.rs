@@ -18,8 +18,8 @@
 
 use thermo_mem::{PageSize, Tier, Vpn, PAGES_PER_HUGE};
 use thermo_sim::{Engine, PolicyHook};
+use thermo_util::rng::SeedableRng;
 use thermo_util::rng::SmallRng;
-use thermo_util::rng::{Rng, SeedableRng};
 
 /// Configuration of the DAMON-style monitor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,7 +189,7 @@ impl Damon {
     fn sample(&mut self, engine: &mut Engine) {
         let mut hits = Vec::new();
         for r in &mut self.regions {
-            let probe = Vpn(r.start.0 + self.rng.gen_range(0..r.n_pages));
+            let probe = Vpn(r.start.0 + crate::decide::probe_offset(&mut self.rng, r.n_pages));
             hits.clear();
             engine.scan_and_clear_accessed(probe, 1, &mut hits);
             if hits.first().is_some_and(|h| h.accessed) {

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 pub mod clock;
 pub mod damon;
+pub mod decide;
 
 pub use clock::{ClockConfig, ClockPolicy, ClockStats};
 pub use damon::{Damon, DamonConfig, DamonStats};

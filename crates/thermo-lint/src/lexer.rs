@@ -1,0 +1,437 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The lints in this crate are token-level pattern matches (forbidden
+//! identifiers, method-call shapes, closure parameter lists), so the lexer
+//! only needs to get three things exactly right:
+//!
+//! 1. **String/char/comment stripping.** A lint must never fire on the word
+//!    `HashMap` inside a doc comment or an error-message string — including
+//!    raw strings (`r#"…"#`), byte strings, and nested block comments.
+//! 2. **Line numbers.** Findings are reported as `file:line` and suppressed
+//!    by line-anchored pragmas, so every token carries its 1-based line.
+//! 3. **Pragma capture.** `// thermo-lint: …` comments are collected with
+//!    their line numbers for the suppression pass.
+//!
+//! Everything else (numbers, lifetimes, punctuation) is tokenized only far
+//! enough not to confuse those three.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// The token's kind (and text, for identifiers).
+    pub kind: TokenKind,
+}
+
+/// Token payload. Literals carry no text: no lint inspects their contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, `r#type`).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string, char, or numeric literal (contents intentionally dropped).
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never a char).
+    Lifetime,
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A `// thermo-lint: …` comment, captured verbatim for the pragma parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaComment {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Comment text after the `// thermo-lint:` marker, trimmed.
+    pub text: String,
+}
+
+/// Comment marker that introduces a suppression pragma.
+pub const PRAGMA_MARKER: &str = "thermo-lint:";
+
+/// Lexer output: the token stream plus every pragma comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All `// thermo-lint:` comments, in source order.
+    pub pragmas: Vec<PragmaComment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into tokens and pragma comments.
+///
+/// The lexer never fails: bytes it does not understand become punctuation
+/// tokens, which no lint matches. That is the right failure mode for a
+/// linter — a file that confuses the lexer produces no *false* findings.
+pub fn lex(source: &str) -> Lexed {
+    let mut c = Cursor {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => lex_line_comment(&mut c, &mut out),
+            b'/' if c.peek_at(1) == Some(b'*') => lex_block_comment(&mut c),
+            b'"' => {
+                lex_string(&mut c);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut c);
+                out.tokens.push(Token { line, kind });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                lex_raw_or_byte_string(&mut c);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            b'r' if c.peek_at(1) == Some(b'#') && c.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#type: skip the r# and lex the ident.
+                c.bump();
+                c.bump();
+                let ident = lex_ident_text(&mut c);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(ident),
+                });
+            }
+            _ if is_ident_start(b) => {
+                let ident = lex_ident_text(&mut c);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(ident),
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(b as char),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let line = c.line;
+    let start = c.pos;
+    while let Some(b) = c.peek() {
+        if b == b'\n' {
+            break;
+        }
+        c.bump();
+    }
+    let text = std::str::from_utf8(&c.bytes[start..c.pos]).unwrap_or("");
+    // `// thermo-lint: …` (also tolerated after `///`): capture for pragmas.
+    let body = text.trim_start_matches('/').trim_start();
+    if let Some(rest) = body.strip_prefix(PRAGMA_MARKER) {
+        out.pragmas.push(PragmaComment {
+            line,
+            text: rest.trim().to_string(),
+        });
+    }
+}
+
+fn lex_block_comment(c: &mut Cursor<'_>) {
+    // Rust block comments nest.
+    c.bump();
+    c.bump();
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (c.peek(), c.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                c.bump();
+                c.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                c.bump();
+                c.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                c.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// After a `'`: a lifetime (`'a`, `'static`) or a char literal (`'x'`,
+/// `'\n'`). A lifetime is an identifier not followed by a closing quote.
+fn lex_quote(c: &mut Cursor<'_>) -> TokenKind {
+    c.bump(); // the quote
+    if c.peek().is_some_and(is_ident_start) && c.peek() != Some(b'\\') {
+        // Look ahead over the identifier; if it ends with `'` it was a char
+        // like 'a', otherwise a lifetime.
+        let mut off = 0;
+        while c.peek_at(off).is_some_and(is_ident_continue) {
+            off += 1;
+        }
+        if c.peek_at(off) == Some(b'\'') && off == 1 {
+            c.bump(); // the char
+            c.bump(); // closing quote
+            return TokenKind::Literal;
+        }
+        for _ in 0..off {
+            c.bump();
+        }
+        return TokenKind::Lifetime;
+    }
+    // Escaped or non-identifier char literal.
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+    TokenKind::Literal
+}
+
+fn starts_raw_or_byte_string(c: &Cursor<'_>) -> bool {
+    match c.peek() {
+        Some(b'r') => {
+            // r"…", r#"…"#, r##"…"## …
+            let mut off = 1;
+            while c.peek_at(off) == Some(b'#') {
+                off += 1;
+            }
+            off > 1 && c.peek_at(off) == Some(b'"') || c.peek_at(1) == Some(b'"')
+        }
+        Some(b'b') => match c.peek_at(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut off = 2;
+                while c.peek_at(off) == Some(b'#') {
+                    off += 1;
+                }
+                c.peek_at(off) == Some(b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn lex_raw_or_byte_string(c: &mut Cursor<'_>) {
+    if c.peek() == Some(b'b') {
+        c.bump();
+        if c.peek() == Some(b'\'') {
+            lex_quote(c);
+            return;
+        }
+    }
+    if c.peek() == Some(b'r') {
+        c.bump();
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            c.bump();
+            hashes += 1;
+        }
+        c.bump(); // opening quote
+        loop {
+            match c.bump() {
+                None => return,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && c.peek() == Some(b'#') {
+                        c.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    // Plain byte string b"…".
+    lex_string(c);
+}
+
+fn lex_ident_text(c: &mut Cursor<'_>) -> String {
+    let start = c.pos;
+    while c.peek().is_some_and(is_ident_continue) {
+        c.bump();
+    }
+    String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned()
+}
+
+fn lex_number(c: &mut Cursor<'_>) {
+    // Digits, underscores, radix/exponent letters; a `.` only when it is a
+    // decimal point (digit follows) so ranges like `0..n` stay punctuation.
+    while let Some(b) = c.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            c.bump();
+        } else if b == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let x = "HashMap in a string";
+            let y = r#"HashMap raw "quoted" string"#;
+            let z = b"HashMap bytes";
+            let w = 'H';
+            real_ident
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        // The trailing 'x' is a char literal, and `str`/`x` survive.
+        assert!(lexed.tokens.iter().any(|t| t.kind.ident() == Some("str")));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\nb\n\nc";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn pragmas_are_captured_with_lines() {
+        let src = "let a = 1;\n// thermo-lint: allow(unordered_iteration, reason = \"x\")\nlet b;";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].line, 2);
+        assert!(lexed.pragmas[0].text.starts_with("allow("));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(
+            idents("r#type r#match plain"),
+            vec!["type", "match", "plain"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lexed = lex("for i in 0..n { 1.5; 0xff; 1e3; }");
+        // `..` must survive as two dots.
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+        assert!(lexed.tokens.iter().any(|t| t.kind.ident() == Some("n")));
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixture tests: each known-bad snippet in `tests/fixtures/` must produce
+//! exactly the expected `(lint, line)` findings when linted under a
+//! synthetic workspace path that puts it in the relevant scope. The files
+//! live in a subdirectory so cargo never compiles them — they are data.
+
+use thermo_lint::{lint_source, Finding};
+
+/// The `(lint, line)` identity of every finding, sorted.
+fn keys(findings: &[Finding]) -> Vec<(String, u32)> {
+    let mut keys: Vec<_> = findings.iter().map(|f| (f.lint.clone(), f.line)).collect();
+    keys.sort();
+    keys
+}
+
+fn expect(fixture: &str, rel_path: &str, want: &[(&str, u32)]) {
+    let findings = lint_source(rel_path, fixture);
+    let mut want: Vec<(String, u32)> = want.iter().map(|(l, n)| (l.to_string(), *n)).collect();
+    want.sort();
+    assert_eq!(
+        keys(&findings),
+        want,
+        "unexpected findings for {rel_path}: {findings:#?}"
+    );
+}
+
+#[test]
+fn d1_unordered_iteration() {
+    expect(
+        include_str!("fixtures/d1_unordered.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[
+            ("unordered_iteration", 2),
+            ("unordered_iteration", 6),
+            ("unordered_iteration", 10),
+            ("unordered_iteration", 12),
+        ],
+    );
+}
+
+#[test]
+fn d1_out_of_scope_in_infra_crate() {
+    // The same file under thermo-util (infrastructure) is out of D1 scope.
+    expect(
+        include_str!("fixtures/d1_unordered.rs"),
+        "crates/thermo-util/src/fixture.rs",
+        &[],
+    );
+}
+
+#[test]
+fn d2_ambient_nondeterminism() {
+    expect(
+        include_str!("fixtures/d2_ambient.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[
+            ("ambient_nondeterminism", 2),
+            ("ambient_nondeterminism", 4),
+            ("ambient_nondeterminism", 6),
+            ("ambient_nondeterminism", 7),
+            ("ambient_nondeterminism", 8),
+        ],
+    );
+}
+
+#[test]
+fn d2_allowlisted_in_bench() {
+    expect(
+        include_str!("fixtures/d2_ambient.rs"),
+        "crates/thermo-bench/src/fixture.rs",
+        &[],
+    );
+}
+
+#[test]
+fn d3_rng_containment() {
+    expect(
+        include_str!("fixtures/d3_rng.rs"),
+        "crates/thermostat/src/fixture.rs",
+        &[("rng_containment", 6), ("rng_containment", 10)],
+    );
+}
+
+#[test]
+fn d3_decide_rs_is_the_legal_draw_site() {
+    // Draw methods are legal in decide.rs; so is seed derivation.
+    expect(
+        include_str!("fixtures/d3_rng.rs"),
+        "crates/thermostat/src/daemon/decide.rs",
+        &[],
+    );
+}
+
+#[test]
+fn s1_seam_enforcement() {
+    expect(
+        include_str!("fixtures/s1_seam.rs"),
+        "crates/thermo-kstaled/src/fixture.rs",
+        &[
+            ("seam_enforcement", 6),
+            ("seam_enforcement", 7),
+            ("seam_enforcement", 9),
+        ],
+    );
+}
+
+#[test]
+fn s1_out_of_scope_outside_policy_crates() {
+    // The engine crate itself implements these entry points.
+    expect(
+        include_str!("fixtures/s1_seam.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[],
+    );
+}
+
+#[test]
+fn e1_panic_in_worker() {
+    expect(
+        include_str!("fixtures/e1_panic.rs"),
+        "crates/thermo-bench/src/fixture.rs",
+        &[
+            ("panic_in_worker", 7),
+            ("panic_in_worker", 9),
+            ("panic_in_worker", 20),
+        ],
+    );
+}
+
+#[test]
+fn pragma_suppression_and_validation() {
+    expect(
+        include_str!("fixtures/pragma.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[
+            // line 7: the trailing pragma on line 5 reaches lines 5-6 only.
+            ("unordered_iteration", 7),
+            // line 10's pragma lacks a reason → rejected, and line 11 stays.
+            ("bad_pragma", 10),
+            ("unordered_iteration", 11),
+            // line 13 names an unknown lint → rejected twice (unknown name,
+            // then no known lint left), and line 14 stays.
+            ("bad_pragma", 13),
+            ("bad_pragma", 13),
+            ("unordered_iteration", 14),
+        ],
+    );
+}
+
+#[test]
+fn good_file_is_clean_under_strictest_scope() {
+    // A policy-crate path enables D1+D2+D3+S1+E1 simultaneously.
+    expect(
+        include_str!("fixtures/good.rs"),
+        "crates/thermostat/src/fixture.rs",
+        &[],
+    );
+}
+
+#[test]
+fn messages_carry_hints_and_files() {
+    let findings = lint_source(
+        "crates/thermo-sim/src/fixture.rs",
+        include_str!("fixtures/d1_unordered.rs"),
+    );
+    for f in &findings {
+        assert_eq!(f.file, "crates/thermo-sim/src/fixture.rs");
+        assert!(!f.message.is_empty() && !f.hint.is_empty());
+    }
+}

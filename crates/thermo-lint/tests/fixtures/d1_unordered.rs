@@ -1,0 +1,13 @@
+// Fixture: D1 unordered-iteration. Linted under an artifact-crate path.
+use std::collections::HashMap; // line 2: finding
+use std::collections::BTreeMap; // ordered: no finding
+
+struct State {
+    counts: HashMap<u64, u64>, // line 6: finding
+    ordered: BTreeMap<u64, u64>,
+}
+
+fn build() -> std::collections::HashSet<u64> {
+    // line 10: finding (HashSet)
+    std::collections::HashSet::new() // line 12: finding
+}

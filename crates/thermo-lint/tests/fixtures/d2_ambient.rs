@@ -1,0 +1,14 @@
+// Fixture: D2 ambient nondeterminism, outside the bench allowlist.
+use std::time::Instant; // line 2: finding
+
+fn now() -> std::time::SystemTime {
+    // line 4: finding (SystemTime)
+    let _who = std::thread::current().id(); // line 6: finding
+    let _entropy = rand::random::<u64>(); // line 7: finding
+    std::time::SystemTime::now() // line 8: finding
+}
+
+fn fine(duration: std::time::Duration) -> u64 {
+    // Duration is a value type, not a clock read: no finding.
+    duration.as_nanos() as u64
+}

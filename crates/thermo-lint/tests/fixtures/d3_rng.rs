@@ -1,0 +1,17 @@
+// Fixture: D3 rng-containment, linted under a policy-crate path that is
+// not a decide.rs module.
+use thermo_util::rng::{Rng, SmallRng};
+
+fn pick(rng: &mut SmallRng, n: u64) -> u64 {
+    rng.gen_range(0..n) // line 6: finding (draw outside decide.rs)
+}
+
+fn reseed(base: u64, lane: u64) -> u64 {
+    thermo_util::rng::derive_stream_seed(base, lane) // line 10: finding
+}
+
+fn seed_only(seed: u64) -> SmallRng {
+    // Seeding a generator is not a draw: no finding.
+    use thermo_util::rng::SeedableRng;
+    SmallRng::seed_from_u64(seed)
+}

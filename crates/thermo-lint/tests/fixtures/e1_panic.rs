@@ -1,0 +1,27 @@
+// Fixture: E1 panic-in-worker — panicking calls inside JobCtx closures.
+fn fan_out(inputs: Vec<u64>) {
+    let jobs: Vec<_> = inputs
+        .iter()
+        .map(|x| {
+            move |ctx: &thermo_exec::JobCtx| {
+                let v = lookup(*x).unwrap(); // line 7: finding (unwrap)
+                if v == 0 {
+                    panic!("zero"); // line 9: finding (panic)
+                }
+                v + ctx.seed
+            }
+        })
+        .collect();
+    run(jobs);
+}
+
+fn single(x: u64) -> impl FnOnce(&thermo_exec::JobCtx) -> u64 {
+    // Expression-bodied closure: the expect is still inside the body.
+    move |ctx: &thermo_exec::JobCtx| lookup(x).expect("present") + ctx.seed // line 20: finding
+}
+
+fn not_a_job(x: u64) -> u64 {
+    // unwrap outside any JobCtx closure: no finding.
+    let f = |y: u64| lookup(y).unwrap();
+    f(x)
+}

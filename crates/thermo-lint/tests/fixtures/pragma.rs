@@ -1,0 +1,14 @@
+// Fixture: pragma handling.
+// thermo-lint: allow(unordered_iteration, reason = "scratch cache keyed by opaque ids; never iterated")
+use std::collections::HashMap; // suppressed by the pragma above
+
+fn scratch() -> HashMap<u64, u64> // thermo-lint: allow(unordered_iteration, reason = "same scratch cache")
+{
+    HashMap::new() // line 7: finding — the pragma two lines up does not reach here
+}
+
+// thermo-lint: allow(unordered_iteration)
+use std::collections::HashSet; // line 11: NOT suppressed (pragma above lacks a reason)
+
+// thermo-lint: allow(made_up_lint, reason = "x")
+fn noop(_s: HashSet<u64>) {}

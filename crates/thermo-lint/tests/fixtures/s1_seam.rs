@@ -1,0 +1,16 @@
+// Fixture: S1 seam enforcement, linted under a policy-crate path.
+use thermo_sim::Engine;
+
+fn tick(engine: &mut Engine) {
+    let mut hits = Vec::new();
+    engine.scan_and_clear_accessed(start(), 512, &mut hits); // line 6: finding
+    if engine.migrate_page(start(), target()).is_ok() {
+        // line 7: finding (migrate_page)
+        engine.poison_page(start(), size()); // line 9: finding
+    }
+    // The seam itself is always legal:
+    let view = engine.memory_view(&[], 1);
+    let plan = thermo_sim::PolicyPlan::new();
+    engine.apply_plan(&plan);
+    let _ = view;
+}

@@ -8,7 +8,7 @@
 //! style wear-leveller would flatten.
 
 use crate::addr::Pfn;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate wear statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,7 +52,7 @@ impl WearStats {
 /// Per-frame write tracker for the slow tier.
 #[derive(Debug, Default)]
 pub struct WearTracker {
-    per_frame: HashMap<Pfn, u64>,
+    per_frame: BTreeMap<Pfn, u64>,
     total: u64,
 }
 

@@ -38,7 +38,7 @@ use crate::config::{ColdAccessModel, SimConfig};
 use crate::process::{Process, Vma};
 use crate::series::RateSeries;
 use crate::stats::EngineStats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use thermo_mem::{
     translate, MigrationEngine, MigrationStats, PageSize, Pfn, PhysicalMemory, Tier, VirtAddr, Vpn,
 };
@@ -114,7 +114,7 @@ pub struct Engine {
     pub(crate) slow_series: RateSeries,
     /// Exact per-4KB-page access counts (Figure 2 ground truth), when
     /// enabled.
-    pub(crate) true_access: HashMap<Vpn, u64>,
+    pub(crate) true_access: BTreeMap<Vpn, u64>,
     pub(crate) vpid: Vpid,
     pub(crate) next_tlb_flush_ns: u64,
 }
@@ -142,7 +142,7 @@ impl Engine {
             process: Process::new(),
             stats: EngineStats::default(),
             slow_series: RateSeries::new(config.series_bucket_ns),
-            true_access: HashMap::new(),
+            true_access: BTreeMap::new(),
             vpid: config.vpid,
             next_tlb_flush_ns: config.tlb_flush_period_ns.unwrap_or(u64::MAX),
             mem,
@@ -399,7 +399,7 @@ impl Engine {
 
     /// Exact per-4KB-page access counts (empty unless
     /// `config.track_true_access`).
-    pub fn true_access_counts(&self) -> &HashMap<Vpn, u64> {
+    pub fn true_access_counts(&self) -> &BTreeMap<Vpn, u64> {
         &self.true_access
     }
 

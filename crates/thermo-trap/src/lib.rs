@@ -22,7 +22,7 @@
 //! whenever a walk resolves a poisoned leaf.
 
 #![warn(missing_docs)]
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use thermo_mem::{PageSize, Vpn};
 use thermo_vm::{PageTable, Tlb, Vpid};
 
@@ -69,7 +69,7 @@ struct Counter {
 #[derive(Debug, Default)]
 pub struct TrapUnit {
     config: TrapConfig,
-    counters: HashMap<Vpn, Counter>,
+    counters: BTreeMap<Vpn, Counter>,
     stats: TrapStats,
 }
 
@@ -78,7 +78,7 @@ impl TrapUnit {
     pub fn new(config: TrapConfig) -> Self {
         Self {
             config,
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
             stats: TrapStats::default(),
         }
     }

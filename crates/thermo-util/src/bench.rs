@@ -24,6 +24,7 @@
 //!   `THERMO_BENCH_MAX_REGRESSION_PCT` percent (default 50).
 
 use std::sync::Mutex;
+// thermo-lint: allow(ambient_nondeterminism, reason = "the bench harness exists to measure wall-clock; timings never enter golden artifacts")
 use std::time::{Duration, Instant};
 
 use crate::json_struct;
@@ -292,6 +293,7 @@ impl Bencher {
         // Warmup (untimed).
         black_box(routine());
         for _ in 0..self.iters {
+            // thermo-lint: allow(ambient_nondeterminism, reason = "timed bench iteration: wall-clock is the measurement")
             let start = Instant::now();
             black_box(routine());
             self.samples.push(start.elapsed());
@@ -308,6 +310,7 @@ impl Bencher {
         black_box(routine(setup()));
         for _ in 0..self.iters {
             let input = setup();
+            // thermo-lint: allow(ambient_nondeterminism, reason = "timed bench iteration: wall-clock is the measurement")
             let start = Instant::now();
             black_box(routine(input));
             self.samples.push(start.elapsed());

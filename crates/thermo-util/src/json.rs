@@ -110,6 +110,30 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Builds an object from the entries of an *ordered* map iteration
+    /// (`BTreeMap::iter`, pre-sorted pairs).
+    ///
+    /// Output order is insertion order, so a map-derived object is
+    /// deterministic exactly when its entries arrive sorted. This
+    /// constructor debug-asserts strictly ascending keys, so an accidental
+    /// `HashMap` (random per-process iteration order) fails loudly at the
+    /// construction site in every debug/test build instead of flaking a
+    /// golden check later.
+    pub fn from_map_entries<K, I>(entries: I) -> Value
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        let fields: Vec<(String, Value)> =
+            entries.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        debug_assert!(
+            fields.windows(2).all(|w| w[0].0 < w[1].0),
+            "Value::from_map_entries: keys must be strictly ascending — \
+             iterate a BTreeMap (or sort first), not a HashMap"
+        );
+        Value::Obj(fields)
+    }
 }
 
 /// Error produced by parsing or by [`FromJson`] conversions.
@@ -440,6 +464,16 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize)
             out.push(']');
         }
         Value::Obj(fields) => {
+            // Duplicate keys serialize to legal-looking JSON that parsers
+            // disagree on (first wins vs last wins) — always a construction
+            // bug here, so catch it at the emit site in debug/test builds.
+            debug_assert!(
+                fields
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (k, _))| !fields[..i].iter().any(|(p, _)| p == k)),
+                "emitting JSON object with duplicate keys"
+            );
             if fields.is_empty() {
                 out.push_str("{}");
                 return;
@@ -788,6 +822,33 @@ mod tests {
         let pretty = to_string_pretty(&v);
         assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
         assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn from_map_entries_accepts_ordered_iteration() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("zebra".to_string(), Value::U64(1));
+        m.insert("apple".to_string(), Value::U64(2));
+        let v = Value::from_map_entries(m);
+        assert_eq!(to_string(&v), r#"{"apple":2,"zebra":1}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert only")]
+    fn from_map_entries_rejects_unsorted_keys() {
+        let _ = Value::from_map_entries([("b", Value::Null), ("a", Value::Null)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate keys")]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert only")]
+    fn emitting_duplicate_keys_panics() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::U64(1)),
+            ("a".into(), Value::U64(2)),
+        ]);
+        let _ = to_string(&v);
     }
 
     #[test]

@@ -18,6 +18,14 @@ export THERMO_JOBS
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Static-analysis gate (DESIGN.md §11): determinism and seam invariants,
+# enforced before anything is built in release mode so violations fail in
+# seconds. Findings already recorded in goldens/lint-baseline.json are
+# grandfathered (visible, counted, expected to reach zero); anything new
+# fails here. The binary prints per-lint counts either way.
+echo "==> thermo-lint (vs goldens/lint-baseline.json)"
+cargo run -q --offline -p thermo-lint -- --baseline goldens/lint-baseline.json
+
 echo "==> cargo build --release --offline (all targets)"
 cargo build --release --offline --workspace --all-targets
 

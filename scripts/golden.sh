@@ -28,6 +28,11 @@
 # must match exactly, floats (derived measurements) get per-field
 # tolerance bands — see DESIGN.md "Golden artifacts". Set
 # THERMO_GOLDEN_DIR to check against an alternate golden tree.
+#
+# Note: `bless` covers experiment artifacts only. The static-analysis
+# baseline (goldens/lint-baseline.json) is blessed separately — after
+# fixing grandfathered violations, count it down with
+#   cargo run -p thermo-lint -- --write-baseline goldens/lint-baseline.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

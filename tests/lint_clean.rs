@@ -1,0 +1,68 @@
+//! Self-gate: the live workspace must be lint-clean modulo the checked-in
+//! baseline (`goldens/lint-baseline.json`). New violations fail here (and
+//! in `scripts/ci.sh`) with the offending `file:line` and a fix hint;
+//! grandfathered ones stay visible until counted down to zero.
+
+use std::path::Path;
+
+use thermo_lint::{baseline, findings_json, lint_workspace};
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_findings_are_within_baseline() {
+    let findings = lint_workspace(root()).expect("walk workspace sources");
+    let base = baseline::load(&root().join("goldens/lint-baseline.json"))
+        .expect("parse goldens/lint-baseline.json");
+    let cmp = baseline::compare(&findings, &base);
+
+    assert!(
+        cmp.new.is_empty(),
+        "new lint violations (fix them or, for a deliberate exception, add a \
+         `// thermo-lint: allow(<lint>, reason = \"…\")` pragma):\n{}",
+        findings_json(&cmp.new)
+    );
+    assert!(
+        cmp.stale.is_empty(),
+        "stale baseline entries — violations were fixed, so count the baseline \
+         down with `cargo run -p thermo-lint -- --write-baseline \
+         goldens/lint-baseline.json`:\n{}",
+        findings_json(&cmp.stale)
+    );
+}
+
+#[test]
+fn report_json_is_byte_stable() {
+    // The report (and therefore the baseline) must serialize identically
+    // across runs: the findings order is a total sort, and the JSON codec
+    // preserves insertion order.
+    let findings = lint_workspace(root()).expect("walk workspace sources");
+    let a = findings_json(&findings);
+    let b = findings_json(&lint_workspace(root()).expect("second walk"));
+    assert_eq!(a, b, "lint report JSON must be byte-stable");
+
+    // Round-trips through the baseline parser without loss.
+    let parsed = baseline::parse(&a).expect("parse own report");
+    assert_eq!(parsed, findings, "report JSON must round-trip");
+}
+
+#[test]
+fn baseline_file_is_in_report_format() {
+    // The checked-in baseline is exactly what `--write-baseline` emits:
+    // parsing and re-serializing it is the identity. This keeps re-bless
+    // diffs minimal and ordering canonical.
+    let path = root().join("goldens/lint-baseline.json");
+    let text = std::fs::read_to_string(&path).expect("read lint-baseline.json");
+    let parsed = baseline::parse(&text).expect("parse lint-baseline.json");
+    assert_eq!(
+        findings_json(&parsed),
+        text,
+        "baseline must be canonically formatted (re-bless to normalize)"
+    );
+
+    let mut sorted = parsed.clone();
+    sorted.sort();
+    assert_eq!(sorted, parsed, "baseline entries must be sorted");
+}
