@@ -3,8 +3,8 @@
 //! distributions. These bound the simulator's own throughput (the engine
 //! processes hundreds of millions of accesses per experiment).
 
-use thermo_mem::{PageSize, Pfn, Vpn};
-use thermo_sim::{Engine, Llc, LlcConfig, SimConfig};
+use thermo_mem::{PageSize, Pfn, Tier, Vpn};
+use thermo_sim::{CommitStatus, Engine, Fabric, FabricConfig, Llc, LlcConfig, SimConfig};
 use thermo_util::bench::{black_box, Criterion};
 use thermo_util::rng::SmallRng;
 use thermo_util::rng::{Rng, SeedableRng};
@@ -112,6 +112,58 @@ fn bench_classifier(c: &mut Criterion) {
     });
 }
 
+fn bench_fabric(c: &mut Criterion) {
+    let cfg = |bw: u64| FabricConfig {
+        enabled: true,
+        link_bandwidth_bytes_per_sec: bw,
+        ..FabricConfig::default()
+    };
+    // 64 sequential huge-page demotions over a 10GB/s link, ticking the
+    // copy engine at 50µs granularity until each commit lands: the cost
+    // of the fabric's queue/budget bookkeeping on the engine hot path.
+    c.bench_function("fabric_copy_64_pages", |b| {
+        b.iter(|| {
+            let mut fab = Fabric::new(cfg(10_000_000_000));
+            let mut now = 0u64;
+            for p in 0..64u64 {
+                let id = fab.begin(Vpn(p * 512), PageSize::Huge2M, Tier::Slow, now);
+                loop {
+                    now += 50_000;
+                    fab.tick(now);
+                    match fab.commit_status(id) {
+                        CommitStatus::Ready { .. } => {
+                            fab.finish_commit(id);
+                            break;
+                        }
+                        CommitStatus::Failed => {
+                            fab.abort(id);
+                            break;
+                        }
+                        CommitStatus::Pending => {}
+                    }
+                }
+            }
+            black_box(fab.stats().committed)
+        })
+    });
+    // A write storm on an in-flight copy: abort, backoff, retry until the
+    // transaction fails — the path every mid-copy store exercises.
+    c.bench_function("fabric_write_abort_retry", |b| {
+        b.iter(|| {
+            let mut fab = Fabric::new(cfg(1_000_000_000));
+            let mut now = 0u64;
+            let id = fab.begin(Vpn(0), PageSize::Huge2M, Tier::Slow, now);
+            for _ in 0..4 {
+                now += 1_000_000;
+                fab.tick(now);
+                fab.note_write(Vpn(0), now);
+            }
+            fab.abort(id);
+            black_box(fab.stats().write_aborts)
+        })
+    });
+}
+
 fn bench_dists(c: &mut Criterion) {
     let zipf = ScrambledZipfian::new(4_000_000);
     let hotspot = HotspotDist::paper_redis(4_000_000);
@@ -132,6 +184,7 @@ criterion_group!(
     bench_llc,
     bench_engine_access,
     bench_classifier,
+    bench_fabric,
     bench_dists
 );
 criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Migration abort rate vs write intensity (ROADMAP item 2).
+
+fn main() {
+    thermo_bench::experiments::run_and_finish("fab_abort");
+}

@@ -1,0 +1,5 @@
+//! Slowdown vs migration-fabric bandwidth (ROADMAP item 2).
+
+fn main() {
+    thermo_bench::experiments::run_and_finish("fab_bw");
+}

@@ -9,6 +9,7 @@
 //! out of determinism.
 
 use crate::artifact::ExperimentArtifact;
+use crate::fab::{fab_abort_artifact, fab_bw_artifact};
 use crate::figs::footprint_artifact;
 use crate::harness::EvalParams;
 use crate::tabs::{tab2_artifact, tab3_artifact, tab4_artifact};
@@ -90,6 +91,14 @@ pub const ALL: &[Experiment] = &[
     Experiment {
         id: "tenants",
         run: tenants_artifact,
+    },
+    Experiment {
+        id: "fab_bw",
+        run: fab_bw_artifact,
+    },
+    Experiment {
+        id: "fab_abort",
+        run: fab_abort_artifact,
     },
 ];
 

@@ -1,0 +1,197 @@
+//! Migration-fabric experiments (ROADMAP item 2): what does a *finite*
+//! DRAM↔slow-tier channel cost, and how often do transactional
+//! migrations abort under writes?
+//!
+//! Two registry experiments:
+//!
+//! * `fab_bw` — slowdown vs migration bandwidth. The same Thermostat run
+//!   repeated with the fabric link throttled to a sweep of bandwidths;
+//!   the golden rows show the slowdown and congestion penalty shrinking
+//!   as the link widens, converging toward the synchronous
+//!   (infinite-bandwidth) reference.
+//! * `fab_abort` — abort rate vs write intensity. A fixed narrow link
+//!   while the workload's YCSB read percentage drops; writes landing on
+//!   in-flight copies abort-and-retry, so the abort rate climbs with
+//!   write intensity.
+//!
+//! Both experiments only *enable* the fabric (`SimConfig::fabric`); the
+//! policy side is the unmodified Thermostat daemon, which switches its
+//! demotion path to `BeginMigrate`/`CommitMigrate` when it sees the
+//! fabric on.
+
+use crate::artifact::ExperimentArtifact;
+use crate::harness::{
+    baseline_run, slowdown_pct, thermostat_fabric_run, thermostat_run, EvalParams,
+};
+use crate::report::{f, pct, ExperimentReport};
+use thermo_sim::FabricConfig;
+use thermo_workloads::AppId;
+
+/// Link bandwidths swept by `fab_bw`, MB/s. Spans a starved link (the
+/// copy engine visibly throttles demotion) up to a link wide enough to
+/// behave like the synchronous path.
+const BANDWIDTHS_MBPS: &[u64] = &[64, 512, 4096];
+
+/// Read percentages swept by `fab_abort` (write intensity = 100 − read).
+/// Cassandra is the sweep app: it honours `AppConfig::read_pct` (the
+/// paper's fig5 runs it write-heavy at 5% reads) and demotes steadily
+/// even at smoke scale.
+const READ_PCTS: &[u8] = &[95, 65, 35, 5];
+
+/// Fabric configuration shared by both experiments, parameterized by the
+/// link bandwidth.
+fn fabric_cfg(bw_mbps: u64) -> FabricConfig {
+    FabricConfig {
+        enabled: true,
+        link_bandwidth_bytes_per_sec: bw_mbps * 1_000_000,
+        ..FabricConfig::default()
+    }
+}
+
+/// Runs the slowdown-vs-migration-bandwidth experiment (`fab_bw`).
+pub fn fab_bw_artifact(p: &EvalParams) -> ExperimentArtifact {
+    let app = AppId::MysqlTpcc;
+    let (base, _) = baseline_run(app, p);
+    let (sync_run, _, _) = thermostat_run(app, p);
+
+    let mut r = ExperimentReport::new(
+        "fab_bw",
+        "slowdown vs migration-fabric bandwidth (mysql-tpcc)",
+        &[
+            "bw(MB/s)",
+            "ops/s",
+            "slowdown(%)",
+            "cold_frac",
+            "begun",
+            "committed",
+            "aborted",
+            "congestion",
+            "peak(MB/s)",
+        ],
+    );
+    r.row(vec![
+        "baseline".into(),
+        f(base.ops_per_sec, 0),
+        f(0.0, 2),
+        pct(0.0),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        f(0.0, 1),
+    ]);
+    r.row(vec![
+        "sync".into(),
+        f(sync_run.ops_per_sec, 0),
+        f(slowdown_pct(&sync_run, &base), 2),
+        pct(sync_run.cold_fraction_final),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        f(0.0, 1),
+    ]);
+    let mut art = ExperimentArtifact::new(ExperimentReport::new("", "", &[]), p);
+    art.push_run("baseline", &base);
+    art.push_run("sync", &sync_run);
+    for &bw in BANDWIDTHS_MBPS {
+        let (run, engine, _) = thermostat_fabric_run(app, p, fabric_cfg(bw));
+        let fs = engine.fabric_stats();
+        r.row(vec![
+            bw.to_string(),
+            f(run.ops_per_sec, 0),
+            f(slowdown_pct(&run, &base), 2),
+            pct(run.cold_fraction_final),
+            fs.begun.to_string(),
+            fs.committed.to_string(),
+            fs.aborted.to_string(),
+            fs.congestion_events.to_string(),
+            f(fs.peak_bytes_per_sec as f64 / 1e6, 1),
+        ]);
+        // Fabric counters are not part of the run artifact's frozen
+        // serialization; capture them exactly as a note instead.
+        r.note(format!(
+            "bw={bw}MB/s fabric: begun={} committed={} aborted={} write_aborts={} \
+             invalidated={} shadow_hits={} congestion={} contended_misses={} \
+             bytes_copied={} peak_bps={}",
+            fs.begun,
+            fs.committed,
+            fs.aborted,
+            fs.write_aborts,
+            fs.invalidated,
+            fs.shadow_hits,
+            fs.congestion_events,
+            fs.contended_misses,
+            fs.bytes_copied,
+            fs.peak_bytes_per_sec,
+        ));
+        art.push_run(&format!("fabric_bw_{bw}"), &run);
+    }
+    r.note(
+        "expectation: slowdown, congestion, and contended misses shrink as the \
+         link widens; cold fraction stays below the sync reference because \
+         transactional demotion aborts on pages the workload writes mid-copy \
+         (pages the synchronous path would have demoted and faulted back)",
+    );
+    art.report = r;
+    art
+}
+
+/// Runs the abort-rate-vs-write-intensity experiment (`fab_abort`).
+pub fn fab_abort_artifact(p: &EvalParams) -> ExperimentArtifact {
+    let app = AppId::Cassandra;
+    let bw_mbps = 128;
+    let mut r = ExperimentReport::new(
+        "fab_abort",
+        "abort rate vs write intensity at a fixed 128MB/s link (cassandra)",
+        &[
+            "read(%)",
+            "ops/s",
+            "begun",
+            "committed",
+            "aborted",
+            "write_aborts",
+            "abort_rate",
+            "shadow_hits",
+        ],
+    );
+    let mut art = ExperimentArtifact::new(ExperimentReport::new("", "", &[]), p);
+    for &read_pct in READ_PCTS {
+        let wp = EvalParams { read_pct, ..*p };
+        let (run, engine, _) = thermostat_fabric_run(app, &wp, fabric_cfg(bw_mbps));
+        let fs = engine.fabric_stats();
+        let abort_rate = fs.aborted as f64 / fs.begun.max(1) as f64;
+        r.row(vec![
+            read_pct.to_string(),
+            f(run.ops_per_sec, 0),
+            fs.begun.to_string(),
+            fs.committed.to_string(),
+            fs.aborted.to_string(),
+            fs.write_aborts.to_string(),
+            pct(abort_rate),
+            fs.shadow_hits.to_string(),
+        ]);
+        r.note(format!(
+            "read={read_pct}% fabric: begun={} committed={} aborted={} write_aborts={} \
+             invalidated={} shadow_hits={} congestion={} contended_misses={} \
+             bytes_copied={} peak_bps={}",
+            fs.begun,
+            fs.committed,
+            fs.aborted,
+            fs.write_aborts,
+            fs.invalidated,
+            fs.shadow_hits,
+            fs.congestion_events,
+            fs.contended_misses,
+            fs.bytes_copied,
+            fs.peak_bytes_per_sec,
+        ));
+        art.push_run(&format!("fabric_read_{read_pct}"), &run);
+    }
+    r.note(
+        "expectation: write aborts climb as the read share falls; \
+         every begun transaction resolves to exactly one commit or abort",
+    );
+    art.report = r;
+    art
+}

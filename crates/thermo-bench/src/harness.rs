@@ -343,6 +343,41 @@ pub fn thermostat_run_with(
     (run, engine, daemon)
 }
 
+/// Runs `app` under the Thermostat daemon with the migration fabric
+/// enabled at the given configuration (the `fab_bw`/`fab_abort`
+/// experiments). Identical to [`thermostat_run`] except that demotions go
+/// through transactional `BeginMigrate`/`CommitMigrate` ops paced by the
+/// fabric's finite link bandwidth.
+pub fn thermostat_fabric_run(
+    app: AppId,
+    p: &EvalParams,
+    fabric: thermo_sim::FabricConfig,
+) -> (AppRun, Engine, Daemon) {
+    let mut config = p.sim_config(app);
+    config.fabric = fabric;
+    let mut engine = Engine::new(config);
+    let mut workload = app.build(p.app_config());
+    workload.init(&mut engine);
+    let mut daemon = Daemon::new(p.thermostat_config());
+    let mut hist = LatencyHistogram::new();
+    let outcome = run_for_instrumented(
+        &mut engine,
+        workload.as_mut(),
+        &mut daemon,
+        p.duration_ns,
+        &mut hist,
+    );
+    let run = finish_run(
+        app,
+        &engine,
+        outcome,
+        daemon.history().to_vec(),
+        daemon.stats(),
+        &hist,
+    );
+    (run, engine, daemon)
+}
+
 /// Runs `app` under an arbitrary policy hook.
 pub fn policy_run(app: AppId, p: &EvalParams, policy: &mut dyn PolicyHook) -> (AppRun, Engine) {
     let mut engine = Engine::new(p.sim_config(app));

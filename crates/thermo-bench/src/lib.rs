@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 pub mod artifact;
 pub mod experiments;
+pub mod fab;
 pub mod figs;
 pub mod golden;
 pub mod harness;

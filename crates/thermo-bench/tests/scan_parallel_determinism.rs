@@ -42,6 +42,14 @@ fn registry_snapshot(scan_jobs: Option<&str>) -> Vec<(&'static str, String)> {
 fn scan_worker_count_never_changes_artifact_bytes() {
     let unset = registry_snapshot(None);
     assert_eq!(unset.len(), experiments::ALL.len());
+    // The fabric experiments drive the async-copy path whose snapshots
+    // this sweep exists to pin; they must be in the swept set.
+    for id in ["fab_bw", "fab_abort"] {
+        assert!(
+            unset.iter().any(|(i, _)| *i == id),
+            "fabric experiment {id} missing from the registry sweep"
+        );
+    }
     for scan_jobs in ["0", "1", "4"] {
         let swept = registry_snapshot(Some(scan_jobs));
         for ((id_a, bytes_a), (id_b, bytes_b)) in unset.iter().zip(&swept) {

@@ -14,8 +14,7 @@
 
 use std::collections::VecDeque;
 use thermo_mem::{PageSize, Tier, Vpn};
-use thermo_sim::{Engine, PolicyHook};
-use thermo_vm::ScanHit;
+use thermo_sim::{Engine, OpOutcome, PlanOp, PolicyHook, PolicyPlan};
 
 /// Configuration for [`ClockPolicy`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,25 +47,41 @@ pub struct ClockStats {
 }
 
 /// The CLOCK-with-capacity-target baseline policy.
+///
+/// Works through the engine's snapshot/plan seam: each sweep takes one
+/// [`MemoryView`](thermo_sim::MemoryView), decides on it, and mutates the
+/// machine only via [`PolicyPlan`]s. When the migration fabric is enabled
+/// (`SimConfig::fabric.enabled`) demotions go through transactional
+/// `BeginMigrate`/`CommitMigrate` ops — the copy runs asynchronously and
+/// the next sweep collects the receipts.
 #[derive(Debug)]
 pub struct ClockPolicy {
     config: ClockConfig,
     next_due_ns: u64,
     /// Demotion candidates observed idle last sweep, FIFO hand order.
     idle_queue: VecDeque<Vpn>,
+    /// Fabric demotions in flight, as `(vpn, txn_id)`.
+    pending: Vec<(Vpn, u64)>,
     stats: ClockStats,
-    scratch: Vec<ScanHit>,
+    scan_workers: usize,
 }
 
 impl ClockPolicy {
-    /// Creates the policy; the first sweep fires one period in.
+    /// Creates the policy; the first sweep fires one period in. Snapshot
+    /// scans use `THERMO_SCAN_JOBS` shard workers (inline when unset).
     pub fn new(config: ClockConfig) -> Self {
+        Self::with_scan_workers(config, thermo_exec::scan_jobs_from_env())
+    }
+
+    /// [`ClockPolicy::new`] with an explicit snapshot worker count.
+    pub fn with_scan_workers(config: ClockConfig, scan_workers: usize) -> Self {
         Self {
             next_due_ns: config.sweep_period_ns,
             config,
             idle_queue: VecDeque::new(),
+            pending: Vec::new(),
             stats: ClockStats::default(),
-            scratch: Vec::new(),
+            scan_workers,
         }
     }
 
@@ -75,50 +90,124 @@ impl ClockPolicy {
         self.stats
     }
 
+    /// Collect receipts for fabric demotions begun on earlier sweeps: a
+    /// completed copy commits (and the now-slow page is poisoned so the
+    /// fault-emulated methodology keeps charging it), an in-flight copy
+    /// stays pending, an aborted one is simply dropped — the page stayed
+    /// fast and the hand will see it again.
+    fn commit_pending(&mut self, engine: &mut Engine) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut plan = PolicyPlan::new();
+        for &(_, id) in &self.pending {
+            plan.push(PlanOp::CommitMigrate { txn: id });
+        }
+        let receipt = engine.apply_plan(&plan);
+        let mut follow = PolicyPlan::new();
+        let mut still = Vec::new();
+        for ((vpn, id), oc) in std::mem::take(&mut self.pending)
+            .into_iter()
+            .zip(receipt.outcomes())
+        {
+            match oc {
+                OpOutcome::Done => {
+                    follow.push(PlanOp::Poison {
+                        vpn,
+                        size: PageSize::Huge2M,
+                    });
+                    self.stats.demotions += 1;
+                }
+                OpOutcome::Pending => still.push((vpn, id)),
+                _ => {} // aborted or target-OOM: the page stayed fast
+            }
+        }
+        self.pending = still;
+        if !follow.is_empty() {
+            engine.apply_plan(&follow);
+        }
+    }
+
     fn sweep(&mut self, engine: &mut Engine) {
-        // Pass 1: read+clear A bits everywhere; referenced slow pages get
-        // promoted (CLOCK second chance across tiers), idle fast pages
-        // enter the demotion queue.
-        let regions: Vec<(Vpn, u64)> = engine
-            .vmas()
-            .iter()
-            .map(|v| (v.start.vpn(), v.len / 4096))
-            .collect();
+        let fabric_mode = engine.config().fabric.enabled;
+        if fabric_mode {
+            self.commit_pending(engine);
+        }
+        // Pass 1: snapshot A bits everywhere, then one plan that clears
+        // them and promotes referenced slow pages (CLOCK second chance
+        // across tiers); idle fast pages enter the demotion queue.
+        let ranges = engine.vma_ranges();
+        let view = engine.memory_view(&ranges, self.scan_workers);
         self.idle_queue.clear();
-        for (start, n) in regions {
-            self.scratch.clear();
-            engine.scan_and_clear_accessed(start, n, &mut self.scratch);
-            for hit in &self.scratch {
-                if hit.size != PageSize::Huge2M {
-                    continue;
+        let mut plan = crate::clear_accessed_plan(&view);
+        for p in view.pages() {
+            if p.size != PageSize::Huge2M {
+                continue;
+            }
+            match p.tier {
+                Tier::Fast if !p.accessed => self.idle_queue.push_back(p.base_vpn),
+                Tier::Slow if p.accessed => {
+                    plan.push(PlanOp::PromoteWholeHuge { vpn: p.base_vpn });
                 }
-                match engine.tier_of_vpn(hit.base_vpn) {
-                    Some(Tier::Fast) if !hit.accessed => self.idle_queue.push_back(hit.base_vpn),
-                    Some(Tier::Slow) if hit.accessed => {
-                        if engine.migrate_page(hit.base_vpn, Tier::Fast).is_ok() {
-                            self.stats.promotions += 1;
-                        }
-                    }
-                    _ => {}
-                }
+                _ => {}
+            }
+        }
+        let receipt = engine.apply_plan(&plan);
+        for oc in &receipt.outcomes()[1..] {
+            if *oc == OpOutcome::Done {
+                self.stats.promotions += 1;
             }
         }
         // Pass 2: demote idle pages until the fast share is at target.
         let total = engine.rss_bytes().max(1);
         let target_fast = (total as f64 * self.config.fast_target_fraction) as u64;
-        while let Some(vpn) = self.idle_queue.pop_front() {
+        if fabric_mode {
+            // Transactional demotion: the footprint only changes at commit,
+            // so work against a projected fast-tier size instead of
+            // re-reading it per page.
             let fb = engine.footprint_breakdown();
-            if fb.huge_fast + fb.small_fast <= target_fast {
-                break;
+            let mut fast_bytes = fb.huge_fast + fb.small_fast;
+            while let Some(vpn) = self.idle_queue.pop_front() {
+                if fast_bytes <= target_fast {
+                    break;
+                }
+                if self.pending.iter().any(|&(v, _)| v == vpn) {
+                    continue;
+                }
+                if engine.tier_of_vpn(vpn) != Some(Tier::Fast) {
+                    continue;
+                }
+                let mut plan = PolicyPlan::new();
+                plan.push(PlanOp::BeginMigrate {
+                    vpn,
+                    target: Tier::Slow,
+                });
+                let receipt = engine.apply_plan(&plan);
+                if let OpOutcome::Begun(id) = receipt.outcomes()[0] {
+                    self.pending.push((vpn, id));
+                    fast_bytes -= PageSize::Huge2M.bytes() as u64;
+                }
             }
-            if engine.tier_of_vpn(vpn) == Some(Tier::Fast)
-                && engine.migrate_page(vpn, Tier::Slow).is_ok()
-            {
+        } else {
+            while let Some(vpn) = self.idle_queue.pop_front() {
+                let fb = engine.footprint_breakdown();
+                if fb.huge_fast + fb.small_fast <= target_fast {
+                    break;
+                }
+                if engine.tier_of_vpn(vpn) != Some(Tier::Fast) {
+                    continue;
+                }
                 // Capacity policies do not monitor cold pages; but under
                 // the paper's fault-based evaluation methodology slow pages
-                // must be poisoned so accesses pay the emulated latency.
-                engine.poison_page(vpn, PageSize::Huge2M);
-                self.stats.demotions += 1;
+                // must be poisoned so accesses pay the emulated latency —
+                // DemoteWholeHuge is exactly migrate+poison (or stay-hot on
+                // a full slow tier).
+                let mut plan = PolicyPlan::new();
+                plan.push(PlanOp::DemoteWholeHuge { vpn });
+                let receipt = engine.apply_plan(&plan);
+                if receipt.outcomes()[0] == OpOutcome::Done {
+                    self.stats.demotions += 1;
+                }
             }
         }
         self.stats.sweeps += 1;

@@ -17,7 +17,7 @@
 //! A-bit schemes, it cannot bound the slowdown of a placement decision.
 
 use thermo_mem::{PageSize, Tier, Vpn, PAGES_PER_HUGE};
-use thermo_sim::{Engine, PolicyHook};
+use thermo_sim::{Engine, OpOutcome, PlanOp, PolicyHook, PolicyPlan};
 use thermo_util::rng::SeedableRng;
 use thermo_util::rng::SmallRng;
 
@@ -102,11 +102,19 @@ pub struct Damon {
     rng: SmallRng,
     stats: DamonStats,
     initialized: bool,
+    scan_workers: usize,
 }
 
 impl Damon {
     /// Creates the monitor; regions are built from the VMAs on first tick.
+    /// Snapshot scans use `THERMO_SCAN_JOBS` shard workers (inline when
+    /// unset).
     pub fn new(config: DamonConfig) -> Self {
+        Self::with_scan_workers(config, thermo_exec::scan_jobs_from_env())
+    }
+
+    /// [`Damon::new`] with an explicit snapshot worker count.
+    pub fn with_scan_workers(config: DamonConfig, scan_workers: usize) -> Self {
         Self {
             next_due_ns: config.sample_interval_ns,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -115,6 +123,7 @@ impl Damon {
             samples_in_window: 0,
             stats: DamonStats::default(),
             initialized: false,
+            scan_workers,
         }
     }
 
@@ -142,11 +151,9 @@ impl Damon {
             .collect();
         // Start from a clean slate: load-phase Accessed bits would
         // otherwise read as activity for dozens of windows.
-        let mut hits = Vec::new();
-        for r in &self.regions {
-            hits.clear();
-            engine.scan_and_clear_accessed(r.start, r.n_pages, &mut hits);
-        }
+        let ranges: Vec<(Vpn, u64)> = self.regions.iter().map(|r| (r.start, r.n_pages)).collect();
+        let view = engine.memory_view(&ranges, self.scan_workers);
+        engine.apply_plan(&crate::clear_accessed_plan(&view));
         // Split down to at least min_regions.
         while self.regions.len() < self.config.min_regions {
             if !self.split_largest() {
@@ -186,24 +193,47 @@ impl Damon {
     }
 
     /// One sampling pass: probe one random page per region.
+    ///
+    /// The probes are snapshotted in one [`MemoryView`] pass and cleared
+    /// with one plan. Two probes landing in the same leaf keep the old
+    /// sequential semantics: only the first observes the Accessed bit.
     fn sample(&mut self, engine: &mut Engine) {
-        let mut hits = Vec::new();
-        for r in &mut self.regions {
-            let probe = Vpn(r.start.0 + crate::decide::probe_offset(&mut self.rng, r.n_pages));
-            hits.clear();
-            engine.scan_and_clear_accessed(probe, 1, &mut hits);
-            if hits.first().is_some_and(|h| h.accessed) {
+        let ranges: Vec<(Vpn, u64)> = self
+            .regions
+            .iter()
+            .map(|r| {
+                let probe = Vpn(r.start.0 + crate::decide::probe_offset(&mut self.rng, r.n_pages));
+                (probe, 1)
+            })
+            .collect();
+        let view = engine.memory_view(&ranges, self.scan_workers);
+        let mut cleared: Vec<(Vpn, PageSize)> = Vec::new();
+        for (i, r) in self.regions.iter_mut().enumerate() {
+            let Some(p) = view.range_pages(i).first() else {
+                continue;
+            };
+            if p.accessed && !cleared.iter().any(|&(b, _)| b == p.base_vpn) {
                 r.nr_accesses += 1;
+                cleared.push((p.base_vpn, p.size));
             }
         }
+        let mut plan = PolicyPlan::new();
+        plan.push(PlanOp::ClearAccessed { pages: cleared });
+        engine.apply_plan(&plan);
         self.stats.samples += 1;
     }
 
     /// Aggregation: age bookkeeping, the cold/promote scheme, then
     /// split/merge adaptation.
     fn aggregate(&mut self, engine: &mut Engine) {
-        // 1. Scheme actions on whole huge pages inside each region.
+        // 1. Scheme actions on whole huge pages inside each region: decide
+        // against the live tier/leaf state (reads are free), then execute
+        // one batched plan in region order. Each huge page belongs to at
+        // most one region, so the decisions are independent and OOM
+        // fallbacks resolve in the same order the sequential scheme used.
         let regions = std::mem::take(&mut self.regions);
+        let mut plan = PolicyPlan::new();
+        let mut is_demote: Vec<bool> = Vec::new();
         for r in &regions {
             let (first, last) = r.huge_aligned_range();
             if r.nr_accesses == 0 && r.age + 1 >= self.config.cold_age_windows {
@@ -215,10 +245,9 @@ impl Damon {
                             .lookup(vpn)
                             .map(|m| (m.base_vpn, m.size))
                             == Some((vpn, PageSize::Huge2M))
-                        && engine.migrate_page(vpn, Tier::Slow).is_ok()
                     {
-                        engine.poison_page(vpn, PageSize::Huge2M);
-                        self.stats.demotions += 1;
+                        plan.push(PlanOp::DemoteWholeHuge { vpn });
+                        is_demote.push(true);
                     }
                 }
             } else if r.nr_accesses > 0 {
@@ -231,13 +260,19 @@ impl Damon {
                             .map(|m| (m.base_vpn, m.size))
                             == Some((vpn, PageSize::Huge2M))
                     {
-                        engine.unpoison_page(vpn);
-                        if engine.migrate_page(vpn, Tier::Fast).is_ok() {
-                            self.stats.promotions += 1;
-                        } else {
-                            engine.poison_page(vpn, PageSize::Huge2M);
-                        }
+                        plan.push(PlanOp::PromoteHuge { vpn, split: false });
+                        is_demote.push(false);
                     }
+                }
+            }
+        }
+        let receipt = engine.apply_plan(&plan);
+        for (oc, demote) in receipt.outcomes().iter().zip(&is_demote) {
+            if *oc == OpOutcome::Done {
+                if *demote {
+                    self.stats.demotions += 1;
+                } else {
+                    self.stats.promotions += 1;
                 }
             }
         }

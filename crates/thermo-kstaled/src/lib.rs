@@ -150,7 +150,7 @@ impl PolicyHook for Kstaled {
 /// One [`PlanOp::ClearAccessed`] covering every accessed leaf of `view` —
 /// the mutation half of a snapshot-based A-bit scan (same shootdown
 /// charges as the historical fused scan over the same ranges).
-fn clear_accessed_plan(view: &MemoryView) -> PolicyPlan {
+pub(crate) fn clear_accessed_plan(view: &MemoryView) -> PolicyPlan {
     let mut plan = PolicyPlan::new();
     plan.push(PlanOp::ClearAccessed {
         pages: view

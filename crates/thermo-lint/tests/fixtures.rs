@@ -91,6 +91,18 @@ fn d3_decide_rs_is_the_legal_draw_site() {
 }
 
 #[test]
+fn fabric_retry_loops_stay_deterministic() {
+    // Linted under the real fabric module path: the fabric's abort/retry
+    // backoff must stay inside D2 (no ambient clocks) and D3 (no ad-hoc
+    // RNG draws) scope — a jittered retry loop is flagged on both counts.
+    expect(
+        include_str!("fixtures/fab_retry.rs"),
+        "crates/thermo-sim/src/fabric.rs",
+        &[("ambient_nondeterminism", 8), ("rng_containment", 9)],
+    );
+}
+
+#[test]
 fn s1_seam_enforcement() {
     expect(
         include_str!("fixtures/s1_seam.rs"),

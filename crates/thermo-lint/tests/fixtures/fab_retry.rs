@@ -1,0 +1,18 @@
+// Fixture: a migration-fabric retry loop must not pace its backoff from
+// ambient wall-clock time or an ad-hoc RNG draw — retry schedules have
+// to be a pure function of the virtual clock and the retry count (D2/D3),
+// or fabric experiments stop being byte-reproducible.
+use thermo_util::rng::{Rng, SmallRng};
+
+fn jittered_backoff_ns(rng: &mut SmallRng, attempt: u32) -> u64 {
+    let started = std::time::Instant::now(); // line 8: ambient_nondeterminism
+    let jitter = rng.gen_range(0..1_000); // line 9: rng_containment
+    let _ = started;
+    (200_000u64 << attempt) + jitter
+}
+
+fn deterministic_backoff_ns(attempt: u32) -> u64 {
+    // The shipped fabric derives backoff purely from the retry count and
+    // the configured base: no finding.
+    200_000u64 << attempt.min(20)
+}

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::cache::LlcConfig;
+use crate::fabric::FabricConfig;
 use thermo_mem::TierParams;
 use thermo_trap::TrapConfig;
 use thermo_vm::{TlbConfig, Vpid, WalkConfig};
@@ -62,6 +63,9 @@ pub struct SimConfig {
     pub tlb_flush_period_ns: Option<u64>,
     /// Bucket width for time-series rates, ns (1s by default).
     pub series_bucket_ns: u64,
+    /// Migration-fabric knobs (transactional migration is off by default;
+    /// `migrate_page` stays synchronous and all pre-fabric goldens hold).
+    pub fabric: FabricConfig,
 }
 
 impl SimConfig {
@@ -84,6 +88,7 @@ impl SimConfig {
             track_true_access: false,
             tlb_flush_period_ns: None,
             series_bucket_ns: 1_000_000_000,
+            fabric: FabricConfig::default(),
         }
     }
 }
@@ -136,4 +141,5 @@ thermo_util::json_struct!(SimConfig {
     track_true_access,
     tlb_flush_period_ns,
     series_bucket_ns,
+    fabric,
 });

@@ -19,6 +19,8 @@ impl Engine {
     ///
     /// Propagates [`MapError`] from the page table.
     pub fn split_huge(&mut self, base_vpn: Vpn) -> Result<(), MapError> {
+        self.fab
+            .invalidate_overlapping(base_vpn, PAGES_PER_HUGE as u64);
         self.pt.split_huge(base_vpn)?;
         self.tlb.shootdown(base_vpn, PageSize::Huge2M, self.vpid);
         self.stats.kernel_time_ns += THP_SURGERY_NS;
@@ -32,6 +34,8 @@ impl Engine {
     /// Propagates [`MapError`] (e.g. frames not contiguous after per-4KB
     /// migration).
     pub fn collapse_huge(&mut self, base_vpn: Vpn) -> Result<(), MapError> {
+        self.fab
+            .invalidate_overlapping(base_vpn, PAGES_PER_HUGE as u64);
         self.pt.collapse_huge(base_vpn)?;
         // Stale 4KB TLB entries still translate to the same frames, so only
         // kernel cost is charged; entries age out naturally.
@@ -41,6 +45,8 @@ impl Engine {
 
     /// Poisons the leaf at `base_vpn` for access counting.
     pub fn poison_page(&mut self, base_vpn: Vpn, size: PageSize) {
+        self.fab
+            .invalidate_overlapping(base_vpn, size.small_pages() as u64);
         self.trap
             .poison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn, size);
         self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
@@ -48,6 +54,12 @@ impl Engine {
 
     /// Unpoisons the leaf at `base_vpn`, returning its fault count.
     pub fn unpoison_page(&mut self, base_vpn: Vpn) -> u64 {
+        let n = self
+            .pt
+            .lookup(base_vpn)
+            .map(|m| m.size.small_pages() as u64)
+            .unwrap_or(1);
+        self.fab.invalidate_overlapping(base_vpn, n);
         self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
         self.trap
             .unpoison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn)
@@ -100,6 +112,8 @@ impl Engine {
     pub fn migrate_page(&mut self, base_vpn: Vpn, target: Tier) -> Result<(), MemError> {
         let m = self.pt.lookup(base_vpn).expect("migrating unmapped page");
         assert_eq!(m.base_vpn, base_vpn, "migrate must target the leaf base");
+        self.fab
+            .invalidate_overlapping(base_vpn, m.size.small_pages() as u64);
         let old = m.pte.pfn();
         let cur = self.mem.tier_of(old);
         if cur == target {
@@ -107,6 +121,19 @@ impl Engine {
                 pfn: old,
                 tier: cur,
             });
+        }
+        if target == Tier::Fast && self.fab.take_shadow(base_vpn, m.size) {
+            // The fast-tier copy left by a recent fabric demotion is still
+            // intact: re-promotion is a pure remap, no bulk transfer.
+            let new = self.mem.alloc(target, m.size)?;
+            for i in 0..m.size.small_pages() as u64 {
+                self.llc.invalidate_frame(old.offset(i));
+            }
+            self.mem.free(cur, old, m.size);
+            self.pt.with_pte_mut(base_vpn, |pte| pte.set_pfn(new));
+            self.tlb.shootdown(base_vpn, m.size, self.vpid);
+            self.stats.kernel_time_ns += self.config.fabric.per_page_overhead_ns;
+            return Ok(());
         }
         let new = self.mem.alloc(target, m.size)?;
         for i in 0..m.size.small_pages() as u64 {
@@ -138,6 +165,8 @@ impl Engine {
             base_vpn.is_huge_aligned(),
             "split-huge migration needs an aligned base"
         );
+        self.fab
+            .invalidate_overlapping(base_vpn, PAGES_PER_HUGE as u64);
         let first = self
             .pt
             .lookup(base_vpn)
@@ -164,6 +193,47 @@ impl Engine {
             .mig
             .record(target, PageSize::Huge2M, self.clock.now_ns());
         self.stats.kernel_time_ns += cost;
+        Ok(())
+    }
+
+    /// Remaps a page whose bulk copy already completed on the migration
+    /// fabric: the commit half of a `BeginMigrate`/`CommitMigrate`
+    /// transaction. Only the remap overhead is charged — the transfer time
+    /// was paid asynchronously on the link.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfMemory`] when the target tier can no longer take
+    /// the page (the plan layer turns this into a clean abort).
+    pub(crate) fn fabric_finalize(
+        &mut self,
+        base_vpn: Vpn,
+        size: PageSize,
+        target: Tier,
+    ) -> Result<(), MemError> {
+        let m = self
+            .pt
+            .lookup(base_vpn)
+            .expect("fabric commit on unmapped page");
+        assert_eq!(m.base_vpn, base_vpn, "fabric commit must target a leaf");
+        assert_eq!(m.size, size, "page changed shape with a live txn");
+        let old = m.pte.pfn();
+        let cur = self.mem.tier_of(old);
+        if cur == target {
+            return Err(MemError::AlreadyInTier {
+                pfn: old,
+                tier: cur,
+            });
+        }
+        let new = self.mem.alloc(target, size)?;
+        for i in 0..size.small_pages() as u64 {
+            self.llc.invalidate_frame(old.offset(i));
+        }
+        self.mem.free(cur, old, size);
+        self.pt.with_pte_mut(base_vpn, |pte| pte.set_pfn(new));
+        self.tlb.shootdown(base_vpn, size, self.vpid);
+        let _ = self.mig.record(target, size, self.clock.now_ns());
+        self.stats.kernel_time_ns += self.config.fabric.per_page_overhead_ns;
         Ok(())
     }
 

@@ -35,6 +35,7 @@ pub use view::{MemoryView, PageInfo};
 use crate::cache::Llc;
 use crate::clock::VirtualClock;
 use crate::config::{ColdAccessModel, SimConfig};
+use crate::fabric::{Fabric, FabricStats};
 use crate::process::{Process, Vma};
 use crate::series::RateSeries;
 use crate::stats::EngineStats;
@@ -108,6 +109,7 @@ pub struct Engine {
     pub(crate) llc: Llc,
     pub(crate) trap: TrapUnit,
     pub(crate) mig: MigrationEngine,
+    pub(crate) fab: Fabric,
     pub(crate) process: Process,
     pub(crate) stats: EngineStats,
     /// Slow-tier access events per time bucket (Figure 3).
@@ -139,6 +141,7 @@ impl Engine {
             llc: Llc::new(config.llc),
             trap: TrapUnit::new(config.trap),
             mig: MigrationEngine::with_defaults(),
+            fab: Fabric::new(config.fabric),
             process: Process::new(),
             stats: EngineStats::default(),
             slow_series: RateSeries::new(config.series_bucket_ns),
@@ -208,11 +211,22 @@ impl Engine {
         };
         let pa = translate(va, pfn4k, PageSize::Small4K);
 
+        if write && self.fab.has_state() {
+            // A write makes in-flight copies and shadow pages stale.
+            self.fab.note_write(vpn, self.clock.now_ns());
+        }
+
         if self.llc.access(pa.cache_line()) {
             self.stats.llc_hits += 1;
             lat += self.llc.hit_ns();
         } else {
             self.stats.llc_misses += 1;
+            if self.fab.busy() {
+                // Migration traffic contends with demand misses for the
+                // channel.
+                lat += self.config.fabric.contention_penalty_ns;
+                self.fab.note_contended_miss();
+            }
             let tier = self.mem.tier_of(pfn4k);
             let mem_ns = match (self.config.cold_model, tier) {
                 // Under fault emulation the data physically lives in DRAM.
@@ -237,6 +251,9 @@ impl Engine {
 
         self.clock.advance(lat);
         self.stats.app_time_ns += lat;
+        if self.fab.busy() {
+            self.fab.tick(self.clock.now_ns());
+        }
         lat
     }
 
@@ -244,6 +261,9 @@ impl Engine {
     pub fn advance_compute(&mut self, ns: u64) {
         self.clock.advance(ns);
         self.stats.app_time_ns += ns;
+        if self.fab.busy() {
+            self.fab.tick(self.clock.now_ns());
+        }
     }
 
     fn walk(&mut self, vpn: Vpn, write: bool, lat: &mut u64) -> (Pfn, PageSize) {
@@ -340,6 +360,16 @@ impl Engine {
     /// Migration statistics.
     pub fn migration_stats(&self) -> MigrationStats {
         self.mig.stats()
+    }
+
+    /// Migration-fabric counters (transactional migration).
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fab.stats()
+    }
+
+    /// The migration fabric (read-only introspection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fab
     }
 
     /// LLC statistics.

@@ -111,6 +111,48 @@ pub enum PlanOp {
         /// Huge-aligned base to collapse.
         vpn: Vpn,
     },
+    /// Open a transactional migration on the fabric: the copy proceeds
+    /// asynchronously as virtual time advances while the application keeps
+    /// accessing the page. Returns [`OpOutcome::Begun`] with the
+    /// transaction id; a later [`PlanOp::CommitMigrate`] resolves it.
+    /// Charges no kernel time — the transfer happens on the link.
+    BeginMigrate {
+        /// Base of the leaf to move.
+        vpn: Vpn,
+        /// Destination tier.
+        target: Tier,
+    },
+    /// Try to commit a fabric transaction: [`OpOutcome::Done`] when the
+    /// copy completed and the page was remapped (a demotion leaves a
+    /// shadow for instant re-promotion), [`OpOutcome::Pending`] when the
+    /// copy is still in flight (ask again next period),
+    /// [`OpOutcome::AbortedTxn`] when retries were exhausted or the page
+    /// was structurally invalidated mid-copy, and
+    /// [`OpOutcome::DemoteOom`]/[`OpOutcome::PromoteOom`] when the target
+    /// tier filled up before commit (the transaction aborts cleanly).
+    CommitMigrate {
+        /// Transaction id from [`OpOutcome::Begun`].
+        txn: u64,
+    },
+    /// Abort a fabric transaction unconditionally.
+    AbortMigrate {
+        /// Transaction id from [`OpOutcome::Begun`].
+        txn: u64,
+    },
+    /// Demote an *unsplit* huge page to slow memory and poison it (the
+    /// CLOCK/DAMON baselines' demotion unit — no §3.5 split bookkeeping).
+    /// On a full slow tier the page stays hot ([`OpOutcome::DemoteOom`]).
+    DemoteWholeHuge {
+        /// Huge-aligned base of the page to demote.
+        vpn: Vpn,
+    },
+    /// Promote an unsplit huge page to fast memory, preserving its PTE
+    /// flags (a poisoned page stays poisoned — exactly CLOCK's behaviour).
+    /// On a full fast tier nothing changes ([`OpOutcome::PromoteOom`]).
+    PromoteWholeHuge {
+        /// Huge-aligned base of the page to promote.
+        vpn: Vpn,
+    },
 }
 
 /// What one [`PlanOp`] did.
@@ -127,6 +169,14 @@ pub enum OpOutcome {
     /// Split placement moved exactly these children to slow memory (empty
     /// means the page was collapsed back instead).
     Placed(Vec<Vpn>),
+    /// A fabric transaction was opened; carry this id to a later
+    /// [`PlanOp::CommitMigrate`] or [`PlanOp::AbortMigrate`].
+    Begun(u64),
+    /// The transaction's copy is still in flight; commit again later.
+    Pending,
+    /// The transaction had failed (write-retries exhausted or structural
+    /// invalidation) and was resolved as an abort.
+    AbortedTxn,
 }
 
 /// An ordered list of mechanism ops a policy hands back to the engine.
@@ -325,6 +375,60 @@ impl Engine {
                     .expect("sampled page must collapse");
                 OpOutcome::Done
             }
+            PlanOp::BeginMigrate { vpn, target } => {
+                let m = self.pt.lookup(*vpn).expect("begin-migrate unmapped page");
+                assert_eq!(m.base_vpn, *vpn, "begin-migrate must target a leaf");
+                assert_ne!(
+                    self.mem.tier_of(m.pte.pfn()),
+                    *target,
+                    "begin-migrate to the current tier"
+                );
+                OpOutcome::Begun(self.fab.begin(*vpn, m.size, *target, self.clock.now_ns()))
+            }
+            PlanOp::CommitMigrate { txn } => {
+                self.fab.tick(self.clock.now_ns());
+                match self.fab.commit_status(*txn) {
+                    crate::fabric::CommitStatus::Pending => OpOutcome::Pending,
+                    crate::fabric::CommitStatus::Failed => {
+                        self.fab.abort(*txn);
+                        OpOutcome::AbortedTxn
+                    }
+                    crate::fabric::CommitStatus::Ready { vpn, size, target } => {
+                        match self.fabric_finalize(vpn, size, target) {
+                            Ok(()) => {
+                                self.fab.finish_commit(*txn);
+                                OpOutcome::Done
+                            }
+                            Err(_) => {
+                                // Target tier filled up while the copy was
+                                // in flight: resolve as a clean abort.
+                                self.fab.abort(*txn);
+                                match target {
+                                    Tier::Slow => OpOutcome::DemoteOom,
+                                    Tier::Fast => OpOutcome::PromoteOom,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PlanOp::AbortMigrate { txn } => {
+                self.fab.abort(*txn);
+                OpOutcome::Done
+            }
+            PlanOp::DemoteWholeHuge { vpn } => match self.migrate_page(*vpn, Tier::Slow) {
+                Ok(()) => {
+                    self.poison_page(*vpn, PageSize::Huge2M);
+                    OpOutcome::Done
+                }
+                Err(MemError::OutOfMemory { .. }) => OpOutcome::DemoteOom,
+                Err(e) => panic!("unexpected demotion failure: {e}"),
+            },
+            PlanOp::PromoteWholeHuge { vpn } => match self.migrate_page(*vpn, Tier::Fast) {
+                Ok(()) => OpOutcome::Done,
+                Err(MemError::OutOfMemory { .. }) => OpOutcome::PromoteOom,
+                Err(e) => panic!("unexpected promotion failure: {e}"),
+            },
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod cache;
 pub mod clock;
 pub mod config;
 pub mod engine;
+pub mod fabric;
 pub mod latency;
 pub mod process;
 pub mod runner;
@@ -42,6 +43,7 @@ pub use config::{ColdAccessModel, SimConfig};
 pub use engine::{
     Engine, FootprintBreakdown, MemoryView, OpOutcome, PageInfo, PlanOp, PlanReceipt, PolicyPlan,
 };
+pub use fabric::{CommitStatus, Fabric, FabricConfig, FabricStats, MigrateTxn, TxnState};
 pub use latency::LatencyHistogram;
 pub use process::{Process, Vma};
 pub use runner::{

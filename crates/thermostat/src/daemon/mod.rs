@@ -148,6 +148,11 @@ pub struct Daemon {
     /// [`ThermostatConfig`] so artifacts cannot depend on it.
     scan_workers: usize,
     last_slow_faults: u64,
+    /// Fabric mode: demotions in flight on the migration fabric, as
+    /// `(vpn, txn_id)`. Empty unless `SimConfig::fabric.enabled`.
+    pending_demotes: Vec<(Vpn, u64)>,
+    /// Fabric mode: demotions committed since the last period record.
+    fabric_demoted: u32,
 }
 
 impl Daemon {
@@ -186,6 +191,8 @@ impl Daemon {
             stats: DaemonStats::default(),
             scan_workers,
             last_slow_faults: 0,
+            pending_demotes: Vec::new(),
+            fabric_demoted: 0,
             config,
         }
     }
@@ -227,10 +234,16 @@ impl Daemon {
     // Scan 1: consolidate + select + split.
     // ------------------------------------------------------------------
     fn split_phase(&mut self, engine: &mut Engine) {
+        if engine.config().fabric.enabled {
+            // Collect receipts for demotions begun on the fabric last
+            // period before consolidation looks at the cold set.
+            self.commit_pending_demotes(engine);
+        }
         self.consolidate_previous_cold(engine);
 
         // Candidate set from a snapshot of every VMA: huge pages currently
-        // resident in fast memory.
+        // resident in fast memory. Pages with an in-flight fabric demotion
+        // are excluded — re-splitting them would invalidate the copy.
         let ranges = engine.vma_ranges();
         let view = engine.memory_view(&ranges, self.scan_workers);
         let candidates: Vec<Vpn> = view
@@ -238,6 +251,7 @@ impl Daemon {
             .iter()
             .filter(|p| p.size == PageSize::Huge2M && p.tier == Tier::Fast)
             .map(|p| p.base_vpn)
+            .filter(|v| !self.pending_demotes.iter().any(|&(pv, _)| pv == *v))
             .collect();
         if candidates.is_empty() {
             self.sample.clear();
@@ -268,6 +282,50 @@ impl Daemon {
             })
             .collect();
         self.stats.pages_sampled += self.sample.len() as u64;
+    }
+
+    /// Fabric mode: try to commit every in-flight demotion. A completed
+    /// copy remaps the page to slow memory — it is then poisoned (the
+    /// fault-emulated methodology keeps charging it) and enters the cold
+    /// set unsplit, already consolidated, so the §3.5 correction monitors
+    /// it from the next period on. A still-copying transaction stays
+    /// pending; an aborted one (write-retries exhausted, structural
+    /// invalidation, or slow-tier OOM at commit) is dropped — the page
+    /// never left fast memory and will be re-sampled eventually.
+    fn commit_pending_demotes(&mut self, engine: &mut Engine) {
+        if self.pending_demotes.is_empty() {
+            return;
+        }
+        let mut plan = PolicyPlan::new();
+        for &(_, id) in &self.pending_demotes {
+            plan.push(PlanOp::CommitMigrate { txn: id });
+        }
+        let receipt = engine.apply_plan(&plan);
+        let mut follow = PolicyPlan::new();
+        let mut still = Vec::new();
+        for ((vpn, id), oc) in std::mem::take(&mut self.pending_demotes)
+            .into_iter()
+            .zip(receipt.outcomes())
+        {
+            match oc {
+                OpOutcome::Done => {
+                    follow.push(PlanOp::Poison {
+                        vpn,
+                        size: PageSize::Huge2M,
+                    });
+                    self.cold.insert(vpn, ColdPage { split: false });
+                    self.fabric_demoted += 1;
+                }
+                OpOutcome::Pending => still.push((vpn, id)),
+                OpOutcome::DemoteOom => self.stats.demote_oom += 1,
+                OpOutcome::AbortedTxn => {}
+                _ => unreachable!("CommitMigrate outcome"),
+            }
+        }
+        self.pending_demotes = still;
+        if !follow.is_empty() {
+            engine.apply_plan(&follow);
+        }
     }
 
     /// Collapse pages demoted last period: they were migrated into
@@ -443,9 +501,23 @@ impl Daemon {
         //    ones.
         let budget = self.sampled_fraction_actual * threshold;
         let result = classify(estimates, budget);
+        let fabric_mode = engine.config().fabric.enabled;
+        let cold_ops = if fabric_mode { 2 } else { 1 };
         let mut plan = PolicyPlan::new();
         for c in &result.cold {
-            plan.push(PlanOp::DemoteHuge { vpn: c.vpn });
+            if fabric_mode {
+                // Transactional demotion: restore the page to one huge leaf
+                // and open an async copy toward slow memory. The page stays
+                // accessible; a write mid-copy aborts and retries on the
+                // fabric, and the commit lands in a later split phase.
+                plan.push(PlanOp::Collapse { vpn: c.vpn });
+                plan.push(PlanOp::BeginMigrate {
+                    vpn: c.vpn,
+                    target: Tier::Slow,
+                });
+            } else {
+                plan.push(PlanOp::DemoteHuge { vpn: c.vpn });
+            }
         }
         for c in &result.hot {
             let sp = sample
@@ -462,18 +534,30 @@ impl Daemon {
         }
         let receipt = engine.apply_plan(&plan);
         let mut demoted = 0u32;
-        for (i, c) in result.cold.iter().enumerate() {
-            match receipt.outcomes()[i] {
-                OpOutcome::Done => {
-                    demoted += 1;
-                    self.cold.insert(c.vpn, ColdPage { split: true });
+        if fabric_mode {
+            for (i, c) in result.cold.iter().enumerate() {
+                let OpOutcome::Begun(id) = receipt.outcomes()[i * cold_ops + 1] else {
+                    unreachable!("BeginMigrate returns Begun");
+                };
+                self.pending_demotes.push((c.vpn, id));
+            }
+            // The period's demotion count is what actually committed since
+            // the previous record, not what was merely begun.
+            demoted = std::mem::take(&mut self.fabric_demoted);
+        } else {
+            for (i, c) in result.cold.iter().enumerate() {
+                match receipt.outcomes()[i] {
+                    OpOutcome::Done => {
+                        demoted += 1;
+                        self.cold.insert(c.vpn, ColdPage { split: true });
+                    }
+                    OpOutcome::DemoteOom => self.stats.demote_oom += 1,
+                    _ => unreachable!("DemoteHuge returns Done or DemoteOom"),
                 }
-                OpOutcome::DemoteOom => self.stats.demote_oom += 1,
-                _ => unreachable!("DemoteHuge returns Done or DemoteOom"),
             }
         }
         for (i, c) in result.hot.iter().enumerate() {
-            match &receipt.outcomes()[result.cold.len() + i] {
+            match &receipt.outcomes()[result.cold.len() * cold_ops + i] {
                 OpOutcome::Placed(placed) if !placed.is_empty() => {
                     self.stats.pages_split_placed += 1;
                     self.stats.split_children_demoted += placed.len() as u64;

@@ -118,4 +118,11 @@ THERMO_SCAN_JOBS=4 scripts/golden.sh check
 echo "==> golden determinism cross-check (THERMO_JOBS=1, fig10)"
 THERMO_JOBS=1 scripts/golden.sh check fig10
 
+# Migration-fabric cross-check: the transactional-migration experiments
+# (async copy, write-abort/retry backoff, shadow promotion) are the
+# registry entries most sensitive to scheduling leaks — re-check their
+# goldens serially on top of the parallel sweep above.
+echo "==> golden determinism cross-check (THERMO_JOBS=1, fab_bw fab_abort)"
+THERMO_JOBS=1 scripts/golden.sh check fab_bw fab_abort
+
 echo "CI OK"

@@ -121,6 +121,21 @@ fn every_registry_experiment_is_byte_deterministic() {
 }
 
 #[test]
+fn fabric_experiments_are_registered_and_swept() {
+    // The transactional-fabric experiments must stay in the registry:
+    // `every_registry_experiment_is_byte_deterministic` above and the
+    // THERMO_SCAN_JOBS sweep in thermo-bench both iterate `ALL`, so
+    // registration is what keeps the fabric's async copy/abort/backoff
+    // machinery under the byte-determinism gate.
+    for id in ["fab_bw", "fab_abort"] {
+        assert!(
+            thermostat_suite::bench::experiments::by_id(id).is_some(),
+            "fabric experiment {id} must be registered"
+        );
+    }
+}
+
+#[test]
 fn json_encoding_is_itself_deterministic() {
     // Re-encoding the same value twice is byte-stable (ordered object
     // fields, no HashMap iteration anywhere in the serializer).

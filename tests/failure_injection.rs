@@ -4,8 +4,10 @@
 //! the TLB.
 
 use thermostat_suite::core::{Daemon, ThermostatConfig};
-use thermostat_suite::mem::{Tier, VirtAddr};
-use thermostat_suite::sim::{run_for, Access, Engine, SimConfig, Workload};
+use thermostat_suite::mem::{PageSize, Tier, VirtAddr};
+use thermostat_suite::sim::{
+    run_for, Access, Engine, FabricConfig, OpOutcome, PlanOp, PolicyPlan, SimConfig, Workload,
+};
 
 /// 90% of traffic on the first page, the rest uniform over the first
 /// quarter; the remaining three quarters are load-time-only data.
@@ -132,6 +134,111 @@ fn zero_length_run_is_a_noop() {
     let out = run_for(&mut engine, &mut w, &mut d, 0);
     assert_eq!(out.ops, 0);
     assert_eq!(engine.rss_bytes(), rss);
+}
+
+/// Builds a fabric-enabled engine with `n_huge` touched huge pages.
+fn fabric_engine(fast: u64, slow: u64, bw: u64, n_huge: u64) -> (Engine, VirtAddr) {
+    let mut cfg = SimConfig::paper_defaults(fast, slow);
+    cfg.fabric = FabricConfig {
+        enabled: true,
+        link_bandwidth_bytes_per_sec: bw,
+        ..FabricConfig::default()
+    };
+    let mut engine = Engine::new(cfg);
+    let base = engine.mmap(n_huge * (2 << 20), true, true, false, "heap");
+    for p in 0..n_huge {
+        engine.access(base + p * (2 << 20), true);
+    }
+    (engine, base)
+}
+
+fn one_op(engine: &mut Engine, op: PlanOp) -> OpOutcome {
+    let mut plan = PolicyPlan::new();
+    plan.push(op);
+    engine.apply_plan(&plan).outcomes()[0].clone()
+}
+
+#[test]
+fn mid_transaction_poison_aborts_cleanly() {
+    // Poisoning a page while its demotion copy is in flight structurally
+    // invalidates the transaction; the later commit must resolve it as a
+    // clean abort receipt, never a panic or a half-migrated page.
+    let (mut engine, base) = fabric_engine(64 << 20, 64 << 20, 100_000_000, 4);
+    let vpn = base.vpn();
+    let OpOutcome::Begun(txn) = one_op(
+        &mut engine,
+        PlanOp::BeginMigrate {
+            vpn,
+            target: Tier::Slow,
+        },
+    ) else {
+        panic!("BeginMigrate must return Begun");
+    };
+    // Let the copy make partial progress (2MB at 100MB/s needs 20ms).
+    engine.advance_compute(1_000_000);
+    assert_eq!(engine.fabric().in_flight(), 1);
+    // A concurrent structural action lands on the page mid-copy.
+    one_op(
+        &mut engine,
+        PlanOp::Poison {
+            vpn,
+            size: PageSize::Huge2M,
+        },
+    );
+    engine.advance_compute(1_000_000);
+    assert_eq!(
+        one_op(&mut engine, PlanOp::CommitMigrate { txn }),
+        OpOutcome::AbortedTxn,
+        "invalidated transaction must resolve as an abort"
+    );
+    let stats = engine.fabric_stats();
+    assert_eq!(stats.invalidated, 1);
+    assert_eq!(stats.aborted, 1);
+    assert_eq!(stats.committed, 0);
+    assert_eq!(engine.fabric().in_flight(), 0);
+    assert_eq!(
+        engine.tier_of_vpn(vpn),
+        Some(Tier::Fast),
+        "page never moved"
+    );
+    assert_eq!(engine.footprint_breakdown().total(), engine.rss_bytes());
+}
+
+#[test]
+fn oom_during_commit_migrate_is_a_clean_abort() {
+    // The copy finishes, but by commit time the slow tier cannot hold the
+    // page (1MB tier, 2MB page): the commit must surface the OOM as an
+    // abort receipt and leave the page fast, with the books intact.
+    let (mut engine, base) = fabric_engine(64 << 20, 1 << 20, 10_000_000_000, 2);
+    let vpn = base.vpn();
+    let free_slow_before = engine.free_bytes(Tier::Slow);
+    let OpOutcome::Begun(txn) = one_op(
+        &mut engine,
+        PlanOp::BeginMigrate {
+            vpn,
+            target: Tier::Slow,
+        },
+    ) else {
+        panic!("BeginMigrate must return Begun");
+    };
+    // 2MB at 10GB/s copies in ~200µs of virtual time.
+    engine.advance_compute(1_000_000);
+    assert_eq!(
+        one_op(&mut engine, PlanOp::CommitMigrate { txn }),
+        OpOutcome::DemoteOom,
+        "commit into a full slow tier must report OOM, not panic"
+    );
+    let stats = engine.fabric_stats();
+    assert_eq!(stats.aborted, 1);
+    assert_eq!(stats.committed, 0);
+    assert_eq!(engine.fabric().in_flight(), 0);
+    assert_eq!(
+        engine.tier_of_vpn(vpn),
+        Some(Tier::Fast),
+        "page stayed fast"
+    );
+    assert_eq!(engine.free_bytes(Tier::Slow), free_slow_before);
+    assert_eq!(engine.footprint_breakdown().total(), engine.rss_bytes());
 }
 
 #[test]
