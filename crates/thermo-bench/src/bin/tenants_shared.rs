@@ -1,0 +1,5 @@
+//! Colocated tenants over one arbitrated fast tier (`tenants_shared`).
+
+fn main() {
+    thermo_bench::experiments::run_and_finish("tenants_shared");
+}

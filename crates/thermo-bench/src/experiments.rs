@@ -14,6 +14,7 @@ use crate::figs::footprint_artifact;
 use crate::harness::EvalParams;
 use crate::tabs::{tab2_artifact, tab3_artifact, tab4_artifact};
 use crate::tenants::tenants_artifact;
+use crate::tenants_shared::tenants_shared_artifact;
 use thermo_workloads::AppId;
 
 /// A registered experiment: a stable id and an artifact-producing run
@@ -99,6 +100,10 @@ pub const ALL: &[Experiment] = &[
     Experiment {
         id: "fab_abort",
         run: fab_abort_artifact,
+    },
+    Experiment {
+        id: "tenants_shared",
+        run: tenants_shared_artifact,
     },
 ];
 

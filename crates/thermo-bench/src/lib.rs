@@ -25,6 +25,7 @@ pub mod harness;
 pub mod report;
 pub mod tabs;
 pub mod tenants;
+pub mod tenants_shared;
 
 pub use artifact::{ExperimentArtifact, RunArtifact};
 pub use harness::{baseline_run, thermostat_run, AppRun, EvalParams};

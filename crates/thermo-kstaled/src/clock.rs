@@ -219,6 +219,10 @@ impl PolicyHook for ClockPolicy {
         self.next_due_ns
     }
 
+    fn policy_name(&self) -> &str {
+        "clock"
+    }
+
     fn tick(&mut self, engine: &mut Engine) {
         self.sweep(engine);
         self.next_due_ns += self.config.sweep_period_ns;

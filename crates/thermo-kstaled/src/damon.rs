@@ -327,6 +327,10 @@ impl PolicyHook for Damon {
         self.next_due_ns
     }
 
+    fn policy_name(&self) -> &str {
+        "damon"
+    }
+
     fn tick(&mut self, engine: &mut Engine) {
         if !self.initialized {
             self.init_regions(engine);

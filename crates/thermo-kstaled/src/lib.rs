@@ -127,6 +127,10 @@ impl PolicyHook for Kstaled {
         self.next_due_ns
     }
 
+    fn policy_name(&self) -> &str {
+        "kstaled"
+    }
+
     fn tick(&mut self, engine: &mut Engine) {
         let ranges = engine.vma_ranges();
         let view = engine.memory_view(&ranges, self.scan_workers);
@@ -248,6 +252,10 @@ impl PolicyHook for HotRegionMonitor {
         } else {
             self.next_due_ns
         }
+    }
+
+    fn policy_name(&self) -> &str {
+        "hot-region-monitor"
     }
 
     fn tick(&mut self, engine: &mut Engine) {

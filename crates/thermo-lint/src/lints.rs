@@ -10,20 +10,29 @@
 //! | `rng_containment`        | D3     | policy RNG draws live in `decide.rs` only  |
 //! | `seam_enforcement`       | S1     | policies speak `MemoryView`/`PolicyPlan`   |
 //! | `panic_in_worker`        | E1     | job closures don't panic without a pragma  |
+//! | `sched_purity`           | D4     | `Component` impls see only virtual time    |
 //!
-//! A sixth internal lint, `bad_pragma`, fires on malformed suppression
-//! pragmas (unknown lint name, missing reason) so a typo can never silently
-//! disable a real check.
+//! An additional internal lint, `bad_pragma`, fires on malformed
+//! suppression pragmas (unknown lint name, missing reason) so a typo can
+//! never silently disable a real check.
+//!
+//! D4 exists because D2 cannot cover the scheduler seam: `Component`
+//! impls may live in ambient-allowlisted crates (thermo-bench adapters),
+//! yet the event loop's ordering-fuzz contract (DESIGN.md §13) requires
+//! every tick to be a pure function of component state + the virtual
+//! timeline — no wall clocks, no env reads, no thread identity, no
+//! external entropy, anywhere a `Component` is implemented.
 
 use crate::lexer::{lex, PragmaComment, Token, TokenKind};
 
 /// Canonical lint names, in family order.
-pub const LINT_NAMES: [&str; 6] = [
+pub const LINT_NAMES: [&str; 7] = [
     "unordered_iteration",
     "ambient_nondeterminism",
     "rng_containment",
     "seam_enforcement",
     "panic_in_worker",
+    "sched_purity",
     "bad_pragma",
 ];
 
@@ -35,6 +44,7 @@ pub fn family_code(lint: &str) -> &'static str {
         "rng_containment" => "D3",
         "seam_enforcement" => "S1",
         "panic_in_worker" => "E1",
+        "sched_purity" => "D4",
         _ => "P0",
     }
 }
@@ -490,6 +500,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
 
     lint_job_closures(&tokens, &file, &mut findings);
+    lint_component_impls(&tokens, &file, &mut findings);
 
     // Apply pragma suppression: a pragma suppresses matching findings on
     // its own line and on the following line (so both trailing and
@@ -585,6 +596,108 @@ fn lint_job_closures(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) 
             }
         }
         i = k.max(close + 1);
+    }
+}
+
+/// D4: ambient-ordering sources inside a `Component` impl (any crate —
+/// D2's bench allowlist deliberately does not apply here). The scheduler
+/// permutes same-`(time, class)` batches under `THERMO_SCHED_FUZZ`, so a
+/// tick that consults a wall clock, the environment, thread identity, or
+/// external entropy makes the permutation observable and breaks the
+/// byte-identity contract the fuzz campaign enforces.
+fn lint_component_impls(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) {
+    let hint = "Component::tick must be a pure function of component state and virtual \
+                time; read config at construction, never inside the event loop";
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind.ident() != Some("impl") {
+            i += 1;
+            continue;
+        }
+        // Impl header: `impl … Component for … {` with `Component` at
+        // angle-depth zero (so `impl<C: Component> Pool<C>` — a generic
+        // bound, not an implementation — never matches).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut saw_component = false;
+        let mut is_component_impl = false;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('{') | TokenKind::Punct(';') => break,
+                TokenKind::Ident(s) if angle == 0 => {
+                    if s == "Component" {
+                        saw_component = true;
+                    } else if s == "for" && saw_component {
+                        is_component_impl = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_component_impl || tokens.get(j).map(|t| &t.kind) != Some(&TokenKind::Punct('{')) {
+            i = j.max(i + 1);
+            continue;
+        }
+        // The impl body: scan to the matching close brace.
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for (idx, t) in tokens.iter().enumerate().take(k).skip(j + 1) {
+            let Some(ident) = t.kind.ident() else {
+                continue;
+            };
+            let next_is_path = tokens.get(idx + 1).map(|t| &t.kind) == Some(&TokenKind::Punct(':'))
+                && tokens.get(idx + 2).map(|t| &t.kind) == Some(&TokenKind::Punct(':'));
+            let flagged = if AMBIENT_IDENTS.contains(&ident) {
+                Some(format!(
+                    "`{ident}` inside a `Component` impl reads wall-clock state"
+                ))
+            } else if next_is_path && AMBIENT_CRATE_PATHS.contains(&ident) {
+                Some(format!(
+                    "`{ident}::` inside a `Component` impl pulls external entropy"
+                ))
+            } else if next_is_path && ident == "env" {
+                Some(
+                    "`env::` inside a `Component` impl: ambient configuration read mid-tick"
+                        .to_string(),
+                )
+            } else if next_is_path
+                && ident == "thread"
+                && tokens.get(idx + 3).and_then(|t| t.kind.ident()) == Some("current")
+            {
+                Some(
+                    "`thread::current()` inside a `Component` impl exposes scheduling identity"
+                        .to_string(),
+                )
+            } else {
+                None
+            };
+            if let Some(message) = flagged {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    lint: "sched_purity".to_string(),
+                    message,
+                    hint: hint.to_string(),
+                });
+            }
+        }
+        i = k.max(j + 1);
     }
 }
 

@@ -1,0 +1,50 @@
+// Known-bad fixture for D4 (sched_purity): a Component impl that leaks
+// every ambient-ordering source the event loop bans. Linted under a
+// thermo-bench path, where D2's wall-clock allowlist would otherwise
+// let all of this through.
+use std::time::Instant;
+
+struct Jittery {
+    next_ns: u64,
+}
+
+impl Component for Jittery {
+    fn next_tick_ns(&self) -> u64 {
+        self.next_ns
+    }
+
+    fn tick(&mut self) -> Control {
+        let _t0 = Instant::now();
+        let _hint = std::env::var("ORDER_HINT");
+        let _who = std::thread::current();
+        let _coin: u64 = rand::random();
+        self.next_ns += 1;
+        Control::Continue
+    }
+}
+
+struct Pure {
+    next_ns: u64,
+}
+
+impl sched::Component for Pure {
+    fn next_tick_ns(&self) -> u64 {
+        self.next_ns
+    }
+
+    fn tick(&mut self) -> Control {
+        self.next_ns += 1_000_000;
+        Control::Continue
+    }
+}
+
+/// A generic bound is not an implementation: nothing here is in D4 scope.
+struct Pool<C: Component> {
+    inner: Vec<C>,
+}
+
+fn outside_any_component_impl() {
+    // Ambient reads outside a Component impl are D2's business (and this
+    // fixture's synthetic path is on D2's allowlist, so: no finding).
+    let _ = Instant::now();
+}

@@ -2,6 +2,7 @@
 
 use crate::cache::LlcConfig;
 use crate::fabric::FabricConfig;
+use crate::sched::SchedConfig;
 use thermo_mem::TierParams;
 use thermo_trap::TrapConfig;
 use thermo_vm::{TlbConfig, Vpid, WalkConfig};
@@ -66,6 +67,10 @@ pub struct SimConfig {
     /// Migration-fabric knobs (transactional migration is off by default;
     /// `migrate_page` stays synchronous and all pre-fabric goldens hold).
     pub fabric: FabricConfig,
+    /// Discrete-event co-scheduling + shared-fast-tier knobs (default
+    /// off: the sharded runner and fixed per-tenant budgets, all
+    /// pre-existing goldens byte-identical).
+    pub sched: SchedConfig,
 }
 
 impl SimConfig {
@@ -89,6 +94,7 @@ impl SimConfig {
             tlb_flush_period_ns: None,
             series_bucket_ns: 1_000_000_000,
             fabric: FabricConfig::default(),
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -142,4 +148,5 @@ thermo_util::json_struct!(SimConfig {
     tlb_flush_period_ns,
     series_bucket_ns,
     fabric,
+    sched,
 });

@@ -122,6 +122,15 @@ impl Engine {
                 tier: cur,
             });
         }
+        if target == Tier::Fast && !self.fast_has_room(m.size.bytes() as u64) {
+            // The capacity grant is a ledger: promotions past it fail
+            // like a full tier would, so a tenant's own daemon cannot
+            // outgrow what the arbiter granted.
+            return Err(MemError::OutOfMemory {
+                tier: Tier::Fast,
+                size: m.size,
+            });
+        }
         if target == Tier::Fast && self.fab.take_shadow(base_vpn, m.size) {
             // The fast-tier copy left by a recent fabric demotion is still
             // intact: re-promotion is a pure remap, no bulk transfer.
@@ -178,6 +187,12 @@ impl Engine {
                 tier: target,
             });
         }
+        if target == Tier::Fast && !self.fast_has_room(PageSize::Huge2M.bytes() as u64) {
+            return Err(MemError::OutOfMemory {
+                tier: Tier::Fast,
+                size: PageSize::Huge2M,
+            });
+        }
         let new = self.mem.alloc(target, PageSize::Huge2M)?;
         for i in 0..PAGES_PER_HUGE as u64 {
             let vpn = base_vpn.offset(i);
@@ -225,6 +240,12 @@ impl Engine {
                 tier: cur,
             });
         }
+        if target == Tier::Fast && !self.fast_has_room(size.bytes() as u64) {
+            return Err(MemError::OutOfMemory {
+                tier: Tier::Fast,
+                size,
+            });
+        }
         let new = self.mem.alloc(target, size)?;
         for i in 0..size.small_pages() as u64 {
             self.llc.invalidate_frame(old.offset(i));
@@ -270,5 +291,118 @@ impl Engine {
             out.push((v.name.clone(), b));
         }
         out
+    }
+
+    /// Fast-tier bytes held by leaves whose Accessed bit is clear — the
+    /// cold capacity a reclaim would take first. Read-only walk, charges
+    /// no kernel time (the arbiter reads it through a reporter snapshot).
+    pub fn fast_idle_bytes(&self) -> u64 {
+        let mut idle = 0u64;
+        for (start, n) in self.vma_ranges() {
+            self.pt.for_each_leaf(start, n, |_, size, pte| {
+                if !pte.accessed() && self.mem.tier_of(pte.pfn()) == Tier::Fast {
+                    idle += size.bytes() as u64;
+                }
+            });
+        }
+        idle
+    }
+
+    /// Demotes up to `want_bytes` of fast-tier capacity to the slow tier,
+    /// coldest first (pass A: Accessed-clear leaves, pass B: the rest),
+    /// poisoning each demoted page so its faults keep feeding the §4.3
+    /// slowdown estimate. Only whole huge leaves are taken: 4KB leaves
+    /// may be children of a policy daemon's split-sample window, and
+    /// demoting one would break the frame contiguity its later collapse
+    /// relies on. Pages held by an in-flight fabric transaction are never
+    /// touched (the reclaim-vs-fabric invariant that `prop_arbiter`
+    /// checks). Returns the bytes actually reclaimed.
+    pub fn reclaim_fast_cold(&mut self, want_bytes: u64) -> u64 {
+        let mut cold: Vec<(Vpn, PageSize)> = Vec::new();
+        let mut warm: Vec<(Vpn, PageSize)> = Vec::new();
+        for (start, n) in self.vma_ranges() {
+            self.pt.for_each_leaf(start, n, |vpn, size, pte| {
+                if size != PageSize::Huge2M || self.mem.tier_of(pte.pfn()) != Tier::Fast {
+                    return;
+                }
+                if pte.accessed() {
+                    warm.push((vpn, size));
+                } else {
+                    cold.push((vpn, size));
+                }
+            });
+        }
+        let mut reclaimed = 0u64;
+        for (vpn, size) in cold.into_iter().chain(warm) {
+            if reclaimed >= want_bytes {
+                break;
+            }
+            if self.fab.txn_for_page(vpn).is_some() {
+                continue;
+            }
+            if self.mem.free_bytes(Tier::Slow) < size.bytes() as u64 {
+                break;
+            }
+            if self.migrate_page(vpn, Tier::Slow).is_err() {
+                continue;
+            }
+            if !self.trap.is_poisoned(vpn) {
+                self.trap
+                    .poison(&mut self.pt, &mut self.tlb, self.vpid, vpn, size);
+                self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+            }
+            self.displaced.insert(vpn, size.bytes() as u64);
+            reclaimed += size.bytes() as u64;
+        }
+        self.pressure.reclaimed_bytes += reclaimed;
+        reclaimed
+    }
+
+    /// Promotes up to `want_bytes` of displaced pages back to the fast
+    /// tier (address order), unpoisoning each. Entries whose mapping
+    /// changed shape, already moved tiers, or sit under a live fabric
+    /// transaction are dropped or skipped. Respects the capacity grant.
+    /// Returns the bytes actually promoted.
+    pub fn promote_displaced(&mut self, want_bytes: u64) -> u64 {
+        let mut promoted = 0u64;
+        let candidates: Vec<Vpn> = self.displaced.keys().copied().collect();
+        for vpn in candidates {
+            if promoted >= want_bytes {
+                break;
+            }
+            let Some(m) = self.pt.lookup(vpn) else {
+                self.displaced.remove(&vpn);
+                continue;
+            };
+            if m.base_vpn != vpn || self.mem.tier_of(m.pte.pfn()) != Tier::Slow {
+                // Split/collapsed or already migrated by the policy
+                // daemon: no longer ours to promote.
+                self.displaced.remove(&vpn);
+                continue;
+            }
+            if self.fab.txn_for_page(vpn).is_some() {
+                continue;
+            }
+            let bytes = m.size.bytes() as u64;
+            let cap_ok = match self.fast_cap_bytes {
+                None => true,
+                Some(cap) => self.mem.used_bytes(Tier::Fast).saturating_add(bytes) <= cap,
+            };
+            if !cap_ok || self.mem.free_bytes(Tier::Fast) < bytes {
+                break;
+            }
+            if self.migrate_page(vpn, Tier::Fast).is_err() {
+                continue;
+            }
+            if self.trap.is_poisoned(vpn) {
+                self.trap
+                    .unpoison(&mut self.pt, &mut self.tlb, self.vpid, vpn);
+                self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+            }
+            self.displaced.remove(&vpn);
+            promoted += bytes;
+        }
+        self.pressure.promoted_bytes += promoted;
+        promoted
     }
 }

@@ -119,7 +119,36 @@ pub struct Engine {
     pub(crate) true_access: BTreeMap<Vpn, u64>,
     pub(crate) vpid: Vpid,
     pub(crate) next_tlb_flush_ns: u64,
+    /// Soft cap on fast-tier bytes this engine may hold (`None` = whole
+    /// tier, the legacy single-tenant behavior). Set by the capacity
+    /// arbiter on the co-scheduled path; enforced in demand paging.
+    pub(crate) fast_cap_bytes: Option<u64>,
+    /// Pages demand-paged into the slow tier because the fast tier was
+    /// capped or full, keyed by leaf base VPN → bytes. The arbiter
+    /// promotes from here (in address order) when it grants capacity.
+    pub(crate) displaced: BTreeMap<Vpn, u64>,
+    pub(crate) pressure: PressureStats,
 }
+
+/// Capacity-pressure counters: what the engine did when the fast tier
+/// could not take a page. Kept out of the frozen [`EngineStats`] (which
+/// is serialized byte-for-byte inside golden notes) so the legacy
+/// artifact shape is untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureStats {
+    /// Demand-paging minor faults that fell back to the slow tier.
+    pub slow_fallback_faults: u64,
+    /// Bytes demoted by arbiter-driven cold reclaim.
+    pub reclaimed_bytes: u64,
+    /// Displaced bytes promoted back after a capacity grant.
+    pub promoted_bytes: u64,
+}
+
+thermo_util::json_struct!(PressureStats {
+    slow_fallback_faults,
+    reclaimed_bytes,
+    promoted_bytes,
+});
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -148,6 +177,9 @@ impl Engine {
             true_access: BTreeMap::new(),
             vpid: config.vpid,
             next_tlb_flush_ns: config.tlb_flush_period_ns.unwrap_or(u64::MAX),
+            fast_cap_bytes: None,
+            displaced: BTreeMap::new(),
+            pressure: PressureStats::default(),
             mem,
             config,
         }
@@ -311,7 +343,7 @@ impl Engine {
             && vma.thp
             && huge_base >= vma.start
             && huge_base.0 + PageSize::Huge2M.bytes() as u64 <= vma.end().0;
-        if huge_fits {
+        if huge_fits && self.fast_has_room(PageSize::Huge2M.bytes() as u64) {
             if let Ok(frame) = self.mem.alloc(Tier::Fast, PageSize::Huge2M) {
                 self.pt
                     .map_huge(huge_base.vpn(), frame, vma.writable)
@@ -321,16 +353,51 @@ impl Engine {
                 return self.pt.lookup(vpn).expect("just mapped");
             }
         }
+        if self.fast_has_room(PageSize::Small4K.bytes() as u64) {
+            if let Ok(frame) = self.mem.alloc(Tier::Fast, PageSize::Small4K) {
+                self.pt
+                    .map_small(vpn, frame, vma.writable)
+                    .expect("demand-paged page must be unmapped");
+                *lat += self.config.minor_fault_small_ns;
+                self.stats.minor_faults_small += 1;
+                return self.pt.lookup(vpn).expect("just mapped");
+            }
+        }
+        // Fast tier capped or full: demand-page into the slow tier and
+        // poison the page so accesses fault (§4.3 slowdown signal) and
+        // the arbiter can see displaced mass to promote later. No
+        // shootdown cost beyond trap bookkeeping — the translation was
+        // never installed.
         let frame = self
             .mem
-            .alloc(Tier::Fast, PageSize::Small4K)
-            .expect("fast tier out of memory during demand paging");
+            .alloc(Tier::Slow, PageSize::Small4K)
+            .expect("fast and slow tiers out of memory during demand paging");
         self.pt
             .map_small(vpn, frame, vma.writable)
             .expect("demand-paged page must be unmapped");
+        self.trap.poison(
+            &mut self.pt,
+            &mut self.tlb,
+            self.vpid,
+            vpn,
+            PageSize::Small4K,
+        );
+        self.displaced.insert(vpn, PageSize::Small4K.bytes() as u64);
+        self.pressure.slow_fallback_faults += 1;
         *lat += self.config.minor_fault_small_ns;
         self.stats.minor_faults_small += 1;
         self.pt.lookup(vpn).expect("just mapped")
+    }
+
+    /// Whether the fast tier may take `bytes` more under the current
+    /// capacity grant (always true with no cap). Gates demand paging and
+    /// every fast-ward migration, so the grant is a real ledger: no
+    /// kernel path can grow a tenant past what the arbiter gave it.
+    pub(crate) fn fast_has_room(&self, bytes: u64) -> bool {
+        match self.fast_cap_bytes {
+            None => true,
+            Some(cap) => self.mem.used_bytes(Tier::Fast).saturating_add(bytes) <= cap,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -441,6 +508,42 @@ impl Engine {
     /// Free bytes in `tier`.
     pub fn free_bytes(&self, tier: Tier) -> u64 {
         self.mem.free_bytes(tier)
+    }
+
+    /// Allocated bytes in `tier`.
+    pub fn used_bytes(&self, tier: Tier) -> u64 {
+        self.mem.used_bytes(tier)
+    }
+
+    /// Sets (or clears) the soft fast-tier capacity grant, bytes.
+    pub fn set_fast_cap_bytes(&mut self, cap: Option<u64>) {
+        self.fast_cap_bytes = cap;
+    }
+
+    /// The current soft fast-tier capacity grant, if any.
+    pub fn fast_cap_bytes(&self) -> Option<u64> {
+        self.fast_cap_bytes
+    }
+
+    /// Capacity-pressure counters (slow-tier demand-paging fallbacks,
+    /// arbiter reclaim/promote traffic).
+    pub fn pressure_stats(&self) -> PressureStats {
+        self.pressure
+    }
+
+    /// Total bytes demand-paged into the slow tier for lack of fast
+    /// capacity and not yet promoted back.
+    pub fn displaced_bytes(&self) -> u64 {
+        self.displaced.values().sum()
+    }
+
+    /// Drains the migration fabric on the virtual clock while the app is
+    /// between ops (the co-scheduled fabric-pump component's hook; the
+    /// sharded path ticks inline from `access`/`advance_compute`).
+    pub fn pump_fabric(&mut self) {
+        if self.fab.busy() {
+            self.fab.tick(self.clock.now_ns());
+        }
     }
 
     /// Physical memory (wear statistics etc.).

@@ -231,6 +231,12 @@ impl Fabric {
         self.txns.len()
     }
 
+    /// Bytes covered by unresolved transactions — capacity a reclaim
+    /// must treat as pinned (the arbiter's `reserved_bytes` input).
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.txns.values().map(|t| t.size.bytes() as u64).sum()
+    }
+
     /// The live transaction covering `vpn`, if any.
     pub fn txn_for_page(&self, vpn: Vpn) -> Option<&MigrateTxn> {
         let (&base, &id) = self.by_page.range(..=vpn).next_back()?;

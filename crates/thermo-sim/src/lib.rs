@@ -9,6 +9,8 @@
 //! * [`process`] — VMAs and demand paging with THP;
 //! * [`workload`] / [`runner`] — the application abstraction and the loop
 //!   that interleaves it with policy daemons on the virtual timeline;
+//! * [`sched`] / [`arbiter`] — the discrete-event co-scheduled engine and
+//!   the shared-fast-tier capacity arbiter (DESIGN.md §13);
 //! * [`config`], [`stats`], [`series`], [`clock`] — configuration and
 //!   observability.
 //!
@@ -24,6 +26,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod arbiter;
 pub mod cache;
 pub mod clock;
 pub mod config;
@@ -32,16 +35,19 @@ pub mod fabric;
 pub mod latency;
 pub mod process;
 pub mod runner;
+pub mod sched;
 pub mod series;
 pub mod stats;
 pub mod trace;
 pub mod workload;
 
+pub use arbiter::{Arbiter, ArbiterConfig, ArbiterEvent, Decision, DecisionKind, TenantReport};
 pub use cache::{Llc, LlcConfig, LlcStats};
 pub use clock::VirtualClock;
 pub use config::{ColdAccessModel, SimConfig};
 pub use engine::{
     Engine, FootprintBreakdown, MemoryView, OpOutcome, PageInfo, PlanOp, PlanReceipt, PolicyPlan,
+    PressureStats,
 };
 pub use fabric::{CommitStatus, Fabric, FabricConfig, FabricStats, MigrateTxn, TxnState};
 pub use latency::LatencyHistogram;
@@ -49,6 +55,9 @@ pub use process::{Process, Vma};
 pub use runner::{
     run_for, run_for_instrumented, run_ops, run_tenants_sharded, NoPolicy, PolicyHook, RunOutcome,
     ShardOutcome,
+};
+pub use sched::{
+    run_tenants_coscheduled, CoSchedOutcome, Component, Control, SchedConfig, SchedError, Scheduler,
 };
 pub use series::{RateSeries, SampledSeries};
 pub use stats::EngineStats;

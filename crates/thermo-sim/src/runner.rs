@@ -18,6 +18,12 @@ pub trait PolicyHook {
 
     /// Runs one policy step at the current virtual time.
     fn tick(&mut self, engine: &mut Engine);
+
+    /// Human-readable policy name, used in scheduler component labels
+    /// and error messages.
+    fn policy_name(&self) -> &str {
+        "policy"
+    }
 }
 
 /// The no-op policy (baseline runs).
@@ -30,6 +36,10 @@ impl PolicyHook for NoPolicy {
     }
 
     fn tick(&mut self, _engine: &mut Engine) {}
+
+    fn policy_name(&self) -> &str {
+        "none"
+    }
 }
 
 /// Result of a run.
@@ -243,6 +253,32 @@ pub fn run_tenants_sharded<F>(
 where
     F: Fn(u64, u64) -> (Engine, Box<dyn Workload>, Box<dyn PolicyHook>) + Sync,
 {
+    // Probe tenant 0's config for the co-scheduled switch: `build` is a
+    // pure function of `(shard_id, seed)`, so the extra call is free of
+    // side effects, and the dispatch itself stays deterministic.
+    if n_tenants > 0 {
+        // thermo-lint: allow(rng_containment, reason = "the probe must see the exact seed the thermo-exec pool would hand shard 0")
+        let probe_seed = thermo_util::rng::derive_stream_seed(cfg.base_seed, 0);
+        let (probe, _, _) = build(0, probe_seed);
+        if probe.config().sched.coscheduled {
+            drop(probe);
+            return crate::sched::run_tenants_coscheduled(
+                n_tenants,
+                duration_ns,
+                cfg.base_seed,
+                crate::sched::fuzz_seed_from_env(),
+                build,
+            )
+            .map(|out| out.shards)
+            .map_err(|e| {
+                let crate::sched::SchedError::ComponentPanicked { group, message, .. } = e;
+                thermo_exec::ExecError::JobPanicked {
+                    job_id: u64::from(group),
+                    message,
+                }
+            });
+        }
+    }
     let build = &build;
     let jobs: Vec<_> = (0..n_tenants)
         .map(|_| {

@@ -46,6 +46,19 @@ impl EngineStats {
         (self.slow_trap_faults * fault_ns) as f64 / self.app_time_ns as f64
     }
 
+    /// Estimated slowdown over the interval since `prev`, percent — the
+    /// paper's §4.3 online estimate: trap-fault time on slow pages as a
+    /// share of app time, both as deltas between two snapshots of the
+    /// same engine's counters.
+    pub fn estimated_slowdown_pct(&self, prev: &EngineStats, fault_ns: u64) -> f64 {
+        let d_app = self.app_time_ns.saturating_sub(prev.app_time_ns);
+        if d_app == 0 {
+            return 0.0;
+        }
+        let d_faults = self.slow_trap_faults.saturating_sub(prev.slow_trap_faults);
+        (d_faults * fault_ns) as f64 / d_app as f64 * 100.0
+    }
+
     /// LLC miss ratio.
     pub fn llc_miss_ratio(&self) -> f64 {
         let n = self.llc_hits + self.llc_misses;

@@ -1,0 +1,351 @@
+//! Property test for the fast-tier arbiter: under random interleavings
+//! of tenant reports, SLO violations, fabric congestion, and rebalance
+//! rounds, the pure state machine must
+//!
+//! 1. conserve capacity — `Σ grants + unallocated == pool` after every
+//!    operation, and every grant is fully funded by the reserve plus the
+//!    reclaims emitted in the same round (no byte minted, none lost);
+//! 2. never double-grant — a reclaim never takes more than the donor's
+//!    freshest report supports (idle + cold − reserved), and the report
+//!    is consumed as it funds grants, so one report cannot pay twice;
+//! 3. never touch reserved capacity — bytes a donor reports as held by
+//!    in-flight fabric transactions are excluded from every reclaim, so
+//!    arbitration can never evict a page mid-transaction;
+//! 4. never starve — congestion defers a needy tenant at most
+//!    `max_defer_rounds` consecutive times, and whenever the reserve can
+//!    fund the longest waiter outright, that tenant is served first.
+//!
+//! A deterministic companion test pins the bounded-wait guarantee:
+//! several persistently needy tenants round-robin one donor's supply,
+//! and every one of them is served within `n_needy` rounds.
+
+use std::collections::BTreeMap;
+
+use thermo_sim::{Arbiter, ArbiterConfig, Decision, DecisionKind, TenantReport};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{any, range, vec_of, Strategy};
+
+const MB: u64 = 1 << 20;
+const POOL: u64 = 64 * MB;
+const QUANTUM: u64 = 4 * MB;
+const MAX_DEFER: u32 = 2;
+/// Per-tenant slowdown SLOs: a strict victim, a lenient antagonist, and
+/// two middling tenants.
+const SLOS: [f64; 4] = [3.0, 30.0, 10.0, 5.0];
+const GRANTS0: [u64; 4] = [8 * MB, 24 * MB, 8 * MB, 8 * MB];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Tenant posts a fresh self-report (fields in MB / deci-percent,
+    /// normalized in the driver so `cold ≤ used` and `reserved ≤ used`).
+    Report {
+        tenant: u8,
+        slowdown_dpct: u16,
+        used_mb: u64,
+        cold_mb: u64,
+        reserved_mb: u64,
+        displaced_mb: u64,
+        congested: bool,
+    },
+    /// Run one rebalance round and audit the emitted decisions.
+    Rebalance,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Nested tuples: proptest_lite implements Strategy up to arity 4.
+    (
+        (
+            range(0u8..4),
+            range(0u16..600),
+            range(0u64..40),
+            range(0u64..40),
+        ),
+        (
+            range(0u64..40),
+            range(0u64..64),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (tenant, slowdown_dpct, used_mb, cold_mb),
+                (reserved_mb, displaced_mb, congested, rebalance),
+            )| {
+                if rebalance {
+                    Op::Rebalance
+                } else {
+                    Op::Report {
+                        tenant,
+                        slowdown_dpct,
+                        used_mb,
+                        cold_mb,
+                        reserved_mb,
+                        displaced_mb,
+                        congested,
+                    }
+                }
+            },
+        )
+}
+
+/// The test's independent mirror of arbiter state: grants plus the
+/// freshest report per tenant, shrunk exactly as the arbiter consumes
+/// supply. Every decision is audited against this mirror.
+struct Mirror {
+    grants: [u64; 4],
+    reports: BTreeMap<u32, TenantReport>,
+    defer_rounds: [u32; 4],
+    wait_rounds: [u32; 4],
+}
+
+impl Mirror {
+    fn reclaimable(&self, donor: u32) -> u64 {
+        let Some(r) = self.reports.get(&donor) else {
+            return 0;
+        };
+        let idle = self.grants[donor as usize].saturating_sub(r.used_fast_bytes);
+        (idle + r.cold_fast_bytes)
+            .saturating_sub(r.reserved_bytes)
+            .min(self.grants[donor as usize])
+    }
+
+    fn needy(&self, t: u32) -> bool {
+        self.reports
+            .get(&t)
+            .is_some_and(|r| r.slowdown_pct > SLOS[t as usize] && r.displaced_bytes > 0)
+    }
+
+    fn congested(&self) -> bool {
+        self.reports.values().any(|r| r.fabric_congested)
+    }
+
+    /// Audits one rebalance round's decisions against the mirror, then
+    /// applies them to it.
+    fn audit_round(&mut self, decisions: &[Decision], unallocated_before: u64, a: &Arbiter) {
+        let mut reclaimed = 0u64;
+        let mut granted = 0u64;
+        for d in decisions {
+            let t = d.tenant as usize;
+            match d.kind {
+                DecisionKind::Reclaim => {
+                    // Invariants 2 + 3: never more than the freshest
+                    // report's idle + cold − reserved, shrinking the
+                    // report as it is consumed.
+                    let cap = self.reclaimable(d.tenant);
+                    assert!(
+                        d.bytes <= cap,
+                        "reclaim of {} bytes from tenant {t} exceeds reclaimable {cap}",
+                        d.bytes
+                    );
+                    self.grants[t] -= d.bytes;
+                    let r = self.reports.get_mut(&d.tenant).expect("donor reported");
+                    let cold_cut = r.cold_fast_bytes.min(d.bytes);
+                    r.cold_fast_bytes -= cold_cut;
+                    r.used_fast_bytes = r.used_fast_bytes.saturating_sub(cold_cut);
+                    reclaimed += d.bytes;
+                }
+                DecisionKind::Grant => {
+                    assert!(d.bytes > 0, "zero-byte grant for tenant {t}");
+                    assert!(
+                        d.bytes <= QUANTUM,
+                        "grant of {} bytes exceeds the {QUANTUM}-byte quantum",
+                        d.bytes
+                    );
+                    self.grants[t] += d.bytes;
+                    self.defer_rounds[t] = 0;
+                    self.wait_rounds[t] = 0;
+                    if let Some(r) = self.reports.get_mut(&d.tenant) {
+                        r.displaced_bytes = r.displaced_bytes.saturating_sub(d.bytes);
+                    }
+                    granted += d.bytes;
+                }
+                DecisionKind::Defer => {
+                    // Invariant 4: at most max_defer_rounds consecutive
+                    // deferrals before the grant is forced through.
+                    assert_eq!(d.bytes, 0, "deferral moved bytes");
+                    assert!(
+                        self.defer_rounds[t] < MAX_DEFER,
+                        "tenant {t} deferred more than {MAX_DEFER} consecutive rounds"
+                    );
+                    self.defer_rounds[t] += 1;
+                }
+            }
+            assert_eq!(
+                d.grant_after, self.grants[t],
+                "tenant {t} grant_after diverged from the audited ledger"
+            );
+        }
+        // Invariant 1: every granted byte came from the reserve or a
+        // same-round reclaim.
+        let drawn = unallocated_before - a.unallocated_bytes();
+        assert_eq!(
+            granted,
+            reclaimed + drawn,
+            "grants ({granted}) not funded by reclaims ({reclaimed}) + reserve draw ({drawn})"
+        );
+    }
+}
+
+#[test]
+fn arbiter_conserves_capacity_and_honors_reserved_bytes() {
+    forall!(cases = 256, (ops in vec_of(op_strategy(), 1..120)) => {
+        let mut a = Arbiter::new(ArbiterConfig {
+            pool_bytes: POOL,
+            grant_quantum_bytes: QUANTUM,
+            max_defer_rounds: MAX_DEFER,
+        });
+        let mut m = Mirror {
+            grants: GRANTS0,
+            reports: BTreeMap::new(),
+            defer_rounds: [0; 4],
+            wait_rounds: [0; 4],
+        };
+        for (t, (&g, &slo)) in GRANTS0.iter().zip(&SLOS).enumerate() {
+            a.register(t as u32, g, slo);
+        }
+
+        for op in ops {
+            match op {
+                Op::Report {
+                    tenant,
+                    slowdown_dpct,
+                    used_mb,
+                    cold_mb,
+                    reserved_mb,
+                    displaced_mb,
+                    congested,
+                } => {
+                    let used = used_mb * MB;
+                    let r = TenantReport {
+                        slowdown_pct: f64::from(slowdown_dpct) / 10.0,
+                        used_fast_bytes: used,
+                        cold_fast_bytes: (cold_mb * MB).min(used),
+                        reserved_bytes: (reserved_mb * MB).min(used),
+                        displaced_bytes: displaced_mb * MB,
+                        fabric_congested: congested,
+                    };
+                    a.report(u32::from(tenant), r);
+                    m.reports.insert(u32::from(tenant), r);
+                }
+                Op::Rebalance => {
+                    let unallocated_before = a.unallocated_bytes();
+                    // Pre-round view: who is needy, and who has waited
+                    // longest (the arbiter ages before serving, so the
+                    // order key is prev_wait + 1, ties by id — prev_wait
+                    // already orders it).
+                    let needy: Vec<u32> = (0..4).filter(|&t| m.needy(t)).collect();
+                    let congested = m.congested();
+                    let longest = needy
+                        .iter()
+                        .copied()
+                        .max_by_key(|&t| (m.wait_rounds[t as usize], std::cmp::Reverse(t)));
+
+                    let decisions = a.rebalance();
+                    m.audit_round(&decisions, unallocated_before, &a);
+
+                    // Invariant 4 (service order): when the reserve alone
+                    // can fund the longest waiter and nothing defers it,
+                    // the very first decision is its grant.
+                    if let Some(first) = longest {
+                        let want = m.reports[&first].displaced_bytes.min(QUANTUM);
+                        // audit_round already consumed the grant from the
+                        // mirror; `want` here is post-round, so only
+                        // assert when the round clearly had the supply.
+                        if !congested && want > 0 && unallocated_before >= QUANTUM {
+                            match decisions.first() {
+                                Some(d) => {
+                                    assert_eq!(d.kind, DecisionKind::Grant);
+                                    assert_eq!(
+                                        d.tenant, first,
+                                        "longest waiter {first} was not served first"
+                                    );
+                                }
+                                None => panic!("needy tenant {first} with reserve supply got no decision"),
+                            }
+                        }
+                    }
+
+                    // Track waits the way the arbiter does: needy tenants
+                    // not granted this round age; the rest reset.
+                    for t in 0..4u32 {
+                        let granted_now = decisions
+                            .iter()
+                            .any(|d| d.tenant == t && d.kind == DecisionKind::Grant);
+                        if needy.contains(&t) && !granted_now {
+                            m.wait_rounds[t as usize] += 1;
+                        } else {
+                            m.wait_rounds[t as usize] = 0;
+                        }
+                        if !needy.contains(&t) {
+                            m.defer_rounds[t as usize] = 0;
+                        }
+                    }
+                }
+            }
+            // Invariant 1 after every op: the books always balance and
+            // match the audited ledger.
+            assert_eq!(
+                a.granted_bytes() + a.unallocated_bytes(),
+                POOL,
+                "capacity not conserved"
+            );
+            for t in 0..4u32 {
+                assert_eq!(a.grant_of(t), m.grants[t as usize], "tenant {t} ledger drift");
+            }
+        }
+    });
+}
+
+/// Bounded wait: with one rich donor and three persistently needy
+/// tenants, every needy tenant is served within `n_needy` rounds —
+/// longest-waiter-first round-robins the supply instead of letting the
+/// lowest id win every time.
+#[test]
+fn persistent_need_with_supply_is_served_within_bounded_rounds() {
+    let mut a = Arbiter::new(ArbiterConfig {
+        pool_bytes: POOL,
+        grant_quantum_bytes: QUANTUM,
+        max_defer_rounds: MAX_DEFER,
+    });
+    // Tenant 0 is the donor holding the whole pool; 1–3 are needy.
+    a.register(0, POOL, 30.0);
+    for t in 1..4u32 {
+        a.register(t, 0, 3.0);
+    }
+
+    let donor_report = |grant: u64| TenantReport {
+        used_fast_bytes: grant,
+        cold_fast_bytes: grant / 2,
+        ..TenantReport::default()
+    };
+    let needy_report = TenantReport {
+        slowdown_pct: 20.0,
+        displaced_bytes: 32 * MB,
+        ..TenantReport::default()
+    };
+
+    let mut first_served: BTreeMap<u32, usize> = BTreeMap::new();
+    for round in 0..4 {
+        a.report(0, donor_report(a.grant_of(0)));
+        for t in 1..4u32 {
+            a.report(t, needy_report);
+        }
+        for d in a.rebalance() {
+            if d.kind == DecisionKind::Grant {
+                first_served.entry(d.tenant).or_insert(round);
+            }
+        }
+        assert_eq!(a.granted_bytes() + a.unallocated_bytes(), POOL);
+    }
+    for t in 1..4u32 {
+        assert!(
+            first_served.contains_key(&t),
+            "tenant {t} starved: never granted in 4 rounds with ample supply"
+        );
+        assert!(
+            a.grant_of(t) >= QUANTUM,
+            "tenant {t} ended below one quantum"
+        );
+    }
+}

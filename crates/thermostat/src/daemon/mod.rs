@@ -688,6 +688,10 @@ impl PolicyHook for Daemon {
         self.next_due_ns
     }
 
+    fn policy_name(&self) -> &str {
+        "thermostat"
+    }
+
     fn tick(&mut self, engine: &mut Engine) {
         match self.phase {
             Phase::Split => {

@@ -125,4 +125,22 @@ THERMO_JOBS=1 scripts/golden.sh check fig10
 echo "==> golden determinism cross-check (THERMO_JOBS=1, fab_bw fab_abort)"
 THERMO_JOBS=1 scripts/golden.sh check fab_bw fab_abort
 
+# Co-scheduled shared-tier cross-check: tenants_shared runs three
+# tenants on one discrete-event timeline over one arbitrated pool
+# (DESIGN.md §13); its golden must be identical serially — the run is
+# single-threaded by construction, so worker count must be unobservable.
+echo "==> golden determinism cross-check (THERMO_JOBS=1, tenants_shared)"
+THERMO_JOBS=1 scripts/golden.sh check tenants_shared
+
+# Scheduler ordering-fuzz sweep: THERMO_SCHED_FUZZ permutes same-
+# (time, class) pop-order batches under a seeded RNG. The co-scheduled
+# golden must be byte-identical under every seed — components sharing a
+# tick are required to commute (tests/sched_fuzz.rs sweeps the whole
+# registry; here the experiment that actually shares a timeline is
+# re-checked against its committed golden).
+for fuzz_seed in 1 2 3735928559 6840227782638526189; do
+  echo "==> scheduler ordering-fuzz check (THERMO_SCHED_FUZZ=$fuzz_seed, tenants_shared)"
+  THERMO_SCHED_FUZZ=$fuzz_seed scripts/golden.sh check tenants_shared
+done
+
 echo "CI OK"

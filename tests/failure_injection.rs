@@ -6,7 +6,8 @@
 use thermostat_suite::core::{Daemon, ThermostatConfig};
 use thermostat_suite::mem::{PageSize, Tier, VirtAddr};
 use thermostat_suite::sim::{
-    run_for, Access, Engine, FabricConfig, OpOutcome, PlanOp, PolicyPlan, SimConfig, Workload,
+    run_for, Access, Component, Control, Engine, FabricConfig, OpOutcome, PlanOp, PolicyPlan,
+    SchedError, Scheduler, SimConfig, Workload,
 };
 
 /// 90% of traffic on the first page, the rest uniform over the first
@@ -239,6 +240,135 @@ fn oom_during_commit_migrate_is_a_clean_abort() {
     );
     assert_eq!(engine.free_bytes(Tier::Slow), free_slow_before);
     assert_eq!(engine.footprint_breakdown().total(), engine.rss_bytes());
+}
+
+/// Ticks every `period_ns` until `deadline_ns`, counting ticks, then
+/// parks its whole group — the shape of a tenant app component.
+struct Pacer {
+    now_ns: u64,
+    period_ns: u64,
+    deadline_ns: u64,
+    ticks: std::rc::Rc<std::cell::Cell<u64>>,
+}
+
+impl Component for Pacer {
+    fn next_tick_ns(&self) -> u64 {
+        self.now_ns + self.period_ns
+    }
+
+    fn tick(&mut self) -> Control {
+        self.now_ns += self.period_ns;
+        self.ticks.set(self.ticks.get() + 1);
+        if self.now_ns >= self.deadline_ns {
+            Control::ParkGroup
+        } else {
+            Control::Continue
+        }
+    }
+
+    fn label(&self) -> String {
+        "pacer".into()
+    }
+}
+
+/// Panics at `at_ns` — an injected component fault.
+struct Poisoned {
+    at_ns: u64,
+    message: &'static str,
+}
+
+impl Component for Poisoned {
+    fn next_tick_ns(&self) -> u64 {
+        self.at_ns
+    }
+
+    fn tick(&mut self) -> Control {
+        panic!("{}", self.message);
+    }
+
+    fn label(&self) -> String {
+        "poisoned".into()
+    }
+}
+
+#[test]
+fn poisoned_component_parks_its_group_and_drains_the_rest() {
+    // Mirrors thermo-exec's panic contract on the event loop: a panicking
+    // component kills only its own group, every healthy group runs to its
+    // deadline, and the error names the lowest panicking component id.
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    let ms = 1_000_000u64;
+    let mut sched = Scheduler::new(None);
+    let healthy = Rc::new(Cell::new(0u64));
+    let sibling = Rc::new(Cell::new(0u64));
+
+    // id 0, group 0: a healthy tenant running to a 10ms deadline.
+    sched.add(
+        4,
+        0,
+        true,
+        Box::new(Pacer {
+            now_ns: 0,
+            period_ns: ms,
+            deadline_ns: 10 * ms,
+            ticks: Rc::clone(&healthy),
+        }),
+    );
+    // id 1, group 1: panics at 2ms…
+    sched.add(
+        4,
+        1,
+        true,
+        Box::new(Poisoned {
+            at_ns: 2 * ms,
+            message: "injected fault in tenant 1",
+        }),
+    );
+    // …id 2, group 1: its sibling daemon (class 2 runs before class 4 at
+    // equal times, so it sees exactly the 1ms and 2ms ticks).
+    sched.add(
+        2,
+        1,
+        false,
+        Box::new(Pacer {
+            now_ns: 0,
+            period_ns: ms,
+            deadline_ns: 10 * ms,
+            ticks: Rc::clone(&sibling),
+        }),
+    );
+    // id 3, group 2: a second, later fault — the error must still report
+    // the lowest id.
+    sched.add(
+        4,
+        2,
+        true,
+        Box::new(Poisoned {
+            at_ns: 5 * ms,
+            message: "injected fault in tenant 2",
+        }),
+    );
+
+    let err = sched.run().expect_err("injected faults must surface");
+    let SchedError::ComponentPanicked {
+        component_id,
+        group,
+        label,
+        message,
+    } = err;
+    assert_eq!(component_id, 1, "lowest panicking id wins");
+    assert_eq!(group, 1);
+    assert_eq!(label, "poisoned");
+    assert!(
+        message.contains("injected fault in tenant 1"),
+        "panic payload must be captured, got: {message}"
+    );
+    // The healthy group drained to its full deadline despite both faults.
+    assert_eq!(healthy.get(), 10, "healthy tenant must run to completion");
+    // The sibling died with its group: ticks at 1ms and 2ms, nothing after.
+    assert_eq!(sibling.get(), 2, "poisoned group must park atomically");
 }
 
 #[test]
