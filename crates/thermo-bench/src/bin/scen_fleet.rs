@@ -1,0 +1,5 @@
+//! The 1024-shard scenario policy-matrix sweep (`scen_fleet`).
+
+fn main() {
+    thermo_bench::experiments::run_and_finish("scen_fleet");
+}

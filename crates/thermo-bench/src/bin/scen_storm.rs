@@ -1,0 +1,5 @@
+//! The 32-tenant co-scheduled scenario storm (`scen_storm`).
+
+fn main() {
+    thermo_bench::experiments::run_and_finish("scen_storm");
+}

@@ -12,6 +12,7 @@ use crate::artifact::ExperimentArtifact;
 use crate::fab::{fab_abort_artifact, fab_bw_artifact};
 use crate::figs::footprint_artifact;
 use crate::harness::EvalParams;
+use crate::scen::{scen_fleet_artifact, scen_storm_artifact};
 use crate::tabs::{tab2_artifact, tab3_artifact, tab4_artifact};
 use crate::tenants::tenants_artifact;
 use crate::tenants_shared::tenants_shared_artifact;
@@ -104,6 +105,14 @@ pub const ALL: &[Experiment] = &[
     Experiment {
         id: "tenants_shared",
         run: tenants_shared_artifact,
+    },
+    Experiment {
+        id: "scen_fleet",
+        run: scen_fleet_artifact,
+    },
+    Experiment {
+        id: "scen_storm",
+        run: scen_storm_artifact,
     },
 ];
 

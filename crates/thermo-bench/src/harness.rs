@@ -105,7 +105,16 @@ impl EvalParams {
     /// the caches too. `SimConfig::paper_defaults` already encodes the
     /// reference scale of 16.
     pub fn sim_config(&self, app: AppId) -> SimConfig {
-        let footprint = (app.paper_rss_bytes() + app.paper_file_bytes()) / self.scale;
+        self.sim_config_sized((app.paper_rss_bytes() + app.paper_file_bytes()) / self.scale)
+    }
+
+    /// [`EvalParams::sim_config`] for an explicit demand-paged footprint
+    /// in bytes — the entry point for scenario tenants, whose phased
+    /// workloads declare absolute region sizes instead of Table-2
+    /// footprints divided by the scale. Cache geometry still shrinks
+    /// with `self.scale` so scenario runs live in the same regime as the
+    /// registry apps at the same evaluation scale.
+    pub fn sim_config_sized(&self, footprint: u64) -> SimConfig {
         // Headroom so demand paging and split/migrate churn never OOM; the
         // slow tier must hold any achievable cold fraction.
         let fast = footprint + footprint / 2 + (64 << 20);

@@ -23,6 +23,7 @@ pub mod figs;
 pub mod golden;
 pub mod harness;
 pub mod report;
+pub mod scen;
 pub mod tabs;
 pub mod tenants;
 pub mod tenants_shared;

@@ -121,7 +121,7 @@ pub struct Scope {
 }
 
 /// Crates whose state can reach a golden artifact (D1 scope).
-const ARTIFACT_CRATES: [&str; 10] = [
+const ARTIFACT_CRATES: [&str; 11] = [
     "thermo-mem",
     "thermo-vm",
     "thermo-trap",
@@ -129,6 +129,7 @@ const ARTIFACT_CRATES: [&str; 10] = [
     "thermo-kstaled",
     "thermostat",
     "thermo-workloads",
+    "thermo-scenario",
     "thermo-bench",
     "thermo-exec",
     "thermostat-suite",
@@ -720,6 +721,12 @@ mod tests {
         let s = Scope::for_path("src/lib.rs");
         assert_eq!(s.crate_name, "thermostat-suite");
         assert!(s.artifact);
+
+        let s = Scope::for_path("crates/thermo-scenario/src/phased.rs");
+        assert!(s.artifact, "scenario streams reach goldens (D1)");
+        assert!(!s.rng, "scenario crate draws freely outside decide.rs");
+        let s = Scope::for_path("crates/thermo-scenario/src/decide.rs");
+        assert!(!s.rng_fns, "decide.rs is the legal seed-derivation site");
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Declarative colocation scenarios for the Thermostat evaluation.
+//!
+//! A [`ScenarioSpec`] describes a fleet of tenants as data: groups of
+//! identical tenants, each a composition of **phases** (day/night,
+//! calm/spike) × **access skew** (uniform, Zipfian, hotspot, sequential)
+//! × **footprint growth** (linear, sawtooth, step) × **read/write mix**
+//! × **arrival pattern** (immediate, staggered). Specs round-trip
+//! through the in-tree ordered-JSON codec with no external
+//! dependencies, and [`compile`] lowers a spec into the flat shard
+//! order the sharded ([`thermo-exec`]) and co-scheduled (PR-7 arbiter)
+//! runners consume. Tenant streams are seeded with
+//! [`decide::tenant_stream_seed`] — a pure function of
+//! `(base_seed, seed_salt, tenant)` — so a compiled scenario is
+//! byte-identical across worker counts and schedules.
+//!
+//! The [`library`] module ships the named scenarios the bench harness
+//! runs (`diurnal`, `flash-crowd`, `memtable-storm`, `antagonist`,
+//! `failover`, `table2`, `fleet`, `storm`).
+//!
+//! ```
+//! use thermo_scenario::{compile, library};
+//!
+//! let spec = library::named("storm").unwrap();
+//! let compiled = compile(&spec).unwrap();
+//! assert_eq!(compiled.n_tenants(), 32);
+//! // Shard 3's workload, seeded for run seed 7 — deterministic.
+//! let seed = compiled.tenant_seed(7, 3);
+//! let w = compiled.build_workload(3, seed, 512);
+//! assert!(w.footprint().anon_bytes > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod decide;
+pub mod library;
+pub mod phased;
+pub mod spec;
+
+pub use compile::{compile, CompiledScenario, CompiledTenant};
+pub use phased::PhasedWorkload;
+pub use spec::{
+    ArrivalSpec, GrowthSpec, MixEntry, PatternSpec, PhaseSpec, PhasedSpec, RegionDecl,
+    ScenarioSpec, SpecError, TenantGroup, WorkloadSpec,
+};

@@ -1,0 +1,360 @@
+//! The named scenario library: production-shaped traffic as data.
+//!
+//! Each constructor returns a [`TenantGroup`] (composable into fleets)
+//! or a full [`ScenarioSpec`]. Shapes are deliberately small — a few MB
+//! per tenant, millisecond-scale phases — so O(1000)-tenant sweeps stay
+//! in smoke-test territory; the *shapes* (skew, growth, spikes,
+//! thrash) are what exercise the policies, not the absolute sizes.
+//!
+//! The named entry points (`named`) are:
+//!
+//! | name             | shape                                              |
+//! |------------------|----------------------------------------------------|
+//! | `diurnal`        | day/night phase cycle over hot + archive regions   |
+//! | `flash-crowd`    | calm → 16x request spike → recovery                |
+//! | `memtable-storm` | sawtooth Memtable growth + compaction, SSTable reads |
+//! | `antagonist`     | streaming scan thrashing the fast tier             |
+//! | `failover`       | mid-run step-doubling of the footprint             |
+//! | `table2`         | the six paper applications, one tenant each        |
+//! | `fleet`          | 256-tenant mix of the five shapes above            |
+//! | `storm`          | 32-tenant co-schedulable contention mix            |
+
+use crate::spec::{
+    ArrivalSpec, GrowthSpec, MixEntry, PatternSpec, PhaseSpec, PhasedSpec, RegionDecl,
+    ScenarioSpec, TenantGroup, WorkloadSpec,
+};
+use thermo_workloads::AppId;
+
+const KB: u64 = 1 << 10;
+const MB: u64 = 1 << 20;
+/// One "scenario hour": the base phase length every shape is built from.
+/// Virtual milliseconds, so a full diurnal cycle fits in a smoke run.
+/// Public so harnesses can pin run durations and policy periods in the
+/// same unit the shapes are authored in.
+pub const HOUR_NS: u64 = 2_000_000;
+
+fn region(name: &str, bytes: u64, pattern: PatternSpec) -> RegionDecl {
+    RegionDecl {
+        name: name.to_string(),
+        bytes,
+        pattern,
+        thp: true,
+        file_backed: false,
+        grow: None,
+    }
+}
+
+fn mix(region: &str, weight: u32, write_pct: u8, lines_per_op: u32) -> MixEntry {
+    MixEntry {
+        region: region.to_string(),
+        weight,
+        write_pct,
+        lines_per_op,
+    }
+}
+
+fn phase(name: &str, duration_ns: u64, rate_pct: u32, mix: Vec<MixEntry>) -> PhaseSpec {
+    PhaseSpec {
+        name: name.to_string(),
+        duration_ns,
+        rate_pct,
+        mix,
+    }
+}
+
+/// Diurnal load: daytime traffic hammers a hot set; at night the rate
+/// drops to a fifth and shifts toward the archive, so yesterday's hot
+/// pages go cold and a good policy demotes them before the next day.
+pub fn diurnal_group(count: u32) -> TenantGroup {
+    TenantGroup {
+        name: "diurnal".to_string(),
+        count,
+        read_pct: 95,
+        slo_pct: 3.0,
+        arrival: ArrivalSpec::IMMEDIATE,
+        workload: WorkloadSpec::Phased(PhasedSpec {
+            compute_ns: 800,
+            repeat: true,
+            regions: vec![
+                region("hot", MB, PatternSpec::Zipfian { theta: 0.9 }),
+                region("archive", 2 * MB, PatternSpec::Uniform),
+            ],
+            phases: vec![
+                phase(
+                    "day",
+                    2 * HOUR_NS,
+                    100,
+                    vec![mix("hot", 9, 10, 1), mix("archive", 1, 0, 1)],
+                ),
+                phase(
+                    "night",
+                    2 * HOUR_NS,
+                    20,
+                    vec![mix("hot", 1, 5, 1), mix("archive", 4, 0, 2)],
+                ),
+            ],
+        }),
+    }
+}
+
+/// Flash crowd: long calm, a 16x request spike concentrated on the hot
+/// keys, then recovery — Jenga's responsiveness-without-thrashing regime.
+pub fn flash_crowd_group(count: u32) -> TenantGroup {
+    TenantGroup {
+        name: "flash".to_string(),
+        count,
+        read_pct: 95,
+        slo_pct: 5.0,
+        arrival: ArrivalSpec::IMMEDIATE,
+        workload: WorkloadSpec::Phased(PhasedSpec {
+            compute_ns: 800,
+            repeat: false,
+            regions: vec![region(
+                "store",
+                MB + 512 * KB,
+                PatternSpec::Hotspot {
+                    hot_key_fraction: 0.001,
+                    hot_traffic_fraction: 0.9,
+                },
+            )],
+            phases: vec![
+                phase("calm", 2 * HOUR_NS, 50, vec![mix("store", 1, 10, 1)]),
+                phase("spike", HOUR_NS, 800, vec![mix("store", 1, 10, 1)]),
+                phase("recover", 2 * HOUR_NS, 50, vec![mix("store", 1, 10, 1)]),
+            ],
+        }),
+    }
+}
+
+/// Memtable growth + compaction storm: a write-heavy Memtable fills in a
+/// sawtooth (compaction resets the window every cycle) while SSTable
+/// reads stream from a file-backed region — Cassandra's §4.3 behaviour
+/// as a reusable shape.
+pub fn memtable_storm_group(count: u32) -> TenantGroup {
+    TenantGroup {
+        name: "memtable".to_string(),
+        count,
+        read_pct: 50,
+        slo_pct: 5.0,
+        arrival: ArrivalSpec::IMMEDIATE,
+        workload: WorkloadSpec::Phased(PhasedSpec {
+            compute_ns: 800,
+            repeat: true,
+            regions: vec![
+                RegionDecl {
+                    name: "memtable".to_string(),
+                    bytes: MB,
+                    pattern: PatternSpec::Zipfian { theta: 0.9 },
+                    thp: true,
+                    file_backed: false,
+                    grow: Some(GrowthSpec {
+                        start_bytes: 128 * KB,
+                        full_at_ns: 2 * HOUR_NS,
+                        reset_period_ns: 2 * HOUR_NS + HOUR_NS / 2,
+                        step: false,
+                    }),
+                },
+                RegionDecl {
+                    name: "sstables".to_string(),
+                    bytes: 2 * MB,
+                    pattern: PatternSpec::Uniform,
+                    thp: true,
+                    file_backed: true,
+                    grow: None,
+                },
+            ],
+            phases: vec![phase(
+                "churn",
+                HOUR_NS,
+                100,
+                vec![mix("memtable", 7, 80, 1), mix("sstables", 3, 0, 2)],
+            )],
+        }),
+    }
+}
+
+/// Antagonist: a streaming scan with writes over a footprint bigger than
+/// any reasonable hot set, at 3x rate — the tenant that thrashes a
+/// shared fast tier if arbitration lets it.
+pub fn antagonist_group(count: u32) -> TenantGroup {
+    TenantGroup {
+        name: "antagonist".to_string(),
+        count,
+        read_pct: 50,
+        slo_pct: 30.0,
+        arrival: ArrivalSpec::IMMEDIATE,
+        workload: WorkloadSpec::Phased(PhasedSpec {
+            compute_ns: 800,
+            repeat: true,
+            regions: vec![region("scan", 4 * MB, PatternSpec::Sequential)],
+            phases: vec![phase("thrash", HOUR_NS, 300, vec![mix("scan", 1, 50, 8)])],
+        }),
+    }
+}
+
+/// Mid-run failover: a steady Zipfian tenant whose footprint window
+/// step-doubles at `full_at_ns` — the moment it inherits a failed peer's
+/// shard. Instances stagger by 1/16 hour so a fleet's failovers spread
+/// across the run instead of landing on one tick.
+pub fn failover_group(count: u32, full_at_ns: u64) -> TenantGroup {
+    TenantGroup {
+        name: "failover".to_string(),
+        count,
+        read_pct: 90,
+        slo_pct: 3.0,
+        arrival: ArrivalSpec {
+            start_ns: 0,
+            stagger_ns: HOUR_NS / 16,
+        },
+        workload: WorkloadSpec::Phased(PhasedSpec {
+            compute_ns: 800,
+            repeat: true,
+            regions: vec![RegionDecl {
+                name: "shard".to_string(),
+                bytes: 2 * MB,
+                pattern: PatternSpec::Zipfian { theta: 0.95 },
+                thp: true,
+                file_backed: false,
+                grow: Some(GrowthSpec {
+                    start_bytes: MB,
+                    full_at_ns,
+                    reset_period_ns: 0,
+                    step: true,
+                }),
+            }],
+            phases: vec![phase("serve", HOUR_NS, 100, vec![mix("shard", 1, 10, 1)])],
+        }),
+    }
+}
+
+/// The paper's Table-2 applications as a scenario: one tenant per app,
+/// in registry order, everything at the defaults the hand-written
+/// harnesses use — compiled streams are byte-identical to
+/// `AppId::build`.
+pub fn table2() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "table2".to_string(),
+        seed_salt: 0,
+        groups: AppId::ALL
+            .iter()
+            .map(|app| TenantGroup {
+                name: app.to_string(),
+                count: 1,
+                read_pct: 95,
+                slo_pct: 3.0,
+                arrival: ArrivalSpec::IMMEDIATE,
+                workload: WorkloadSpec::App {
+                    app: app.to_string(),
+                },
+            })
+            .collect(),
+    }
+}
+
+/// The 256-tenant fleet mix: every shape above, sized like a production
+/// cell (mostly steady serving, a band of spiky and growing tenants, a
+/// few antagonists). `scen_fleet` runs four of these — one per policy.
+pub fn fleet() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "fleet".to_string(),
+        seed_salt: 0xf1ee7,
+        groups: vec![
+            diurnal_group(96),
+            flash_crowd_group(48),
+            memtable_storm_group(48),
+            failover_group(48, 2 * HOUR_NS),
+            antagonist_group(16),
+        ],
+    }
+}
+
+/// The 32-tenant contention mix for the co-scheduled arbiter run
+/// (`scen_storm`): antagonists squeeze a shared pool while growing and
+/// spiking tenants need capacity mid-run.
+pub fn storm() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "storm".to_string(),
+        seed_salt: 0x5702,
+        groups: vec![
+            diurnal_group(10),
+            flash_crowd_group(8),
+            memtable_storm_group(8),
+            failover_group(4, 4 * HOUR_NS),
+            antagonist_group(2),
+        ],
+    }
+}
+
+/// Looks up a library scenario by name.
+pub fn named(name: &str) -> Option<ScenarioSpec> {
+    let single = |group: TenantGroup| ScenarioSpec {
+        name: name.to_string(),
+        seed_salt: 0x11b,
+        groups: vec![group],
+    };
+    match name {
+        "diurnal" => Some(single(diurnal_group(1))),
+        "flash-crowd" => Some(single(flash_crowd_group(1))),
+        "memtable-storm" => Some(single(memtable_storm_group(1))),
+        "antagonist" => Some(single(antagonist_group(1))),
+        "failover" => Some(single(failover_group(1, 4 * HOUR_NS))),
+        "table2" => Some(table2()),
+        "fleet" => Some(fleet()),
+        "storm" => Some(storm()),
+        _ => None,
+    }
+}
+
+/// All library scenario names, for docs and CLI listings.
+pub const NAMES: [&str; 8] = [
+    "diurnal",
+    "flash-crowd",
+    "memtable-storm",
+    "antagonist",
+    "failover",
+    "table2",
+    "fleet",
+    "storm",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use thermo_util::json::{decode, encode};
+
+    #[test]
+    fn every_named_scenario_validates_and_compiles() {
+        for name in NAMES {
+            let spec = named(name).unwrap_or_else(|| panic!("missing scenario {name}"));
+            let c = compile(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(c.n_tenants() > 0, "{name} has tenants");
+        }
+        assert!(named("nope").is_none());
+    }
+
+    #[test]
+    fn named_scenarios_roundtrip_through_json() {
+        for name in NAMES {
+            let spec = named(name).unwrap();
+            let text = encode(&spec);
+            let back: ScenarioSpec = decode(&text).unwrap();
+            assert_eq!(spec, back, "{name} JSON roundtrip");
+        }
+    }
+
+    #[test]
+    fn fleet_and_storm_have_the_advertised_scale() {
+        assert_eq!(fleet().n_tenants(), 256);
+        assert_eq!(storm().n_tenants(), 32);
+    }
+
+    #[test]
+    fn table2_matches_registry_order() {
+        let spec = table2();
+        assert_eq!(spec.groups.len(), AppId::ALL.len());
+        for (g, app) in spec.groups.iter().zip(AppId::ALL.iter()) {
+            assert_eq!(g.name, app.to_string());
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! The scenario specification model: plain data, JSON in and out.
+//!
+//! A [`ScenarioSpec`] describes a fleet declaratively — tenant groups,
+//! each a composition of *phases* (traffic mix over time) × *access
+//! skew* (per-region key distribution) × *footprint growth* × *read/write
+//! mix* × *arrival pattern*. Specs carry no behaviour: `compile` turns
+//! them into deterministic workload streams, and the JSON codec (the
+//! in-tree `thermo-util` writer, no external deps) round-trips them
+//! byte-for-byte so scenarios can live in files, goldens, and notes.
+//!
+//! All byte sizes are absolute and must be 4KB-multiples; durations are
+//! virtual nanoseconds. A tenant naming a paper application (kind
+//! `"app"`) compiles through the `thermo-workloads` registry and is
+//! byte-identical to the hand-constructed generator.
+
+use std::fmt;
+use std::str::FromStr;
+use thermo_util::json::{FromJson, JsonError, ToJson, Value};
+use thermo_workloads::AppId;
+
+/// Error produced by spec validation or compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario spec error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A whole scenario: a named fleet of tenant groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (report label).
+    pub name: String,
+    /// Mixed into every tenant's stream seed so two scenarios with equal
+    /// shapes still draw distinct streams.
+    pub seed_salt: u64,
+    /// Tenant groups; tenants enumerate in group order, then instance
+    /// order within the group.
+    pub groups: Vec<TenantGroup>,
+}
+
+/// A group of `count` identically-shaped tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantGroup {
+    /// Group name (row label, VMA tag prefix).
+    pub name: String,
+    /// Number of tenant instances in the group.
+    pub count: u32,
+    /// YCSB-style read percentage handed to the workload/daemon configs.
+    pub read_pct: u8,
+    /// Tolerable-slowdown SLO (%) for this group's tenants.
+    pub slo_pct: f64,
+    /// When the group's instances start issuing traffic.
+    pub arrival: ArrivalSpec,
+    /// What each instance runs.
+    pub workload: WorkloadSpec,
+}
+
+/// Arrival pattern: instance `i` starts at `start_ns + i * stagger_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalSpec {
+    /// Virtual time the first instance starts.
+    pub start_ns: u64,
+    /// Extra delay per subsequent instance (0 = all at once).
+    pub stagger_ns: u64,
+}
+
+impl ArrivalSpec {
+    /// Everyone starts at t=0.
+    pub const IMMEDIATE: ArrivalSpec = ArrivalSpec {
+        start_ns: 0,
+        stagger_ns: 0,
+    };
+}
+
+/// What a tenant runs: a pre-baked paper application or a phased
+/// composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// One of the six Table-2 applications, by registry name
+    /// (`"redis"`, `"mysql-tpcc"`, … — aliases accepted).
+    App {
+        /// Registry name of the application.
+        app: String,
+    },
+    /// A declarative phased workload.
+    Phased(PhasedSpec),
+}
+
+/// A phased workload: named regions plus a phase schedule over them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedSpec {
+    /// Base per-operation compute, virtual ns (scaled by each phase's
+    /// `rate_pct`).
+    pub compute_ns: u64,
+    /// Cycle the phase schedule forever (diurnal) instead of clamping
+    /// into the last phase once the schedule is exhausted.
+    pub repeat: bool,
+    /// The memory regions, mapped at their declared `bytes` at init —
+    /// the declared sizes are the tenant's footprint bound.
+    pub regions: Vec<RegionDecl>,
+    /// The phase schedule, in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+/// One declared memory region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDecl {
+    /// Region name (referenced by phase mixes; VMA tag).
+    pub name: String,
+    /// Declared size in bytes (4KB multiple); also the growth ceiling.
+    pub bytes: u64,
+    /// Key distribution for accesses into this region.
+    pub pattern: PatternSpec,
+    /// Map as THP-eligible.
+    pub thp: bool,
+    /// Map as file-backed (Table-2 accounting).
+    pub file_backed: bool,
+    /// Footprint growth over time; `None` = fully resident from t=0.
+    pub grow: Option<GrowthSpec>,
+}
+
+/// Access skew within one region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatternSpec {
+    /// Uniform random lines.
+    Uniform,
+    /// YCSB scrambled-Zipfian lines.
+    Zipfian {
+        /// Skew parameter in (0, 1).
+        theta: f64,
+    },
+    /// Hotspot: a key fraction takes a traffic fraction (Redis-style).
+    Hotspot {
+        /// Fraction of keys that are hot, in (0, 1).
+        hot_key_fraction: f64,
+        /// Fraction of traffic the hot keys take, in (0, 1).
+        hot_traffic_fraction: f64,
+    },
+    /// Sequential cursor (streaming scan); wraps around.
+    Sequential,
+}
+
+/// Footprint growth: the touched window expands from `start_bytes` to the
+/// region's declared `bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowthSpec {
+    /// Initial touched window, bytes (4KB multiple, ≤ declared bytes).
+    pub start_bytes: u64,
+    /// Virtual ns after the tenant's arrival at which the window reaches
+    /// the declared size.
+    pub full_at_ns: u64,
+    /// If nonzero, the growth clock wraps with this period — a sawtooth
+    /// (Memtable fill + compaction flush). 0 = grow once.
+    pub reset_period_ns: u64,
+    /// Step instead of linear growth: the window jumps from
+    /// `start_bytes` straight to `bytes` at `full_at_ns` (mid-run
+    /// failover doubling a tenant's footprint).
+    pub step: bool,
+}
+
+/// One phase of the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name (for docs/traces).
+    pub name: String,
+    /// Phase length, virtual ns.
+    pub duration_ns: u64,
+    /// Traffic rate relative to `compute_ns`, percent (100 = base rate,
+    /// 10 = one tenth, 1000 = ten-fold spike). Effective per-op compute
+    /// is `compute_ns * 100 / rate_pct`.
+    pub rate_pct: u32,
+    /// Traffic mix over the declared regions during this phase.
+    pub mix: Vec<MixEntry>,
+}
+
+/// One region's share of a phase's traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixEntry {
+    /// Declared region name.
+    pub region: String,
+    /// Relative weight (0 = untouched this phase).
+    pub weight: u32,
+    /// Percentage of this region's operations that write (0..=100).
+    pub write_pct: u8,
+    /// Lines touched per operation.
+    pub lines_per_op: u32,
+}
+
+thermo_util::json_struct!(ScenarioSpec {
+    name,
+    seed_salt,
+    groups
+});
+thermo_util::json_struct!(TenantGroup {
+    name,
+    count,
+    read_pct,
+    slo_pct,
+    arrival,
+    workload
+});
+thermo_util::json_struct!(ArrivalSpec {
+    start_ns,
+    stagger_ns
+});
+thermo_util::json_struct!(PhasedSpec {
+    compute_ns,
+    repeat,
+    regions,
+    phases
+});
+thermo_util::json_struct!(RegionDecl {
+    name,
+    bytes,
+    pattern,
+    thp,
+    file_backed,
+    grow
+});
+thermo_util::json_struct!(GrowthSpec {
+    start_bytes,
+    full_at_ns,
+    reset_period_ns,
+    step
+});
+thermo_util::json_struct!(PhaseSpec {
+    name,
+    duration_ns,
+    rate_pct,
+    mix
+});
+thermo_util::json_struct!(MixEntry {
+    region,
+    weight,
+    write_pct,
+    lines_per_op
+});
+
+// `json_enum!` only covers unit variants; the two data-carrying enums get
+// explicit tagged-object codecs (`{"kind": ..., ...fields}`).
+
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Value {
+        match self {
+            WorkloadSpec::App { app } => Value::Obj(vec![
+                ("kind".to_string(), Value::Str("app".to_string())),
+                ("app".to_string(), Value::Str(app.clone())),
+            ]),
+            WorkloadSpec::Phased(p) => Value::Obj(vec![
+                ("kind".to_string(), Value::Str("phased".to_string())),
+                ("phased".to_string(), p.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError::new("WorkloadSpec: missing `kind`"))?;
+        match kind {
+            "app" => Ok(WorkloadSpec::App {
+                app: String::from_json(
+                    v.get("app")
+                        .ok_or_else(|| JsonError::new("WorkloadSpec: missing `app`"))?,
+                )?,
+            }),
+            "phased" => Ok(WorkloadSpec::Phased(PhasedSpec::from_json(
+                v.get("phased")
+                    .ok_or_else(|| JsonError::new("WorkloadSpec: missing `phased`"))?,
+            )?)),
+            other => Err(JsonError::new(format!(
+                "WorkloadSpec: unknown kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for PatternSpec {
+    fn to_json(&self) -> Value {
+        match self {
+            PatternSpec::Uniform => Value::Obj(vec![(
+                "kind".to_string(),
+                Value::Str("uniform".to_string()),
+            )]),
+            PatternSpec::Zipfian { theta } => Value::Obj(vec![
+                ("kind".to_string(), Value::Str("zipfian".to_string())),
+                ("theta".to_string(), Value::F64(*theta)),
+            ]),
+            PatternSpec::Hotspot {
+                hot_key_fraction,
+                hot_traffic_fraction,
+            } => Value::Obj(vec![
+                ("kind".to_string(), Value::Str("hotspot".to_string())),
+                (
+                    "hot_key_fraction".to_string(),
+                    Value::F64(*hot_key_fraction),
+                ),
+                (
+                    "hot_traffic_fraction".to_string(),
+                    Value::F64(*hot_traffic_fraction),
+                ),
+            ]),
+            PatternSpec::Sequential => Value::Obj(vec![(
+                "kind".to_string(),
+                Value::Str("sequential".to_string()),
+            )]),
+        }
+    }
+}
+
+impl FromJson for PatternSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError::new("PatternSpec: missing `kind`"))?;
+        let field = |name: &str| -> Result<f64, JsonError> {
+            v.get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| JsonError::new(format!("PatternSpec: missing number `{name}`")))
+        };
+        match kind {
+            "uniform" => Ok(PatternSpec::Uniform),
+            "zipfian" => Ok(PatternSpec::Zipfian {
+                theta: field("theta")?,
+            }),
+            "hotspot" => Ok(PatternSpec::Hotspot {
+                hot_key_fraction: field("hot_key_fraction")?,
+                hot_traffic_fraction: field("hot_traffic_fraction")?,
+            }),
+            "sequential" => Ok(PatternSpec::Sequential),
+            other => Err(JsonError::new(format!(
+                "PatternSpec: unknown kind `{other}`"
+            ))),
+        }
+    }
+}
+
+const PAGE: u64 = 4096;
+
+impl ScenarioSpec {
+    /// Total tenant count across all groups.
+    pub fn n_tenants(&self) -> usize {
+        self.groups.iter().map(|g| g.count as usize).sum()
+    }
+
+    /// Structural validation: every constraint `compile` relies on, with
+    /// messages naming the offending group/region/phase.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("scenario name must be nonempty"));
+        }
+        if self.groups.is_empty() {
+            return Err(SpecError::new(format!("{}: no tenant groups", self.name)));
+        }
+        for g in &self.groups {
+            let at = |what: &str| format!("{}/{}: {what}", self.name, g.name);
+            if g.count == 0 {
+                return Err(SpecError::new(at("count must be >= 1")));
+            }
+            if g.read_pct > 100 {
+                return Err(SpecError::new(at("read_pct must be <= 100")));
+            }
+            if !(g.slo_pct.is_finite() && g.slo_pct > 0.0) {
+                return Err(SpecError::new(at("slo_pct must be finite and > 0")));
+            }
+            match &g.workload {
+                WorkloadSpec::App { app } => {
+                    if AppId::from_str(app).is_err() {
+                        return Err(SpecError::new(at(&format!("unknown application `{app}`"))));
+                    }
+                }
+                WorkloadSpec::Phased(p) => validate_phased(p, &at)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_phased(p: &PhasedSpec, at: &dyn Fn(&str) -> String) -> Result<(), SpecError> {
+    if p.compute_ns == 0 {
+        return Err(SpecError::new(at("compute_ns must be >= 1")));
+    }
+    if p.regions.is_empty() {
+        return Err(SpecError::new(at("phased workload needs regions")));
+    }
+    if p.phases.is_empty() {
+        return Err(SpecError::new(at("phased workload needs phases")));
+    }
+    for r in &p.regions {
+        let rat = |what: &str| at(&format!("region `{}`: {what}", r.name));
+        if p.regions.iter().filter(|o| o.name == r.name).count() > 1 {
+            return Err(SpecError::new(rat("duplicate region name")));
+        }
+        if r.bytes == 0 || r.bytes % PAGE != 0 {
+            return Err(SpecError::new(rat("bytes must be a nonzero 4KB multiple")));
+        }
+        match r.pattern {
+            PatternSpec::Zipfian { theta } => {
+                if !(theta > 0.0 && theta < 1.0) {
+                    return Err(SpecError::new(rat("zipfian theta must be in (0,1)")));
+                }
+            }
+            PatternSpec::Hotspot {
+                hot_key_fraction,
+                hot_traffic_fraction,
+            } => {
+                for f in [hot_key_fraction, hot_traffic_fraction] {
+                    if !(f > 0.0 && f < 1.0) {
+                        return Err(SpecError::new(rat("hotspot fractions must be in (0,1)")));
+                    }
+                }
+            }
+            PatternSpec::Uniform | PatternSpec::Sequential => {}
+        }
+        if let Some(gr) = &r.grow {
+            if gr.start_bytes == 0 || gr.start_bytes % PAGE != 0 || gr.start_bytes > r.bytes {
+                return Err(SpecError::new(rat(
+                    "grow.start_bytes must be a nonzero 4KB multiple <= bytes",
+                )));
+            }
+            if gr.full_at_ns == 0 {
+                return Err(SpecError::new(rat("grow.full_at_ns must be >= 1")));
+            }
+        }
+    }
+    for ph in &p.phases {
+        let pat = |what: &str| at(&format!("phase `{}`: {what}", ph.name));
+        if ph.duration_ns == 0 {
+            return Err(SpecError::new(pat("duration_ns must be >= 1")));
+        }
+        if ph.rate_pct == 0 || ph.rate_pct > 10_000 {
+            return Err(SpecError::new(pat("rate_pct must be in 1..=10000")));
+        }
+        if ph.mix.is_empty() {
+            return Err(SpecError::new(pat("mix must be nonempty")));
+        }
+        if ph.mix.iter().map(|m| m.weight as u64).sum::<u64>() == 0 {
+            return Err(SpecError::new(pat("mix needs a positive total weight")));
+        }
+        for m in &ph.mix {
+            if !p.regions.iter().any(|r| r.name == m.region) {
+                return Err(SpecError::new(pat(&format!(
+                    "mix references undeclared region `{}`",
+                    m.region
+                ))));
+            }
+            if m.write_pct > 100 {
+                return Err(SpecError::new(pat("write_pct must be <= 100")));
+            }
+            if m.lines_per_op == 0 || m.lines_per_op > 64 {
+                return Err(SpecError::new(pat("lines_per_op must be in 1..=64")));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl PhasedSpec {
+    /// Declared anonymous bytes — the footprint bound for the anon half.
+    pub fn anon_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| !r.file_backed)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Declared file-backed bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.file_backed)
+            .map(|r| r.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermo_util::json::{decode, encode};
+
+    fn tiny_phased() -> PhasedSpec {
+        PhasedSpec {
+            compute_ns: 500,
+            repeat: true,
+            regions: vec![RegionDecl {
+                name: "hot".to_string(),
+                bytes: 64 * PAGE,
+                pattern: PatternSpec::Zipfian { theta: 0.9 },
+                thp: true,
+                file_backed: false,
+                grow: None,
+            }],
+            phases: vec![PhaseSpec {
+                name: "steady".to_string(),
+                duration_ns: 1_000_000,
+                rate_pct: 100,
+                mix: vec![MixEntry {
+                    region: "hot".to_string(),
+                    weight: 1,
+                    write_pct: 10,
+                    lines_per_op: 2,
+                }],
+            }],
+        }
+    }
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny".to_string(),
+            seed_salt: 7,
+            groups: vec![
+                TenantGroup {
+                    name: "apps".to_string(),
+                    count: 2,
+                    read_pct: 95,
+                    slo_pct: 3.0,
+                    arrival: ArrivalSpec::IMMEDIATE,
+                    workload: WorkloadSpec::App {
+                        app: "redis".to_string(),
+                    },
+                },
+                TenantGroup {
+                    name: "phased".to_string(),
+                    count: 1,
+                    read_pct: 90,
+                    slo_pct: 10.0,
+                    arrival: ArrivalSpec {
+                        start_ns: 5_000,
+                        stagger_ns: 1_000,
+                    },
+                    workload: WorkloadSpec::Phased(tiny_phased()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let spec = tiny_spec();
+        let text = encode(&spec);
+        let back: ScenarioSpec = decode(&text).unwrap();
+        assert_eq!(spec, back);
+        // Deterministic output: equal specs encode to equal bytes.
+        assert_eq!(text, encode(&back));
+    }
+
+    #[test]
+    fn pattern_codec_covers_all_variants() {
+        for p in [
+            PatternSpec::Uniform,
+            PatternSpec::Zipfian { theta: 0.73 },
+            PatternSpec::Hotspot {
+                hot_key_fraction: 0.001,
+                hot_traffic_fraction: 0.9,
+            },
+            PatternSpec::Sequential,
+        ] {
+            let back: PatternSpec = decode(&encode(&p)).unwrap();
+            assert_eq!(p, back);
+        }
+        assert!(decode::<PatternSpec>(r#"{"kind":"wat"}"#).is_err());
+    }
+
+    #[test]
+    fn validates_good_spec() {
+        tiny_spec().validate().unwrap();
+        assert_eq!(tiny_spec().n_tenants(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let mut s = tiny_spec();
+        s.groups.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = tiny_spec();
+        s.groups[0].workload = WorkloadSpec::App {
+            app: "mongodb".to_string(),
+        };
+        assert!(s.validate().unwrap_err().to_string().contains("mongodb"));
+
+        let mut s = tiny_spec();
+        if let WorkloadSpec::Phased(p) = &mut s.groups[1].workload {
+            p.regions[0].bytes = 100; // not a page multiple
+        }
+        assert!(s.validate().is_err());
+
+        let mut s = tiny_spec();
+        if let WorkloadSpec::Phased(p) = &mut s.groups[1].workload {
+            p.phases[0].mix[0].region = "nope".to_string();
+        }
+        assert!(s.validate().unwrap_err().to_string().contains("nope"));
+
+        let mut s = tiny_spec();
+        if let WorkloadSpec::Phased(p) = &mut s.groups[1].workload {
+            p.regions[0].grow = Some(GrowthSpec {
+                start_bytes: p.regions[0].bytes + PAGE,
+                full_at_ns: 1,
+                reset_period_ns: 0,
+                step: false,
+            });
+        }
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn declared_footprint_sums_by_backing() {
+        let mut p = tiny_phased();
+        p.regions.push(RegionDecl {
+            name: "sstables".to_string(),
+            bytes: 32 * PAGE,
+            pattern: PatternSpec::Uniform,
+            thp: false,
+            file_backed: true,
+            grow: None,
+        });
+        assert_eq!(p.anon_bytes(), 64 * PAGE);
+        assert_eq!(p.file_bytes(), 32 * PAGE);
+    }
+}

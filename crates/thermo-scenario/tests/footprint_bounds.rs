@@ -1,0 +1,137 @@
+//! Shrinking property test: a randomly generated scenario's engine
+//! footprint never exceeds its declared bound — not at init, and not
+//! after running long enough for every growth schedule to widen, reset,
+//! and step. The bound is what `scen_fleet`/`scen_storm` size their
+//! tiers from, so a violation here would mean an OOM panic lurking in
+//! some corner of the spec space.
+//!
+//! Specs are built from primitive draws (page counts, pattern selectors,
+//! growth knobs), so a failure shrinks toward the smallest
+//! region/phase structure that still breaks the bound.
+
+use thermo_scenario::{
+    compile, ArrivalSpec, GrowthSpec, MixEntry, PatternSpec, PhaseSpec, PhasedSpec, RegionDecl,
+    ScenarioSpec, TenantGroup, WorkloadSpec,
+};
+use thermo_sim::{run_for, Engine, NoPolicy, SimConfig};
+use thermo_util::forall;
+use thermo_util::proptest_lite::{range, vec_of};
+
+const PAGE: u64 = 4096;
+
+fn pattern(sel: u64) -> PatternSpec {
+    match sel % 4 {
+        0 => PatternSpec::Uniform,
+        1 => PatternSpec::Zipfian { theta: 0.9 },
+        2 => PatternSpec::Hotspot {
+            hot_key_fraction: 0.125,
+            hot_traffic_fraction: 0.875,
+        },
+        _ => PatternSpec::Sequential,
+    }
+}
+
+/// One region from a primitive draw: `pages` total size, `start_pages`
+/// clamped into range (0 = growth disabled), and a packed `misc`
+/// selector covering sawtooth (`misc % 2`), step growth
+/// (`misc / 2 % 2`), and file backing (`misc % 3 == 0`).
+fn region(i: usize, draw: &(u64, u64, u64, u64)) -> RegionDecl {
+    let (pages, start_pages, pattern_sel, misc) = *draw;
+    let grow = (start_pages > 0).then(|| GrowthSpec {
+        start_bytes: start_pages.min(pages) * PAGE,
+        full_at_ns: 200_000 + 100_000 * (i as u64),
+        reset_period_ns: if misc % 2 == 1 { 500_000 } else { 0 },
+        step: misc / 2 % 2 == 1,
+    });
+    RegionDecl {
+        name: format!("r{i}"),
+        bytes: pages * PAGE,
+        pattern: pattern(pattern_sel),
+        thp: pattern_sel % 2 == 0,
+        file_backed: misc % 3 == 0,
+        grow,
+    }
+}
+
+#[test]
+fn random_scenarios_stay_within_declared_footprint_bounds() {
+    forall!(
+        cases = 24,
+        (region_draws in vec_of(
+            (
+                range(1u64..96),  // pages
+                range(0u64..96),  // growth start pages (0 = no growth)
+                range(0u64..8),   // pattern selector
+                range(0u64..12),  // packed sawtooth/step/file selector
+            ),
+            1..4,
+        )),
+        (phase_draws in vec_of(range(1u64..4), 1..3)),
+        (seed in range(0u64..1_000_000))
+    => {
+        let regions: Vec<RegionDecl> = region_draws
+            .iter()
+            .enumerate()
+            .map(|(i, d)| region(i, d))
+            .collect();
+        // Every phase touches every region so growth windows are
+        // exercised wherever they are declared.
+        let phases: Vec<PhaseSpec> = phase_draws
+            .iter()
+            .enumerate()
+            .map(|(i, rate)| PhaseSpec {
+                name: format!("p{i}"),
+                duration_ns: 400_000,
+                rate_pct: (*rate * 100) as u32,
+                mix: regions
+                    .iter()
+                    .map(|r| MixEntry {
+                        region: r.name.clone(),
+                        weight: 1,
+                        write_pct: (seed % 101) as u8,
+                        lines_per_op: 1 + (seed % 4) as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let spec = ScenarioSpec {
+            name: "prop".to_string(),
+            seed_salt: seed,
+            groups: vec![TenantGroup {
+                name: "g".to_string(),
+                count: 1,
+                read_pct: 95,
+                slo_pct: 3.0,
+                arrival: ArrivalSpec::IMMEDIATE,
+                workload: WorkloadSpec::Phased(PhasedSpec {
+                    compute_ns: 500,
+                    repeat: true,
+                    regions,
+                    phases,
+                }),
+            }],
+        };
+        let c = compile(&spec).expect("constructed spec is valid");
+        let fp = c.declared_footprint(0, 512);
+        let bound = fp.anon_bytes + fp.file_bytes;
+        let mut w = c.build_workload(0, c.tenant_seed(7, 0), 512);
+        let mut e = Engine::new(SimConfig::paper_defaults(
+            bound * 2 + (8 << 20),
+            bound + (8 << 20),
+        ));
+        w.init(&mut e);
+        assert!(
+            e.rss_bytes() <= bound,
+            "after init: rss {} > declared bound {bound}",
+            e.rss_bytes()
+        );
+        // Long enough for every full_at, sawtooth reset, and the whole
+        // phase schedule to cycle at least once.
+        run_for(&mut e, w.as_mut(), &mut NoPolicy, 1_200_000);
+        assert!(
+            e.rss_bytes() <= bound,
+            "after run: rss {} > declared bound {bound}",
+            e.rss_bytes()
+        );
+    });
+}

@@ -56,17 +56,55 @@ pub struct BenchStats {
     pub min_ns: f64,
     /// Slowest iteration, ns.
     pub max_ns: f64,
+    /// The full per-rep sample distribution, sorted ascending, ns.
+    /// Everything the summary fields are computed from, so baseline
+    /// consumers can run their own significance tests instead of
+    /// trusting median/σ alone.
+    pub samples_ns: Vec<f64>,
 }
 
-json_struct!(BenchStats {
-    name,
-    iters,
-    median_ns,
-    mean_ns,
-    stddev_ns,
-    min_ns,
-    max_ns,
-});
+// Hand-written instead of `json_struct!` so `samples_ns` is optional on
+// decode: baselines written before the field existed (and the smoke
+// baselines CI has checked in) must keep loading, defaulting to an
+// empty distribution.
+impl crate::json::ToJson for BenchStats {
+    fn to_json(&self) -> crate::json::Value {
+        crate::json::Value::Obj(vec![
+            ("name".to_string(), self.name.to_json()),
+            ("iters".to_string(), self.iters.to_json()),
+            ("median_ns".to_string(), self.median_ns.to_json()),
+            ("mean_ns".to_string(), self.mean_ns.to_json()),
+            ("stddev_ns".to_string(), self.stddev_ns.to_json()),
+            ("min_ns".to_string(), self.min_ns.to_json()),
+            ("max_ns".to_string(), self.max_ns.to_json()),
+            ("samples_ns".to_string(), self.samples_ns.to_json()),
+        ])
+    }
+}
+
+impl crate::json::FromJson for BenchStats {
+    fn from_json(v: &crate::json::Value) -> Result<Self, crate::json::JsonError> {
+        use crate::json::FromJson;
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                crate::json::JsonError::new(format!("BenchStats: missing field `{name}`"))
+            })
+        };
+        Ok(BenchStats {
+            name: FromJson::from_json(field("name")?)?,
+            iters: FromJson::from_json(field("iters")?)?,
+            median_ns: FromJson::from_json(field("median_ns")?)?,
+            mean_ns: FromJson::from_json(field("mean_ns")?)?,
+            stddev_ns: FromJson::from_json(field("stddev_ns")?)?,
+            min_ns: FromJson::from_json(field("min_ns")?)?,
+            max_ns: FromJson::from_json(field("max_ns")?)?,
+            samples_ns: match v.get("samples_ns") {
+                Some(s) => FromJson::from_json(s)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
 
 impl BenchStats {
     /// Computes the summary from raw per-iteration samples.
@@ -94,6 +132,7 @@ impl BenchStats {
             stddev_ns: var.sqrt(),
             min_ns: ns[0],
             max_ns: ns[n - 1],
+            samples_ns: ns,
         }
     }
 
@@ -406,6 +445,7 @@ mod tests {
             stddev_ns: 0.0,
             min_ns: median_us * 1e3,
             max_ns: median_us * 1e3,
+            samples_ns: vec![median_us * 1e3],
         }
     }
 
@@ -420,6 +460,21 @@ mod tests {
         assert!((s.max_ns - 10_000.0).abs() < 1e-6);
         // Population σ of [1,2,3,10]ms: mean 4, var (9+4+1+36)/4 = 12.5.
         assert!((s.stddev_ns - 1e3 * 12.5f64.sqrt()).abs() < 1e-6);
+        // The full distribution rides along, sorted ascending.
+        assert_eq!(s.samples_ns, vec![1_000.0, 2_000.0, 3_000.0, 10_000.0]);
+    }
+
+    #[test]
+    fn baseline_without_samples_field_still_decodes() {
+        // Baselines written before per-rep distributions existed have no
+        // `samples_ns` key; they must load with an empty distribution
+        // rather than error, so checked-in baselines survive the format
+        // extension.
+        let legacy = r#"{"benches":[{"name":"a","iters":1,"median_ns":5.0,
+            "mean_ns":5.0,"stddev_ns":0.0,"min_ns":5.0,"max_ns":5.0}]}"#;
+        let file: BenchBaseline = crate::json::decode(legacy).expect("legacy decodes");
+        assert_eq!(file.benches.len(), 1);
+        assert!(file.benches[0].samples_ns.is_empty());
     }
 
     #[test]

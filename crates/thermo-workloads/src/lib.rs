@@ -43,7 +43,7 @@ pub use colocate::{Colocated, Tenant};
 pub use common::{AppConfig, Region};
 pub use dist::{fnv_mix, HotspotDist, KeyDist, ScrambledZipfian, UniformDist, ZipfianDist};
 pub use redis::Redis;
-pub use registry::{AppId, ParseAppError};
+pub use registry::{AppId, AppSpec, ParseAppError, SPECS};
 pub use synthetic::{Pattern, RegionSpec, Synthetic};
 pub use tpcc::Tpcc;
 pub use websearch::WebSearch;

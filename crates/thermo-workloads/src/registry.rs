@@ -1,4 +1,12 @@
-//! Workload registry: build any of the six paper applications by id.
+//! Workload registry: the six paper applications as *data*.
+//!
+//! Each application is one [`AppSpec`] row in [`SPECS`] — name, parse
+//! aliases, Table-2 footprint, and a build function — and every
+//! [`AppId`] method routes through that table. The rows double as the
+//! pre-baked scenario specs consumed by `thermo-scenario`: a scenario
+//! tenant naming an application compiles through [`AppId::build`], so
+//! the declarative layer and the hand-written binaries construct
+//! byte-identical workload streams from one source of truth.
 
 use crate::aerospike::Aerospike;
 use crate::analytics::Analytics;
@@ -28,6 +36,77 @@ pub enum AppId {
     WebSearch,
 }
 
+/// One registry row: everything the workspace knows about an application,
+/// declaratively. `thermo-scenario` treats these rows as the pre-baked
+/// scenario specs for the paper's Table-2 apps.
+pub struct AppSpec {
+    /// The application this row describes.
+    pub id: AppId,
+    /// Canonical name (CLI argument, report row label, VMA tag prefix).
+    pub name: &'static str,
+    /// Extra accepted spellings for [`FromStr`].
+    pub aliases: &'static [&'static str],
+    /// Paper Table 2 resident set size, bytes (unscaled).
+    pub paper_rss_bytes: u64,
+    /// Paper Table 2 file-mapped bytes (unscaled).
+    pub paper_file_bytes: u64,
+    /// Builds the workload generator.
+    pub build: fn(AppConfig) -> Box<dyn Workload>,
+}
+
+/// The registry table, in the paper's presentation order (same order as
+/// [`AppId::ALL`]).
+pub const SPECS: [AppSpec; 6] = [
+    AppSpec {
+        id: AppId::Aerospike,
+        name: "aerospike",
+        aliases: &[],
+        paper_rss_bytes: 12_300_000_000,
+        paper_file_bytes: 5_000_000,
+        build: |cfg| Box::new(Aerospike::new(cfg)),
+    },
+    AppSpec {
+        id: AppId::Cassandra,
+        name: "cassandra",
+        aliases: &[],
+        paper_rss_bytes: 8_000_000_000,
+        paper_file_bytes: 4_000_000_000,
+        build: |cfg| Box::new(Cassandra::new(cfg)),
+    },
+    AppSpec {
+        id: AppId::InMemoryAnalytics,
+        name: "in-memory-analytics",
+        aliases: &["analytics", "in-mem-analytics"],
+        paper_rss_bytes: 6_200_000_000,
+        paper_file_bytes: 1_000_000,
+        build: |cfg| Box::new(Analytics::new(cfg)),
+    },
+    AppSpec {
+        id: AppId::MysqlTpcc,
+        name: "mysql-tpcc",
+        aliases: &["tpcc", "mysql"],
+        paper_rss_bytes: 6_000_000_000,
+        paper_file_bytes: 3_500_000_000,
+        build: |cfg| Box::new(Tpcc::new(cfg)),
+    },
+    AppSpec {
+        id: AppId::Redis,
+        name: "redis",
+        aliases: &[],
+        paper_rss_bytes: 17_200_000_000,
+        paper_file_bytes: 1_000_000,
+        build: |cfg| Box::new(Redis::new(cfg)),
+    },
+    AppSpec {
+        id: AppId::WebSearch,
+        name: "web-search",
+        aliases: &["websearch", "search"],
+        paper_rss_bytes: 2_280_000_000,
+        paper_file_bytes: 86_000_000,
+        build: |cfg| Box::new(WebSearch::new(cfg)),
+    },
+];
+
 impl AppId {
     /// All applications in the paper's presentation order.
     pub const ALL: [AppId; 6] = [
@@ -39,54 +118,32 @@ impl AppId {
         AppId::WebSearch,
     ];
 
+    /// This application's registry row.
+    pub fn spec(self) -> &'static AppSpec {
+        // SPECS is ordered like ALL; indexing by discriminant position
+        // keeps the lookup O(1) and the test below pins the invariant.
+        &SPECS[self as usize]
+    }
+
     /// Builds the workload generator for this application.
     pub fn build(self, cfg: AppConfig) -> Box<dyn Workload> {
-        match self {
-            AppId::Aerospike => Box::new(Aerospike::new(cfg)),
-            AppId::Cassandra => Box::new(Cassandra::new(cfg)),
-            AppId::InMemoryAnalytics => Box::new(Analytics::new(cfg)),
-            AppId::MysqlTpcc => Box::new(Tpcc::new(cfg)),
-            AppId::Redis => Box::new(Redis::new(cfg)),
-            AppId::WebSearch => Box::new(WebSearch::new(cfg)),
-        }
+        (self.spec().build)(cfg)
     }
 
     /// Paper Table 2 resident set size, bytes (unscaled).
     pub fn paper_rss_bytes(self) -> u64 {
-        match self {
-            AppId::Aerospike => 12_300_000_000,
-            AppId::Cassandra => 8_000_000_000,
-            AppId::InMemoryAnalytics => 6_200_000_000,
-            AppId::MysqlTpcc => 6_000_000_000,
-            AppId::Redis => 17_200_000_000,
-            AppId::WebSearch => 2_280_000_000,
-        }
+        self.spec().paper_rss_bytes
     }
 
     /// Paper Table 2 file-mapped bytes (unscaled).
     pub fn paper_file_bytes(self) -> u64 {
-        match self {
-            AppId::Aerospike => 5_000_000,
-            AppId::Cassandra => 4_000_000_000,
-            AppId::InMemoryAnalytics => 1_000_000,
-            AppId::MysqlTpcc => 3_500_000_000,
-            AppId::Redis => 1_000_000,
-            AppId::WebSearch => 86_000_000,
-        }
+        self.spec().paper_file_bytes
     }
 }
 
 impl fmt::Display for AppId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            AppId::Aerospike => "aerospike",
-            AppId::Cassandra => "cassandra",
-            AppId::InMemoryAnalytics => "in-memory-analytics",
-            AppId::MysqlTpcc => "mysql-tpcc",
-            AppId::Redis => "redis",
-            AppId::WebSearch => "web-search",
-        };
-        f.pad(s)
+        f.pad(self.spec().name)
     }
 }
 
@@ -115,25 +172,27 @@ impl FromStr for AppId {
     type Err = ParseAppError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
-            "aerospike" => Ok(AppId::Aerospike),
-            "cassandra" => Ok(AppId::Cassandra),
-            "in-memory-analytics" | "analytics" | "in-mem-analytics" => {
-                Ok(AppId::InMemoryAnalytics)
-            }
-            "mysql-tpcc" | "tpcc" | "mysql" => Ok(AppId::MysqlTpcc),
-            "redis" => Ok(AppId::Redis),
-            "web-search" | "websearch" | "search" => Ok(AppId::WebSearch),
-            other => Err(ParseAppError {
-                name: other.to_string(),
-            }),
-        }
+        let lower = s.to_ascii_lowercase();
+        SPECS
+            .iter()
+            .find(|spec| spec.name == lower || spec.aliases.contains(&lower.as_str()))
+            .map(|spec| spec.id)
+            .ok_or(ParseAppError { name: lower })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn specs_cover_all_in_order() {
+        assert_eq!(SPECS.len(), AppId::ALL.len());
+        for (i, app) in AppId::ALL.iter().enumerate() {
+            assert_eq!(SPECS[i].id, *app, "SPECS must stay in ALL order");
+            assert_eq!(app.spec().id, *app);
+        }
+    }
 
     #[test]
     fn roundtrip_display_fromstr() {

@@ -132,15 +132,23 @@ THERMO_JOBS=1 scripts/golden.sh check fab_bw fab_abort
 echo "==> golden determinism cross-check (THERMO_JOBS=1, tenants_shared)"
 THERMO_JOBS=1 scripts/golden.sh check tenants_shared
 
+# Scenario smoke-scale sweep: the compiled-scenario experiments — the
+# 1024-shard policy-matrix fleet (sharded path) and the 32-tenant
+# co-scheduled storm (DESIGN.md §14) — re-checked serially so a worker
+# count of one reproduces the same goldens the parallel sweep covered.
+echo "==> golden determinism cross-check (THERMO_JOBS=1, scen_fleet scen_storm)"
+THERMO_JOBS=1 scripts/golden.sh check scen_fleet scen_storm
+
 # Scheduler ordering-fuzz sweep: THERMO_SCHED_FUZZ permutes same-
 # (time, class) pop-order batches under a seeded RNG. The co-scheduled
-# golden must be byte-identical under every seed — components sharing a
+# goldens must be byte-identical under every seed — components sharing a
 # tick are required to commute (tests/sched_fuzz.rs sweeps the whole
-# registry; here the experiment that actually shares a timeline is
-# re-checked against its committed golden).
+# registry; here both experiments that actually share a timeline are
+# re-checked against their committed goldens: tenants_shared's three
+# tenants and the scenario storm's 32 mixed-policy tenants).
 for fuzz_seed in 1 2 3735928559 6840227782638526189; do
-  echo "==> scheduler ordering-fuzz check (THERMO_SCHED_FUZZ=$fuzz_seed, tenants_shared)"
-  THERMO_SCHED_FUZZ=$fuzz_seed scripts/golden.sh check tenants_shared
+  echo "==> scheduler ordering-fuzz check (THERMO_SCHED_FUZZ=$fuzz_seed, tenants_shared scen_storm)"
+  THERMO_SCHED_FUZZ=$fuzz_seed scripts/golden.sh check tenants_shared scen_storm
 done
 
 echo "CI OK"
