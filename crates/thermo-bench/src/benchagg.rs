@@ -1,0 +1,320 @@
+//! Cross-run bench-distribution aggregation.
+//!
+//! The CI bench gate compares a median-of-N against
+//! `goldens/bench-baseline.json` with a generous +150% threshold because
+//! nanosecond-scale medians move a lot across runner sessions. To tighten
+//! that threshold *with data* instead of folklore, this module merges any
+//! number of `THERMO_BENCH_JSON` artifacts (each a
+//! [`BenchBaseline`](thermo_util::bench::BenchBaseline) carrying the full
+//! per-rep `samples_ns` distribution) into one per-bench spread report:
+//! pooled sample statistics plus the across-run spread of the per-run
+//! medians — exactly the quantity the gate thresholds.
+//!
+//! Driven by `scripts/benchagg.sh` (collect N runs, then aggregate) or
+//! directly:
+//!
+//! ```console
+//! $ benchagg target/benchagg/*.json
+//! ```
+
+use thermo_util::bench::{BenchBaseline, BenchStats};
+
+/// Pooled cross-run statistics for one bench name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggBench {
+    /// Bench name (`group/name` inside groups).
+    pub name: String,
+    /// Number of input runs that contained this bench.
+    pub runs: usize,
+    /// One median per input run, in input order.
+    pub run_medians_ns: Vec<f64>,
+    /// All samples from all runs, sorted ascending. Runs whose artifact
+    /// predates `samples_ns` contribute their median as one sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl AggBench {
+    fn percentile(&self, p: f64) -> f64 {
+        let s = &self.samples_ns;
+        if s.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * (s.len() - 1) as f64).round() as usize;
+        s[rank.min(s.len() - 1)]
+    }
+
+    /// Median of the pooled samples.
+    pub fn pooled_median_ns(&self) -> f64 {
+        let s = &self.samples_ns;
+        let n = s.len();
+        if n == 0 {
+            0.0
+        } else if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    }
+
+    /// Spread of the per-run medians as a percentage:
+    /// `(max/min - 1) * 100` — the worst regression the CI gate could see
+    /// between two of these runs with NO code change. 0 for fewer than
+    /// two runs or a zero minimum.
+    pub fn median_spread_pct(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &m in &self.run_medians_ns {
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+        if self.run_medians_ns.len() < 2 || lo <= 0.0 {
+            0.0
+        } else {
+            (hi / lo - 1.0) * 100.0
+        }
+    }
+}
+
+/// Merges bench artifacts by bench name, preserving first-seen order
+/// (the benches' execution order, identical across runs of the same
+/// targets).
+pub fn aggregate(files: &[BenchBaseline]) -> Vec<AggBench> {
+    let mut out: Vec<AggBench> = Vec::new();
+    for file in files {
+        for b in &file.benches {
+            let agg = match out.iter_mut().find(|a| a.name == b.name) {
+                Some(a) => a,
+                None => {
+                    out.push(AggBench {
+                        name: b.name.clone(),
+                        runs: 0,
+                        run_medians_ns: Vec::new(),
+                        samples_ns: Vec::new(),
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            agg.runs += 1;
+            agg.run_medians_ns.push(b.median_ns);
+            if b.samples_ns.is_empty() {
+                agg.samples_ns.push(b.median_ns);
+            } else {
+                agg.samples_ns.extend_from_slice(&b.samples_ns);
+            }
+        }
+    }
+    for a in &mut out {
+        a.samples_ns
+            .sort_by(|x, y| x.partial_cmp(y).expect("samples are finite"));
+    }
+    out
+}
+
+/// Renders the spread report: one row per bench plus a footer naming the
+/// worst across-run median spread — the datum that justifies (or
+/// tightens) `THERMO_BENCH_MAX_REGRESSION_PCT`.
+pub fn spread_report(aggs: &[AggBench]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<42} {:>4} {:>7} {:>12} {:>12} {:>12} {:>12} {:>9}\n",
+        "bench", "runs", "n", "p10 µs", "median µs", "p90 µs", "max µs", "spread%"
+    ));
+    let mut worst: Option<&AggBench> = None;
+    for a in aggs {
+        out.push_str(&format!(
+            "{:<42} {:>4} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>9.1}\n",
+            a.name,
+            a.runs,
+            a.samples_ns.len(),
+            a.percentile(10.0) / 1e3,
+            a.pooled_median_ns() / 1e3,
+            a.percentile(90.0) / 1e3,
+            a.samples_ns.last().copied().unwrap_or(0.0) / 1e3,
+            a.median_spread_pct(),
+        ));
+        if worst.is_none_or(|w| a.median_spread_pct() > w.median_spread_pct()) {
+            worst = Some(a);
+        }
+    }
+    if let Some(w) = worst {
+        out.push_str(&format!(
+            "worst across-run median spread: {} at {:.1}% over {} run(s) — a same-code gate threshold must exceed this\n",
+            w.name,
+            w.median_spread_pct(),
+            w.runs,
+        ));
+    }
+    out
+}
+
+/// Reduces an aggregation to the `goldens/bench-baseline.json`
+/// statistic: per bench, `median_ns` is the median of the per-run
+/// medians, `mean/stddev/min/max` are taken across those run medians,
+/// `iters` is the run count, and `samples_ns` carries the run medians
+/// themselves so future consumers can re-derive everything. This is the
+/// exact quantity the CI gate compares its median-of-N against, so a
+/// baseline written here ratchets the gate to the new performance level.
+pub fn ratchet_baseline(aggs: &[AggBench]) -> BenchBaseline {
+    BenchBaseline {
+        benches: aggs
+            .iter()
+            .map(|a| {
+                let mut meds = a.run_medians_ns.clone();
+                meds.sort_by(|x, y| x.partial_cmp(y).expect("medians are finite"));
+                let n = meds.len();
+                let median = if n == 0 {
+                    0.0
+                } else if n % 2 == 1 {
+                    meds[n / 2]
+                } else {
+                    (meds[n / 2 - 1] + meds[n / 2]) / 2.0
+                };
+                let mean = if n == 0 {
+                    0.0
+                } else {
+                    meds.iter().sum::<f64>() / n as f64
+                };
+                let var = if n == 0 {
+                    0.0
+                } else {
+                    meds.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64
+                };
+                BenchStats {
+                    name: a.name.clone(),
+                    iters: n as u64,
+                    median_ns: median,
+                    mean_ns: mean,
+                    stddev_ns: var.sqrt(),
+                    min_ns: meds.first().copied().unwrap_or(0.0),
+                    max_ns: meds.last().copied().unwrap_or(0.0),
+                    samples_ns: meds,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Loads one artifact file.
+///
+/// # Errors
+///
+/// Returns a message naming the path on unreadable files or
+/// non-`BenchBaseline` JSON.
+pub fn load(path: &str) -> Result<BenchBaseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    thermo_util::json::decode(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Convenience for tests: a `BenchBaseline` from `(name, samples)` rows.
+pub fn baseline_of(rows: &[(&str, &[f64])]) -> BenchBaseline {
+    BenchBaseline {
+        benches: rows
+            .iter()
+            .map(|(name, samples)| {
+                let mut s: Vec<f64> = samples.to_vec();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let n = s.len();
+                let median = if n == 0 {
+                    0.0
+                } else if n % 2 == 1 {
+                    s[n / 2]
+                } else {
+                    (s[n / 2 - 1] + s[n / 2]) / 2.0
+                };
+                BenchStats {
+                    name: name.to_string(),
+                    iters: n as u64,
+                    median_ns: median,
+                    mean_ns: median,
+                    stddev_ns: 0.0,
+                    min_ns: s.first().copied().unwrap_or(0.0),
+                    max_ns: s.last().copied().unwrap_or(0.0),
+                    samples_ns: s,
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_samples_and_tracks_run_medians() {
+        let runs = [
+            baseline_of(&[("a", &[100.0, 200.0, 300.0]), ("b", &[10.0])]),
+            baseline_of(&[("a", &[400.0, 500.0]), ("b", &[20.0])]),
+        ];
+        let aggs = aggregate(&runs);
+        assert_eq!(aggs.len(), 2);
+        let a = &aggs[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.run_medians_ns, vec![200.0, 450.0]);
+        assert_eq!(a.samples_ns, vec![100.0, 200.0, 300.0, 400.0, 500.0]);
+        assert_eq!(a.pooled_median_ns(), 300.0);
+        // (450/200 - 1) * 100 = 125%.
+        assert!((a.median_spread_pct() - 125.0).abs() < 1e-9);
+        let b = &aggs[1];
+        assert_eq!(b.run_medians_ns, vec![10.0, 20.0]);
+        assert!((b.median_spread_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_artifacts_contribute_their_median() {
+        let mut legacy = baseline_of(&[("a", &[70.0])]);
+        legacy.benches[0].samples_ns.clear(); // pre-samples_ns artifact
+        let aggs = aggregate(&[legacy]);
+        assert_eq!(aggs[0].samples_ns, vec![70.0]);
+        assert_eq!(aggs[0].median_spread_pct(), 0.0); // single run: no spread
+    }
+
+    #[test]
+    fn first_seen_order_is_preserved() {
+        let runs = [
+            baseline_of(&[("z", &[1.0]), ("a", &[2.0])]),
+            baseline_of(&[("a", &[3.0]), ("z", &[4.0])]),
+        ];
+        let names: Vec<String> = aggregate(&runs).into_iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["z".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn report_names_worst_spread() {
+        let runs = [
+            baseline_of(&[("steady", &[100.0]), ("jumpy", &[100.0])]),
+            baseline_of(&[("steady", &[110.0]), ("jumpy", &[300.0])]),
+        ];
+        let report = spread_report(&aggregate(&runs));
+        assert!(
+            report.contains("worst across-run median spread: jumpy"),
+            "{report}"
+        );
+        assert!(report.contains("200.0%"), "{report}");
+    }
+
+    #[test]
+    fn ratchet_reduces_run_medians() {
+        let runs = [
+            baseline_of(&[("a", &[100.0, 200.0, 300.0])]),
+            baseline_of(&[("a", &[400.0])]),
+            baseline_of(&[("a", &[350.0])]),
+        ];
+        let base = ratchet_baseline(&aggregate(&runs));
+        let a = &base.benches[0];
+        // Run medians: 200, 400, 350 → median 350, mean 316.67.
+        assert_eq!(a.iters, 3);
+        assert_eq!(a.median_ns, 350.0);
+        assert!((a.mean_ns - 950.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.min_ns, 200.0);
+        assert_eq!(a.max_ns, 400.0);
+        assert_eq!(a.samples_ns, vec![200.0, 350.0, 400.0]);
+    }
+
+    #[test]
+    fn percentiles_clamp_on_tiny_distributions() {
+        let aggs = aggregate(&[baseline_of(&[("a", &[5.0])])]);
+        assert_eq!(aggs[0].percentile(10.0), 5.0);
+        assert_eq!(aggs[0].percentile(90.0), 5.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Merges `THERMO_BENCH_JSON` artifacts into a per-bench spread report.
+//!
+//! Each input file is one bench run's full per-rep distribution
+//! (`samples_ns`); the report pools them per bench and prints the
+//! across-run spread of the per-run medians — the measured noise floor
+//! the CI gate's `THERMO_BENCH_MAX_REGRESSION_PCT` must sit above.
+//! Collected and driven by `scripts/benchagg.sh`.
+//!
+//! ```console
+//! $ benchagg target/benchagg/*.json
+//! $ benchagg --write-baseline goldens/bench-baseline.json target/benchagg/*.json
+//! ```
+//!
+//! `--write-baseline` additionally reduces the runs to the
+//! median-of-run-medians statistic `goldens/bench-baseline.json` pins,
+//! ratcheting the CI regression gate after an intentional perf change.
+
+use thermo_bench::benchagg::{aggregate, load, ratchet_baseline, spread_report};
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut write_baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--write-baseline" {
+            match args.next() {
+                Some(p) => write_baseline = Some(p),
+                None => {
+                    eprintln!("error: --write-baseline needs a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: benchagg [--write-baseline <path>] <bench-json>...");
+        eprintln!("  each input is a THERMO_BENCH_JSON artifact (see thermo-util::bench)");
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    for p in &paths {
+        match load(p) {
+            Ok(f) => files.push(f),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let aggs = aggregate(&files);
+    print!("{}", spread_report(&aggs));
+    println!("({} run(s) aggregated)", files.len());
+    if let Some(path) = write_baseline {
+        let mut text = thermo_util::json::encode_pretty(&ratchet_baseline(&aggs));
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("[bench baseline written to {path}]");
+    }
+}

@@ -165,16 +165,16 @@ pub fn run_parallel(
             }
         })
         .collect();
-    thermo_exec::run_jobs(jobs, &thermo_exec::ExecConfig::new(workers, params.seed)).unwrap_or_else(
-        |e| {
-            let which = match e {
-                thermo_exec::ExecError::JobPanicked { job_id, .. } => {
-                    selected.get(job_id as usize).map_or("?", |x| x.id)
-                }
-            };
-            panic!("experiment `{which}` failed: {e}")
-        },
-    )
+    let cfg = thermo_exec::ExecConfig::new(workers, params.seed)
+        .with_fuzz(thermo_exec::exec_fuzz_from_env());
+    thermo_exec::run_jobs(jobs, &cfg).unwrap_or_else(|e| {
+        let which = match e {
+            thermo_exec::ExecError::JobPanicked { job_id, .. } => {
+                selected.get(job_id as usize).map_or("?", |x| x.id)
+            }
+        };
+        panic!("experiment `{which}` failed: {e}")
+    })
 }
 
 /// Runs the experiment at the environment-configured evaluation scale and

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 pub mod artifact;
+pub mod benchagg;
 pub mod experiments;
 pub mod fab;
 pub mod figs;

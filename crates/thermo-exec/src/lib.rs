@@ -16,19 +16,43 @@
 //!   ([`thermo_util::rng::derive_stream_seed`], two splitmix64 rounds),
 //!   giving every job a statistically disjoint random stream that depends
 //!   only on `(base_seed, job_id)` — never on which worker ran it.
-//! * **Merge strictly in job-id order.** [`run_jobs`] returns outputs
-//!   ordered by job id regardless of completion order, worker count, or
+//! * **Work stealing for load balance.** Jobs are dealt onto per-worker
+//!   deques up front; an idle worker steals from the back of a victim's
+//!   deque (Chase-Lev style: the owner takes from the front, thieves from
+//!   the back), so a batch with one slow job near the end still keeps
+//!   every core busy. Stealing changes only *which worker* runs a job —
+//!   never its id, its seed, or its place in the merged output.
+//! * **Merge strictly in job-id order.** Every job writes its result into
+//!   a slot indexed by its id; [`run_jobs`] returns the slots in id order
+//!   regardless of completion order, worker count, steal interleaving, or
 //!   OS scheduling, so downstream artifacts are byte-identical for
 //!   `workers = 1` and `workers = 64`.
+//! * **Steal-order fuzzing.** `THERMO_EXEC_FUZZ=<seed>` (see
+//!   [`exec_fuzz_from_env`]) perturbs the initial job deal and each
+//!   worker's steal-victim order from a seeded stream — the executor
+//!   mirror of `THERMO_SCHED_FUZZ`. The golden gate runs several seeds and
+//!   asserts byte-identity, turning "scheduling is unobservable" from an
+//!   argument into a tested property (`tests/exec_determinism.rs`).
 //! * **Panic capture.** A panicking job never takes down a worker: the
 //!   panic is caught, the remaining jobs still run (workers drain
 //!   cleanly), and the batch fails with the lowest panicking job id and
 //!   its message ([`ExecError::JobPanicked`]).
 //!
-//! Worker threads are plain `std::thread` + a mutex-guarded job queue —
-//! no external dependencies, per the workspace's hermetic-build policy.
-//! Wall-clock time is intentionally absent from every type here: timing
-//! belongs to the caller's logs, never to merged results (DESIGN.md §9).
+//! Worker threads are plain `std::thread` + atomics — no external
+//! dependencies, per the workspace's hermetic-build policy. Wall-clock
+//! time is intentionally absent from every type here: timing belongs to
+//! the caller's logs, never to merged results (DESIGN.md §9).
+//!
+//! # Why duplicates are benign
+//!
+//! The deque ends race only on the last remaining item: the owner's
+//! front-claim and a thief's back-claim can both report the same job id
+//! (claims can duplicate, never skip — each end moves only towards the
+//! other, and only after observing room). Ownership of the *job itself*
+//! is arbitrated by the job slot, a `Mutex<Option<J>>` whose `take()` has
+//! exactly one winner; the loser simply claims again. This keeps the
+//! deques wait-free-ish without the full Chase-Lev top-tag protocol while
+//! guaranteeing each job runs exactly once.
 //!
 //! # Example
 //!
@@ -49,10 +73,11 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-use thermo_util::rng::derive_stream_seed;
+use thermo_util::rng::{derive_stream_seed, SeedableRng, SmallRng};
 
 /// Per-job execution context handed to [`Job::run`].
 ///
@@ -96,20 +121,29 @@ where
     }
 }
 
-/// Batch execution configuration: worker count and the base seed every
-/// per-job seed derives from.
+/// Batch execution configuration: worker count, the base seed every
+/// per-job seed derives from, and the optional steal-order fuzz seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Worker threads (clamped to at least 1 and at most the job count).
     pub workers: usize,
     /// Base seed; job `i` runs with `derive_stream_seed(base_seed, i)`.
     pub base_seed: u64,
+    /// Steal-order fuzz seed (`THERMO_EXEC_FUZZ`). `Some(s)` perturbs the
+    /// initial job deal and every worker's steal-victim order from a
+    /// stream seeded by `s`; results are byte-identical regardless — the
+    /// knob exists so tests can *prove* that, not to change behavior.
+    pub fuzz: Option<u64>,
 }
 
 impl ExecConfig {
-    /// Explicit worker count and base seed.
+    /// Explicit worker count and base seed, no fuzz.
     pub fn new(workers: usize, base_seed: u64) -> Self {
-        Self { workers, base_seed }
+        Self {
+            workers,
+            base_seed,
+            fuzz: None,
+        }
     }
 
     /// Single-worker configuration (serial execution, same semantics).
@@ -117,10 +151,15 @@ impl ExecConfig {
         Self::new(1, base_seed)
     }
 
-    /// Worker count from the environment ([`jobs_from_env`]): `THERMO_JOBS`
-    /// if set and positive, else the machine's available parallelism.
+    /// Returns this configuration with the given steal-order fuzz seed.
+    pub fn with_fuzz(self, fuzz: Option<u64>) -> Self {
+        Self { fuzz, ..self }
+    }
+
+    /// Worker count and fuzz seed from the environment: `THERMO_JOBS`
+    /// ([`jobs_from_env`]) and `THERMO_EXEC_FUZZ` ([`exec_fuzz_from_env`]).
     pub fn from_env(base_seed: u64) -> Self {
-        Self::new(jobs_from_env(), base_seed)
+        Self::new(jobs_from_env(), base_seed).with_fuzz(exec_fuzz_from_env())
     }
 }
 
@@ -132,6 +171,20 @@ pub fn jobs_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Reads the steal-order fuzz seed from `THERMO_EXEC_FUZZ` (any u64;
+/// unset or unparsable means no fuzzing).
+///
+/// The executor mirror of `THERMO_SCHED_FUZZ`: the seed perturbs which
+/// worker runs which job (initial deal and steal-victim order) without
+/// touching job ids, per-job seeds, or merge order, so artifacts must
+/// stay byte-identical for every value. `scripts/ci.sh` sweeps several
+/// seeds against the golden registry to enforce exactly that.
+pub fn exec_fuzz_from_env() -> Option<u64> {
+    std::env::var("THERMO_EXEC_FUZZ")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
 }
 
 /// Reads the off-thread scan worker count from `THERMO_SCAN_JOBS`.
@@ -156,7 +209,7 @@ pub fn scan_jobs_from_env() -> usize {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// A job panicked. All other jobs still ran to completion (workers
-    /// drain the queue regardless); the batch reports the lowest
+    /// drain every deque regardless); the batch reports the lowest
     /// panicking job id so reruns reproduce the same error.
     JobPanicked {
         /// Stable id of the (lowest) panicking job.
@@ -189,13 +242,182 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One worker's deque of pre-dealt job ids.
+///
+/// The owner claims from the front (`head`), thieves from the back
+/// (`tail`); each end moves only towards the other and only after
+/// observing room, so claims can duplicate on the final item but never
+/// skip one. Duplicates are resolved by the job slots (see the module
+/// docs) — the deque itself never hands out storage, only ids.
+struct StealDeque {
+    /// Job ids in deal order; immutable once built.
+    items: Vec<usize>,
+    /// Owner end: index of the next front item.
+    head: AtomicUsize,
+    /// Thief end: one past the last back item.
+    tail: AtomicUsize,
+}
+
+impl StealDeque {
+    fn new(items: Vec<usize>) -> Self {
+        let tail = items.len();
+        Self {
+            items,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(tail),
+        }
+    }
+
+    /// Owner claim: the front item, oldest first.
+    fn pop_front(&self) -> Option<usize> {
+        let mut h = self.head.load(Ordering::Acquire);
+        loop {
+            if h >= self.tail.load(Ordering::Acquire) {
+                return None;
+            }
+            match self
+                .head
+                .compare_exchange_weak(h, h + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(self.items[h]),
+                Err(cur) => h = cur,
+            }
+        }
+    }
+
+    /// Thief claim: the back item, newest first (classic steal end).
+    fn steal_back(&self) -> Option<usize> {
+        let mut t = self.tail.load(Ordering::Acquire);
+        loop {
+            if self.head.load(Ordering::Acquire) >= t {
+                return None;
+            }
+            match self
+                .tail
+                .compare_exchange_weak(t, t - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(self.items[t - 1]),
+                Err(cur) => t = cur,
+            }
+        }
+    }
+}
+
+/// Deals job ids `0..n` onto `workers` deques.
+///
+/// Without fuzz the deal is contiguous blocks in id order (worker 0 gets
+/// the first chunk, and so on), which keeps the common "jobs were
+/// submitted cheap-to-expensive-ish" layouts well balanced before any
+/// steal happens. With fuzz the ids are shuffled by a seeded
+/// Fisher-Yates first, so every seed exercises a different ownership map
+/// — the point being that ownership must not matter.
+fn deal_jobs(n: usize, workers: usize, fuzz: Option<u64>) -> Vec<StealDeque> {
+    let mut ids: Vec<usize> = (0..n).collect();
+    if let Some(seed) = fuzz {
+        let mut rng = SmallRng::seed_from_u64(derive_stream_seed(seed, 0));
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+    }
+    let base = n / workers;
+    let rem = n % workers;
+    let mut deques = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        deques.push(StealDeque::new(ids[start..start + len].to_vec()));
+        start += len;
+    }
+    deques
+}
+
+/// Per-job storage shared between the submitting thread and the workers:
+/// the job itself (taken exactly once) and its output slot (written
+/// exactly once, read after the scope joins).
+struct JobSlot<J: Job> {
+    job: Mutex<Option<J>>,
+    output: Mutex<Option<Result<J::Output, String>>>,
+}
+
+/// One worker's run-and-steal loop.
+///
+/// Drains the worker's own deque front-to-back, then steals from the
+/// backs of victims until a full probe round finds every deque empty —
+/// at that point every job id has been claimed by someone, so exiting is
+/// safe. The fuzz stream (when present) rotates the victim probe order
+/// and occasionally steals *before* draining local work, exercising
+/// interleavings a round-robin prober would never hit.
+fn steal_loop<J: Job>(w: usize, deques: &[StealDeque], slots: &[JobSlot<J>], cfg: &ExecConfig) {
+    let mut fuzz = cfg
+        .fuzz
+        .map(|seed| SmallRng::seed_from_u64(derive_stream_seed(seed, 1 + w as u64)));
+    let workers = deques.len();
+    loop {
+        // Claim the next job id: local front first (fuzz may preempt with
+        // a steal), then one probe round over the victims' backs.
+        let mut claimed = None;
+        if let Some(rng) = fuzz.as_mut() {
+            if workers > 1 && rng.next_u64() % 4 == 0 {
+                let v = (rng.next_u64() % workers as u64) as usize;
+                if v != w {
+                    claimed = deques[v].steal_back();
+                }
+            }
+        }
+        if claimed.is_none() {
+            claimed = deques[w].pop_front();
+        }
+        if claimed.is_none() {
+            let rot = match fuzz.as_mut() {
+                Some(rng) => (rng.next_u64() % workers.max(1) as u64) as usize,
+                None => 1,
+            };
+            for i in 0..workers {
+                let v = (w + rot + i) % workers;
+                if v == w {
+                    continue;
+                }
+                claimed = deques[v].steal_back();
+                if claimed.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(id) = claimed else {
+            // Every deque is empty: all ids are claimed, nothing left to
+            // run here. Claimed-but-running jobs belong to other workers.
+            return;
+        };
+        // Arbitrate duplicate claims: take() has exactly one winner.
+        let Some(job) = slots[id]
+            .job
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+        else {
+            continue;
+        };
+        let ctx = JobCtx {
+            job_id: id as u64,
+            seed: derive_stream_seed(cfg.base_seed, id as u64),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&ctx))).map_err(panic_message);
+        *slots[id]
+            .output
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(outcome);
+    }
+}
+
 /// Runs `jobs` across `cfg.workers` threads and returns their outputs
 /// **in job-id order** (index `i` of the result corresponds to `jobs[i]`).
 ///
 /// The output is a pure function of `(jobs, cfg.base_seed)`: worker
-/// count, completion order, and OS scheduling are unobservable, so two
-/// invocations with different `cfg.workers` merge to identical results —
-/// the property the golden-artifact gate depends on (see
+/// count, initial deal, steal interleaving, completion order, and OS
+/// scheduling are all unobservable, so two invocations with different
+/// `cfg.workers` (or different `cfg.fuzz` seeds) merge to identical
+/// results — the property the golden-artifact gate depends on (see
 /// `thermo-bench/tests/exec_determinism.rs`).
 ///
 /// A panicking job does not abort the batch: every remaining job still
@@ -206,45 +428,39 @@ pub fn run_jobs<J: Job>(jobs: Vec<J>, cfg: &ExecConfig) -> Result<Vec<J::Output>
         return Ok(Vec::new());
     }
     let workers = cfg.workers.clamp(1, n);
-    // The queue hands out (job_id, job) pairs in submission order; each
-    // worker takes the next pending job, so ids also encode intended
-    // ordering. Results accumulate unordered and are sorted at the end —
-    // the single point where scheduling nondeterminism is erased.
-    let queue = Mutex::new(jobs.into_iter().enumerate());
-    let results: Mutex<Vec<(usize, Result<J::Output, String>)>> = Mutex::new(Vec::with_capacity(n));
-
-    let work = || loop {
-        // Never hold the queue lock while running a job.
-        let next = queue.lock().expect("job queue lock").next();
-        let Some((id, job)) = next else {
-            return;
-        };
-        let ctx = JobCtx {
-            job_id: id as u64,
-            seed: derive_stream_seed(cfg.base_seed, id as u64),
-        };
-        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&ctx))).map_err(panic_message);
-        results.lock().expect("results lock").push((id, outcome));
-    };
+    let slots: Vec<JobSlot<J>> = jobs
+        .into_iter()
+        .map(|j| JobSlot {
+            job: Mutex::new(Some(j)),
+            output: Mutex::new(None),
+        })
+        .collect();
+    let deques = deal_jobs(n, workers, cfg.fuzz);
 
     if workers == 1 {
-        // Serial fast path: same code path as a worker, no threads.
-        work();
+        // Serial fast path: same claim/arbitrate/run path, no threads.
+        steal_loop(0, &deques, &slots, cfg);
     } else {
         thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(work);
+            for w in 0..workers {
+                let deques = &deques;
+                let slots = &slots;
+                s.spawn(move || steal_loop(w, deques, slots, cfg));
             }
         });
     }
 
-    let mut collected = results.into_inner().expect("results lock");
-    collected.sort_by_key(|(id, _)| *id);
-    debug_assert_eq!(collected.len(), n, "every job reports exactly once");
+    // Merge strictly in job-id order: the single place scheduling
+    // nondeterminism is erased.
     let mut out = Vec::with_capacity(n);
     let mut first_panic: Option<(u64, String)> = None;
-    for (id, r) in collected {
-        match r {
+    for (id, slot) in slots.into_iter().enumerate() {
+        let outcome = slot
+            .output
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .expect("every claimed job writes its output slot");
+        match outcome {
             Ok(v) => out.push(v),
             Err(message) => {
                 if first_panic.is_none() {
@@ -296,6 +512,43 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_seed_is_unobservable() {
+        let mk = |fuzz| {
+            let jobs: Vec<_> = (0..64u64)
+                .map(|i| move |ctx: &JobCtx| (i, ctx.seed, ctx.job_id))
+                .collect();
+            run_jobs(jobs, &ExecConfig::new(4, 7).with_fuzz(fuzz)).unwrap()
+        };
+        let plain = mk(None);
+        for seed in [0, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(
+                plain,
+                mk(Some(seed)),
+                "fuzz seed {seed:#x} must be unobservable"
+            );
+        }
+    }
+
+    #[test]
+    fn steals_balance_a_tail_heavy_batch() {
+        // All the work sits in the last job of worker 0's block; thieves
+        // must still drain everything and merge in order. (This is a
+        // liveness/correctness test — timing is not asserted.)
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move |ctx: &JobCtx| {
+                    if i < 8 {
+                        thread::sleep(Duration::from_millis(3));
+                    }
+                    ctx.job_id * 2
+                }
+            })
+            .collect();
+        let out = run_jobs(jobs, &ExecConfig::new(8, 5)).unwrap();
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn per_job_seeds_are_derived_and_disjoint() {
         let base = 0xa5_2017;
         let jobs: Vec<_> = (0..32u64).map(|_| |ctx: &JobCtx| ctx.seed).collect();
@@ -309,6 +562,28 @@ mod tests {
         }
         let unique: std::collections::BTreeSet<_> = seeds.iter().collect();
         assert_eq!(unique.len(), seeds.len(), "per-job seeds must be distinct");
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_under_fuzzed_stealing() {
+        use std::sync::atomic::AtomicU64;
+        for seed in 0..16u64 {
+            let runs: Vec<AtomicU64> = (0..48).map(|_| AtomicU64::new(0)).collect();
+            let jobs: Vec<_> = (0..48usize)
+                .map(|i| {
+                    let runs = &runs;
+                    move |_: &JobCtx| runs[i].fetch_add(1, Ordering::Relaxed)
+                })
+                .collect();
+            run_jobs(jobs, &ExecConfig::new(6, 3).with_fuzz(Some(seed))).unwrap();
+            for (i, r) in runs.iter().enumerate() {
+                assert_eq!(
+                    r.load(Ordering::Relaxed),
+                    1,
+                    "job {i} must run exactly once (fuzz seed {seed})"
+                );
+            }
+        }
     }
 
     #[test]
@@ -336,7 +611,7 @@ mod tests {
             "batch reports the lowest panicking job id"
         );
         assert!(err.to_string().contains("job 3 panicked: boom 3"));
-        // Workers drained the whole queue: every non-panicking job ran.
+        // Workers drained every deque: every non-panicking job ran.
         let mut survivors = ran.lock().unwrap().clone();
         survivors.sort_unstable();
         assert_eq!(survivors, vec![0, 1, 2, 4, 6, 7]);
@@ -378,5 +653,48 @@ mod tests {
             run_jobs(jobs, &ExecConfig::new(2, 0)).unwrap(),
             vec![11, 21, 31]
         );
+    }
+
+    #[test]
+    fn deal_covers_every_id_exactly_once() {
+        for n in [1usize, 2, 7, 16, 33] {
+            for workers in [1usize, 2, 3, 8] {
+                for fuzz in [None, Some(9u64)] {
+                    let deques = deal_jobs(n, workers.min(n), fuzz);
+                    let mut ids: Vec<usize> = deques
+                        .iter()
+                        .flat_map(|d| d.items.iter().copied())
+                        .collect();
+                    ids.sort_unstable();
+                    assert_eq!(ids, (0..n).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deque_ends_never_skip_an_item() {
+        // Owner and a thief race over one deque; together they must claim
+        // every id at least once (duplicates allowed, losses not).
+        for _ in 0..32 {
+            let d = StealDeque::new((0..64).collect());
+            let claimed = Mutex::new(Vec::new());
+            thread::scope(|s| {
+                s.spawn(|| {
+                    while let Some(id) = d.pop_front() {
+                        claimed.lock().unwrap().push(id);
+                    }
+                });
+                s.spawn(|| {
+                    while let Some(id) = d.steal_back() {
+                        claimed.lock().unwrap().push(id);
+                    }
+                });
+            });
+            let mut got = claimed.into_inner().unwrap();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, (0..64).collect::<Vec<_>>());
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! possible hasn't rotted. It is a dependency-free, hand-rolled pass in the
 //! spirit of `thermo-util`'s hermetic philosophy: a small Rust lexer
 //! ([`lexer`]), a lightweight item skipper (so `#[cfg(test)]` code is out of
-//! scope), and five token-level lint families ([`lints`]):
+//! scope), and seven token-level lint families ([`lints`]):
 //!
 //! * **D1 `unordered_iteration`** — `HashMap`/`HashSet` in artifact crates.
 //! * **D2 `ambient_nondeterminism`** — wall-clock/thread-identity/entropy
@@ -15,8 +15,14 @@
 //!   derivation outside the pool internals.
 //! * **S1 `seam_enforcement`** — policy crates naming engine mechanism
 //!   entry points instead of the `MemoryView`/`PolicyPlan` seam.
+//! * **D4 `sched_purity`** — ambient reads inside `Component` impls, which
+//!   must derive all behavior from constructor state and event arguments.
 //! * **E1 `panic_in_worker`** — panicking calls inside thermo-exec job
-//!   closures without an allow-pragma.
+//!   closures without an allow-pragma, and (in the executor crate) inside
+//!   the Chase-Lev steal path itself.
+//! * **E2 `completion_order_merge`** — channel receives in executor code,
+//!   which merge results in completion order instead of stable job-id
+//!   order and so break byte-identity across `THERMO_JOBS` settings.
 //!
 //! Violations that predate the linter live in `goldens/lint-baseline.json`:
 //! the CI gate fails on *new* findings while grandfathered ones stay

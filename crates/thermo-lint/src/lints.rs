@@ -11,6 +11,7 @@
 //! | `seam_enforcement`       | S1     | policies speak `MemoryView`/`PolicyPlan`   |
 //! | `panic_in_worker`        | E1     | job closures don't panic without a pragma  |
 //! | `sched_purity`           | D4     | `Component` impls see only virtual time    |
+//! | `completion_order_merge` | E2     | executor merges by job id, never arrival   |
 //!
 //! An additional internal lint, `bad_pragma`, fires on malformed
 //! suppression pragmas (unknown lint name, missing reason) so a typo can
@@ -22,17 +23,27 @@
 //! every tick to be a pure function of component state + the virtual
 //! timeline — no wall clocks, no env reads, no thread identity, no
 //! external entropy, anywhere a `Component` is implemented.
+//!
+//! E2 covers the work-stealing executor's merge discipline (DESIGN.md
+//! §15): results must be indexed and merged by stable job id. Any
+//! channel-receive in executor code is the canonical way to accidentally
+//! merge in *completion* order — which varies with steal interleaving —
+//! so E2 bans the recv family there outright. E1's closure pass is
+//! complemented by a steal-path pass: panicky calls inside any
+//! `fn …steal…` can fire on a thief's stack mid-claim, turning a benign
+//! race retry into a batch abort.
 
 use crate::lexer::{lex, PragmaComment, Token, TokenKind};
 
 /// Canonical lint names, in family order.
-pub const LINT_NAMES: [&str; 7] = [
+pub const LINT_NAMES: [&str; 8] = [
     "unordered_iteration",
     "ambient_nondeterminism",
     "rng_containment",
     "seam_enforcement",
     "panic_in_worker",
     "sched_purity",
+    "completion_order_merge",
     "bad_pragma",
 ];
 
@@ -45,6 +56,7 @@ pub fn family_code(lint: &str) -> &'static str {
         "seam_enforcement" => "S1",
         "panic_in_worker" => "E1",
         "sched_purity" => "D4",
+        "completion_order_merge" => "E2",
         _ => "P0",
     }
 }
@@ -118,6 +130,8 @@ pub struct Scope {
     pub rng_fns: bool,
     /// S1 applies.
     pub seam: bool,
+    /// E2 applies (executor code: merge discipline is job-id order).
+    pub exec: bool,
 }
 
 /// Crates whose state can reach a golden artifact (D1 scope).
@@ -206,10 +220,15 @@ impl Scope {
             rng: RNG_SCOPED_CRATES.contains(&crate_name.as_str()) && !is_decide,
             rng_fns: !rng_internal && !is_decide,
             seam: POLICY_CRATES.contains(&crate_name.as_str()),
+            exec: crate_name == "thermo-exec",
             crate_name,
         }
     }
 }
+
+/// Channel-receive methods (`.recv()`-family) counted as completion-order
+/// merges by E2 when they appear in executor code.
+const RECV_METHODS: [&str; 3] = ["recv", "try_recv", "recv_timeout"];
 
 /// A parsed, validated suppression pragma.
 #[derive(Debug)]
@@ -488,6 +507,21 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             );
         }
 
+        // E2: completion-order merge hazards in executor code — receiving
+        // from a channel yields results in arrival order, which varies
+        // with steal interleaving; the executor contract is job-id order.
+        if scope.exec
+            && ((prev_is_dot && RECV_METHODS.contains(&ident)) || (ident == "mpsc" && next_is_path))
+        {
+            push(
+                &mut findings,
+                tok.line,
+                "completion_order_merge",
+                format!("`{ident}` in executor code merges results in completion order, which varies with steal interleaving"),
+                "index results into a slot keyed by stable job id and merge slots in id order",
+            );
+        }
+
         // S1: policy crates naming engine mechanism entry points.
         if scope.seam && SEAM_FORBIDDEN.contains(&ident) {
             push(
@@ -501,6 +535,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
 
     lint_job_closures(&tokens, &file, &mut findings);
+    if scope.exec {
+        lint_steal_fns(&tokens, &file, &mut findings);
+    }
     lint_component_impls(&tokens, &file, &mut findings);
 
     // Apply pragma suppression: a pragma suppresses matching findings on
@@ -597,6 +634,78 @@ fn lint_job_closures(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) 
             }
         }
         i = k.max(close + 1);
+    }
+}
+
+/// E1, steal-path pass: panicky calls inside any executor function whose
+/// name contains `steal`. The thief side of the Chase-Lev protocol runs
+/// concurrently with the owner and loses claim races by design; an
+/// `unwrap`/`expect`/`panic!` there turns a benign retry path into a
+/// whole-batch abort on a stack the job-level catch_unwind never sees.
+fn lint_steal_fns(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind.ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let is_steal_fn = tokens
+            .get(i + 1)
+            .and_then(|t| t.kind.ident())
+            .is_some_and(|name| name.contains("steal"));
+        if !is_steal_fn {
+            i += 1;
+            continue;
+        }
+        // Scan to the fn's body block, then to its matching close brace.
+        let mut j = i + 1;
+        while j < tokens.len() && tokens[j].kind != TokenKind::Punct('{') {
+            if tokens[j].kind == TokenKind::Punct(';') {
+                break; // trait method signature, no body
+            }
+            j += 1;
+        }
+        if tokens.get(j).map(|t| &t.kind) != Some(&TokenKind::Punct('{')) {
+            i = j.max(i + 1);
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for t in &tokens[j + 1..k.min(tokens.len())] {
+            let Some(ident) = t.kind.ident() else {
+                continue;
+            };
+            let panicky = matches!(
+                ident,
+                "unwrap" | "expect" | "panic" | "unreachable" | "todo" | "unimplemented"
+            );
+            if panicky {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    lint: "panic_in_worker".to_string(),
+                    message: format!(
+                        "`{ident}` inside steal-path fn: a panic on the thief side aborts the batch outside the job-level catch"
+                    ),
+                    hint: "losing a claim race is normal — return None/the error, or annotate with // thermo-lint: allow(panic_in_worker, reason = \"…\")"
+                        .to_string(),
+                });
+            }
+        }
+        i = k.max(i + 1);
     }
 }
 

@@ -179,6 +179,56 @@ fn e1_panic_in_worker() {
 }
 
 #[test]
+fn e1_steal_path_pass_in_executor_crate() {
+    expect(
+        include_str!("fixtures/e1_steal.rs"),
+        "crates/thermo-exec/src/fixture.rs",
+        &[
+            ("panic_in_worker", 5),
+            ("panic_in_worker", 10),
+            ("panic_in_worker", 12),
+        ],
+    );
+}
+
+#[test]
+fn e1_steal_pass_is_executor_scoped() {
+    // The same file outside thermo-exec: `steal` fn names elsewhere are
+    // not the Chase-Lev thief path, so only the closure pass applies
+    // (and this fixture has no JobCtx closures).
+    expect(
+        include_str!("fixtures/e1_steal.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[],
+    );
+}
+
+#[test]
+fn e2_completion_order_merge_in_executor_crate() {
+    expect(
+        include_str!("fixtures/e2_exec_order.rs"),
+        "crates/thermo-exec/src/fixture.rs",
+        &[
+            ("completion_order_merge", 4),
+            ("completion_order_merge", 12),
+            ("completion_order_merge", 16),
+            ("completion_order_merge", 20),
+        ],
+    );
+}
+
+#[test]
+fn e2_out_of_scope_outside_executor() {
+    // Channels elsewhere are governed by the crates' own seams; E2 is
+    // specifically the executor merge-discipline lint.
+    expect(
+        include_str!("fixtures/e2_exec_order.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[],
+    );
+}
+
+#[test]
 fn pragma_suppression_and_validation() {
     expect(
         include_str!("fixtures/pragma.rs"),

@@ -1,0 +1,20 @@
+// Fixture: E1 steal-path pass — panicky calls inside `fn …steal…`.
+impl StealDeque {
+    fn steal_back(&self) -> usize {
+        let t = self.tail.load(Acquire);
+        self.items.get(t - 1).copied().unwrap() // line 5: finding (unwrap)
+    }
+}
+
+fn steal_loop(deques: &[StealDeque]) {
+    let victim = deques.first().expect("at least one worker"); // line 10: finding (expect)
+    if victim.is_poisoned() {
+        panic!("poisoned deque"); // line 12: finding (panic)
+    }
+}
+
+fn drain_local(deque: &StealDeque) -> usize {
+    // Panicky call outside any steal fn: the closure pass still governs
+    // JobCtx closures, but this plain helper produces no finding.
+    deque.front().unwrap()
+}

@@ -88,6 +88,7 @@ impl FrameAllocator {
     }
 
     /// True if `pfn` lies inside this allocator's range.
+    #[inline]
     pub fn owns(&self, pfn: Pfn) -> bool {
         pfn.0 >= self.base.0 && pfn.0 < self.base.0 + self.stats.total_frames
     }

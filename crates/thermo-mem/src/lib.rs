@@ -107,6 +107,7 @@ impl PhysicalMemory {
     /// # Panics
     ///
     /// Panics if `pfn` is outside both tiers.
+    #[inline]
     pub fn tier_of(&self, pfn: Pfn) -> Tier {
         if self.fast.owns(pfn) {
             Tier::Fast

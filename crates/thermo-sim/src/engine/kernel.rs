@@ -9,7 +9,7 @@
 //! harnesses, property tests, and simple baselines (CLOCK, DAMON).
 
 use super::{Engine, FootprintBreakdown, SCAN_SHOOTDOWN_NS, SCAN_VISIT_NS, THP_SURGERY_NS};
-use thermo_mem::{MemError, PageSize, Tier, Vpn, PAGES_PER_HUGE};
+use thermo_mem::{MemError, PageSize, Pfn, Tier, Vpn, PAGES_PER_HUGE};
 use thermo_vm::{scan_and_clear, MapError, ScanCost, ScanHit};
 
 impl Engine {
@@ -50,6 +50,29 @@ impl Engine {
         self.trap
             .poison(&mut self.pt, &mut self.tlb, self.vpid, base_vpn, size);
         self.stats.kernel_time_ns += SCAN_SHOOTDOWN_NS;
+    }
+
+    /// Poisons all 512 children of a split huge page — the bulk form of 512
+    /// [`poison_page`](Self::poison_page) calls, with identical charges and
+    /// observable state but one fabric invalidation and one page-table pass.
+    pub fn poison_split_children(&mut self, base_vpn: Vpn) {
+        self.fab
+            .invalidate_overlapping(base_vpn, PAGES_PER_HUGE as u64);
+        self.trap
+            .poison_children(&mut self.pt, &mut self.tlb, self.vpid, base_vpn);
+        self.stats.kernel_time_ns += PAGES_PER_HUGE as u64 * SCAN_SHOOTDOWN_NS;
+    }
+
+    /// Unpoisons all 512 children of a split huge page and returns their
+    /// summed fault counts — the bulk form of 512
+    /// [`unpoison_page`](Self::unpoison_page) calls, with identical charges
+    /// and observable state.
+    pub fn unpoison_split_children(&mut self, base_vpn: Vpn) -> u64 {
+        self.fab
+            .invalidate_overlapping(base_vpn, PAGES_PER_HUGE as u64);
+        self.stats.kernel_time_ns += PAGES_PER_HUGE as u64 * SCAN_SHOOTDOWN_NS;
+        self.trap
+            .unpoison_children_sum(&mut self.pt, &mut self.tlb, self.vpid, base_vpn)
     }
 
     /// Unpoisons the leaf at `base_vpn`, returning its fault count.
@@ -194,15 +217,32 @@ impl Engine {
             });
         }
         let new = self.mem.alloc(target, PageSize::Huge2M)?;
-        for i in 0..PAGES_PER_HUGE as u64 {
-            let vpn = base_vpn.offset(i);
-            let m = self.pt.lookup(vpn).expect("split page child missing");
-            assert_eq!(m.size, PageSize::Small4K, "child is not a 4KB leaf");
-            let old = m.pte.pfn();
-            self.llc.invalidate_frame(old);
+        // One pass over the window swaps every child onto the new huge
+        // frame while collecting the old frames; the per-child LLC/allocator
+        // bookkeeping below then runs in the same child order as the
+        // per-child loop this replaces, so the observable state is
+        // identical with a quarter of the page-table descents.
+        let mut olds: Vec<Pfn> = Vec::with_capacity(PAGES_PER_HUGE);
+        self.pt
+            .for_each_leaf_mut(base_vpn, PAGES_PER_HUGE as u64, |_, size, pte| {
+                assert_eq!(size, PageSize::Small4K, "child is not a 4KB leaf");
+                olds.push(pte.pfn());
+                pte.set_pfn(new.offset(olds.len() as u64 - 1));
+            });
+        assert_eq!(olds.len(), PAGES_PER_HUGE, "split page child missing");
+        if olds.windows(2).all(|w| w[1].0 == w[0].0 + 1) {
+            // Still one contiguous huge frame (the common demote-after-split
+            // case): drop its lines in a single sweep of the tag store.
+            self.llc.invalidate_frames(olds[0], PAGES_PER_HUGE as u64);
+        } else {
+            for &old in &olds {
+                self.llc.invalidate_frame(old);
+            }
+        }
+        for (i, &old) in olds.iter().enumerate() {
             self.mem.free(self.mem.tier_of(old), old, PageSize::Small4K);
-            self.pt.with_pte_mut(vpn, |pte| pte.set_pfn(new.offset(i)));
-            self.tlb.shootdown(vpn, PageSize::Small4K, self.vpid);
+            self.tlb
+                .shootdown(base_vpn.offset(i as u64), PageSize::Small4K, self.vpid);
         }
         let cost = self
             .mig

@@ -30,12 +30,82 @@ impl LatencyHistogram {
         }
     }
 
-    fn index(ns: u64) -> usize {
+    /// The defining bucket map: two `ln` calls per evaluation. Kept as the
+    /// oracle the precomputed threshold table is built from (and tested
+    /// against) — `index` must agree with it bit-for-bit.
+    fn formula_index(ns: u64) -> usize {
         if ns <= 1 {
             return 0;
         }
         let idx = (ns as f64).ln() / GROWTH.ln();
         (idx as usize).min(N_BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive) of each bucket, derived once from
+    /// [`formula_index`](Self::formula_index) by bisection. Buckets the
+    /// formula skips (small ns, where consecutive integers jump many
+    /// indices) repeat the previous threshold, which `partition_point`
+    /// naturally steps over.
+    fn thresholds() -> &'static [u64] {
+        static THRESHOLDS: std::sync::OnceLock<Vec<u64>> = std::sync::OnceLock::new();
+        THRESHOLDS.get_or_init(|| {
+            let mut t = vec![0u64; N_BUCKETS];
+            let mut lo = 1u64; // any ns below `lo` is in an earlier bucket
+            for (i, slot) in t.iter_mut().enumerate() {
+                if i == N_BUCKETS - 1 {
+                    *slot = u64::MAX;
+                    break;
+                }
+                if Self::formula_index(lo) > i {
+                    // Empty bucket: keep the previous threshold.
+                    *slot = lo - 1;
+                    continue;
+                }
+                let mut hi = lo.max(2);
+                while Self::formula_index(hi) <= i {
+                    hi = hi.saturating_mul(2);
+                }
+                let (mut a, mut b) = (lo, hi);
+                while b - a > 1 {
+                    let m = a + (b - a) / 2;
+                    if Self::formula_index(m) <= i {
+                        a = m;
+                    } else {
+                        b = m;
+                    }
+                }
+                *slot = a;
+                lo = b;
+            }
+            t
+        })
+    }
+
+    /// Direct `ns -> bucket` map for the small-ns range where nearly every
+    /// recorded op latency lands, built from [`index_search`] once so the
+    /// two maps agree bucket-for-bucket. Turns the per-op binary search
+    /// into one load.
+    fn small_table() -> &'static [u16] {
+        const SMALL_MAX: usize = 1 << 16;
+        static SMALL: std::sync::OnceLock<Vec<u16>> = std::sync::OnceLock::new();
+        SMALL.get_or_init(|| {
+            (0..SMALL_MAX as u64)
+                .map(|ns| Self::index_search(ns) as u16)
+                .collect()
+        })
+    }
+
+    fn index_search(ns: u64) -> usize {
+        // First bucket whose inclusive upper bound reaches `ns`; the last
+        // threshold is u64::MAX so the result is always in range.
+        Self::thresholds().partition_point(|&hi| hi < ns)
+    }
+
+    fn index(ns: u64) -> usize {
+        match Self::small_table().get(ns as usize) {
+            Some(&i) => i as usize,
+            None => Self::index_search(ns),
+        }
     }
 
     /// Records one operation latency.
@@ -181,5 +251,41 @@ mod tests {
         h.record(1);
         assert_eq!(h.count(), 2);
         assert!(h.percentile_ns(100.0) <= 2);
+    }
+
+    #[test]
+    fn threshold_table_matches_ln_formula_exactly() {
+        // Dense low range, where buckets are narrowest and skipped.
+        for ns in 0..200_000u64 {
+            assert_eq!(
+                LatencyHistogram::index(ns),
+                LatencyHistogram::formula_index(ns),
+                "ns={ns}"
+            );
+        }
+        // Every bucket boundary and its neighbours, across the whole range.
+        for &hi in LatencyHistogram::thresholds() {
+            for ns in [hi.saturating_sub(1), hi, hi.saturating_add(1)] {
+                assert_eq!(
+                    LatencyHistogram::index(ns),
+                    LatencyHistogram::formula_index(ns),
+                    "ns={ns}"
+                );
+            }
+        }
+        // A geometric sweep up to u64::MAX.
+        let mut ns = 1u64;
+        while ns < u64::MAX / 3 {
+            ns = ns.saturating_mul(3) / 2 + 1;
+            assert_eq!(
+                LatencyHistogram::index(ns),
+                LatencyHistogram::formula_index(ns),
+                "ns={ns}"
+            );
+        }
+        assert_eq!(
+            LatencyHistogram::index(u64::MAX),
+            LatencyHistogram::formula_index(u64::MAX)
+        );
     }
 }

@@ -108,9 +108,13 @@ pub fn run_for(
     let deadline = start.saturating_add(duration_ns);
     let mut ops = 0u64;
     let mut accesses: Vec<Access> = Vec::with_capacity(16);
+    // `next_due_ns(&self)` is pure and only moves in `tick(&mut self)`,
+    // so caching it turns a per-op virtual call into a compare.
+    let mut due = policy.next_due_ns();
     while engine.now_ns() < deadline {
-        while policy.next_due_ns() <= engine.now_ns() {
+        while due <= engine.now_ns() {
             policy.tick(engine);
+            due = policy.next_due_ns();
         }
         accesses.clear();
         let Some(compute_ns) = workload.next_op(engine.now_ns(), &mut accesses) else {
@@ -144,9 +148,12 @@ pub fn run_for_instrumented(
     let deadline = start.saturating_add(duration_ns);
     let mut ops = 0u64;
     let mut accesses: Vec<Access> = Vec::with_capacity(16);
+    // Same cached-deadline trick as `run_for`.
+    let mut due = policy.next_due_ns();
     while engine.now_ns() < deadline {
-        while policy.next_due_ns() <= engine.now_ns() {
+        while due <= engine.now_ns() {
             policy.tick(engine);
+            due = policy.next_due_ns();
         }
         accesses.clear();
         let Some(compute_ns) = workload.next_op(engine.now_ns(), &mut accesses) else {
@@ -177,9 +184,12 @@ pub fn run_ops(
     let start = engine.now_ns();
     let mut ops = 0u64;
     let mut accesses: Vec<Access> = Vec::with_capacity(16);
+    // Same cached-deadline trick as `run_for`.
+    let mut due = policy.next_due_ns();
     while ops < n_ops {
-        while policy.next_due_ns() <= engine.now_ns() {
+        while due <= engine.now_ns() {
             policy.tick(engine);
+            due = policy.next_due_ns();
         }
         accesses.clear();
         let Some(compute_ns) = workload.next_op(engine.now_ns(), &mut accesses) else {

@@ -148,6 +148,13 @@ pub struct Scheduler {
     heap: BinaryHeap<Reverse<(u64, u8, u32)>>,
     fuzz: Option<SmallRng>,
     panics: Vec<(u32, u32, String, String)>,
+    /// Scratch for the same-(time, class) batch, reused across events so
+    /// the event loop allocates nothing in steady state.
+    batch: Vec<u32>,
+    /// Count of essential, unparked components — maintained on every
+    /// park transition so the loop condition is O(1) per event instead of
+    /// a slot scan.
+    live_essentials: usize,
 }
 
 impl Scheduler {
@@ -159,6 +166,8 @@ impl Scheduler {
             heap: BinaryHeap::new(),
             fuzz: fuzz_seed.map(SmallRng::seed_from_u64),
             panics: Vec::new(),
+            batch: Vec::new(),
+            live_essentials: 0,
         }
     }
 
@@ -174,22 +183,42 @@ impl Scheduler {
             parked: false,
             essential,
         });
+        if essential {
+            self.live_essentials += 1;
+        }
         id
     }
 
     fn park_group(&mut self, group: u32) {
         for slot in &mut self.slots {
-            if slot.group == group {
+            if slot.group == group && !slot.parked {
                 slot.parked = true;
+                if slot.essential {
+                    self.live_essentials -= 1;
+                }
+            }
+        }
+    }
+
+    fn park_one(&mut self, id: u32) {
+        let slot = &mut self.slots[id as usize];
+        if !slot.parked {
+            slot.parked = true;
+            if slot.essential {
+                self.live_essentials -= 1;
             }
         }
     }
 
     fn live_essential(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.essential && !s.parked)
-            .count()
+        debug_assert_eq!(
+            self.live_essentials,
+            self.slots
+                .iter()
+                .filter(|s| s.essential && !s.parked)
+                .count()
+        );
+        self.live_essentials
     }
 
     /// Pops entries until one is *current* (component unparked and its
@@ -235,7 +264,9 @@ impl Scheduler {
             // guaranteed disjoint (distinct tenants), so their execution
             // order is unobservable — which the fuzz mode verifies by
             // permuting it.
-            let mut batch = vec![first];
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.clear();
+            batch.push(first);
             while let Some(&Reverse((t2, c2, _))) = self.heap.peek() {
                 if t2 != t || c2 != c {
                     break;
@@ -250,9 +281,10 @@ impl Scheduler {
             if let Some(rng) = &mut self.fuzz {
                 decide::permute_batch(rng, &mut batch);
             }
-            for id in batch {
+            for &id in &batch {
                 self.run_one(t, id);
             }
+            self.batch = batch;
         }
 
         if let Some((component_id, group, label, message)) =
@@ -313,7 +345,7 @@ impl Scheduler {
                     self.heap.push(Reverse((next, slot.class, id)));
                 }
             }
-            Ok(Control::Park) => slot.parked = true,
+            Ok(Control::Park) => self.park_one(id),
             Ok(Control::ParkGroup) => {
                 let group = slot.group;
                 self.park_group(group);

@@ -23,7 +23,7 @@
 
 #![warn(missing_docs)]
 use std::collections::BTreeMap;
-use thermo_mem::{PageSize, Vpn};
+use thermo_mem::{PageSize, Vpn, PAGES_PER_HUGE};
 use thermo_vm::{PageTable, Tlb, Vpid};
 
 /// Configuration of the trap unit.
@@ -125,6 +125,83 @@ impl TrapUnit {
         self.counters.insert(base_vpn, Counter { faults: 0, size });
         self.stats.poisoned_pages = self.counters.len() as u64;
         self.stats.poisons += 1;
+    }
+
+    /// Poisons all 512 4KB children of the split huge page at `base_vpn` in
+    /// one page-table pass — the bulk counterpart of 512 [`poison`]
+    /// calls. Observable state (PTE bits, TLB content, counters,
+    /// statistics) is identical to the per-child sequence; only the number
+    /// of page-table descents differs.
+    ///
+    /// [`poison`]: Self::poison
+    ///
+    /// # Panics
+    ///
+    /// Panics if any child is unmapped or not a 4KB leaf.
+    pub fn poison_children(
+        &mut self,
+        pt: &mut PageTable,
+        tlb: &mut Tlb,
+        vpid: Vpid,
+        base_vpn: Vpn,
+    ) {
+        let mut seen = 0u64;
+        pt.for_each_leaf_mut(base_vpn, PAGES_PER_HUGE as u64, |vpn, size, pte| {
+            assert_eq!(size, PageSize::Small4K, "poison size mismatch at {vpn}");
+            pte.poison();
+            seen += 1;
+        });
+        assert_eq!(
+            seen, PAGES_PER_HUGE as u64,
+            "poisoning unmapped children under {base_vpn}"
+        );
+        for i in 0..PAGES_PER_HUGE as u64 {
+            let vpn = base_vpn.offset(i);
+            tlb.shootdown(vpn, PageSize::Small4K, vpid);
+            self.counters.insert(
+                vpn,
+                Counter {
+                    faults: 0,
+                    size: PageSize::Small4K,
+                },
+            );
+        }
+        self.stats.poisoned_pages = self.counters.len() as u64;
+        self.stats.poisons += PAGES_PER_HUGE as u64;
+    }
+
+    /// Unpoisons all 512 4KB children of the split huge page at `base_vpn`
+    /// in one page-table pass, returning their summed fault counts — the
+    /// bulk counterpart of 512 [`unpoison`](Self::unpoison) calls, with
+    /// identical observable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any child was not poisoned by this unit.
+    pub fn unpoison_children_sum(
+        &mut self,
+        pt: &mut PageTable,
+        tlb: &mut Tlb,
+        vpid: Vpid,
+        base_vpn: Vpn,
+    ) -> u64 {
+        pt.for_each_leaf_mut(base_vpn, PAGES_PER_HUGE as u64, |vpn, size, pte| {
+            assert_eq!(size, PageSize::Small4K, "unpoison size mismatch at {vpn}");
+            pte.unpoison();
+        });
+        let mut sum = 0;
+        for i in 0..PAGES_PER_HUGE as u64 {
+            let vpn = base_vpn.offset(i);
+            let counter = self
+                .counters
+                .remove(&vpn)
+                .unwrap_or_else(|| panic!("unpoisoning page {vpn} that was never poisoned"));
+            sum += counter.faults;
+            tlb.shootdown(vpn, counter.size, vpid);
+        }
+        self.stats.poisoned_pages = self.counters.len() as u64;
+        self.stats.unpoisons += PAGES_PER_HUGE as u64;
+        sum
     }
 
     /// Unpoisons the leaf at `base_vpn`, returning the fault count gathered
@@ -329,6 +406,55 @@ mod tests {
     fn unpoison_unknown_panics() {
         let (mut pt, mut tlb, mut trap) = setup_small();
         trap.unpoison(&mut pt, &mut tlb, V, Vpn(7));
+    }
+
+    #[test]
+    fn bulk_children_ops_match_per_child_sequence() {
+        use thermo_mem::PAGES_PER_HUGE;
+        let build = || {
+            let mut pt = PageTable::new();
+            pt.map_huge(Vpn(512), Pfn(1024), true).unwrap();
+            pt.split_huge(Vpn(512)).unwrap();
+            (pt, Tlb::default(), TrapUnit::default())
+        };
+        let (mut pt_a, mut tlb_a, mut trap_a) = build();
+        let (mut pt_b, mut tlb_b, mut trap_b) = build();
+
+        trap_a.poison_children(&mut pt_a, &mut tlb_a, V, Vpn(512));
+        for i in 0..PAGES_PER_HUGE as u64 {
+            trap_b.poison(&mut pt_b, &mut tlb_b, V, Vpn(512 + i), PageSize::Small4K);
+        }
+        assert_eq!(trap_a.stats(), trap_b.stats());
+        for i in 0..PAGES_PER_HUGE as u64 {
+            assert_eq!(pt_a.lookup(Vpn(512 + i)), pt_b.lookup(Vpn(512 + i)));
+        }
+
+        trap_a.on_fault(Vpn(513));
+        trap_b.on_fault(Vpn(513));
+        trap_a.on_fault(Vpn(900));
+        trap_b.on_fault(Vpn(900));
+
+        let sum_a = trap_a.unpoison_children_sum(&mut pt_a, &mut tlb_a, V, Vpn(512));
+        let mut sum_b = 0;
+        for i in 0..PAGES_PER_HUGE as u64 {
+            sum_b += trap_b.unpoison(&mut pt_b, &mut tlb_b, V, Vpn(512 + i));
+        }
+        assert_eq!(sum_a, 2);
+        assert_eq!(sum_a, sum_b);
+        assert_eq!(trap_a.stats(), trap_b.stats());
+        for i in 0..PAGES_PER_HUGE as u64 {
+            assert_eq!(pt_a.lookup(Vpn(512 + i)), pt_b.lookup(Vpn(512 + i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped children")]
+    fn bulk_poison_unmapped_children_panics() {
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(512), Pfn(1), true).unwrap(); // only 1 of 512
+        let mut tlb = Tlb::default();
+        let mut trap = TrapUnit::default();
+        trap.poison_children(&mut pt, &mut tlb, V, Vpn(512));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Strength-reduced division by a runtime-fixed divisor.
+//!
+//! Hot workload paths reduce hashes into fixed-size regions and key spaces
+//! (`hash % bytes`, `hash % n_keys`) millions of times per run; a hardware
+//! 64-bit divide costs 20-40 cycles while the divisor never changes after
+//! construction. [`FastMod`] precomputes the Granlund–Montgomery round-up
+//! magic (the libdivide scheme) once, turning every subsequent `/` and `%`
+//! into a widening multiply, a shift, and (for `%`) one more multiply —
+//! **exactly** equal to the hardware result for every `u64` operand, which
+//! the golden-artifact gate depends on.
+
+/// Exact `u64` division/remainder by a fixed divisor via a precomputed
+/// multiply-shift magic. Construction costs one 128-bit division; each use
+/// is a few multiplies. `div`/`rem` agree with `/`/`%` for **all** inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastMod {
+    d: u64,
+    /// 0 marks the power-of-two fast path (plain shift/mask).
+    magic: u64,
+    shift: u32,
+    /// Round-up overflowed 64 bits: apply the add-correction step.
+    add: bool,
+}
+
+impl FastMod {
+    /// Precomputes the magic for divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero");
+        if d.is_power_of_two() {
+            return Self {
+                d,
+                magic: 0,
+                shift: d.trailing_zeros(),
+                add: false,
+            };
+        }
+        let floor_log2 = 63 - d.leading_zeros();
+        // proposed = floor(2^(64 + floor_log2) / d), rem its remainder.
+        let num = 1u128 << (64 + floor_log2);
+        let proposed = (num / d as u128) as u64;
+        let rem = (num % d as u128) as u64;
+        let e = d - rem;
+        if e < (1u64 << floor_log2) {
+            // The rounded-up magic fits in 64 bits.
+            Self {
+                d,
+                magic: proposed + 1,
+                shift: floor_log2,
+                add: false,
+            }
+        } else {
+            // Needs the 65-bit magic: double (tracking the remainder carry)
+            // and fall back to the add-correction evaluation.
+            let mut magic = proposed.wrapping_add(proposed);
+            let twice_rem = rem.wrapping_add(rem);
+            if twice_rem >= d || twice_rem < rem {
+                magic = magic.wrapping_add(1);
+            }
+            Self {
+                d,
+                magic: magic.wrapping_add(1),
+                shift: floor_log2,
+                add: true,
+            }
+        }
+    }
+
+    /// The divisor this magic was built for.
+    #[inline]
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// `x / d`, exactly.
+    #[inline]
+    pub fn div(&self, x: u64) -> u64 {
+        if self.magic == 0 {
+            return x >> self.shift;
+        }
+        let q = ((self.magic as u128 * x as u128) >> 64) as u64;
+        if self.add {
+            (((x - q) >> 1).wrapping_add(q)) >> self.shift
+        } else {
+            q >> self.shift
+        }
+    }
+
+    /// `x % d`, exactly.
+    #[inline]
+    pub fn rem(&self, x: u64) -> u64 {
+        if self.magic == 0 {
+            return x & (self.d - 1);
+        }
+        x - self.div(x) * self.d
+    }
+}
+
+/// `cur + step`, wrapped into `[0, len)` by a single compare-subtract —
+/// exactly `(cur + step) % len` under the stated preconditions, without the
+/// hardware divide.
+///
+/// # Panics
+///
+/// Debug-asserts `cur < len` and `step <= len` (the conditions under which
+/// one subtraction equals the modulo).
+#[inline]
+pub fn wrap_add(cur: u64, step: u64, len: u64) -> u64 {
+    debug_assert!(cur < len && step <= len);
+    let c = cur + step;
+    if c >= len {
+        c - len
+    } else {
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, SeedableRng, SmallRng};
+
+    /// Divisors chosen to hit every code path: powers of two, odd/even
+    /// composites, primes, values straddling the 65-bit-magic boundary,
+    /// and extremes.
+    fn adversarial_divisors() -> Vec<u64> {
+        let mut ds = vec![
+            1,
+            2,
+            3,
+            5,
+            7,
+            10,
+            63,
+            64,
+            65,
+            100,
+            641,
+            4096,
+            10_007,
+            1 << 20,
+            (1 << 20) + 1,
+            (1 << 31) - 1,
+            1 << 31,
+            (1u64 << 32) - 1,
+            1u64 << 32,
+            (1u64 << 32) + 1,
+            0x5DEECE66D,
+            (1u64 << 53) - 111,
+            (1u64 << 62) + 3,
+            (1u64 << 63) - 1,
+            1u64 << 63,
+            (1u64 << 63) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            ds.push(rng.gen::<u64>().max(1));
+        }
+        ds
+    }
+
+    #[test]
+    fn matches_hardware_div_and_rem() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for d in adversarial_divisors() {
+            let f = FastMod::new(d);
+            let check = |x: u64| {
+                assert_eq!(f.div(x), x / d, "div x={x} d={d}");
+                assert_eq!(f.rem(x), x % d, "rem x={x} d={d}");
+            };
+            for edge in [
+                0,
+                1,
+                d - 1,
+                d,
+                d.saturating_add(1),
+                d.saturating_mul(2),
+                d.saturating_mul(3).wrapping_sub(1),
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                check(edge);
+            }
+            for _ in 0..2_000 {
+                check(rng.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_operands() {
+        for d in 1..=128u64 {
+            let f = FastMod::new(d);
+            for x in 0..=4096u64 {
+                assert_eq!(f.div(x), x / d, "x={x} d={d}");
+                assert_eq!(f.rem(x), x % d, "x={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_add_equals_modulo() {
+        for len in [1u64, 2, 64, 100, 4096, 1 << 33] {
+            for cur in [0, 1, len / 2, len - 1] {
+                for step in [0, 1, 64, len / 3, len] {
+                    if cur < len && step <= len {
+                        assert_eq!(wrap_add(cur, step, len), (cur + step) % len);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        FastMod::new(0);
+    }
+}

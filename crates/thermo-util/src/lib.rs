@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fastdiv;
 pub mod json;
 pub mod proptest_lite;
 pub mod rng;

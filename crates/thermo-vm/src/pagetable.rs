@@ -1,12 +1,27 @@
-//! Four-level radix page table with transparent-huge-page support.
+//! Flat-leaf page table with transparent-huge-page support.
 //!
-//! The structure mirrors x86-64: PML4 → PDPT → PD → PT, 512 entries per
-//! level. A PD entry either points at a PT of 512 4KB PTEs or is itself a
-//! 2MB leaf (PS bit set). Thermostat's sampling (paper §3.2) *splits* a huge
-//! page into its 512 constituent 4KB PTEs to monitor them individually and
-//! later *collapses* it back; both are pure page-table transformations here
-//! because a huge page is always backed by a physically contiguous huge
-//! frame (see `thermo-mem::frame`).
+//! Semantically this mirrors the x86-64 radix tree (PML4 → PDPT → PD → PT,
+//! 512 entries per level): a 2MB-aligned virtual slot either is a 2MB leaf
+//! (PS bit set on the PD entry) or holds a table of 512 4KB PTEs.
+//! Thermostat's sampling (paper §3.2) *splits* a huge page into its 512
+//! constituent 4KB PTEs to monitor them individually and later *collapses*
+//! it back; both are pure page-table transformations here because a huge
+//! page is always backed by a physically contiguous huge frame (see
+//! `thermo-mem::frame`).
+//!
+//! The representation, however, is flat: one dense array of per-slot leaf
+//! rows indexed by `vpn >> 9`, offset from the lowest mapped slot. The
+//! simulated process bump-allocates VMAs contiguously, so the slot space is
+//! dense and a translation is one bounds-checked index instead of three
+//! pointer hops; range scans (`for_each_leaf`) are linear array sweeps, the
+//! shape the off-thread scan pipeline (`thermo_sim::MemoryView`) reads.
+//! Walk *costs* are still charged by the simulator per radix level — the
+//! model is unchanged, only the host representation is flat.
+//!
+//! Every structural change (map/unmap/split/collapse) bumps a generation
+//! stamp, giving engine-level translation caches a cheap invalidation
+//! signal; leaf-flag updates (A/D/poison) do not change translations and
+//! leave the generation alone.
 
 use crate::pte::Pte;
 use std::error::Error;
@@ -84,81 +99,42 @@ impl Mapping {
     }
 }
 
-enum PdEntry {
+/// One 2MB-aligned slot of the flat leaf array.
+enum Slot {
+    /// Nothing mapped in this 2MB window.
     Empty,
+    /// A 2MB leaf (PD entry with the PS bit).
     Huge(Pte),
-    Table(Box<Pt>),
+    /// A table of 512 4KB PTEs (non-present entries are `Pte::empty()`).
+    Table(Box<Table>),
 }
 
-struct Pt {
+struct Table {
     entries: [Pte; FANOUT],
     present: u16,
 }
 
-impl Pt {
+impl Table {
     fn new() -> Box<Self> {
-        Box::new(Pt {
+        Box::new(Table {
             entries: [Pte::empty(); FANOUT],
             present: 0,
         })
     }
 }
 
-struct Pd {
-    entries: Vec<PdEntry>,
-    present: u16,
-}
-
-impl Pd {
-    fn new() -> Box<Self> {
-        let mut entries = Vec::with_capacity(FANOUT);
-        entries.resize_with(FANOUT, || PdEntry::Empty);
-        Box::new(Pd {
-            entries,
-            present: 0,
-        })
-    }
-}
-
-struct Pdpt {
-    entries: Vec<Option<Box<Pd>>>,
-}
-
-impl Pdpt {
-    fn new() -> Box<Self> {
-        let mut entries = Vec::with_capacity(FANOUT);
-        entries.resize_with(FANOUT, || None);
-        Box::new(Pdpt { entries })
-    }
-}
-
-struct Pml4 {
-    entries: Vec<Option<Box<Pdpt>>>,
-}
-
-impl Pml4 {
-    fn new() -> Box<Self> {
-        let mut entries = Vec::with_capacity(FANOUT);
-        entries.resize_with(FANOUT, || None);
-        Box::new(Pml4 { entries })
-    }
-}
-
-fn indices(vpn: Vpn) -> (usize, usize, usize, usize) {
-    let v = vpn.0;
-    (
-        ((v >> 27) & 0x1ff) as usize, // PML4
-        ((v >> 18) & 0x1ff) as usize, // PDPT
-        ((v >> 9) & 0x1ff) as usize,  // PD
-        (v & 0x1ff) as usize,         // PT
-    )
-}
-
 /// The per-process page table.
 pub struct PageTable {
-    root: Box<Pml4>,
+    /// Dense per-slot leaf rows; slot `k` (i.e. `vpn >> 9 == k`) lives at
+    /// `slots[k - slot_base]`. Grown on demand at either end.
+    slots: Vec<Slot>,
+    /// Slot key of `slots[0]`; fixed by the first mapping.
+    slot_base: u64,
     mapped_small: u64,
     mapped_huge: u64,
+    /// Bumped on every structural change (map/unmap/split/collapse); leaf
+    /// flag updates do not move it.
+    generation: u64,
 }
 
 impl fmt::Debug for PageTable {
@@ -180,9 +156,11 @@ impl PageTable {
     /// Creates an empty page table.
     pub fn new() -> Self {
         Self {
-            root: Pml4::new(),
+            slots: Vec::new(),
+            slot_base: 0,
             mapped_small: 0,
             mapped_huge: 0,
+            generation: 0,
         }
     }
 
@@ -201,6 +179,49 @@ impl PageTable {
         self.mapped_small * 4096 + self.mapped_huge * (PAGES_PER_HUGE as u64) * 4096
     }
 
+    /// Structural-generation stamp: changes whenever a translation is
+    /// created, destroyed, split, or collapsed. Engine-level caches over
+    /// the leaf array key their validity on this.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Read access to slot `key`'s row, `None` when outside the populated
+    /// window.
+    #[inline]
+    fn slot(&self, key: u64) -> Option<&Slot> {
+        let idx = key.wrapping_sub(self.slot_base);
+        self.slots.get(idx as usize)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, key: u64) -> Option<&mut Slot> {
+        let idx = key.wrapping_sub(self.slot_base);
+        self.slots.get_mut(idx as usize)
+    }
+
+    /// Mutable access to slot `key`'s row, growing the dense window to
+    /// cover it (the grow path is cold: VMAs are bump-allocated, so new
+    /// slots almost always extend the high end by one).
+    fn slot_grow(&mut self, key: u64) -> &mut Slot {
+        if self.slots.is_empty() {
+            self.slot_base = key;
+            self.slots.push(Slot::Empty);
+        } else if key < self.slot_base {
+            let shortfall = (self.slot_base - key) as usize;
+            self.slots
+                .splice(0..0, std::iter::repeat_with(|| Slot::Empty).take(shortfall));
+            self.slot_base = key;
+        } else {
+            let idx = (key - self.slot_base) as usize;
+            if idx >= self.slots.len() {
+                self.slots.resize_with(idx + 1, || Slot::Empty);
+            }
+        }
+        let idx = (key - self.slot_base) as usize;
+        &mut self.slots[idx]
+    }
+
     /// Maps `vpn` to a 4KB frame.
     ///
     /// # Errors
@@ -208,25 +229,21 @@ impl PageTable {
     /// [`MapError::AlreadyMapped`] if `vpn` is covered by an existing 4KB or
     /// 2MB mapping.
     pub fn map_small(&mut self, vpn: Vpn, pfn: Pfn, writable: bool) -> Result<(), MapError> {
-        let (i4, i3, i2, i1) = indices(vpn);
-        let pd = self.pd_mut(i4, i3);
-        match &mut pd.entries[i2] {
-            PdEntry::Huge(_) => return Err(MapError::AlreadyMapped { vpn }),
-            e @ PdEntry::Empty => {
-                *e = PdEntry::Table(Pt::new());
-                pd.present += 1;
-            }
-            PdEntry::Table(_) => {}
+        let slot = self.slot_grow(vpn.0 >> 9);
+        let i1 = (vpn.0 & 0x1ff) as usize;
+        match slot {
+            Slot::Huge(_) => return Err(MapError::AlreadyMapped { vpn }),
+            Slot::Empty => *slot = Slot::Table(Table::new()),
+            Slot::Table(_) => {}
         }
-        let PdEntry::Table(pt) = &mut pd.entries[i2] else {
-            unreachable!()
-        };
-        if pt.entries[i1].present() {
+        let Slot::Table(t) = slot else { unreachable!() };
+        if t.entries[i1].present() {
             return Err(MapError::AlreadyMapped { vpn });
         }
-        pt.entries[i1] = Pte::new(pfn, writable, false);
-        pt.present += 1;
+        t.entries[i1] = Pte::new(pfn, writable, false);
+        t.present += 1;
         self.mapped_small += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -241,15 +258,14 @@ impl PageTable {
         if !vpn.is_huge_aligned() || !pfn.is_huge_aligned() {
             return Err(MapError::Misaligned { vpn });
         }
-        let (i4, i3, i2, _) = indices(vpn);
-        let pd = self.pd_mut(i4, i3);
-        match &pd.entries[i2] {
-            PdEntry::Empty => {}
+        let slot = self.slot_grow(vpn.0 >> 9);
+        match slot {
+            Slot::Empty => {}
             _ => return Err(MapError::AlreadyMapped { vpn }),
         }
-        pd.entries[i2] = PdEntry::Huge(Pte::new(pfn, writable, true));
-        pd.present += 1;
+        *slot = Slot::Huge(Pte::new(pfn, writable, true));
         self.mapped_huge += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -261,42 +277,39 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if nothing covers `vpn`.
     pub fn unmap(&mut self, vpn: Vpn) -> Result<Mapping, MapError> {
-        let (i4, i3, i2, i1) = indices(vpn);
-        let Some(pdpt) = self.root.entries[i4].as_mut() else {
+        let Some(slot) = self.slot_mut(vpn.0 >> 9) else {
             return Err(MapError::NotMapped { vpn });
         };
-        let Some(pd) = pdpt.entries[i3].as_mut() else {
-            return Err(MapError::NotMapped { vpn });
-        };
-        match &mut pd.entries[i2] {
-            PdEntry::Empty => Err(MapError::NotMapped { vpn }),
-            PdEntry::Huge(pte) => {
+        let i1 = (vpn.0 & 0x1ff) as usize;
+        match slot {
+            Slot::Empty => Err(MapError::NotMapped { vpn }),
+            Slot::Huge(pte) => {
                 let m = Mapping {
                     pte: *pte,
                     size: PageSize::Huge2M,
                     base_vpn: vpn.huge_base(),
                 };
-                pd.entries[i2] = PdEntry::Empty;
-                pd.present -= 1;
+                *slot = Slot::Empty;
                 self.mapped_huge -= 1;
+                self.generation += 1;
                 Ok(m)
             }
-            PdEntry::Table(pt) => {
-                if !pt.entries[i1].present() {
+            Slot::Table(t) => {
+                if !t.entries[i1].present() {
                     return Err(MapError::NotMapped { vpn });
                 }
                 let m = Mapping {
-                    pte: pt.entries[i1],
+                    pte: t.entries[i1],
                     size: PageSize::Small4K,
                     base_vpn: vpn,
                 };
-                pt.entries[i1] = Pte::empty();
-                pt.present -= 1;
-                self.mapped_small -= 1;
-                if pt.present == 0 {
-                    pd.entries[i2] = PdEntry::Empty;
-                    pd.present -= 1;
+                t.entries[i1] = Pte::empty();
+                t.present -= 1;
+                if t.present == 0 {
+                    *slot = Slot::Empty;
                 }
+                self.mapped_small -= 1;
+                self.generation += 1;
                 Ok(m)
             }
         }
@@ -304,18 +317,15 @@ impl PageTable {
 
     /// Looks up the leaf covering `vpn` without modifying anything.
     pub fn lookup(&self, vpn: Vpn) -> Option<Mapping> {
-        let (i4, i3, i2, i1) = indices(vpn);
-        let pdpt = self.root.entries[i4].as_ref()?;
-        let pd = pdpt.entries[i3].as_ref()?;
-        match &pd.entries[i2] {
-            PdEntry::Empty => None,
-            PdEntry::Huge(pte) => Some(Mapping {
+        match self.slot(vpn.0 >> 9)? {
+            Slot::Empty => None,
+            Slot::Huge(pte) => Some(Mapping {
                 pte: *pte,
                 size: PageSize::Huge2M,
                 base_vpn: vpn.huge_base(),
             }),
-            PdEntry::Table(pt) => {
-                let pte = pt.entries[i1];
+            Slot::Table(t) => {
+                let pte = t.entries[(vpn.0 & 0x1ff) as usize];
                 pte.present().then_some(Mapping {
                     pte,
                     size: PageSize::Small4K,
@@ -325,20 +335,57 @@ impl PageTable {
         }
     }
 
+    /// Fused walk step: resolves the leaf covering `vpn` and sets its
+    /// Accessed (and, for a write, Dirty) bit in one descent. The returned
+    /// mapping is the pre-update copy, matching the
+    /// `lookup` + `with_pte_mut` sequence it replaces on the simulator's
+    /// TLB-miss path.
+    #[inline]
+    pub fn touch(&mut self, vpn: Vpn, write: bool) -> Option<Mapping> {
+        match self.slot_mut(vpn.0 >> 9)? {
+            Slot::Empty => None,
+            Slot::Huge(pte) => {
+                let m = Mapping {
+                    pte: *pte,
+                    size: PageSize::Huge2M,
+                    base_vpn: vpn.huge_base(),
+                };
+                pte.set_accessed();
+                if write {
+                    pte.set_dirty();
+                }
+                Some(m)
+            }
+            Slot::Table(t) => {
+                let e = &mut t.entries[(vpn.0 & 0x1ff) as usize];
+                if !e.present() {
+                    return None;
+                }
+                let m = Mapping {
+                    pte: *e,
+                    size: PageSize::Small4K,
+                    base_vpn: vpn,
+                };
+                e.set_accessed();
+                if write {
+                    e.set_dirty();
+                }
+                Some(m)
+            }
+        }
+    }
+
     /// Applies `f` to the leaf PTE covering `vpn` (huge or small), returning
     /// `f`'s result, or `None` when unmapped.
     ///
-    /// This is how the walker sets Accessed/Dirty bits and how Thermostat
-    /// poisons/unpoisons entries.
+    /// This is how Thermostat poisons/unpoisons entries and how scan
+    /// helpers clear A bits.
     pub fn with_pte_mut<R>(&mut self, vpn: Vpn, f: impl FnOnce(&mut Pte) -> R) -> Option<R> {
-        let (i4, i3, i2, i1) = indices(vpn);
-        let pdpt = self.root.entries[i4].as_mut()?;
-        let pd = pdpt.entries[i3].as_mut()?;
-        match &mut pd.entries[i2] {
-            PdEntry::Empty => None,
-            PdEntry::Huge(pte) => Some(f(pte)),
-            PdEntry::Table(pt) => {
-                let pte = &mut pt.entries[i1];
+        match self.slot_mut(vpn.0 >> 9)? {
+            Slot::Empty => None,
+            Slot::Huge(pte) => Some(f(pte)),
+            Slot::Table(t) => {
+                let pte = &mut t.entries[(vpn.0 & 0x1ff) as usize];
                 pte.present().then(|| f(pte))
             }
         }
@@ -360,35 +407,32 @@ impl PageTable {
         if !vpn.is_huge_aligned() {
             return Err(MapError::Misaligned { vpn });
         }
-        let (i4, i3, i2, _) = indices(vpn);
-        let Some(pdpt) = self.root.entries[i4].as_mut() else {
+        let Some(slot) = self.slot_mut(vpn.0 >> 9) else {
             return Err(MapError::NotMapped { vpn });
         };
-        let Some(pd) = pdpt.entries[i3].as_mut() else {
-            return Err(MapError::NotMapped { vpn });
-        };
-        let huge_pte = match &pd.entries[i2] {
-            PdEntry::Empty => return Err(MapError::NotMapped { vpn }),
-            PdEntry::Table(_) => {
+        let huge_pte = match slot {
+            Slot::Empty => return Err(MapError::NotMapped { vpn }),
+            Slot::Table(_) => {
                 return Err(MapError::WrongKind {
                     vpn,
                     reason: "already split (4KB table)",
                 })
             }
-            PdEntry::Huge(pte) => *pte,
+            Slot::Huge(pte) => *pte,
         };
-        let mut pt = Pt::new();
+        let mut t = Table::new();
         let base = huge_pte.pfn();
-        for (i, entry) in pt.entries.iter_mut().enumerate() {
+        for (i, entry) in t.entries.iter_mut().enumerate() {
             let mut child = Pte::new(base.offset(i as u64), huge_pte.writable(), false);
             child.0 |= huge_pte.0
                 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY | crate::pte::BIT_POISON);
             *entry = child;
         }
-        pt.present = FANOUT as u16;
-        pd.entries[i2] = PdEntry::Table(pt);
+        t.present = FANOUT as u16;
+        *slot = Slot::Table(t);
         self.mapped_huge -= 1;
         self.mapped_small += FANOUT as u64;
+        self.generation += 1;
         Ok(())
     }
 
@@ -407,30 +451,26 @@ impl PageTable {
         if !vpn.is_huge_aligned() {
             return Err(MapError::Misaligned { vpn });
         }
-        let (i4, i3, i2, _) = indices(vpn);
-        let Some(pdpt) = self.root.entries[i4].as_mut() else {
+        let Some(slot) = self.slot_mut(vpn.0 >> 9) else {
             return Err(MapError::NotMapped { vpn });
         };
-        let Some(pd) = pdpt.entries[i3].as_mut() else {
-            return Err(MapError::NotMapped { vpn });
-        };
-        let pt = match &pd.entries[i2] {
-            PdEntry::Empty => return Err(MapError::NotMapped { vpn }),
-            PdEntry::Huge(_) => {
+        let t = match slot {
+            Slot::Empty => return Err(MapError::NotMapped { vpn }),
+            Slot::Huge(_) => {
                 return Err(MapError::WrongKind {
                     vpn,
                     reason: "already a huge page",
                 })
             }
-            PdEntry::Table(pt) => pt,
+            Slot::Table(t) => t,
         };
-        if pt.present as usize != FANOUT {
+        if t.present as usize != FANOUT {
             return Err(MapError::WrongKind {
                 vpn,
                 reason: "not all 512 children present",
             });
         }
-        let first = pt.entries[0];
+        let first = t.entries[0];
         if !first.pfn().is_huge_aligned() {
             return Err(MapError::WrongKind {
                 vpn,
@@ -438,7 +478,7 @@ impl PageTable {
             });
         }
         let mut acc = first.0 & (crate::pte::BIT_ACCESSED | crate::pte::BIT_DIRTY);
-        for (i, child) in pt.entries.iter().enumerate() {
+        for (i, child) in t.entries.iter().enumerate() {
             if child.pfn() != first.pfn().offset(i as u64) {
                 return Err(MapError::WrongKind {
                     vpn,
@@ -458,9 +498,10 @@ impl PageTable {
         if first.poisoned() {
             huge.poison();
         }
-        pd.entries[i2] = PdEntry::Huge(huge);
+        *slot = Slot::Huge(huge);
         self.mapped_small -= FANOUT as u64;
         self.mapped_huge += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -475,37 +516,29 @@ impl PageTable {
         n_pages: u64,
         mut f: impl FnMut(Vpn, PageSize, &mut Pte),
     ) {
-        let end = Vpn(start.0 + n_pages);
-        let mut vpn = start;
-        while vpn.0 < end.0 {
-            let (i4, i3, i2, i1) = indices(vpn);
-            let Some(pdpt) = self.root.entries[i4].as_mut() else {
-                vpn = Vpn((vpn.0 | 0x7ff_ffff) + 1); // skip to next PML4 slot
-                continue;
-            };
-            let Some(pd) = pdpt.entries[i3].as_mut() else {
-                vpn = Vpn((vpn.0 | 0x3ffff) + 1); // next PDPT slot
-                continue;
-            };
-            match &mut pd.entries[i2] {
-                PdEntry::Empty => {
-                    vpn = Vpn((vpn.0 | 0x1ff) + 1); // next PD slot
-                }
-                PdEntry::Huge(pte) => {
-                    f(vpn.huge_base(), PageSize::Huge2M, pte);
-                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
-                }
-                PdEntry::Table(pt) => {
-                    let upto = std::cmp::min(end.0 - (vpn.0 - i1 as u64), FANOUT as u64) as usize;
-                    for i in i1..upto {
-                        let pte = &mut pt.entries[i];
+        if n_pages == 0 || self.slots.is_empty() {
+            return;
+        }
+        let end = start.0 + n_pages;
+        let first_key = (start.0 >> 9).max(self.slot_base);
+        let last_key = ((end - 1) >> 9).min(self.slot_base + self.slots.len() as u64 - 1);
+        let mut key = first_key;
+        while key <= last_key {
+            let base = key << 9;
+            match &mut self.slots[(key - self.slot_base) as usize] {
+                Slot::Empty => {}
+                Slot::Huge(pte) => f(Vpn(base), PageSize::Huge2M, pte),
+                Slot::Table(t) => {
+                    let lo = start.0.saturating_sub(base).min(FANOUT as u64) as usize;
+                    let hi = (end - base).min(FANOUT as u64) as usize;
+                    for (i, pte) in t.entries[lo..hi].iter_mut().enumerate() {
                         if pte.present() {
-                            f(Vpn(vpn.0 - i1 as u64 + i as u64), PageSize::Small4K, pte);
+                            f(Vpn(base + (lo + i) as u64), PageSize::Small4K, pte);
                         }
                     }
-                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
                 }
             }
+            key += 1;
         }
     }
 
@@ -516,48 +549,35 @@ impl PageTable {
     /// Huge leaves are visited once at their base; unmapped holes are
     /// skipped. Because `&self` suffices, concurrent walkers over disjoint
     /// (or even overlapping) ranges can run from scoped threads — the basis
-    /// of the off-thread scan pipeline (`thermo_sim::MemoryView`).
+    /// of the off-thread scan pipeline (`thermo_sim::MemoryView`), whose
+    /// shards all read this same flat leaf array.
     pub fn for_each_leaf(&self, start: Vpn, n_pages: u64, mut f: impl FnMut(Vpn, PageSize, &Pte)) {
-        let end = Vpn(start.0 + n_pages);
-        let mut vpn = start;
-        while vpn.0 < end.0 {
-            let (i4, i3, i2, i1) = indices(vpn);
-            let Some(pdpt) = self.root.entries[i4].as_ref() else {
-                vpn = Vpn((vpn.0 | 0x7ff_ffff) + 1); // skip to next PML4 slot
-                continue;
-            };
-            let Some(pd) = pdpt.entries[i3].as_ref() else {
-                vpn = Vpn((vpn.0 | 0x3ffff) + 1); // next PDPT slot
-                continue;
-            };
-            match &pd.entries[i2] {
-                PdEntry::Empty => {
-                    vpn = Vpn((vpn.0 | 0x1ff) + 1); // next PD slot
-                }
-                PdEntry::Huge(pte) => {
-                    f(vpn.huge_base(), PageSize::Huge2M, pte);
-                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
-                }
-                PdEntry::Table(pt) => {
-                    let upto = std::cmp::min(end.0 - (vpn.0 - i1 as u64), FANOUT as u64) as usize;
-                    for i in i1..upto {
-                        let pte = &pt.entries[i];
+        if n_pages == 0 || self.slots.is_empty() {
+            return;
+        }
+        let end = start.0 + n_pages;
+        let first_key = (start.0 >> 9).max(self.slot_base);
+        let last_key = ((end - 1) >> 9).min(self.slot_base + self.slots.len() as u64 - 1);
+        let mut key = first_key;
+        while key <= last_key {
+            let base = key << 9;
+            match &self.slots[(key - self.slot_base) as usize] {
+                Slot::Empty => {}
+                Slot::Huge(pte) => f(Vpn(base), PageSize::Huge2M, pte),
+                Slot::Table(t) => {
+                    let lo = start.0.saturating_sub(base).min(FANOUT as u64) as usize;
+                    let hi = (end - base).min(FANOUT as u64) as usize;
+                    for (i, pte) in t.entries[lo..hi].iter().enumerate() {
                         if pte.present() {
-                            f(Vpn(vpn.0 - i1 as u64 + i as u64), PageSize::Small4K, pte);
+                            f(Vpn(base + (lo + i) as u64), PageSize::Small4K, pte);
                         }
                     }
-                    vpn = Vpn((vpn.0 | 0x1ff) + 1);
                 }
             }
+            key += 1;
         }
     }
-
-    fn pd_mut(&mut self, i4: usize, i3: usize) -> &mut Pd {
-        let pdpt = self.root.entries[i4].get_or_insert_with(Pdpt::new);
-        pdpt.entries[i3].get_or_insert_with(Pd::new)
-    }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -815,6 +835,112 @@ mod tests {
     fn unmap_missing_errors() {
         let mut pt = PageTable::new();
         assert!(matches!(pt.unmap(Vpn(1)), Err(MapError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn touch_sets_flags_and_returns_pre_update_copy() {
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(42), Pfn(7), true).unwrap();
+        let m = pt.touch(Vpn(42), false).unwrap();
+        assert!(!m.pte.accessed(), "copy must predate the A-bit set");
+        assert!(pt.lookup(Vpn(42)).unwrap().pte.accessed());
+        assert!(!pt.lookup(Vpn(42)).unwrap().pte.dirty());
+        let m2 = pt.touch(Vpn(42), true).unwrap();
+        assert!(m2.pte.accessed(), "second copy sees the first touch");
+        assert!(!m2.pte.dirty(), "copy must predate the D-bit set");
+        assert!(pt.lookup(Vpn(42)).unwrap().pte.dirty());
+
+        // Huge leaf: any interior page touches the single huge PTE.
+        pt.map_huge(HUGE_VPN, Pfn(1024), true).unwrap();
+        let probe = Vpn(HUGE_VPN.0 + 99);
+        let m3 = pt.touch(probe, true).unwrap();
+        assert_eq!(m3.base_vpn, HUGE_VPN);
+        assert_eq!(m3.frame_for(probe), Pfn(1024 + 99));
+        let after = pt.lookup(probe).unwrap().pte;
+        assert!(after.accessed() && after.dirty());
+
+        assert!(pt.touch(Vpn(9999), false).is_none());
+    }
+
+    #[test]
+    fn touch_matches_lookup_then_with_pte_mut() {
+        // `touch` must be observationally identical to the two-descent
+        // sequence it replaces on the simulator walk path.
+        let mut a = PageTable::new();
+        let mut b = PageTable::new();
+        for pt in [&mut a, &mut b] {
+            pt.map_small(Vpn(5), Pfn(1), true).unwrap();
+            pt.map_huge(HUGE_VPN, Pfn(1024), false).unwrap();
+        }
+        for (vpn, write) in [
+            (Vpn(5), false),
+            (Vpn(5), true),
+            (Vpn(HUGE_VPN.0 + 3), false),
+            (Vpn(HUGE_VPN.0 + 4), true),
+        ] {
+            let fused = a.touch(vpn, write);
+            let looked = b.lookup(vpn);
+            b.with_pte_mut(vpn, |pte| {
+                pte.set_accessed();
+                if write {
+                    pte.set_dirty();
+                }
+            });
+            assert_eq!(fused, looked);
+            assert_eq!(a.lookup(vpn), b.lookup(vpn));
+        }
+    }
+
+    #[test]
+    fn generation_bumps_on_structural_ops_only() {
+        let mut pt = PageTable::new();
+        let g0 = pt.generation();
+        pt.map_small(Vpn(1), Pfn(1), true).unwrap();
+        let g1 = pt.generation();
+        assert!(g1 > g0, "map_small is structural");
+        pt.map_huge(HUGE_VPN, Pfn(1024), true).unwrap();
+        let g2 = pt.generation();
+        assert!(g2 > g1, "map_huge is structural");
+        pt.split_huge(HUGE_VPN).unwrap();
+        let g3 = pt.generation();
+        assert!(g3 > g2, "split is structural");
+        pt.collapse_huge(HUGE_VPN).unwrap();
+        let g4 = pt.generation();
+        assert!(g4 > g3, "collapse is structural");
+        pt.unmap(Vpn(1)).unwrap();
+        let g5 = pt.generation();
+        assert!(g5 > g4, "unmap is structural");
+
+        // Flag updates do not move the stamp: translations are unchanged.
+        pt.touch(Vpn(HUGE_VPN.0), true).unwrap();
+        pt.with_pte_mut(Vpn(HUGE_VPN.0), |pte| pte.poison());
+        assert_eq!(pt.generation(), g5);
+
+        // Failed structural ops leave it alone too.
+        assert!(pt.map_huge(HUGE_VPN, Pfn(2048), true).is_err());
+        assert_eq!(pt.generation(), g5);
+    }
+
+    #[test]
+    fn sparse_low_then_high_mappings_resolve() {
+        // Exercise the dense-window growth at both ends.
+        let mut pt = PageTable::new();
+        pt.map_small(Vpn(512 * 100), Pfn(1), true).unwrap();
+        pt.map_small(Vpn(512 * 200 + 7), Pfn(2), true).unwrap(); // grow high
+        pt.map_small(Vpn(512 * 2 + 3), Pfn(3), true).unwrap(); // grow low
+        assert_eq!(pt.lookup(Vpn(512 * 100)).unwrap().pte.pfn(), Pfn(1));
+        assert_eq!(pt.lookup(Vpn(512 * 200 + 7)).unwrap().pte.pfn(), Pfn(2));
+        assert_eq!(pt.lookup(Vpn(512 * 2 + 3)).unwrap().pte.pfn(), Pfn(3));
+        assert!(pt.lookup(Vpn(512 * 50)).is_none(), "hole stays unmapped");
+        assert!(pt.lookup(Vpn(0)).is_none(), "below the window");
+        assert!(pt.lookup(Vpn(512 * 300)).is_none(), "above the window");
+        let mut seen = Vec::new();
+        pt.for_each_leaf(Vpn(0), 512 * 400, |vpn, _, _| seen.push(vpn));
+        assert_eq!(
+            seen,
+            vec![Vpn(512 * 2 + 3), Vpn(512 * 100), Vpn(512 * 200 + 7)],
+            "ascending order across the grown window"
+        );
     }
 
     #[test]

@@ -89,25 +89,23 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    valid: bool,
-    vpn: Vpn, // base VPN of the page (huge-aligned for 2MB entries)
-    pfn: Pfn,
-    size: PageSize,
-    vpid: Vpid,
-    lru: u64,
-}
+// Entries are stored packed: one u64 tag word (valid bit, page-size bit,
+// VPID, base VPN) plus parallel pfn/lru arrays. A probe is then a single
+// integer compare per way over a dense tag row instead of a five-field
+// struct walk — this array scan is the hottest loop in the simulator.
+const TAG_VALID: u64 = 1;
+const TAG_HUGE: u64 = 1 << 1;
+const TAG_VPID_SHIFT: u32 = 2;
+const TAG_VPN_SHIFT: u32 = 18;
 
-impl Entry {
-    const INVALID: Entry = Entry {
-        valid: false,
-        vpn: Vpn(0),
-        pfn: Pfn(0),
-        size: PageSize::Small4K,
-        vpid: Vpid(0),
-        lru: 0,
+#[inline]
+fn pack_tag(vpn: Vpn, size: PageSize, vpid: Vpid) -> u64 {
+    debug_assert!(vpn.0 < 1 << (64 - TAG_VPN_SHIFT), "VPN overflows tag");
+    let size_bit = match size {
+        PageSize::Small4K => 0,
+        PageSize::Huge2M => TAG_HUGE,
     };
+    (vpn.0 << TAG_VPN_SHIFT) | ((vpid.0 as u64) << TAG_VPID_SHIFT) | size_bit | TAG_VALID
 }
 
 /// Result of a TLB lookup.
@@ -162,75 +160,131 @@ impl TlbStats {
 }
 
 struct Array {
-    geo: TlbGeometry,
-    sets: Vec<Entry>,
+    ways: usize,
+    sets: usize,
+    /// `sets - 1` when `sets` is a power of two (every shipped geometry);
+    /// selects the mask fast path over the division in `set_index`.
+    mask: usize,
+    pow2: bool,
+    /// Valid-entry counts per page size (`[small, huge]`). A probe for a
+    /// size with zero resident entries cannot hit and has no side effects,
+    /// so `Tlb::lookup` skips it entirely.
+    valid: [u32; 2],
+    tags: Vec<u64>,
+    pfns: Vec<u64>,
+    lrus: Vec<u64>,
+}
+
+#[inline]
+fn size_class(size: PageSize) -> usize {
+    match size {
+        PageSize::Small4K => 0,
+        PageSize::Huge2M => 1,
+    }
 }
 
 impl Array {
     fn new(geo: TlbGeometry) -> Self {
+        let sets = geo.sets();
         Self {
-            geo,
-            sets: vec![Entry::INVALID; geo.entries],
+            ways: geo.ways,
+            sets,
+            mask: sets.wrapping_sub(1),
+            pow2: sets.is_power_of_two(),
+            valid: [0, 0],
+            tags: vec![0; geo.entries],
+            pfns: vec![0; geo.entries],
+            lrus: vec![0; geo.entries],
         }
     }
 
-    fn set_index(&self, vpn: Vpn, size: PageSize) -> usize {
-        // Index huge entries by their huge-page number so neighbours spread.
+    #[inline]
+    fn holds(&self, size: PageSize) -> bool {
+        self.valid[size_class(size)] > 0
+    }
+
+    #[inline]
+    fn note_cleared(&mut self, tag: u64) {
+        if tag & TAG_VALID != 0 {
+            self.valid[(tag & TAG_HUGE != 0) as usize] -= 1;
+        }
+    }
+
+    /// Set-selection key: huge entries index by their huge-page number so
+    /// neighbours spread.
+    #[inline]
+    fn key_of(vpn: Vpn, size: PageSize) -> usize {
         let key = match size {
             PageSize::Small4K => vpn.0,
             PageSize::Huge2M => vpn.0 / PAGES_PER_HUGE as u64,
         };
-        (key as usize) % self.geo.sets()
+        key as usize
     }
 
-    fn slots(&mut self, set: usize) -> &mut [Entry] {
-        let w = self.geo.ways;
-        &mut self.sets[set * w..(set + 1) * w]
+    #[inline]
+    fn set_of(&self, key: usize) -> usize {
+        if self.pow2 {
+            key & self.mask
+        } else {
+            key % self.sets
+        }
     }
 
-    fn lookup(&mut self, vpn: Vpn, size: PageSize, vpid: Vpid, tick: u64) -> Option<Pfn> {
-        let set = self.set_index(vpn, size);
-        for e in self.slots(set) {
-            if e.valid && e.size == size && e.vpn == vpn && e.vpid == vpid {
-                e.lru = tick;
-                return Some(e.pfn);
+    #[inline]
+    fn set_index(&self, vpn: Vpn, size: PageSize) -> usize {
+        self.set_of(Self::key_of(vpn, size))
+    }
+
+    /// Probes one set for a pre-packed tag. `Tlb::lookup` packs each
+    /// size's tag and key once and reuses them across the L1 and L2
+    /// probes of the same (page, size, vpid); the slice borrow hoists the
+    /// bounds check out of the way loop.
+    #[inline]
+    fn probe(&mut self, want: u64, key: usize, tick: u64) -> Option<Pfn> {
+        let base = self.set_of(key) * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        for (i, t) in tags.iter().enumerate() {
+            if *t == want {
+                self.lrus[base + i] = tick;
+                return Some(Pfn(self.pfns[base + i]));
             }
         }
         None
     }
 
     fn insert(&mut self, vpn: Vpn, pfn: Pfn, size: PageSize, vpid: Vpid, tick: u64) {
-        let set = self.set_index(vpn, size);
-        let slots = self.slots(set);
+        let want = pack_tag(vpn, size, vpid);
+        let base = self.set_index(vpn, size) * self.ways;
         // Reuse an existing entry for the same tag, else invalid, else LRU.
-        let mut victim = 0;
+        let mut victim = base;
         let mut best = u64::MAX;
-        for (i, e) in slots.iter().enumerate() {
-            if !e.valid || (e.size == size && e.vpn == vpn && e.vpid == vpid) {
-                victim = i;
+        let tags = &self.tags[base..base + self.ways];
+        let lrus = &self.lrus[base..base + self.ways];
+        for (i, (&t, &l)) in tags.iter().zip(lrus).enumerate() {
+            if t & TAG_VALID == 0 || t == want {
+                victim = base + i;
                 break;
             }
-            if e.lru < best {
-                best = e.lru;
-                victim = i;
+            if l < best {
+                best = l;
+                victim = base + i;
             }
         }
-        slots[victim] = Entry {
-            valid: true,
-            vpn,
-            pfn,
-            size,
-            vpid,
-            lru: tick,
-        };
+        self.note_cleared(self.tags[victim]);
+        self.valid[size_class(size)] += 1;
+        self.tags[victim] = want;
+        self.pfns[victim] = pfn.0;
+        self.lrus[victim] = tick;
     }
 
     fn invalidate(&mut self, vpn: Vpn, size: PageSize, vpid: Vpid) -> bool {
-        let set = self.set_index(vpn, size);
+        let want = pack_tag(vpn, size, vpid);
+        let base = self.set_index(vpn, size) * self.ways;
         let mut hit = false;
-        for e in self.slots(set) {
-            if e.valid && e.size == size && e.vpn == vpn && e.vpid == vpid {
-                e.valid = false;
+        for i in base..base + self.ways {
+            if self.tags[i] == want {
+                self.note_cleared(want);
+                self.tags[i] &= !TAG_VALID;
                 hit = true;
             }
         }
@@ -238,15 +292,19 @@ impl Array {
     }
 
     fn flush_all(&mut self) {
-        for e in &mut self.sets {
-            e.valid = false;
+        for t in &mut self.tags {
+            *t &= !TAG_VALID;
         }
+        self.valid = [0, 0];
     }
 
     fn flush_vpid(&mut self, vpid: Vpid) {
-        for e in &mut self.sets {
-            if e.vpid == vpid {
-                e.valid = false;
+        let want = (vpid.0 as u64) << TAG_VPID_SHIFT;
+        let field = 0xFFFFu64 << TAG_VPID_SHIFT;
+        for i in 0..self.tags.len() {
+            if self.tags[i] & field == want {
+                self.note_cleared(self.tags[i]);
+                self.tags[i] &= !TAG_VALID;
             }
         }
     }
@@ -293,41 +351,60 @@ impl Tlb {
     /// probing both page sizes (huge entries are tagged by their base VPN).
     ///
     /// L2 hits are promoted into the appropriate L1 array.
+    #[inline]
     pub fn lookup(&mut self, vpn: Vpn, vpid: Vpid) -> TlbOutcome {
         self.tick += 1;
         let tick = self.tick;
         let hbase = vpn.huge_base();
-        if let Some(pfn) = self.l1_small.lookup(vpn, PageSize::Small4K, vpid, tick) {
-            self.stats.l1_hits += 1;
-            return TlbOutcome::HitL1 {
-                pfn,
-                size: PageSize::Small4K,
-            };
+        // Pack each size's tag and set key once — the L1 and L2 probes of
+        // the same (page, size, vpid) compare against the same word.
+        let want_small = pack_tag(vpn, PageSize::Small4K, vpid);
+        let want_huge = pack_tag(hbase, PageSize::Huge2M, vpid);
+        let key_small = Array::key_of(vpn, PageSize::Small4K);
+        let key_huge = Array::key_of(hbase, PageSize::Huge2M);
+        // Probes of an array holding zero entries of the probed size cannot
+        // hit and have no side effects, so they are skipped outright; probe
+        // order among the remaining ones is unchanged (stale entries of
+        // either size can coexist, so order is observable).
+        if self.l1_small.holds(PageSize::Small4K) {
+            if let Some(pfn) = self.l1_small.probe(want_small, key_small, tick) {
+                self.stats.l1_hits += 1;
+                return TlbOutcome::HitL1 {
+                    pfn,
+                    size: PageSize::Small4K,
+                };
+            }
         }
-        if let Some(pfn) = self.l1_huge.lookup(hbase, PageSize::Huge2M, vpid, tick) {
-            self.stats.l1_hits += 1;
-            return TlbOutcome::HitL1 {
-                pfn,
-                size: PageSize::Huge2M,
-            };
+        if self.l1_huge.holds(PageSize::Huge2M) {
+            if let Some(pfn) = self.l1_huge.probe(want_huge, key_huge, tick) {
+                self.stats.l1_hits += 1;
+                return TlbOutcome::HitL1 {
+                    pfn,
+                    size: PageSize::Huge2M,
+                };
+            }
         }
-        if let Some(pfn) = self.l2.lookup(vpn, PageSize::Small4K, vpid, tick) {
-            self.stats.l2_hits += 1;
-            self.l1_small
-                .insert(vpn, pfn, PageSize::Small4K, vpid, tick);
-            return TlbOutcome::HitL2 {
-                pfn,
-                size: PageSize::Small4K,
-            };
+        if self.l2.holds(PageSize::Small4K) {
+            if let Some(pfn) = self.l2.probe(want_small, key_small, tick) {
+                self.stats.l2_hits += 1;
+                self.l1_small
+                    .insert(vpn, pfn, PageSize::Small4K, vpid, tick);
+                return TlbOutcome::HitL2 {
+                    pfn,
+                    size: PageSize::Small4K,
+                };
+            }
         }
-        if let Some(pfn) = self.l2.lookup(hbase, PageSize::Huge2M, vpid, tick) {
-            self.stats.l2_hits += 1;
-            self.l1_huge
-                .insert(hbase, pfn, PageSize::Huge2M, vpid, tick);
-            return TlbOutcome::HitL2 {
-                pfn,
-                size: PageSize::Huge2M,
-            };
+        if self.l2.holds(PageSize::Huge2M) {
+            if let Some(pfn) = self.l2.probe(want_huge, key_huge, tick) {
+                self.stats.l2_hits += 1;
+                self.l1_huge
+                    .insert(hbase, pfn, PageSize::Huge2M, vpid, tick);
+                return TlbOutcome::HitL2 {
+                    pfn,
+                    size: PageSize::Huge2M,
+                };
+            }
         }
         self.stats.misses += 1;
         TlbOutcome::Miss

@@ -150,11 +150,12 @@ impl Workload for Cassandra {
             // Write path: commit-log append + Memtable append + row-cache
             // invalidation/update.
             accesses.push(Access::write(commitlog.at(self.log_cursor)));
-            self.log_cursor = (self.log_cursor + 64) % commitlog.bytes;
+            self.log_cursor = thermo_util::fastdiv::wrap_add(self.log_cursor, 64, commitlog.bytes);
             let m = memtable.at(self.mem_cursor);
             accesses.push(Access::write(m));
             accesses.push(Access::write(heap.slot(key, ROW_SLOT)));
-            self.mem_cursor = (self.mem_cursor + MEMTABLE_APPEND) % memtable.bytes;
+            self.mem_cursor =
+                thermo_util::fastdiv::wrap_add(self.mem_cursor, MEMTABLE_APPEND, memtable.bytes);
         }
         Some(self.compute_ns)
     }

@@ -48,19 +48,35 @@ pub struct Region {
     pub base: VirtAddr,
     /// Length in bytes.
     pub bytes: u64,
+    /// Precomputed magic for the `% bytes` wrap in [`at`](Self::at) — the
+    /// hottest divide in every workload's address generation; exact, so
+    /// addresses are bit-identical to the hardware modulo.
+    wrap: thermo_util::fastdiv::FastMod,
 }
 
 impl Region {
     /// Maps a region in `engine` and returns the handle.
     pub fn map(engine: &mut Engine, bytes: u64, thp: bool, file_backed: bool, name: &str) -> Self {
         let base = engine.mmap(bytes, thp, true, file_backed, name);
-        Self { base, bytes }
+        Self {
+            base,
+            bytes,
+            wrap: thermo_util::fastdiv::FastMod::new(bytes),
+        }
     }
 
     /// Address at byte offset `off` (wraps around the region so callers can
     /// index with unreduced hashes).
+    #[inline]
     pub fn at(&self, off: u64) -> VirtAddr {
-        self.base + (off % self.bytes)
+        self.base + self.wrap.rem(off)
+    }
+
+    /// Reduces an unbounded offset (a hash) into `[0, bytes)` — exactly
+    /// `off % bytes`, via the precomputed magic.
+    #[inline]
+    pub fn reduce(&self, off: u64) -> u64 {
+        self.wrap.rem(off)
     }
 
     /// Cache-line-aligned address of slot `i` with `slot_bytes` spacing.
@@ -133,6 +149,7 @@ mod tests {
         let r = Region {
             base: VirtAddr(1 << 32),
             bytes: 4096,
+            wrap: thermo_util::fastdiv::FastMod::new(4096),
         };
         assert_eq!(r.at(0), r.base);
         assert_eq!(r.at(4096), r.base); // wraps

@@ -165,7 +165,7 @@ impl Workload for Synthetic {
                 .sample(&mut self.rng),
             Pattern::Sequential => {
                 let c = self.cursors[idx];
-                self.cursors[idx] = (c + 1) % (region.bytes / 64);
+                self.cursors[idx] = thermo_util::fastdiv::wrap_add(c, 1, region.bytes / 64);
                 c
             }
             Pattern::Frozen => {

@@ -160,7 +160,7 @@ impl Workload for Tpcc {
         accesses.push(Access::read(files.slot(fp, 4096)));
         // redo log append.
         accesses.push(Access::write(redo.at(self.redo_cursor)));
-        self.redo_cursor = (self.redo_cursor + 64) % redo.bytes;
+        self.redo_cursor = thermo_util::fastdiv::wrap_add(self.redo_cursor, 64, redo.bytes);
 
         Some(self.compute_ns)
     }

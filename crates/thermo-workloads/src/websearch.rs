@@ -43,6 +43,9 @@ pub struct WebSearch {
     caches: Option<Region>,
     files: Option<Region>,
     term_dist: Option<ZipfianDist>,
+    /// Precomputed magic for hashing terms across the active index slots
+    /// (`% active_slots`, exact).
+    slot_mod: Option<thermo_util::fastdiv::FastMod>,
     compute_ns: u64,
 }
 
@@ -56,6 +59,7 @@ impl WebSearch {
             caches: None,
             files: None,
             term_dist: None,
+            slot_mod: None,
             compute_ns: 40_000,
         }
     }
@@ -95,6 +99,7 @@ impl Workload for WebSearch {
         // index; the archival remainder is loaded but not queried.
         let active_slots = ((index.n_slots(POSTING_SLOT) as f64) * ACTIVE_INDEX_FRACTION) as u64;
         self.term_dist = Some(ZipfianDist::new(active_slots.max(1), 0.8));
+        self.slot_mod = Some(thermo_util::fastdiv::FastMod::new(active_slots.max(1)));
         self.index = Some(index);
         self.caches = Some(caches);
         self.files = Some(files);
@@ -105,21 +110,21 @@ impl Workload for WebSearch {
         let caches = self.caches.expect("init first");
         let dist = self.term_dist.as_ref().expect("init first");
 
+        let slot_mod = self.slot_mod.expect("init first");
         // Result-cache probe.
         let q: u64 = self.rng.gen();
-        accesses.push(Access::read(caches.at((fnv_mix(q) % caches.bytes) & !63)));
+        accesses.push(Access::read(caches.at(caches.reduce(fnv_mix(q)) & !63)));
         // Posting lists for each query term, hashed across the active
         // slice of the index.
-        let active_slots = dist.n();
         for _ in 0..TERMS_PER_QUERY {
             let term = dist.sample(&mut self.rng);
-            let slot = fnv_mix(term) % active_slots;
+            let slot = slot_mod.rem(fnv_mix(term));
             accesses.push(Access::read(index.slot_line(slot, POSTING_SLOT, 0)));
             accesses.push(Access::read(index.slot_line(slot, POSTING_SLOT, 1)));
         }
         // Result-cache fill.
         accesses.push(Access::write(
-            caches.at((fnv_mix(q ^ 0xc0de) % caches.bytes) & !63),
+            caches.at(caches.reduce(fnv_mix(q ^ 0xc0de)) & !63),
         ));
         Some(self.compute_ns)
     }

@@ -151,4 +151,29 @@ for fuzz_seed in 1 2 3735928559 6840227782638526189; do
   THERMO_SCHED_FUZZ=$fuzz_seed scripts/golden.sh check tenants_shared scen_storm
 done
 
+# Executor worker-count cross-check at the binary boundary: the golden
+# sweeps above already check every experiment against its golden under
+# THERMO_JOBS workers, but tolerance bands could in principle mask a
+# sub-band scheduling leak. Re-run the heaviest sharded experiment with
+# one worker and with an oversubscribed pool and compare the emitted
+# artifact BYTES directly — the work-stealing merge (DESIGN.md §15) must
+# make worker count entirely unobservable.
+echo "==> executor worker-count cross-check (scen_fleet, THERMO_JOBS=1 vs 8, byte compare)"
+THERMO_JOBS=1 scripts/golden.sh check scen_fleet >/dev/null
+cp target/experiments/scen_fleet.artifact.json "$bdir/scen_fleet.jobs1.artifact.json"
+THERMO_JOBS=8 scripts/golden.sh check scen_fleet >/dev/null
+cmp "$bdir/scen_fleet.jobs1.artifact.json" target/experiments/scen_fleet.artifact.json
+echo "    byte-identical"
+
+# Steal-order fuzz sweep: THERMO_EXEC_FUZZ=<seed> makes every worker
+# visit steal victims in a seeded-shuffled order, adversarially
+# perturbing which worker executes which job. Goldens must still verify
+# under an oversubscribed pool for every seed — the in-process version
+# is thermo-bench/tests/exec_determinism.rs; this is the live
+# end-to-end guard at the binary boundary.
+for fuzz_seed in 1 2 3735928559 6840227782638526189; do
+  echo "==> steal-order fuzz check (THERMO_EXEC_FUZZ=$fuzz_seed, THERMO_JOBS=8, scen_fleet fig8)"
+  THERMO_EXEC_FUZZ=$fuzz_seed THERMO_JOBS=8 scripts/golden.sh check scen_fleet fig8
+done
+
 echo "CI OK"
