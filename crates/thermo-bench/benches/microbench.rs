@@ -176,6 +176,18 @@ fn bench_dists(c: &mut Criterion) {
     });
 }
 
+fn bench_lint(c: &mut Criterion) {
+    // Single worker: measures the analysis itself (lex + tree + flow +
+    // cross-file index over every workspace source), not pool scheduling.
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    c.bench_function("lint_workspace", |b| {
+        b.iter(|| {
+            let findings = thermo_lint::lint_workspace_with(root, 1).expect("workspace readable");
+            black_box(findings.len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_tlb,
@@ -185,6 +197,7 @@ criterion_group!(
     bench_engine_access,
     bench_classifier,
     bench_fabric,
-    bench_dists
+    bench_dists,
+    bench_lint
 );
 criterion_main!(benches);

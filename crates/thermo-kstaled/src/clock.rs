@@ -124,7 +124,11 @@ impl ClockPolicy {
         }
         self.pending = still;
         if !follow.is_empty() {
-            engine.apply_plan(&follow);
+            let receipt = engine.apply_plan(&follow);
+            debug_assert!(
+                receipt.outcomes().iter().all(|o| *o == OpOutcome::Done),
+                "poison follow-ups complete synchronously"
+            );
         }
     }
 

@@ -153,7 +153,11 @@ impl Damon {
         // otherwise read as activity for dozens of windows.
         let ranges: Vec<(Vpn, u64)> = self.regions.iter().map(|r| (r.start, r.n_pages)).collect();
         let view = engine.memory_view(&ranges, self.scan_workers);
-        engine.apply_plan(&crate::clear_accessed_plan(&view));
+        let receipt = engine.apply_plan(&crate::clear_accessed_plan(&view));
+        debug_assert!(
+            receipt.outcomes().iter().all(|o| *o == OpOutcome::Done),
+            "ClearAccessed is synchronous"
+        );
         // Split down to at least min_regions.
         while self.regions.len() < self.config.min_regions {
             if !self.split_largest() {
@@ -202,7 +206,8 @@ impl Damon {
             .regions
             .iter()
             .map(|r| {
-                let probe = Vpn(r.start.0 + crate::decide::probe_offset(&mut self.rng, r.n_pages));
+                let probe =
+                    Vpn(r.start.0 + crate::decide::draw_probe_offset(&mut self.rng, r.n_pages));
                 (probe, 1)
             })
             .collect();
@@ -219,7 +224,11 @@ impl Damon {
         }
         let mut plan = PolicyPlan::new();
         plan.push(PlanOp::ClearAccessed { pages: cleared });
-        engine.apply_plan(&plan);
+        let receipt = engine.apply_plan(&plan);
+        debug_assert!(
+            receipt.outcomes().iter().all(|o| *o == OpOutcome::Done),
+            "ClearAccessed is synchronous"
+        );
         self.stats.samples += 1;
     }
 

@@ -7,7 +7,7 @@
 //! site appears anywhere else.
 //!
 //! Draw order per [`crate::Damon`] sampling pass: exactly one
-//! [`probe_offset`] draw per region, in region order.
+//! [`draw_probe_offset`] draw per region, in region order.
 
 use thermo_util::rng::{Rng, SmallRng};
 
@@ -16,7 +16,7 @@ use thermo_util::rng::{Rng, SmallRng};
 ///
 /// One uniform draw in `[0, n_pages)`; `n_pages` must be nonzero (regions
 /// are filtered to nonzero length at construction).
-pub fn probe_offset(rng: &mut SmallRng, n_pages: u64) -> u64 {
+pub fn draw_probe_offset(rng: &mut SmallRng, n_pages: u64) -> u64 {
     rng.gen_range(0..n_pages)
 }
 
@@ -26,13 +26,13 @@ mod tests {
     use thermo_util::rng::SeedableRng;
 
     #[test]
-    fn probe_offset_is_in_range_and_seed_deterministic() {
+    fn draw_probe_offset_is_in_range_and_seed_deterministic() {
         let mut a = SmallRng::seed_from_u64(7);
         let mut b = SmallRng::seed_from_u64(7);
         for n in [1u64, 2, 512, 1 << 20] {
-            let x = probe_offset(&mut a, n);
+            let x = draw_probe_offset(&mut a, n);
             assert!(x < n);
-            assert_eq!(x, probe_offset(&mut b, n), "same seed, same draw");
+            assert_eq!(x, draw_probe_offset(&mut b, n), "same seed, same draw");
         }
     }
 }

@@ -1,0 +1,515 @@
+//! Flow-aware lint families over token trees (DESIGN.md §16).
+//!
+//! * **R1 `dropped_receipt`** — a statement-form call to `apply_plan` /
+//!   `memory_view` whose result is discarded (or bound to the `_`
+//!   wildcard). `apply_plan` reports per-op [`OpOutcome`]s; dropping the
+//!   receipt silently swallows `Skipped`/`Failed` ops, which is exactly
+//!   how a policy's view of memory drifts from the engine's.
+//! * **A1 `atomic_ordering`** — `Ordering::Relaxed` combined with a
+//!   `head`/`tail` atomic op in executor code. The Chase–Lev deque's
+//!   correctness argument (DESIGN.md §15) is written entirely in terms
+//!   of Acquire/Release edges; a Relaxed access on the claim path is a
+//!   latent double-execution bug that no test reliably catches.
+//! * **T1 `rng_taint`** — intraprocedural taint: values produced by
+//!   seed-derivation or `draw_*` calls (and, inside `decide.rs`, raw RNG
+//!   draw methods) must not flow out of a bare-`pub` fn through `return`
+//!   or its tail expression, unless the fn itself is sanctioned egress
+//!   (named `draw_*` or `*_seed`). This upgrades D3 from "where may a
+//!   draw appear" to "where may the drawn *value* go": decide.rs exports
+//!   decisions, not entropy.
+//!
+//! The taint pass is deliberately conservative in both directions and
+//! deterministic: bindings via `let name = …` and `name = …` propagate,
+//! tuple/struct destructuring over-taints the first bound name, passing
+//! a tainted value as a call argument counts as consumption, and a tail
+//! expression ending in a block (`if`/`match`) is not scanned. Every
+//! escape it cannot see is still bounded by D3's draw-site containment.
+
+use crate::lexer::{Token, TokenKind};
+use crate::lints::{Finding, RNG_DRAW_METHODS};
+use crate::tree::{self, Flat, Tree, Vis};
+
+/// Methods whose results are engine receipts/snapshots (R1).
+const RECEIPT_METHODS: [&str; 3] = ["apply_plan", "memory_view", "memory_view_uncharged"];
+
+/// Seed-derivation fns whose results are taint sources everywhere (T1).
+const TAINT_SEED_FNS: [&str; 2] = ["derive_stream_seed", "splitmix64"];
+
+/// Atomic read-modify-write / load / store method names (A1).
+const ATOMIC_OPS: [&str; 10] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+];
+
+/// R1: walks every brace block, splitting its direct children into
+/// `;`-terminated statements; a statement whose value is a receipt-method
+/// call and whose head neither binds nor inspects it is a finding.
+pub fn lint_dropped_receipt(trees: &[Tree], file: &str, findings: &mut Vec<Finding>) {
+    for t in trees {
+        if let Some(g) = t.group() {
+            if g.delim == '{' {
+                scan_block(&g.children, file, findings);
+            }
+            lint_dropped_receipt(&g.children, file, findings);
+        }
+    }
+}
+
+fn scan_block(children: &[Tree], file: &str, findings: &mut Vec<Finding>) {
+    let stmts: Vec<&[Tree]> = children.split(|t| t.is_punct(';')).collect();
+    for (idx, stmt) in stmts.iter().enumerate() {
+        // The chunk after the last `;` is the block's tail expression:
+        // its value is the block's value, so a receipt there is used.
+        let terminated = idx + 1 < stmts.len();
+        if !terminated || stmt.len() < 3 {
+            continue;
+        }
+        // Statement-final receipt call: `… . <method> ( … )` then `;`.
+        let last = &stmt[stmt.len() - 1];
+        let method = &stmt[stmt.len() - 2];
+        let dot = &stmt[stmt.len() - 3];
+        let is_receipt_call = last.group().is_some_and(|g| g.delim == '(')
+            && method.ident().is_some_and(|m| RECEIPT_METHODS.contains(&m))
+            && dot.is_punct('.');
+        if !is_receipt_call {
+            continue;
+        }
+        let name = method.ident().unwrap_or_default();
+        let (line, col) = method.pos();
+        if let Some(bind) = let_binding_name(stmt) {
+            if bind == "_" {
+                findings.push(Finding::new(
+                    file,
+                    line,
+                    col,
+                    "dropped_receipt",
+                    format!(
+                        "`{name}` result bound to `_`: the wildcard discards the receipt without inspecting any outcome"
+                    ),
+                    "bind it to a name and check it (e.g. debug_assert every OpOutcome is Done), or allow(dropped_receipt) with a reason",
+                ));
+            }
+            continue; // bound to a real name: used
+        }
+        if stmt_consumes_value(stmt) {
+            continue;
+        }
+        findings.push(Finding::new(
+            file,
+            line,
+            col,
+            "dropped_receipt",
+            format!(
+                "`{name}` receipt discarded: every plan/view outcome must be inspected or explicitly allowed"
+            ),
+            "bind the result and check it (e.g. debug_assert every OpOutcome is Done), or allow(dropped_receipt) with a reason",
+        ));
+    }
+}
+
+/// The name a `let` statement binds, when the statement is one.
+fn let_binding_name(stmt: &[Tree]) -> Option<&str> {
+    if stmt.first()?.ident()? != "let" {
+        return None;
+    }
+    stmt.iter()
+        .skip(1)
+        .filter_map(|t| t.ident())
+        .find(|id| *id != "mut")
+}
+
+/// True when the statement's head consumes the trailing call's value:
+/// an assignment, a `return`, or a value-inspecting keyword.
+fn stmt_consumes_value(stmt: &[Tree]) -> bool {
+    if let Some(head) = stmt.first().and_then(Tree::ident) {
+        if matches!(
+            head,
+            "return" | "if" | "match" | "while" | "for" | "loop" | "break"
+        ) {
+            return true;
+        }
+    }
+    // A top-level `=` (not part of `==`, `<=`, `=>`, …) binds the value.
+    stmt.iter().enumerate().any(|(i, t)| {
+        t.is_punct('=')
+            && !stmt
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+            && !(i > 0 && "=<>!+-*/%&|^".chars().any(|c| stmt[i - 1].is_punct(c)))
+    })
+}
+
+/// A1: `Ordering::Relaxed` in the same statement as a `head`/`tail`
+/// atomic op. Runs on the flat (cfg-test-stripped) token stream.
+pub fn lint_atomic_ordering(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind.ident() != Some("Relaxed") {
+            continue;
+        }
+        let is_boundary = |t: &Token| {
+            matches!(
+                t.kind,
+                TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}')
+            )
+        };
+        let start = tokens[..i]
+            .iter()
+            .rposition(is_boundary)
+            .map_or(0, |p| p + 1);
+        let end = tokens[i..]
+            .iter()
+            .position(is_boundary)
+            .map_or(tokens.len(), |p| i + p);
+        let window = &tokens[start..end];
+        let field = window
+            .iter()
+            .filter_map(|t| t.kind.ident())
+            .find(|id| *id == "head" || *id == "tail");
+        let op = window.iter().enumerate().find_map(|(k, t)| {
+            let id = t.kind.ident()?;
+            let prev_dot = k > 0 && window[k - 1].kind == TokenKind::Punct('.');
+            (prev_dot && ATOMIC_OPS.contains(&id)).then_some(id)
+        });
+        if let (Some(field), Some(op)) = (field, op) {
+            findings.push(Finding::new(
+                file,
+                tok.line,
+                tok.col,
+                "atomic_ordering",
+                format!(
+                    "`Ordering::Relaxed` on deque `{field}` `{op}`: the Chase-Lev claim protocol is specified in Acquire/Release edges only"
+                ),
+                "use Acquire for loads and AcqRel for RMWs on head/tail (DESIGN.md §15), or allow(atomic_ordering) with a reason",
+            ));
+        }
+    }
+}
+
+/// T1: per-fn taint scan. `is_decide` widens the source set to raw RNG
+/// draw methods (legal to *call* there, still illegal to *export*).
+pub fn lint_rng_taint(trees: &[Tree], file: &str, is_decide: bool, findings: &mut Vec<Finding>) {
+    tree::walk_items(
+        trees,
+        &mut |f| {
+            if f.vis != Vis::Pub || sanctioned_egress(f.name) {
+                return;
+            }
+            let Some(body) = f.body else { return };
+            let mut flat = Vec::new();
+            tree::flatten(&body.children, &mut flat);
+            taint_scan(&flat, f.name, file, is_decide, findings);
+        },
+        &mut |_| {},
+    );
+}
+
+/// Fns allowed to return entropy: the sanctioned egress naming scheme.
+fn sanctioned_egress(name: &str) -> bool {
+    name.starts_with("draw_") || name.ends_with("_seed")
+}
+
+fn taint_scan(
+    flat: &[Flat<'_>],
+    fn_name: &str,
+    file: &str,
+    is_decide: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut taint: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut seg_start = 0usize;
+    let mut i = 0usize;
+    while i <= flat.len() {
+        let boundary = match flat.get(i) {
+            None => true,
+            Some(f) => f.is_punct(';') || f.is_brace_boundary(),
+        };
+        if boundary {
+            let seg = &flat[seg_start..i];
+            let is_tail = i == flat.len();
+            process_segment(seg, is_tail, fn_name, file, is_decide, &mut taint, findings);
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+}
+
+fn process_segment(
+    seg: &[Flat<'_>],
+    is_tail: bool,
+    fn_name: &str,
+    file: &str,
+    is_decide: bool,
+    taint: &mut std::collections::BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    if seg.is_empty() {
+        return;
+    }
+    let sink = |findings: &mut Vec<Finding>, line: u32, col: u32, how: &str| {
+        findings.push(Finding::new(
+            file,
+            line,
+            col,
+            "rng_taint",
+            format!(
+                "RNG-derived value flows out of pub fn `{fn_name}` via {how}: decide.rs exports decisions, not entropy"
+            ),
+            "return a decision (index, bool, plan) computed from the draw, or mark sanctioned egress by naming the fn draw_*/*_seed, or allow(rng_taint) with a reason",
+        ));
+    };
+    // `return <expr>` anywhere in the segment (match arms put it mid-seg).
+    if let Some(r) = seg.iter().position(|f| f.ident() == Some("return")) {
+        if expr_tainted(&seg[r + 1..], taint, is_decide) {
+            let (line, col) = seg[r].pos();
+            sink(findings, line, col, "`return`");
+        }
+        return;
+    }
+    // `let [mut] name [: T] = rhs` — bind or clear.
+    if seg[0].ident() == Some("let") {
+        let name = seg
+            .iter()
+            .skip(1)
+            .filter_map(|f| f.ident())
+            .find(|id| *id != "mut");
+        let eq = top_level_eq(seg);
+        if let Some(name) = name {
+            let tainted = eq.is_some_and(|e| expr_tainted(&seg[e + 1..], taint, is_decide));
+            if tainted {
+                taint.insert(name.to_string());
+            } else {
+                taint.remove(name);
+            }
+        }
+        return;
+    }
+    // `name = rhs` — simple reassignment at segment head.
+    if seg.len() >= 3 {
+        if let Some(name) = seg[0].ident() {
+            if seg[1].is_punct('=') && !seg[2].is_punct('=') {
+                if expr_tainted(&seg[2..], taint, is_decide) {
+                    taint.insert(name.to_string());
+                } else {
+                    taint.remove(name);
+                }
+                return;
+            }
+        }
+    }
+    if is_tail && expr_tainted(seg, taint, is_decide) {
+        let (line, col) = seg[0].pos();
+        sink(findings, line, col, "its tail expression");
+    }
+}
+
+/// Position of the first top-level `=` (not `==`/`=>`/compound-assign).
+fn top_level_eq(seg: &[Flat<'_>]) -> Option<usize> {
+    seg.iter().enumerate().position(|(i, f)| {
+        f.is_punct('=')
+            && !seg
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+            && !(i > 0 && "=<>!+-*/%&|^".chars().any(|c| seg[i - 1].is_punct(c)))
+    })
+}
+
+/// True when the expression window produces a tainted value: it calls a
+/// taint source, or names a tainted binding in value position.
+///
+/// Anything inside a *call's* argument group is consumption, not flow —
+/// `pick(s, n)` launders `s` into a decision — so both tainted idents
+/// and nested sources are muted there. Grouping parens (`(s)`, tuples)
+/// still count: they forward the value unchanged.
+fn expr_tainted(
+    window: &[Flat<'_>],
+    taint: &std::collections::BTreeSet<String>,
+    is_decide: bool,
+) -> bool {
+    // Per open paren group: was it a call-argument group?
+    let mut stack: Vec<bool> = Vec::new();
+    let mut muted_depth = 0usize;
+    for (k, f) in window.iter().enumerate() {
+        if let Flat::Open(g) = f {
+            if g.delim == '(' {
+                let is_call = k > 0
+                    && (window[k - 1].ident().is_some()
+                        || matches!(window[k - 1], Flat::Close(p) if p.delim != '{'));
+                stack.push(is_call);
+                muted_depth += usize::from(is_call);
+            }
+            continue;
+        }
+        if let Flat::Close(g) = f {
+            if g.delim == '(' {
+                if let Some(was_call) = stack.pop() {
+                    muted_depth -= usize::from(was_call);
+                }
+            }
+            continue;
+        }
+        let Some(id) = f.ident() else { continue };
+        let calls = window.get(k + 1).is_some_and(Flat::opens_paren);
+        let prev_dot = k > 0 && window[k - 1].is_punct('.');
+        if muted_depth > 0 {
+            continue;
+        }
+        if calls
+            && (TAINT_SEED_FNS.contains(&id) || id.starts_with("draw_") || id.ends_with("_seed"))
+        {
+            return true;
+        }
+        if is_decide && calls && prev_dot && RNG_DRAW_METHODS.contains(&id) {
+            return true;
+        }
+        if taint.contains(id) {
+            // Skip path segments (`x::`), field accesses (`.x`), and
+            // struct-literal field names (`x:` but not `x::`).
+            let prev_colon = k > 0 && window[k - 1].is_punct(':');
+            let next_colon = window.get(k + 1).is_some_and(|n| n.is_punct(':'));
+            let next2_colon = window.get(k + 2).is_some_and(|n| n.is_punct(':'));
+            let field_name = next_colon && !next2_colon;
+            if !prev_dot && !prev_colon && !field_name {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::strip_cfg_test;
+
+    fn run_r1(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_dropped_receipt(&tree::build(&lex(src).tokens), "x.rs", &mut out);
+        out
+    }
+
+    fn run_t1(src: &str, is_decide: bool) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_rng_taint(&tree::build(&lex(src).tokens), "x.rs", is_decide, &mut out);
+        out
+    }
+
+    #[test]
+    fn dropped_and_wildcard_receipts_are_findings() {
+        let src = "
+            fn f(engine: &mut Engine, plan: &PolicyPlan) {
+                engine.apply_plan(plan);
+                let _ = engine.apply_plan(plan);
+                let receipt = engine.apply_plan(plan);
+                drop(receipt);
+            }
+        ";
+        let found = run_r1(src);
+        assert_eq!(found.len(), 2, "{found:#?}");
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[1].line, 4);
+    }
+
+    #[test]
+    fn inspected_receipts_are_clean() {
+        let src = "
+            fn f(engine: &mut Engine, plan: &PolicyPlan) -> PlanReceipt {
+                let r = engine.apply_plan(plan);
+                if engine.memory_view(x, 1).pages().is_empty() { return r; }
+                match engine.apply_plan(plan) { r => r }
+            }
+            fn tail(engine: &mut Engine) -> MemoryView {
+                engine.memory_view(x, 1)
+            }
+        ";
+        assert!(run_r1(src).is_empty(), "{:#?}", run_r1(src));
+    }
+
+    #[test]
+    fn taint_flows_through_lets_to_return_and_tail() {
+        let src = "
+            pub fn leak_tail(base: u64) -> u64 {
+                let s = derive_stream_seed(base, 1);
+                s
+            }
+            pub fn leak_return(base: u64) -> u64 {
+                let s = splitmix64(base);
+                let t = s + 1;
+                return t;
+            }
+        ";
+        let found = run_t1(src, false);
+        assert_eq!(found.len(), 2, "{found:#?}");
+    }
+
+    #[test]
+    fn consumption_and_sanctioned_names_are_clean() {
+        let src = "
+            pub fn decide(base: u64, n: usize) -> usize {
+                let s = derive_stream_seed(base, 1);
+                pick(s, n)
+            }
+            pub fn draw_value(base: u64) -> u64 {
+                derive_stream_seed(base, 2)
+            }
+            pub fn stream_seed(base: u64) -> u64 {
+                derive_stream_seed(base, 3)
+            }
+            fn private_leak(base: u64) -> u64 {
+                derive_stream_seed(base, 4)
+            }
+            pub(crate) fn restricted_leak(base: u64) -> u64 {
+                derive_stream_seed(base, 5)
+            }
+        ";
+        let found = run_t1(src, false);
+        assert!(found.is_empty(), "{found:#?}");
+    }
+
+    #[test]
+    fn draw_methods_are_sources_only_in_decide() {
+        let src = "
+            pub fn probe(rng: &mut SmallRng, n: usize) -> usize {
+                rng.gen_range(0..n)
+            }
+        ";
+        assert_eq!(run_t1(src, true).len(), 1);
+        assert!(run_t1(src, false).is_empty());
+    }
+
+    #[test]
+    fn untainting_reassignment_clears() {
+        let src = "
+            pub fn fixed(base: u64) -> u64 {
+                let mut s = derive_stream_seed(base, 1);
+                s = 7;
+                s
+            }
+        ";
+        assert!(run_t1(src, false).is_empty());
+    }
+
+    #[test]
+    fn relaxed_on_deque_fields_is_flagged() {
+        let src = "
+            fn pop(&self) {
+                let h = self.head.load(Ordering::Relaxed);
+                let t = self.tail.load(Ordering::Acquire);
+                let n = self.len.load(Ordering::Relaxed);
+            }
+        ";
+        let toks = strip_cfg_test(&lex(src).tokens);
+        let mut out = Vec::new();
+        lint_atomic_ordering(&toks, "x.rs", &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-file symbol index for the X1 `plan_op_exhaustiveness` check.
+//!
+//! Per file, the index records every `enum` definition (with variant
+//! positions) and, for every `fn`, the set of `Path::Segment` pairs its
+//! body references. The workspace driver merges per-file symbols in path
+//! order and runs [`cross_check`]: every variant of the `PlanOp` enum
+//! must be named inside some `local_window` fn (the charge-commute
+//! window contract, DESIGN.md §15) *and* inside some `apply_op` /
+//! `apply_plan` fn (the engine dispatch). A new variant missing either
+//! arm is reported at the variant's own definition site — which is where
+//! the author of the new op is looking.
+
+use std::collections::BTreeSet;
+
+use crate::lints::Finding;
+use crate::tree::{self, Tree};
+
+/// An enum definition's identity and variant positions.
+#[derive(Debug, Clone)]
+pub struct EnumSym {
+    /// Enum name.
+    pub name: String,
+    /// `(variant, line, col)` of each variant's name token.
+    pub variants: Vec<(String, u32, u32)>,
+}
+
+/// One file's contribution to the symbol index.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// Enum definitions in the file.
+    pub enums: Vec<EnumSym>,
+    /// `(fn_name, path_head, path_tail)` for every `Head::Tail` pair
+    /// referenced inside a fn body, deduplicated.
+    pub fn_refs: BTreeSet<(String, String, String)>,
+}
+
+/// Extracts symbols from a file's token trees.
+pub fn file_symbols(trees: &[Tree]) -> FileSymbols {
+    let mut sym = FileSymbols::default();
+    tree::walk_items(
+        trees,
+        &mut |f| {
+            let Some(body) = f.body else { return };
+            let mut flat = Vec::new();
+            tree::flatten(&body.children, &mut flat);
+            for w in flat.windows(4) {
+                if let (Some(head), true, true, Some(tail)) = (
+                    w[0].ident(),
+                    w[1].is_punct(':'),
+                    w[2].is_punct(':'),
+                    w[3].ident(),
+                ) {
+                    sym.fn_refs
+                        .insert((f.name.to_string(), head.to_string(), tail.to_string()));
+                }
+            }
+        },
+        &mut |e| {
+            sym.enums.push(EnumSym {
+                name: e.name.to_string(),
+                variants: e
+                    .variants
+                    .iter()
+                    .map(|(n, l, c)| (n.to_string(), *l, *c))
+                    .collect(),
+            });
+        },
+    );
+    sym
+}
+
+/// The enum whose variants X1 audits, and the fns that must name them.
+const AUDITED_ENUM: &str = "PlanOp";
+const WINDOW_FNS: [&str; 1] = ["local_window"];
+const DISPATCH_FNS: [&str; 2] = ["apply_op", "apply_plan"];
+
+/// Runs the cross-file exhaustiveness check over per-file symbols
+/// (workspace-relative path, symbols), in the order given.
+pub fn cross_check(files: &[(String, FileSymbols)]) -> Vec<Finding> {
+    let mut window_refs: BTreeSet<&str> = BTreeSet::new();
+    let mut dispatch_refs: BTreeSet<&str> = BTreeSet::new();
+    for (_, sym) in files {
+        for (fn_name, head, tail) in &sym.fn_refs {
+            if head != AUDITED_ENUM {
+                continue;
+            }
+            if WINDOW_FNS.contains(&fn_name.as_str()) {
+                window_refs.insert(tail);
+            }
+            if DISPATCH_FNS.contains(&fn_name.as_str()) {
+                dispatch_refs.insert(tail);
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (file, sym) in files {
+        for e in &sym.enums {
+            if e.name != AUDITED_ENUM {
+                continue;
+            }
+            for (variant, line, col) in &e.variants {
+                if !window_refs.contains(variant.as_str()) {
+                    findings.push(Finding::new(
+                        file,
+                        *line,
+                        *col,
+                        "plan_op_exhaustiveness",
+                        format!(
+                            "`{AUDITED_ENUM}::{variant}` has no `local_window()` arm: every op must declare its charge-commute window (or opt out as a barrier)"
+                        ),
+                        "add the variant to PlanOp::local_window() — Some(window) if the op's charges commute within a VPN window, None to force a flush barrier",
+                    ));
+                }
+                if !dispatch_refs.contains(variant.as_str()) {
+                    findings.push(Finding::new(
+                        file,
+                        *line,
+                        *col,
+                        "plan_op_exhaustiveness",
+                        format!(
+                            "`{AUDITED_ENUM}::{variant}` has no `apply_plan` dispatch arm: the engine would not execute this op"
+                        ),
+                        "add a match arm for the variant in Engine::apply_op (the apply_plan dispatch)",
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sym(src: &str) -> FileSymbols {
+        file_symbols(&tree::build(&lex(src).tokens))
+    }
+
+    #[test]
+    fn refs_and_enums_are_extracted() {
+        let s = sym("enum PlanOp { A, B }\nfn local_window(op: &PlanOp) { match op { PlanOp::A => {} PlanOp::B => {} } }");
+        assert_eq!(s.enums.len(), 1);
+        assert_eq!(s.enums[0].variants.len(), 2);
+        assert!(s
+            .fn_refs
+            .contains(&("local_window".into(), "PlanOp".into(), "A".into())));
+    }
+
+    #[test]
+    fn missing_arms_are_findings_at_the_variant() {
+        let s = sym(
+            "enum PlanOp {\n    Covered,\n    Orphan,\n}\nfn local_window(op: &PlanOp) { if let PlanOp::Covered = op {} }\nfn apply_op(op: &PlanOp) { if let PlanOp::Covered = op {} }",
+        );
+        let findings = cross_check(&[("x.rs".to_string(), s)]);
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        for f in &findings {
+            assert_eq!(f.lint, "plan_op_exhaustiveness");
+            assert_eq!((f.line, f.col), (3, 5), "anchored at `Orphan`");
+        }
+    }
+
+    #[test]
+    fn other_enums_are_ignored() {
+        let s = sym("enum Other { A, B }\nfn local_window() {}");
+        assert!(cross_check(&[("x.rs".to_string(), s)]).is_empty());
+    }
+}

@@ -20,6 +20,8 @@
 pub struct Token {
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// 1-based byte column the token starts on (tabs count as one byte).
+    pub col: u32,
     /// The token's kind (and text, for identifiers).
     pub kind: TokenKind,
 }
@@ -52,6 +54,8 @@ impl TokenKind {
 pub struct PragmaComment {
     /// 1-based line the comment appears on.
     pub line: u32,
+    /// 1-based byte column of the comment's opening `//`.
+    pub col: u32,
     /// Comment text after the `// thermo-lint:` marker, trimmed.
     pub text: String,
 }
@@ -72,6 +76,7 @@ struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: u32,
+    line_start: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -88,8 +93,14 @@ impl<'a> Cursor<'a> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         Some(b)
+    }
+
+    /// 1-based byte column of the cursor's current position.
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start + 1) as u32
     }
 }
 
@@ -111,11 +122,13 @@ pub fn lex(source: &str) -> Lexed {
         bytes: source.as_bytes(),
         pos: 0,
         line: 1,
+        line_start: 0,
     };
     let mut out = Lexed::default();
 
     while let Some(b) = c.peek() {
         let line = c.line;
+        let col = c.col();
         match b {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 c.bump();
@@ -126,17 +139,19 @@ pub fn lex(source: &str) -> Lexed {
                 lex_string(&mut c);
                 out.tokens.push(Token {
                     line,
+                    col,
                     kind: TokenKind::Literal,
                 });
             }
             b'\'' => {
                 let kind = lex_quote(&mut c);
-                out.tokens.push(Token { line, kind });
+                out.tokens.push(Token { line, col, kind });
             }
             b'r' | b'b' if starts_raw_or_byte_string(&c) => {
                 lex_raw_or_byte_string(&mut c);
                 out.tokens.push(Token {
                     line,
+                    col,
                     kind: TokenKind::Literal,
                 });
             }
@@ -147,6 +162,7 @@ pub fn lex(source: &str) -> Lexed {
                 let ident = lex_ident_text(&mut c);
                 out.tokens.push(Token {
                     line,
+                    col,
                     kind: TokenKind::Ident(ident),
                 });
             }
@@ -154,6 +170,7 @@ pub fn lex(source: &str) -> Lexed {
                 let ident = lex_ident_text(&mut c);
                 out.tokens.push(Token {
                     line,
+                    col,
                     kind: TokenKind::Ident(ident),
                 });
             }
@@ -161,6 +178,7 @@ pub fn lex(source: &str) -> Lexed {
                 lex_number(&mut c);
                 out.tokens.push(Token {
                     line,
+                    col,
                     kind: TokenKind::Literal,
                 });
             }
@@ -168,6 +186,7 @@ pub fn lex(source: &str) -> Lexed {
                 c.bump();
                 out.tokens.push(Token {
                     line,
+                    col,
                     kind: TokenKind::Punct(b as char),
                 });
             }
@@ -178,6 +197,7 @@ pub fn lex(source: &str) -> Lexed {
 
 fn lex_line_comment(c: &mut Cursor<'_>, out: &mut Lexed) {
     let line = c.line;
+    let col = c.col();
     let start = c.pos;
     while let Some(b) = c.peek() {
         if b == b'\n' {
@@ -191,6 +211,7 @@ fn lex_line_comment(c: &mut Cursor<'_>, out: &mut Lexed) {
     if let Some(rest) = body.strip_prefix(PRAGMA_MARKER) {
         out.pragmas.push(PragmaComment {
             line,
+            col,
             text: rest.trim().to_string(),
         });
     }
@@ -403,6 +424,15 @@ mod tests {
         let lexed = lex(src);
         let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn columns_are_accurate() {
+        let src = "ab cd\n  ef(gh)";
+        let lexed = lex(src);
+        let pos: Vec<(u32, u32)> = lexed.tokens.iter().map(|t| (t.line, t.col)).collect();
+        // ab@1:1 cd@1:4 ef@2:3 (@2:5 gh@2:6 )@2:8
+        assert_eq!(pos, vec![(1, 1), (1, 4), (2, 3), (2, 5), (2, 6), (2, 8)]);
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! possible hasn't rotted. It is a dependency-free, hand-rolled pass in the
 //! spirit of `thermo-util`'s hermetic philosophy: a small Rust lexer
 //! ([`lexer`]), a lightweight item skipper (so `#[cfg(test)]` code is out of
-//! scope), and seven token-level lint families ([`lints`]):
+//! scope), a brace-matched token-tree layer with item recognition
+//! (`tree`), a cross-file symbol index (`index`), and eleven lint
+//! families ([`lints`]).
+//!
+//! Token-stream families:
 //!
 //! * **D1 `unordered_iteration`** — `HashMap`/`HashSet` in artifact crates.
 //! * **D2 `ambient_nondeterminism`** — wall-clock/thread-identity/entropy
@@ -24,21 +28,48 @@
 //!   which merge results in completion order instead of stable job-id
 //!   order and so break byte-identity across `THERMO_JOBS` settings.
 //!
-//! Violations that predate the linter live in `goldens/lint-baseline.json`:
-//! the CI gate fails on *new* findings while grandfathered ones stay
-//! visible (and are expected to be counted down to zero). Intentional
-//! exceptions are annotated in-source:
+//! Flow-aware families (token trees, `flow`) and the cross-file check
+//! (`index`) — see DESIGN.md §16:
+//!
+//! * **R1 `dropped_receipt`** — `apply_plan`/`memory_view` results
+//!   discarded (statement-dropped or bound to `_`): an unchecked receipt
+//!   hides `Skipped`/bandwidth-deferred ops.
+//! * **X1 `plan_op_exhaustiveness`** — every `PlanOp` variant must have a
+//!   `local_window()` arm and an `apply_plan` dispatch arm, checked across
+//!   files via the symbol index.
+//! * **A1 `atomic_ordering`** — `Ordering::Relaxed` on the Chase-Lev
+//!   deque's `head`/`tail` in executor steal paths.
+//! * **T1 `rng_taint`** — seed/draw values must not escape through
+//!   non-decide public fns (intraprocedural taint, sanctioned `draw_*` /
+//!   `*_seed` egress names).
+//!
+//! The workspace walk fans per-file analysis out through `thermo-exec`
+//! and merges findings in path order, so reports are byte-stable for any
+//! `THERMO_JOBS` value. Violations that predate the linter live in
+//! `goldens/lint-baseline.json`: the CI gate fails on *new* findings while
+//! grandfathered ones stay visible (and are expected to be counted down
+//! to zero). Intentional exceptions are annotated in-source:
 //!
 //! ```text
 //! // thermo-lint: allow(ambient_nondeterminism, reason = "bench harness measures wall-clock by design")
 //! ```
+//!
+//! A suppression must keep earning its place: a valid pragma that
+//! suppresses nothing is itself a `bad_pragma` finding (stale pragma).
 
 #![warn(missing_docs)]
 
 pub mod lexer;
 pub mod lints;
 
-pub use lints::{family_code, lint_source, Finding, Scope, LINT_NAMES};
+mod flow;
+mod index;
+mod tree;
+
+pub use lints::{
+    analyze_source, family_code, finish, lint_files, lint_source, FileAnalysis, Finding, Scope,
+    LINT_NAMES,
+};
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -96,9 +127,18 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lints every workspace source under `root`; findings come back sorted by
-/// `(file, line, lint, message)` so output (and `--json`) is byte-stable.
+/// `(file, line, col, lint, …)` so output (and `--json`) is byte-stable.
+///
+/// Per-file analysis fans out through the thermo-exec work-stealing pool
+/// (`THERMO_JOBS` workers); results merge in stable path order, so the
+/// report is byte-identical for every worker count.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    lint_workspace_with(root, thermo_exec::jobs_from_env())
+}
+
+/// [`lint_workspace`] with an explicit worker count.
+pub fn lint_workspace_with(root: &Path, workers: usize) -> io::Result<Vec<Finding>> {
+    let mut sources = Vec::new();
     for path in workspace_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -106,10 +146,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = fs::read_to_string(&path)?;
-        findings.extend(lint_source(&rel, &source));
+        sources.push((rel, source));
     }
-    findings.sort();
-    Ok(findings)
+    let jobs: Vec<_> = sources
+        .into_iter()
+        .map(|(rel, source)| move |_ctx: &thermo_exec::JobCtx| lints::analyze_source(&rel, &source))
+        .collect();
+    let analyses = thermo_exec::run_jobs(jobs, &thermo_exec::ExecConfig::new(workers, 0))
+        .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))?;
+    Ok(lints::finish(analyses))
 }
 
 /// Per-lint finding counts, in canonical lint order (then any unknowns).
@@ -130,13 +175,20 @@ pub fn counts_by_lint(findings: &[Finding]) -> Vec<(String, usize)> {
     out
 }
 
+/// Report format version: bumped when the finding shape changes (v2 added
+/// `col` and `family` fields and the flow-aware lint families).
+pub const REPORT_VERSION: u64 = 2;
+
 /// Serializes findings as the machine-readable JSON report (the same shape
 /// the baseline file uses), pretty-printed with a trailing newline.
 pub fn findings_json(findings: &[Finding]) -> String {
-    let v = Value::Obj(vec![(
-        "findings".to_string(),
-        Value::Arr(findings.iter().map(ToJson::to_json).collect()),
-    )]);
+    let v = Value::Obj(vec![
+        ("version".to_string(), Value::U64(REPORT_VERSION)),
+        (
+            "findings".to_string(),
+            Value::Arr(findings.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
     let mut s = json::to_string_pretty(&v);
     s.push('\n');
     s
@@ -178,12 +230,12 @@ pub mod baseline {
     }
 
     /// A finding's identity for baseline matching. The message is excluded
-    /// so wording tweaks don't un-grandfather old entries; line numbers are
+    /// so wording tweaks don't un-grandfather old entries; line/column are
     /// included so a baseline survives only as long as the file around it
     /// is untouched — editing a grandfathered site forces a fix or an
     /// explicit re-bless.
-    fn key(f: &Finding) -> (&str, &str, u32) {
-        (f.lint.as_str(), f.file.as_str(), f.line)
+    fn key(f: &Finding) -> (&str, &str, u32, u32) {
+        (f.lint.as_str(), f.file.as_str(), f.line, f.col)
     }
 
     /// Splits `findings` into new vs. grandfathered, and reports stale
@@ -213,13 +265,7 @@ mod tests {
     use super::*;
 
     fn f(lint: &str, file: &str, line: u32) -> Finding {
-        Finding {
-            file: file.into(),
-            line,
-            lint: lint.into(),
-            message: "m".into(),
-            hint: "h".into(),
-        }
+        Finding::new(file, line, 7, lint, "m".into(), "h")
     }
 
     #[test]

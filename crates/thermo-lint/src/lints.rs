@@ -12,10 +12,21 @@
 //! | `panic_in_worker`        | E1     | job closures don't panic without a pragma  |
 //! | `sched_purity`           | D4     | `Component` impls see only virtual time    |
 //! | `completion_order_merge` | E2     | executor merges by job id, never arrival   |
+//! | `dropped_receipt`        | R1     | `apply_plan`/`memory_view` results checked |
+//! | `plan_op_exhaustiveness` | X1     | every `PlanOp` has window + dispatch arms  |
+//! | `atomic_ordering`        | A1     | Chase-Lev head/tail never `Relaxed`        |
+//! | `rng_taint`              | T1     | entropy values stay behind decide.rs       |
+//!
+//! D1–D4, S1, E1, E2 are token-stream pattern matches; R1/A1/T1 are
+//! flow-aware passes over token trees ([`crate::flow`]) and X1 is a
+//! cross-file check over the symbol index ([`crate::index`]) — see
+//! DESIGN.md §16 for the grammar and per-family rationale.
 //!
 //! An additional internal lint, `bad_pragma`, fires on malformed
-//! suppression pragmas (unknown lint name, missing reason) so a typo can
-//! never silently disable a real check.
+//! suppression pragmas (unknown lint name, missing reason) — and, since
+//! the stale-pragma pass, on *valid* pragmas that suppress nothing — so
+//! a typo can never silently disable a real check and a suppression can
+//! never outlive the code it excused.
 //!
 //! D4 exists because D2 cannot cover the scheduler seam: `Component`
 //! impls may live in ambient-allowlisted crates (thermo-bench adapters),
@@ -36,7 +47,7 @@
 use crate::lexer::{lex, PragmaComment, Token, TokenKind};
 
 /// Canonical lint names, in family order.
-pub const LINT_NAMES: [&str; 8] = [
+pub const LINT_NAMES: [&str; 12] = [
     "unordered_iteration",
     "ambient_nondeterminism",
     "rng_containment",
@@ -44,6 +55,10 @@ pub const LINT_NAMES: [&str; 8] = [
     "panic_in_worker",
     "sched_purity",
     "completion_order_merge",
+    "dropped_receipt",
+    "plan_op_exhaustiveness",
+    "atomic_ordering",
+    "rng_taint",
     "bad_pragma",
 ];
 
@@ -57,6 +72,10 @@ pub fn family_code(lint: &str) -> &'static str {
         "panic_in_worker" => "E1",
         "sched_purity" => "D4",
         "completion_order_merge" => "E2",
+        "dropped_receipt" => "R1",
+        "plan_op_exhaustiveness" => "X1",
+        "atomic_ordering" => "A1",
+        "rng_taint" => "T1",
         _ => "P0",
     }
 }
@@ -81,8 +100,12 @@ pub struct Finding {
     pub file: String,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
     /// Canonical lint name.
     pub lint: String,
+    /// Short family code (`D1`, `R1`, …), derived from the lint name.
+    pub family: String,
     /// What was found.
     pub message: String,
     /// How to fix it.
@@ -92,10 +115,34 @@ pub struct Finding {
 thermo_util::json_struct!(Finding {
     file,
     line,
+    col,
     lint,
+    family,
     message,
     hint
 });
+
+impl Finding {
+    /// Builds a finding, deriving the family code from the lint name.
+    pub fn new(
+        file: &str,
+        line: u32,
+        col: u32,
+        lint: &str,
+        message: String,
+        hint: &str,
+    ) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col,
+            lint: lint.to_string(),
+            family: family_code(lint).to_string(),
+            message,
+            hint: hint.to_string(),
+        }
+    }
+}
 
 /// Which lint families apply to a file, derived from its workspace path.
 ///
@@ -132,6 +179,16 @@ pub struct Scope {
     pub seam: bool,
     /// E2 applies (executor code: merge discipline is job-id order).
     pub exec: bool,
+    /// R1 applies (artifact crates touch engine receipts).
+    pub receipt: bool,
+    /// A1 applies (the executor crate's Chase-Lev deque).
+    pub atomic: bool,
+    /// T1 applies (everywhere outside the sanctioned RNG home,
+    /// `thermo-util`, and the linter itself).
+    pub taint: bool,
+    /// This file is a `decide.rs` (T1 treats raw draw methods as
+    /// sources there; D3 exempts it from draw-site findings).
+    pub is_decide: bool,
 }
 
 /// Crates whose state can reach a golden artifact (D1 scope).
@@ -175,8 +232,9 @@ const SEAM_FORBIDDEN: [&str; 10] = [
     "trap_mut",
 ];
 
-/// RNG draw methods (`rng.<method>(…)`) counted as draws by D3.
-const RNG_DRAW_METHODS: [&str; 8] = [
+/// RNG draw methods (`rng.<method>(…)`) counted as draws by D3 (and as
+/// taint sources by T1 inside `decide.rs`).
+pub(crate) const RNG_DRAW_METHODS: [&str; 8] = [
     "gen",
     "gen_range",
     "gen_bool",
@@ -221,6 +279,10 @@ impl Scope {
             rng_fns: !rng_internal && !is_decide,
             seam: POLICY_CRATES.contains(&crate_name.as_str()),
             exec: crate_name == "thermo-exec",
+            receipt: ARTIFACT_CRATES.contains(&crate_name.as_str()),
+            atomic: crate_name == "thermo-exec",
+            taint: !matches!(crate_name.as_str(), "thermo-util" | "thermo-lint"),
+            is_decide,
             crate_name,
         }
     }
@@ -232,8 +294,9 @@ const RECV_METHODS: [&str; 3] = ["recv", "try_recv", "recv_timeout"];
 
 /// A parsed, validated suppression pragma.
 #[derive(Debug)]
-struct Pragma {
+pub(crate) struct Pragma {
     line: u32,
+    col: u32,
     lints: Vec<&'static str>,
 }
 
@@ -249,12 +312,15 @@ fn parse_pragmas(
 ) -> Vec<Pragma> {
     let mut pragmas = Vec::new();
     for c in comments {
-        let bad = |msg: &str| Finding {
-            file: file.to_string(),
-            line: c.line,
-            lint: "bad_pragma".to_string(),
-            message: format!("{msg}: `{}`", c.text),
-            hint: "write `// thermo-lint: allow(<lint>, reason = \"…\")`".to_string(),
+        let bad = |msg: &str| {
+            Finding::new(
+                file,
+                c.line,
+                c.col,
+                "bad_pragma",
+                format!("{msg}: `{}`", c.text),
+                "write `// thermo-lint: allow(<lint>, reason = \"…\")`",
+            )
         };
         let Some(args) = c
             .text
@@ -306,6 +372,7 @@ fn parse_pragmas(
         }
         pragmas.push(Pragma {
             line: c.line,
+            col: c.col,
             lints,
         });
     }
@@ -318,7 +385,7 @@ fn parse_pragmas(
 /// This is the "lightweight item resolver": it only understands enough
 /// item structure to find where a gated item ends — the next `;` at
 /// brace/paren depth zero, or the close of the item's first `{ … }` block.
-fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
+pub(crate) fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
     let mut out = Vec::with_capacity(tokens.len());
     let mut i = 0;
     while i < tokens.len() {
@@ -419,11 +486,23 @@ fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
     out
 }
 
-/// Lints one file's source text under its workspace-relative path.
-///
-/// Findings are returned sorted by `(file, line, lint, message)`; pragma
-/// suppression has already been applied.
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+/// One file's analysis: findings before pragma suppression, its parsed
+/// pragmas, and its symbol-index contribution. Produced per file (the
+/// workspace driver fans this out through thermo-exec) and merged by
+/// [`finish`], which runs the cross-file checks, applies suppression
+/// with stale-pragma accounting, and sorts.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    file: String,
+    findings: Vec<Finding>,
+    pragmas: Vec<Pragma>,
+    symbols: crate::index::FileSymbols,
+}
+
+/// Runs every per-file lint pass on one source file. Pragma suppression
+/// is *not* applied here — [`finish`] needs the raw findings to decide
+/// which pragmas are stale.
+pub fn analyze_source(rel_path: &str, source: &str) -> FileAnalysis {
     let scope = Scope::for_path(rel_path);
     let file = rel_path.replace('\\', "/");
     let lexed = lex(source);
@@ -431,14 +510,13 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let pragmas = parse_pragmas(&lexed.pragmas, &file, &mut findings);
     let tokens = strip_cfg_test(&lexed.tokens);
 
-    let push = |findings: &mut Vec<Finding>, line: u32, lint: &str, message: String, hint: &str| {
-        findings.push(Finding {
-            file: file.clone(),
-            line,
-            lint: lint.to_string(),
-            message,
-            hint: hint.to_string(),
-        });
+    let push = |findings: &mut Vec<Finding>,
+                line: u32,
+                col: u32,
+                lint: &str,
+                message: String,
+                hint: &str| {
+        findings.push(Finding::new(&file, line, col, lint, message, hint));
     };
 
     for (idx, tok) in tokens.iter().enumerate() {
@@ -454,6 +532,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             push(
                 &mut findings,
                 tok.line,
+                tok.col,
                 "unordered_iteration",
                 format!("`{ident}` in an artifact-producing crate: iteration order is nondeterministic per process"),
                 "use BTreeMap/BTreeSet so every iteration (and any JSON emitted from it) is ordered",
@@ -466,6 +545,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                 push(
                     &mut findings,
                     tok.line,
+                    tok.col,
                     "ambient_nondeterminism",
                     format!("`{ident}` reads wall-clock state: simulation output must be a pure function of the seed"),
                     "use the engine's virtual clock; wall-clock belongs only in thermo-bench reporting paths",
@@ -474,6 +554,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                 push(
                     &mut findings,
                     tok.line,
+                    tok.col,
                     "ambient_nondeterminism",
                     format!("`{ident}::` path: external entropy sources are banned by the hermetic-build policy"),
                     "use thermo_util::rng seeded streams instead",
@@ -485,6 +566,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                 push(
                     &mut findings,
                     tok.line,
+                    tok.col,
                     "ambient_nondeterminism",
                     "`thread::current()` exposes scheduling identity: results must not depend on which worker ran".to_string(),
                     "derive per-job identity from JobCtx (job_id/seed), never from the OS thread",
@@ -501,6 +583,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             push(
                 &mut findings,
                 tok.line,
+                tok.col,
                 "rng_containment",
                 format!("RNG draw `{ident}` outside a decide.rs module: draw sites and their historical order are part of the golden contract"),
                 "move the draw into the crate's decide.rs (pure helpers, called in historical draw order), or let thermo-exec derive per-job seeds",
@@ -516,6 +599,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             push(
                 &mut findings,
                 tok.line,
+                tok.col,
                 "completion_order_merge",
                 format!("`{ident}` in executor code merges results in completion order, which varies with steal interleaving"),
                 "index results into a slot keyed by stable job id and merge slots in id order",
@@ -527,6 +611,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             push(
                 &mut findings,
                 tok.line,
+                tok.col,
                 "seam_enforcement",
                 format!("policy crate names engine mechanism entry point `{ident}`"),
                 "read state via Engine::memory_view and mutate via apply_plan(PolicyPlan) only",
@@ -540,18 +625,104 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
     lint_component_impls(&tokens, &file, &mut findings);
 
-    // Apply pragma suppression: a pragma suppresses matching findings on
-    // its own line and on the following line (so both trailing and
-    // stand-alone-comment placement work).
-    findings.retain(|f| {
-        f.lint == "bad_pragma"
-            || !pragmas.iter().any(|p| {
-                (f.line == p.line || f.line == p.line + 1) && p.lints.contains(&f.lint.as_str())
-            })
-    });
+    // Flow-aware passes run over the token-tree parse of the same
+    // (attribute- and test-stripped) token stream.
+    let trees = crate::tree::build(&tokens);
+    if scope.receipt {
+        crate::flow::lint_dropped_receipt(&trees, &file, &mut findings);
+    }
+    if scope.atomic {
+        crate::flow::lint_atomic_ordering(&tokens, &file, &mut findings);
+    }
+    if scope.taint {
+        crate::flow::lint_rng_taint(&trees, &file, scope.is_decide, &mut findings);
+    }
+    let symbols = crate::index::file_symbols(&trees);
+
+    FileAnalysis {
+        file,
+        findings,
+        pragmas,
+        symbols,
+    }
+}
+
+/// Merges per-file analyses into the final finding list: runs the
+/// cross-file checks over the symbol index, applies pragma suppression
+/// (a pragma reaches its own line and the following line, so both
+/// trailing and stand-alone-comment placement work), flags valid pragmas
+/// that suppressed nothing as stale, and sorts.
+///
+/// Analyses must be supplied in workspace path order — the symbol index
+/// and the output ordering both follow it.
+pub fn finish(analyses: Vec<FileAnalysis>) -> Vec<Finding> {
+    let symbols: Vec<(String, crate::index::FileSymbols)> = analyses
+        .iter()
+        .map(|a| (a.file.clone(), a.symbols.clone()))
+        .collect();
+    let mut findings: Vec<Finding> = crate::index::cross_check(&symbols);
+
+    for analysis in analyses {
+        // `used` marks pragmas that suppressed at least one finding.
+        let mut pragmas: Vec<(Pragma, bool)> =
+            analysis.pragmas.into_iter().map(|p| (p, false)).collect();
+        for f in analysis.findings {
+            let mut suppressed = false;
+            if f.lint != "bad_pragma" {
+                // Scan every pragma (no short-circuit): a pragma that
+                // covers an already-suppressed finding is not stale.
+                for (p, used) in pragmas.iter_mut() {
+                    if (f.line == p.line || f.line == p.line + 1)
+                        && p.lints.contains(&f.lint.as_str())
+                    {
+                        *used = true;
+                        suppressed = true;
+                    }
+                }
+            }
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+        for (p, used) in pragmas {
+            if !used {
+                findings.push(Finding::new(
+                    &analysis.file,
+                    p.line,
+                    p.col,
+                    "bad_pragma",
+                    format!(
+                        "stale pragma: allow({}) suppresses no finding on line {} or {}",
+                        p.lints.join(", "),
+                        p.line,
+                        p.line + 1
+                    ),
+                    "the code it excused is gone — delete the pragma",
+                ));
+            }
+        }
+    }
 
     findings.sort();
     findings
+}
+
+/// Lints a set of files given as (workspace-relative path, source) pairs,
+/// including the cross-file checks and stale-pragma accounting.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    finish(
+        files
+            .iter()
+            .map(|(rel, src)| analyze_source(rel, src))
+            .collect(),
+    )
+}
+
+/// Lints one source file. Cross-file checks see only this file's symbols,
+/// so `plan_op_exhaustiveness` fires iff the file defines `PlanOp` without
+/// also containing the window/dispatch arms.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    finish(vec![analyze_source(rel_path, source)])
 }
 
 /// E1: `unwrap`/`expect`/`panic!`-family calls inside a closure whose
@@ -621,16 +792,16 @@ fn lint_job_closures(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) 
             let panicky = matches!(ident, "unwrap" | "expect")
                 || matches!(ident, "panic" | "unreachable" | "todo" | "unimplemented");
             if panicky {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: t.line,
-                    lint: "panic_in_worker".to_string(),
-                    message: format!(
+                findings.push(Finding::new(
+                    file,
+                    t.line,
+                    t.col,
+                    "panic_in_worker",
+                    format!(
                         "`{ident}` inside a JobCtx closure: a panicking job aborts the whole thermo-exec batch"
                     ),
-                    hint: "return the error from the job, or annotate with // thermo-lint: allow(panic_in_worker, reason = \"…\")"
-                        .to_string(),
-                });
+                    "return the error from the job, or annotate with // thermo-lint: allow(panic_in_worker, reason = \"…\")",
+                ));
             }
         }
         i = k.max(close + 1);
@@ -693,16 +864,16 @@ fn lint_steal_fns(tokens: &[Token], file: &str, findings: &mut Vec<Finding>) {
                 "unwrap" | "expect" | "panic" | "unreachable" | "todo" | "unimplemented"
             );
             if panicky {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: t.line,
-                    lint: "panic_in_worker".to_string(),
-                    message: format!(
+                findings.push(Finding::new(
+                    file,
+                    t.line,
+                    t.col,
+                    "panic_in_worker",
+                    format!(
                         "`{ident}` inside steal-path fn: a panic on the thief side aborts the batch outside the job-level catch"
                     ),
-                    hint: "losing a claim race is normal — return None/the error, or annotate with // thermo-lint: allow(panic_in_worker, reason = \"…\")"
-                        .to_string(),
-                });
+                    "losing a claim race is normal — return None/the error, or annotate with // thermo-lint: allow(panic_in_worker, reason = \"…\")",
+                ));
             }
         }
         i = k.max(i + 1);
@@ -798,13 +969,14 @@ fn lint_component_impls(tokens: &[Token], file: &str, findings: &mut Vec<Finding
                 None
             };
             if let Some(message) = flagged {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: t.line,
-                    lint: "sched_purity".to_string(),
+                findings.push(Finding::new(
+                    file,
+                    t.line,
+                    t.col,
+                    "sched_purity",
                     message,
-                    hint: hint.to_string(),
-                });
+                    hint,
+                ));
             }
         }
         i = k.max(j + 1);

@@ -1,6 +1,6 @@
 //! The `thermo-lint` binary: walks `crates/*/src` (plus the root package's
-//! `src/`), reports invariant violations with `file:line`, lint name, and a
-//! fix hint, and gates against the grandfathered baseline.
+//! `src/`), reports invariant violations with `file:line:col`, lint name,
+//! and a fix hint, and gates against the grandfathered baseline.
 //!
 //! ```text
 //! thermo-lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE] [FILE…]
@@ -70,15 +70,16 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let findings: Vec<Finding> = if args.files.is_empty() {
         thermo_lint::lint_workspace(&args.root).map_err(|e| format!("walk failed: {e}"))?
     } else {
-        let mut out = Vec::new();
+        // Explicit files are linted together so the cross-file checks
+        // (X1) see each other's symbols.
+        let mut sources = Vec::new();
         for rel in &args.files {
             let path = args.root.join(rel);
             let source = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            out.extend(thermo_lint::lint_source(rel, &source));
+            sources.push((rel.clone(), source));
         }
-        out.sort();
-        out
+        thermo_lint::lint_files(&sources)
     };
 
     if let Some(path) = &args.write_baseline {
@@ -113,9 +114,10 @@ fn run(args: &Args) -> Result<ExitCode, String> {
 fn report_human(cmp: &baseline::Comparison) {
     for f in &cmp.new {
         println!(
-            "{}:{}: [{}/{}] {}",
+            "{}:{}:{}: [{}/{}] {}",
             f.file,
             f.line,
+            f.col,
             family_code(&f.lint),
             f.lint,
             f.message
@@ -152,8 +154,8 @@ fn report_human(cmp: &baseline::Comparison) {
     );
     for s in &cmp.stale {
         println!(
-            "    stale: {}:{} [{}] — fixed; re-bless to count the baseline down",
-            s.file, s.line, s.lint
+            "    stale: {}:{}:{} [{}] — fixed; re-bless to count the baseline down",
+            s.file, s.line, s.col, s.lint
         );
     }
 }

@@ -1,20 +1,26 @@
 //! Fixture tests: each known-bad snippet in `tests/fixtures/` must produce
-//! exactly the expected `(lint, line)` findings when linted under a
+//! exactly the expected `(lint, line, col)` findings when linted under a
 //! synthetic workspace path that puts it in the relevant scope. The files
 //! live in a subdirectory so cargo never compiles them — they are data.
 
-use thermo_lint::{lint_source, Finding};
+use thermo_lint::{lint_files, lint_source, Finding};
 
-/// The `(lint, line)` identity of every finding, sorted.
-fn keys(findings: &[Finding]) -> Vec<(String, u32)> {
-    let mut keys: Vec<_> = findings.iter().map(|f| (f.lint.clone(), f.line)).collect();
+/// The `(lint, line, col)` identity of every finding, sorted.
+fn keys(findings: &[Finding]) -> Vec<(String, u32, u32)> {
+    let mut keys: Vec<_> = findings
+        .iter()
+        .map(|f| (f.lint.clone(), f.line, f.col))
+        .collect();
     keys.sort();
     keys
 }
 
-fn expect(fixture: &str, rel_path: &str, want: &[(&str, u32)]) {
+fn expect(fixture: &str, rel_path: &str, want: &[(&str, u32, u32)]) {
     let findings = lint_source(rel_path, fixture);
-    let mut want: Vec<(String, u32)> = want.iter().map(|(l, n)| (l.to_string(), *n)).collect();
+    let mut want: Vec<(String, u32, u32)> = want
+        .iter()
+        .map(|(l, n, c)| (l.to_string(), *n, *c))
+        .collect();
     want.sort();
     assert_eq!(
         keys(&findings),
@@ -29,10 +35,10 @@ fn d1_unordered_iteration() {
         include_str!("fixtures/d1_unordered.rs"),
         "crates/thermo-sim/src/fixture.rs",
         &[
-            ("unordered_iteration", 2),
-            ("unordered_iteration", 6),
-            ("unordered_iteration", 10),
-            ("unordered_iteration", 12),
+            ("unordered_iteration", 2, 23),
+            ("unordered_iteration", 6, 13),
+            ("unordered_iteration", 10, 33),
+            ("unordered_iteration", 12, 23),
         ],
     );
 }
@@ -53,11 +59,11 @@ fn d2_ambient_nondeterminism() {
         include_str!("fixtures/d2_ambient.rs"),
         "crates/thermo-sim/src/fixture.rs",
         &[
-            ("ambient_nondeterminism", 2),
-            ("ambient_nondeterminism", 4),
-            ("ambient_nondeterminism", 6),
-            ("ambient_nondeterminism", 7),
-            ("ambient_nondeterminism", 8),
+            ("ambient_nondeterminism", 2, 16),
+            ("ambient_nondeterminism", 4, 24),
+            ("ambient_nondeterminism", 6, 21),
+            ("ambient_nondeterminism", 7, 20),
+            ("ambient_nondeterminism", 8, 16),
         ],
     );
 }
@@ -76,7 +82,7 @@ fn d3_rng_containment() {
     expect(
         include_str!("fixtures/d3_rng.rs"),
         "crates/thermostat/src/fixture.rs",
-        &[("rng_containment", 6), ("rng_containment", 10)],
+        &[("rng_containment", 6, 9), ("rng_containment", 10, 23)],
     );
 }
 
@@ -98,7 +104,10 @@ fn fabric_retry_loops_stay_deterministic() {
     expect(
         include_str!("fixtures/fab_retry.rs"),
         "crates/thermo-sim/src/fabric.rs",
-        &[("ambient_nondeterminism", 8), ("rng_containment", 9)],
+        &[
+            ("ambient_nondeterminism", 8, 30),
+            ("rng_containment", 9, 22),
+        ],
     );
 }
 
@@ -108,9 +117,9 @@ fn s1_seam_enforcement() {
         include_str!("fixtures/s1_seam.rs"),
         "crates/thermo-kstaled/src/fixture.rs",
         &[
-            ("seam_enforcement", 6),
-            ("seam_enforcement", 7),
-            ("seam_enforcement", 9),
+            ("seam_enforcement", 6, 12),
+            ("seam_enforcement", 7, 15),
+            ("seam_enforcement", 9, 16),
         ],
     );
 }
@@ -134,10 +143,10 @@ fn d4_sched_purity_in_component_impls() {
         include_str!("fixtures/d4_sched.rs"),
         "crates/thermo-bench/src/fixture.rs",
         &[
-            ("sched_purity", 17),
-            ("sched_purity", 18),
-            ("sched_purity", 19),
-            ("sched_purity", 20),
+            ("sched_purity", 17, 19),
+            ("sched_purity", 18, 26),
+            ("sched_purity", 19, 25),
+            ("sched_purity", 20, 26),
         ],
     );
 }
@@ -150,17 +159,17 @@ fn d4_stacks_with_d2_outside_the_allowlist() {
         include_str!("fixtures/d4_sched.rs"),
         "crates/thermo-sim/src/fixture.rs",
         &[
-            ("ambient_nondeterminism", 5),
-            ("ambient_nondeterminism", 17),
+            ("ambient_nondeterminism", 5, 16),
+            ("ambient_nondeterminism", 17, 19),
             // line 18 (`std::env::var`) is exactly what D2 does NOT
             // catch — the env read is D4's own contribution.
-            ("ambient_nondeterminism", 19),
-            ("ambient_nondeterminism", 20),
-            ("ambient_nondeterminism", 49),
-            ("sched_purity", 17),
-            ("sched_purity", 18),
-            ("sched_purity", 19),
-            ("sched_purity", 20),
+            ("ambient_nondeterminism", 19, 25),
+            ("ambient_nondeterminism", 20, 26),
+            ("ambient_nondeterminism", 49, 13),
+            ("sched_purity", 17, 19),
+            ("sched_purity", 18, 26),
+            ("sched_purity", 19, 25),
+            ("sched_purity", 20, 26),
         ],
     );
 }
@@ -171,9 +180,9 @@ fn e1_panic_in_worker() {
         include_str!("fixtures/e1_panic.rs"),
         "crates/thermo-bench/src/fixture.rs",
         &[
-            ("panic_in_worker", 7),
-            ("panic_in_worker", 9),
-            ("panic_in_worker", 20),
+            ("panic_in_worker", 7, 36),
+            ("panic_in_worker", 9, 21),
+            ("panic_in_worker", 20, 48),
         ],
     );
 }
@@ -184,9 +193,9 @@ fn e1_steal_path_pass_in_executor_crate() {
         include_str!("fixtures/e1_steal.rs"),
         "crates/thermo-exec/src/fixture.rs",
         &[
-            ("panic_in_worker", 5),
-            ("panic_in_worker", 10),
-            ("panic_in_worker", 12),
+            ("panic_in_worker", 5, 40),
+            ("panic_in_worker", 10, 33),
+            ("panic_in_worker", 12, 9),
         ],
     );
 }
@@ -209,10 +218,10 @@ fn e2_completion_order_merge_in_executor_crate() {
         include_str!("fixtures/e2_exec_order.rs"),
         "crates/thermo-exec/src/fixture.rs",
         &[
-            ("completion_order_merge", 4),
-            ("completion_order_merge", 12),
-            ("completion_order_merge", 16),
-            ("completion_order_merge", 20),
+            ("completion_order_merge", 4, 31),
+            ("completion_order_merge", 12, 8),
+            ("completion_order_merge", 16, 8),
+            ("completion_order_merge", 20, 22),
         ],
     );
 }
@@ -235,22 +244,152 @@ fn pragma_suppression_and_validation() {
         "crates/thermo-sim/src/fixture.rs",
         &[
             // line 7: the trailing pragma on line 5 reaches lines 5-6 only.
-            ("unordered_iteration", 7),
+            ("unordered_iteration", 7, 5),
             // line 10's pragma lacks a reason → rejected, and line 11 stays.
-            ("bad_pragma", 10),
-            ("unordered_iteration", 11),
+            ("bad_pragma", 10, 1),
+            ("unordered_iteration", 11, 23),
             // line 13 names an unknown lint → rejected twice (unknown name,
             // then no known lint left), and line 14 stays.
-            ("bad_pragma", 13),
-            ("bad_pragma", 13),
-            ("unordered_iteration", 14),
+            ("bad_pragma", 13, 1),
+            ("bad_pragma", 13, 1),
+            ("unordered_iteration", 14, 13),
+        ],
+    );
+}
+
+#[test]
+fn stale_pragma_is_a_finding() {
+    // A syntactically valid pragma that suppresses nothing has outlived
+    // the code it excused — it is itself flagged, at the pragma.
+    expect(
+        include_str!("fixtures/pragma_stale.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[("bad_pragma", 2, 1)],
+    );
+}
+
+#[test]
+fn r1_dropped_receipt() {
+    // Lines 3 (statement-dropped) and 4 (`let _ =`) are findings; the
+    // line-6 drop is excused by the pragma on line 5 (which is therefore
+    // used, not stale); bound/inspected/tail receipts are clean.
+    expect(
+        include_str!("fixtures/r1_receipt.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[("dropped_receipt", 3, 12), ("dropped_receipt", 4, 20)],
+    );
+}
+
+#[test]
+fn r1_out_of_scope_in_infra_crate() {
+    // Under thermo-util R1 is off — which strands the line-5 pragma with
+    // nothing to suppress, so the stale-pragma pass flags it.
+    expect(
+        include_str!("fixtures/r1_receipt.rs"),
+        "crates/thermo-util/src/fixture.rs",
+        &[("bad_pragma", 5, 5)],
+    );
+}
+
+#[test]
+fn a1_relaxed_on_deque_fields() {
+    // Line 3 (Relaxed tail load) is a finding; line 6 is pragma-excused;
+    // Acquire loads and non-head/tail atomics are clean.
+    expect(
+        include_str!("fixtures/a1_atomic.rs"),
+        "crates/thermo-exec/src/fixture.rs",
+        &[("atomic_ordering", 3, 35)],
+    );
+}
+
+#[test]
+fn a1_is_executor_scoped() {
+    // Outside thermo-exec the deque fields mean nothing; the stranded
+    // pragma on line 5 becomes the only finding.
+    expect(
+        include_str!("fixtures/a1_atomic.rs"),
+        "crates/thermo-sim/src/fixture.rs",
+        &[("bad_pragma", 5, 5)],
+    );
+}
+
+#[test]
+fn t1_rng_taint_in_decide() {
+    // Tainted tail (line 5) and tainted return (line 10) leak; the inline
+    // pragma on line 14 excuses `legacy_probe`; `draw_*`/`*_seed` egress
+    // names, call-argument consumption, and pub(crate) fns are clean.
+    expect(
+        include_str!("fixtures/t1_taint.rs"),
+        "crates/thermo-kstaled/src/decide.rs",
+        &[("rng_taint", 5, 5), ("rng_taint", 10, 5)],
+    );
+}
+
+#[test]
+fn t1_is_off_in_infra_crates() {
+    // thermo-util is the RNG's own home; the taint pass is off there and
+    // the inline pragma on line 14 is reported stale.
+    expect(
+        include_str!("fixtures/t1_taint.rs"),
+        "crates/thermo-util/src/decide.rs",
+        &[("bad_pragma", 14, 22)],
+    );
+}
+
+#[test]
+fn x1_cross_file_exhaustiveness() {
+    // The enum and its window/dispatch fns live in different files; the
+    // symbol index joins them. `WindowOnly` lacks a dispatch arm (one
+    // finding), `Orphan` lacks both (two findings) — all anchored at the
+    // variant definitions in the enum's file.
+    let files = vec![
+        (
+            "crates/thermo-sim/src/engine/plan.rs".to_string(),
+            include_str!("fixtures/x1_plan.rs").to_string(),
+        ),
+        (
+            "crates/thermo-sim/src/engine/mod.rs".to_string(),
+            include_str!("fixtures/x1_engine.rs").to_string(),
+        ),
+    ];
+    let findings = lint_files(&files);
+    assert_eq!(
+        keys(&findings),
+        vec![
+            ("plan_op_exhaustiveness".to_string(), 5, 5),
+            ("plan_op_exhaustiveness".to_string(), 6, 5),
+            ("plan_op_exhaustiveness".to_string(), 6, 5),
+        ],
+        "{findings:#?}"
+    );
+    for f in &findings {
+        assert_eq!(f.file, "crates/thermo-sim/src/engine/plan.rs");
+        assert_eq!(f.family, "X1");
+    }
+}
+
+#[test]
+fn x1_single_file_defining_the_enum_alone_fires() {
+    // Linting only the defining file: no arm is visible, so every
+    // variant is doubly flagged — deleting an arm can never pass by
+    // linting a subset of the workspace.
+    expect(
+        include_str!("fixtures/x1_plan.rs"),
+        "crates/thermo-sim/src/engine/plan.rs",
+        &[
+            ("plan_op_exhaustiveness", 4, 5),
+            ("plan_op_exhaustiveness", 4, 5),
+            ("plan_op_exhaustiveness", 5, 5),
+            ("plan_op_exhaustiveness", 5, 5),
+            ("plan_op_exhaustiveness", 6, 5),
+            ("plan_op_exhaustiveness", 6, 5),
         ],
     );
 }
 
 #[test]
 fn good_file_is_clean_under_strictest_scope() {
-    // A policy-crate path enables D1+D2+D3+S1+E1 simultaneously.
+    // A policy-crate path enables D1+D2+D3+S1+E1+R1+T1 simultaneously.
     expect(
         include_str!("fixtures/good.rs"),
         "crates/thermostat/src/fixture.rs",
@@ -259,13 +398,14 @@ fn good_file_is_clean_under_strictest_scope() {
 }
 
 #[test]
-fn messages_carry_hints_and_files() {
+fn messages_carry_hints_files_and_families() {
     let findings = lint_source(
         "crates/thermo-sim/src/fixture.rs",
         include_str!("fixtures/d1_unordered.rs"),
     );
     for f in &findings {
         assert_eq!(f.file, "crates/thermo-sim/src/fixture.rs");
+        assert_eq!(f.family, "D1");
         assert!(!f.message.is_empty() && !f.hint.is_empty());
     }
 }

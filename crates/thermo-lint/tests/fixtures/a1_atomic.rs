@@ -1,0 +1,9 @@
+// Fixture: A1 Relaxed orderings on the deque's head/tail claim path.
+fn steal_claim(d: &Deque, stats: &Counter) -> Option<u64> {
+    let t = d.tail.load(Ordering::Relaxed); // line 3: finding
+    let h = d.head.load(Ordering::Acquire); // Acquire: ok
+    // thermo-lint: allow(atomic_ordering, reason = "fixture: advisory counter")
+    d.head.store(h + 1, Ordering::Relaxed); // line 6: suppressed
+    stats.calls.fetch_add(1, Ordering::Relaxed); // not head/tail: ok
+    Some(t + h)
+}

@@ -1,0 +1,5 @@
+// Fixture: a valid pragma whose findings are gone is itself a finding.
+// thermo-lint: allow(unordered_iteration, reason = "migrated to BTreeMap")
+fn tidy() -> u64 {
+    7
+}

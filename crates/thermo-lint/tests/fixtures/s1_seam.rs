@@ -8,9 +8,9 @@ fn tick(engine: &mut Engine) {
         // line 7: finding (migrate_page)
         engine.poison_page(start(), size()); // line 9: finding
     }
-    // The seam itself is always legal:
+    // The seam itself is always legal (receipts bound and used, per R1):
     let view = engine.memory_view(&[], 1);
     let plan = thermo_sim::PolicyPlan::new();
-    engine.apply_plan(&plan);
-    let _ = view;
+    let receipt = engine.apply_plan(&plan);
+    consume(view, receipt);
 }

@@ -1,0 +1,32 @@
+// Fixture: T1 rng taint, linted as a decide.rs module (draw methods are
+// sources there; D3 is off by design — decide.rs is the legal draw site).
+pub fn leak_tail(base: u64, t: u64) -> u64 {
+    let seed = derive_stream_seed(base, t);
+    seed // line 5: finding (tainted tail expression)
+}
+
+pub fn leak_return(rng: &mut Pcg) -> u64 {
+    let v = rng.gen_range(0..8);
+    return v; // line 10: finding (tainted return)
+}
+
+pub fn legacy_probe(base: u64) -> u64 {
+    splitmix64(base) // thermo-lint: allow(rng_taint, reason = "fixture: legacy probe API")
+}
+
+pub fn draw_probe(rng: &mut Pcg, n: u64) -> u64 {
+    rng.gen_range(0..n) // sanctioned `draw_*` egress: ok
+}
+
+pub fn tenant_seed(base: u64, t: u64) -> u64 {
+    derive_stream_seed(base, t) // sanctioned `*_seed` egress: ok
+}
+
+pub fn quota(rng: &mut Pcg, limit: u64) -> u64 {
+    let v = rng.gen_range(0..limit);
+    clamp(v, limit) // consumed as a call argument: ok
+}
+
+pub(crate) fn internal(base: u64) -> u64 {
+    splitmix64(base) // not part of the public surface: ok
+}

@@ -1,0 +1,16 @@
+// Fixture: the window/dispatch fns covering part of the X1 enum.
+impl Engine {
+    fn local_window(op: &PlanOp) -> Option<u64> {
+        match op {
+            PlanOp::Covered { page } => Some(*page),
+            PlanOp::WindowOnly { page } => Some(*page),
+            _ => None,
+        }
+    }
+
+    fn apply_op(&mut self, op: &PlanOp) {
+        if let PlanOp::Covered { page } = op {
+            self.touch(*page);
+        }
+    }
+}

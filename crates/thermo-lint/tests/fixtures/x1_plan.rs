@@ -1,0 +1,7 @@
+// Fixture: the audited enum. `WindowOnly` lacks a dispatch arm and
+// `Orphan` lacks both arms; `Covered` is fully wired in x1_engine.rs.
+pub enum PlanOp {
+    Covered { page: u64 },
+    WindowOnly { page: u64 },
+    Orphan { page: u64 },
+}

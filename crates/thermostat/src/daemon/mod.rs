@@ -324,7 +324,11 @@ impl Daemon {
         }
         self.pending_demotes = still;
         if !follow.is_empty() {
-            engine.apply_plan(&follow);
+            let receipt = engine.apply_plan(&follow);
+            debug_assert!(
+                receipt.outcomes().iter().all(|o| *o == OpOutcome::Done),
+                "poison follow-ups complete synchronously"
+            );
         }
     }
 
